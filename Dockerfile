@@ -1,0 +1,22 @@
+# Artifact-parity container (the original artifact ships a Dockerfile
+# too).  Builds the library, runs the test suite, and leaves the `pka`
+# CLI on PATH; run scripts/run_pka.sh inside to regenerate every table
+# and figure.
+FROM python:3.11-slim
+
+WORKDIR /opt/pka
+COPY pyproject.toml setup.py README.md ./
+COPY src ./src
+COPY tests ./tests
+COPY benchmarks ./benchmarks
+COPY examples ./examples
+COPY scripts ./scripts
+COPY DESIGN.md EXPERIMENTS.md Makefile ./
+COPY docs ./docs
+
+RUN pip install --no-cache-dir numpy pytest pytest-benchmark hypothesis scipy \
+    && pip install --no-cache-dir -e .
+
+RUN python -m pytest tests/ -q
+
+CMD ["bash", "scripts/run_pka.sh"]

@@ -1,0 +1,17 @@
+# Convenience targets mirroring the README's commands.
+
+.PHONY: install test bench report all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.cli report --output pka_report.md
+
+all: test bench report

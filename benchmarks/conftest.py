@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures from the
+same underlying corpus runs; the session-scoped harness memoizes them so
+the suite costs one sweep.  Benchmarks print the regenerated artifact (run
+pytest with ``-s`` to see it) and assert the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import EvaluationHarness
+
+
+@pytest.fixture(scope="session")
+def harness() -> EvaluationHarness:
+    return EvaluationHarness()
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

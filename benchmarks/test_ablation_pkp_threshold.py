@@ -1,0 +1,77 @@
+"""Ablation (§3.2) — the PKP stability threshold and window trade-offs.
+
+Sweeps s over {2.5, 0.25, 0.025} (the paper's Figure-5 values) on the
+PKP-sensitive workloads and verifies the stated trade-off: smaller s
+means more confidence, more simulation, and generally no worse accuracy.
+Also checks the wave rule's contribution.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import abs_pct_error, mean
+from repro.core import PKAConfig, PKPConfig, PrincipalKernelAnalysis
+from repro.gpu import VOLTA_V100
+from conftest import print_header
+
+SAMPLE = ("syr2k", "syrk", "atax", "fdtd2d", "2Dcnn", "polybench_gemm")
+THRESHOLDS = (2.5, 0.25, 0.025)
+
+
+def _sweep_point(harness, threshold: float, enforce_wave: bool = True):
+    silicon = harness.silicon(VOLTA_V100)
+    simulator = harness.simulator(VOLTA_V100)
+    pka = PrincipalKernelAnalysis(
+        PKAConfig(
+            pkp=PKPConfig(
+                stability_threshold=threshold, enforce_wave=enforce_wave
+            )
+        )
+    )
+    errors, costs = [], []
+    for name in SAMPLE:
+        evaluation = harness.evaluation(name)
+        truth = evaluation.silicon("volta")
+        run = pka.simulate(evaluation.selection(), simulator, use_pkp=True)
+        errors.append(abs_pct_error(run.total_cycles, truth.total_cycles))
+        costs.append(run.simulated_cycles)
+    return mean(errors), sum(costs)
+
+
+def test_pkp_threshold_sweep(harness, benchmark):
+    results = {}
+    for threshold in THRESHOLDS:
+        results[threshold] = _sweep_point(harness, threshold)
+    benchmark.pedantic(
+        _sweep_point, args=(harness, 0.25), iterations=1, rounds=1
+    )
+
+    print_header("Ablation: PKP stability threshold s (PKP-sensitive sample)")
+    for threshold, (error, cost) in results.items():
+        print(f"s={threshold:<6} mean error {error:6.2f}%  simulated cycles {cost:.3g}")
+
+    costs = [results[t][1] for t in THRESHOLDS]
+    # Smaller s -> more simulation (monotone cost).
+    assert costs[0] <= costs[1] <= costs[2]
+    # The paper's default (0.25) is a genuine compromise: cheaper than
+    # the strict setting, with bounded error.
+    assert results[0.25][1] < results[0.025][1] * 1.001
+    assert results[0.25][0] < 60.0
+
+
+def test_wave_rule_contribution(harness, benchmark):
+    """Dropping the wave constraint stops kernels inside the unrepresentative
+    first wave, saving time but never gaining accuracy on multi-wave apps."""
+    with_wave = _sweep_point(harness, 0.25, enforce_wave=True)
+    without_wave = benchmark.pedantic(
+        _sweep_point,
+        args=(harness, 0.25),
+        kwargs={"enforce_wave": False},
+        iterations=1,
+        rounds=1,
+    )
+
+    print_header("Ablation: PKP wave rule")
+    print(f"with wave rule:    error {with_wave[0]:6.2f}%  cost {with_wave[1]:.3g}")
+    print(f"without wave rule: error {without_wave[0]:6.2f}%  cost {without_wave[1]:.3g}")
+
+    assert without_wave[1] <= with_wave[1]

@@ -1,0 +1,74 @@
+"""Ablation (§3.1) — how the principal kernel of each group is chosen.
+
+The paper compares random selection, cluster-centre selection and
+first-chronological selection, finding random inconsistent and
+first/centre equivalent — with "first" preferred because it minimizes
+tracing time.  This benchmark quantifies all three over a workload
+sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import abs_pct_error, mean
+from repro.core import PKAConfig, PKSConfig, PrincipalKernelAnalysis
+from repro.gpu import VOLTA_V100
+from repro.workloads import get_workload
+from conftest import print_header
+
+SAMPLE = (
+    "gramschmidt",
+    "fdtd2d",
+    "gauss_208",
+    "histo",
+    "nw",
+    "bfs65536",
+    "scluster",
+    "mlperf_resnet50_256b",
+)
+
+
+def _errors(silicon, representative: str, seed: int = 0) -> list[float]:
+    pka = PrincipalKernelAnalysis(
+        PKAConfig(pks=PKSConfig(representative=representative, seed=seed))
+    )
+    errors = []
+    for name in SAMPLE:
+        spec = get_workload(name)
+        launches = spec.build()
+        truth = silicon.run(name, launches)
+        selection = pka.characterize(name, launches, silicon, scale=spec.scale)
+        projected = pka.project_silicon(selection, silicon)
+        errors.append(abs_pct_error(projected.total_cycles, truth.total_cycles))
+    return errors
+
+
+def test_representative_choice_ablation(harness, benchmark):
+    silicon = harness.silicon(VOLTA_V100)
+
+    first = benchmark.pedantic(
+        _errors, args=(silicon, "first"), iterations=1, rounds=1
+    )
+    center = _errors(silicon, "center")
+    random_runs = [_errors(silicon, "random", seed=seed) for seed in range(4)]
+    random_means = [mean(errors) for errors in random_runs]
+
+    print_header("Ablation: representative selection (mean cycle error %)")
+    print(f"first-chronological: {mean(first):6.2f}%")
+    print(f"cluster-centre:      {mean(center):6.2f}%")
+    for seed, value in enumerate(random_means):
+        print(f"random (seed {seed}):     {value:6.2f}%")
+    print(f"random spread across seeds: {np.std(random_means):.2f} points")
+
+    # First and centre both achieve low error and are close to each other
+    # (the paper: "negligible" difference).
+    assert mean(first) < 6.0
+    assert mean(center) < 6.0
+    assert abs(mean(first) - mean(center)) < 3.0
+
+    # Random selection is inconsistent: its error varies across seeds by
+    # more than first-vs-centre differ, and its worst seed is clearly
+    # worse than deterministic selection.
+    assert np.std(random_means) > 0.1
+    assert max(random_means) > mean(first)

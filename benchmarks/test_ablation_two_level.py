@@ -1,0 +1,91 @@
+"""Ablation — two-level profiling: classifier choice and detailed budget.
+
+The paper trains three classifiers (SGD, Gaussian NB, MLP) to map
+lightly-profiled kernels onto the detailed-phase groups.  This benchmark
+compares them on the scaled MLPerf workloads and sweeps the detailed
+head size j.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import abs_pct_error
+from repro.core import PKAConfig, PrincipalKernelAnalysis, TwoLevelConfig
+from repro.gpu import VOLTA_V100
+from conftest import print_header
+
+WORKLOADS = ("mlperf_ssd_training", "mlperf_bert_inference", "mlperf_gnmt_training")
+
+
+def _characterize(harness, workload: str, classifier: str, limit: int = 2_000):
+    evaluation = harness.evaluation(workload)
+    pka = PrincipalKernelAnalysis(
+        PKAConfig(
+            two_level=TwoLevelConfig(classifier=classifier, detailed_limit=limit)
+        )
+    )
+    silicon = harness.silicon(VOLTA_V100)
+    selection = pka.characterize(
+        workload,
+        evaluation.launches("volta"),
+        silicon,
+        scale=evaluation.spec.scale,
+    )
+    truth = evaluation.silicon("volta")
+    projected = pka.project_silicon(selection, silicon)
+    error = abs_pct_error(projected.total_cycles, truth.total_cycles)
+    return selection, error
+
+
+def test_classifier_comparison(harness, benchmark):
+    results: dict[str, list] = {}
+    for classifier in ("sgd", "gnb", "mlp"):
+        rows = []
+        for workload in WORKLOADS:
+            selection, error = _characterize(harness, workload, classifier)
+            rows.append((workload, selection.classifier_accuracy, error))
+        results[classifier] = rows
+    benchmark.pedantic(
+        _characterize,
+        args=(harness, "mlperf_ssd_training", "sgd"),
+        iterations=1,
+        rounds=1,
+    )
+
+    print_header("Ablation: two-level classifier comparison")
+    for classifier, rows in results.items():
+        for workload, accuracy, error in rows:
+            print(
+                f"{classifier:4s} {workload:26s} "
+                f"holdout acc {accuracy:6.2%}  PKS error {error:6.2f}%"
+            )
+
+    # Every classifier maps the lightweight tail accurately: these
+    # workloads have strongly name-separable kernel families.
+    for classifier, rows in results.items():
+        for workload, accuracy, error in rows:
+            assert accuracy > 0.8, (classifier, workload)
+            assert error < 25.0, (classifier, workload)
+
+
+def test_detailed_budget_sweep(harness, benchmark):
+    workload = "mlperf_ssd_training"
+    errors = {}
+    for limit in (250, 1_000, 4_000):
+        _selection, error = _characterize(harness, workload, "best", limit)
+        errors[limit] = error
+    benchmark.pedantic(
+        _characterize,
+        args=(harness, workload, "best", 1_000),
+        iterations=1,
+        rounds=1,
+    )
+
+    print_header("Ablation: detailed head size j (SSD training)")
+    for limit, error in errors.items():
+        print(f"j={limit:5d}  PKS error {error:6.2f}%")
+
+    # Even a few hundred detailed kernels suffice once every behaviour
+    # family appears in the head (SSD's iteration is ~200 launches).
+    assert all(error < 25.0 for error in errors.values())
+    # A bigger head never hurts much.
+    assert errors[4_000] <= errors[250] + 10.0

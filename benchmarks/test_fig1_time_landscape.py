@@ -1,0 +1,51 @@
+"""Figure 1 — silicon, profiling and projected simulation times.
+
+The paper's motivation figure: classic workloads execute in microseconds
+to milliseconds yet take hours-to-days to simulate; MLPerf workloads run
+seconds-to-minutes on silicon and would take years-to-centuries to
+simulate, with detailed profiling in between.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure1_time_landscape, format_duration
+from conftest import print_header
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+def test_figure1_time_landscape(harness, benchmark):
+    landscapes = benchmark.pedantic(
+        figure1_time_landscape, args=(harness,), iterations=1, rounds=1
+    )
+
+    print_header("Figure 1: execution / profiling / simulation time landscape")
+    for landscape in landscapes[:: max(1, len(landscapes) // 24)]:
+        print(
+            f"{landscape.workload:30s}"
+            f" silicon={format_duration(landscape.silicon_seconds):>14s}"
+            f" profiler={format_duration(landscape.detailed_profiling_seconds):>14s}"
+            f" simulation={format_duration(landscape.full_simulation_seconds):>14s}"
+        )
+
+    assert len(landscapes) == 147
+
+    # Classic workloads: sub-second silicon, >= minutes of simulation.
+    classic = [l for l in landscapes if not l.workload.startswith("mlperf")]
+    assert all(l.silicon_seconds < 1.0 for l in classic)
+    assert max(l.full_simulation_seconds for l in classic) > 24 * 3600.0
+
+    # MLPerf: seconds-to-minutes silicon, years-to-centuries simulation.
+    mlperf = [l for l in landscapes if l.workload.startswith("mlperf")]
+    assert all(l.silicon_seconds > 1.0 for l in mlperf)
+    assert all(l.full_simulation_seconds > SECONDS_PER_YEAR for l in mlperf)
+    assert max(l.full_simulation_seconds for l in mlperf) > 100 * SECONDS_PER_YEAR
+
+    # Ordering: silicon < simulation everywhere; profiling in between for
+    # the scaled workloads (the reason two-level profiling exists).
+    for landscape in landscapes:
+        assert landscape.silicon_seconds < landscape.full_simulation_seconds
+        assert (
+            landscape.silicon_seconds < landscape.detailed_profiling_seconds
+        )
+    assert any(not l.detailed_profiling_tractable for l in mlperf)

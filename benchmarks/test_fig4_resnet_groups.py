@@ -1,0 +1,60 @@
+"""Figure 4 — per-group kernel composition after PKS on ResNet.
+
+The paper finds ~9 groups over ResNet's kernels: compute-intensive
+convolutions cluster together, memory-intensive elementwise ops cluster
+together, groups mix differently-named kernels, and some names split
+across groups when launched with different geometry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure4_group_composition
+from conftest import print_header
+
+
+def test_figure4_resnet_group_composition(harness, benchmark):
+    groups = benchmark.pedantic(
+        figure4_group_composition, args=(harness,), iterations=1, rounds=1
+    )
+
+    print_header("Figure 4: per-group kernel composition (ResNet-50, batch 64)")
+    for group in groups:
+        names = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(group.name_counts.items(), key=lambda kv: -kv[1])
+        )
+        print(f"group {group.group_id:2d} ({group.total_kernels:5d} kernels): {names}")
+
+    # Around nine groups (paper: 9; we accept a small band).
+    assert 6 <= len(groups) <= 16
+
+    # Every launch accounted for.
+    from repro.workloads import get_workload
+
+    total = sum(group.total_kernels for group in groups)
+    assert total == len(get_workload("mlperf_resnet50_64b").build())
+
+    # Each group contains hundreds of kernel instances.
+    assert sum(1 for g in groups if g.total_kernels >= 100) >= 6
+
+    # At least one group mixes differently-named kernels (behavioural
+    # clustering, not name matching).
+    assert any(len(group.name_counts) > 1 for group in groups)
+
+    # At least one kernel NAME appears in more than one group (same name,
+    # different launch geometry -> different behaviour).
+    name_to_groups: dict[str, set[int]] = {}
+    for group in groups:
+        for name in group.name_counts:
+            name_to_groups.setdefault(name, set()).add(group.group_id)
+    assert any(len(group_ids) > 1 for group_ids in name_to_groups.values())
+
+    # Compute-heavy conv kernels and elementwise kernels do not share a
+    # group: check that no group holds both a conv name and 'bn_fw_inf'.
+    for group in groups:
+        names = set(group.name_counts)
+        has_conv = any(
+            name in names for name in ("winograd_big", "implicit_con", "sgemm")
+        )
+        has_elementwise = "bn_fw_inf" in names or "SimpleBinary" in names
+        assert not (has_conv and has_elementwise), group

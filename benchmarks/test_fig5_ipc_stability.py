@@ -1,0 +1,85 @@
+"""Figure 5 — IPC/L2/DRAM time series and PKP stop points.
+
+Regenerates the paper's two illustrative traces: atax (regular — IPC
+ramps up and holds) and a Rodinia BFS (irregular — noisy but eventually
+quasi-stable in aggregate), with the PKP stopping points for
+s in {2.5, 0.25, 0.025}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figure5_ipc_series
+from conftest import print_header
+
+THRESHOLDS = (2.5, 0.25, 0.025)
+
+
+def _summarize(series):
+    ipc = np.asarray(series.ipc)
+    n = len(ipc)
+    mid = ipc[n // 4 : 3 * n // 4]
+    return {
+        "windows": n,
+        "mid_mean_ipc": float(mid.mean()),
+        "mid_rel_std": float(mid.std() / mid.mean()),
+    }
+
+
+def test_figure5_regular_atax(harness, benchmark):
+    series = benchmark.pedantic(
+        figure5_ipc_series, args=(harness, "atax"), iterations=1, rounds=1
+    )
+    summary = _summarize(series)
+
+    print_header("Figure 5a: atax (regular)")
+    print(f"kernel={series.kernel_name} windows={summary['windows']}")
+    print(f"mid-run IPC mean={summary['mid_mean_ipc']:.1f} "
+          f"rel-std={summary['mid_rel_std']:.3f}")
+    print(f"stop points: {series.stop_points}")
+
+    # A regular kernel holds a steady IPC plateau (residual wander only).
+    assert summary["mid_rel_std"] < 0.12
+    # PKP stops it early at the paper's default and looser thresholds;
+    # looser thresholds stop no later than tighter ones.
+    stops = series.stop_points
+    assert stops[2.5] is not None
+    assert stops[0.25] is not None
+    assert stops[2.5] <= stops[0.25]
+    assert stops[0.25] < series.cycles[-1]
+    if stops[0.025] is not None:
+        assert stops[0.25] <= stops[0.025]
+
+    # DRAM pulls steadily mid-run: atax streams the matrix.
+    dram = np.asarray(series.dram_util)
+    assert dram[len(dram) // 2] > 30.0
+
+
+def test_figure5_irregular_bfs(harness, benchmark):
+    series = benchmark.pedantic(
+        figure5_ipc_series,
+        args=(harness, "bfs1MW"),
+        kwargs={"launch_index": 24},  # a mid-traversal frontier kernel
+        iterations=1,
+        rounds=1,
+    )
+    summary = _summarize(series)
+
+    print_header("Figure 5b: BFS (irregular)")
+    print(f"kernel={series.kernel_name} windows={summary['windows']}")
+    print(f"mid-run IPC mean={summary['mid_mean_ipc']:.1f} "
+          f"rel-std={summary['mid_rel_std']:.3f}")
+    print(f"stop points: {series.stop_points}")
+
+    # The irregular trace is an order of magnitude noisier than atax.
+    atax = _summarize(figure5_ipc_series(harness, "atax"))
+    assert summary["mid_rel_std"] > 4.0 * atax["mid_rel_std"]
+
+    # The strictest threshold never fires on this kernel; the loosest
+    # s=2.5 is the first (if any) to stop it.
+    stops = series.stop_points
+    assert stops[0.025] is None
+    if stops[0.25] is not None:
+        assert stops[2.5] is not None
+        assert stops[2.5] <= stops[0.25]

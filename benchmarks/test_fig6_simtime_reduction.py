@@ -1,0 +1,56 @@
+"""Figure 6 — simulation time under full simulation, PKS and PKA.
+
+The paper's headline reduction: every workload drops from its full
+simulation time (up to centuries) to under a week, with most of the
+reduction coming from PKS and PKP adding a constant factor on the
+longer-running workloads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure6_simtime_reduction, format_duration
+from conftest import print_header
+
+HOURS_PER_WEEK = 7 * 24.0
+HOURS_PER_YEAR = 365.25 * 24.0
+
+
+def test_figure6_simtime_reduction(harness, benchmark):
+    rows = benchmark.pedantic(
+        figure6_simtime_reduction, args=(harness,), iterations=1, rounds=1
+    )
+
+    print_header("Figure 6: simulation time — full vs PKS vs PKA (hours)")
+    for row in rows[:: max(1, len(rows) // 24)]:
+        pks = "*" if row.pks_hours is None else f"{row.pks_hours:10.3f}"
+        pka = "*" if row.pka_hours is None else f"{row.pka_hours:10.3f}"
+        print(
+            f"{row.workload:30s} full={format_duration(row.full_hours * 3600):>14s}"
+            f" pks={pks}H pka={pka}H"
+        )
+
+    assert len(rows) == 147
+    usable = [row for row in rows if row.pka_hours is not None]
+
+    # Every workload PKA can run lands under one week of simulation.
+    assert all(row.pka_hours < HOURS_PER_WEEK for row in usable)
+
+    # Century-scale full simulations exist and are tamed to hours.
+    century = [row for row in rows if row.full_hours > 100 * HOURS_PER_YEAR]
+    assert century, "the corpus must contain century-scale workloads"
+    for row in century:
+        if row.pka_hours is not None:
+            assert row.pka_hours < 48.0
+
+    # PKA never simulates more than PKS.
+    for row in usable:
+        assert row.pka_hours <= row.pks_hours * 1.001
+
+    # PKP contributes meaningfully on some long-running workloads
+    # (constant-factor reduction on top of PKS).
+    gains = [
+        row.pks_hours / row.pka_hours
+        for row in usable
+        if row.pka_hours > 0 and row.full_hours > 1.0
+    ]
+    assert max(gains) > 5.0

@@ -1,0 +1,47 @@
+"""Figure 7 — speedup of PKA, TBPoint and 1B-instructions over full sim.
+
+Paper geomeans: PKA 3.77x, TBPoint 1.76x, 1B 3.85x, with TBPoint
+requiring 2.19x more simulation than PKA.  The reproduction must preserve
+the shape: PKA and 1B deliver multi-x reductions, TBPoint is markedly
+more conservative, and PKA beats TBPoint by around 2x or more.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure7_speedups, geomean
+from conftest import print_header
+
+
+def test_figure7_speedups(harness, benchmark):
+    aggregate = benchmark.pedantic(
+        figure7_speedups, args=(harness,), iterations=1, rounds=1
+    )
+
+    print_header("Figure 7: speedup over full simulation (completable workloads)")
+    print(f"workloads: {len(aggregate.workloads)}")
+    print(f"PKA     geomean speedup: {aggregate.pka_speedup_geomean:6.2f}  (paper 3.77)")
+    print(f"TBPoint geomean speedup: {aggregate.tbpoint_speedup_geomean:6.2f}  (paper 1.76)")
+    print(f"1B      geomean speedup: {aggregate.first1b_speedup_geomean:6.2f}  (paper 3.85)")
+    ratio = aggregate.pka_speedup_geomean / aggregate.tbpoint_speedup_geomean
+    print(f"TBPoint-to-PKA extra simulation: {ratio:4.2f}x  (paper 2.19)")
+
+    # Over a hundred completable workloads participate.
+    assert len(aggregate.workloads) > 120
+
+    # Every method meaningfully beats full simulation on average.
+    assert aggregate.pka_speedup_geomean > 2.0
+    assert aggregate.first1b_speedup_geomean > 1.5
+    assert aggregate.tbpoint_speedup_geomean > 1.3
+
+    # PKA reduces simulation far more than TBPoint (paper: 2.19x more
+    # simulation for TBPoint).
+    assert ratio > 1.5
+
+    # TBPoint is the most conservative of the three sampling methods.
+    assert aggregate.tbpoint_speedup_geomean < aggregate.pka_speedup_geomean
+    assert aggregate.tbpoint_speedup_geomean < aggregate.first1b_speedup_geomean
+
+    # Per-workload sanity: no sampled method is slower than full sim by
+    # more than rounding.
+    assert min(aggregate.pka_speedups) >= 0.99
+    assert min(aggregate.tbpoint_speedups) >= 0.5  # warmup overhead can cost

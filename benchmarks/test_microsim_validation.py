@@ -1,0 +1,96 @@
+"""Cross-validation — warp-level microsimulator versus the roofline model.
+
+The block-level engine prices every thread block with a roofline; the
+microsimulator executes one SM cycle by cycle.  Two independent models
+built from the same specs must agree on magnitude and on *which resource
+binds* — this benchmark sweeps distinct kernels from across the corpus
+and checks both.
+"""
+
+from __future__ import annotations
+
+from repro.gpu import VOLTA_V100
+from repro.gpu.kernels import KernelLaunch
+from repro.sim import MicrosimConfig, SMMicrosimulator, analyze_kernel
+from conftest import print_header
+
+WORKLOAD_SAMPLE = (
+    "parboil_sgemm",
+    "atax",
+    "fdtd2d",
+    "histo",
+    "mlperf_resnet50_64b",
+    "cutlass_wgemm_2560x128x2560",
+    "nn",
+    "lavaMD",
+)
+
+
+def _sample_kernels(harness):
+    """One representative launch per distinct kernel spec per workload."""
+    kernels = []
+    for name in WORKLOAD_SAMPLE:
+        seen = set()
+        for launch in harness.evaluation(name).launches("volta"):
+            signature = launch.spec.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            kernels.append((name, launch))
+    return kernels
+
+
+def _validate(harness):
+    microsim = SMMicrosimulator(
+        VOLTA_V100, MicrosimConfig(dram_share=1.0 / VOLTA_V100.num_sms)
+    )
+    rows = []
+    for workload, launch in _sample_kernels(harness):
+        perf = analyze_kernel(
+            KernelLaunch(
+                spec=launch.spec, grid_blocks=100_000, launch_id=0
+            ),
+            VOLTA_V100,
+        )
+        result = microsim.run_block(launch.spec)
+        rows.append(
+            {
+                "workload": workload,
+                "kernel": launch.spec.name,
+                "roofline": perf.base_block_cycles,
+                "roofline_bound": perf.bottleneck,
+                "microsim": result.scaled_cycles,
+                "microsim_bound": result.dominant_stall,
+                "ratio": result.scaled_cycles / perf.base_block_cycles,
+            }
+        )
+    return rows
+
+
+def test_microsim_vs_roofline(harness, benchmark):
+    rows = benchmark.pedantic(_validate, args=(harness,), iterations=1, rounds=1)
+
+    print_header("Cross-validation: microsimulator vs roofline (per-block cycles)")
+    for row in rows:
+        print(
+            f"{row['workload']:28s} {row['kernel'][:30]:30s}"
+            f" roofline={row['roofline']:9.0f} ({row['roofline_bound']:7s})"
+            f" microsim={row['microsim']:9.0f} ({row['microsim_bound']:7s})"
+            f" ratio={row['ratio']:5.2f}"
+        )
+
+    ratios = [row["ratio"] for row in rows]
+    # Magnitude agreement: every kernel within ~6x, the bulk within 3x.
+    assert all(0.15 < ratio < 6.0 for ratio in ratios), ratios
+    within_3x = sum(1 for ratio in ratios if 1 / 3 < ratio < 3.0)
+    assert within_3x / len(ratios) > 0.7
+
+    # Bound agreement: compute-bound kernels must never look
+    # memory-stalled to the microsim; memory-bound agreement is
+    # statistical (the two contention models diverge near the knee).
+    for row in rows:
+        if row["roofline_bound"] == "compute":
+            assert row["microsim_bound"] in ("issue", "execution"), row
+    memory_rows = [r for r in rows if r["roofline_bound"] == "memory"]
+    agreeing = sum(1 for r in memory_rows if r["microsim_bound"] == "memory")
+    assert agreeing / len(memory_rows) > 0.7

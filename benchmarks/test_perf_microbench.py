@@ -1,0 +1,69 @@
+"""Microbenchmarks of the substrate hot paths.
+
+These are genuine multi-round pytest-benchmark measurements (everything
+else in this suite times one-shot artifact regeneration): the DES engine,
+the windowed engine, k-means clustering at PKS scale, the TBPoint merge
+tree, and the analytic silicon model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec, VOLTA_V100
+from repro.mlkit import KMeans, build_merge_tree
+from repro.sim import analytic_kernel_cycles, simulate_kernel
+
+
+def _launch(grid: int) -> KernelLaunch:
+    spec = KernelSpec(
+        name="microbench",
+        threads_per_block=256,
+        mix=InstructionMix(fp_ops=500.0, global_loads=20.0, shared_loads=80.0),
+        l2_locality=0.7,
+        working_set_bytes=32e6,
+        duration_cv=0.1,
+    )
+    return KernelLaunch(spec=spec, grid_blocks=grid, launch_id=0)
+
+
+def test_engine_fast_path_10k_blocks(benchmark):
+    launch = _launch(10_000)
+    result = benchmark(simulate_kernel, launch, VOLTA_V100)
+    assert result.blocks_finished == 10_000
+
+
+def test_engine_windowed_path_2k_blocks(benchmark):
+    launch = _launch(2_000)
+    result = benchmark(
+        simulate_kernel, launch, VOLTA_V100, collect_series=True
+    )
+    assert result.samples
+
+
+def test_analytic_model_is_fast(benchmark):
+    """The silicon model must cost microseconds: MLPerf apps price 50k+
+    launches through it."""
+    launch = _launch(4_000)
+    cycles = benchmark(analytic_kernel_cycles, launch, VOLTA_V100)
+    assert cycles > 0
+
+
+def test_kmeans_at_pks_scale(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(20_000, 5))
+
+    def cluster():
+        return KMeans(n_clusters=8, n_init=1, max_iter=40, seed=0).fit_predict(
+            points
+        )
+
+    labels = benchmark(cluster)
+    assert len(labels) == 20_000
+
+
+def test_merge_tree_at_tbpoint_scale(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(1_500, 5))
+    tree = benchmark(build_merge_tree, points)
+    assert len(tree.merges) == 1_499

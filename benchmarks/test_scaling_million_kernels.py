@@ -1,0 +1,71 @@
+"""Scalability — clustering at paper-scale kernel counts.
+
+The paper's §3.1: "k-means clustering can scale to the millions of
+kernels in our large workloads, where hierarchical clustering demands an
+impractical amount of memory and runtime."  This benchmark makes the
+claim executable: it clusters a paper-scale (million-row) feature matrix
+with Lloyd's and with the mini-batch variant, and shows hierarchical
+clustering refusing the same input at its capacity wall.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mlkit import (
+    ClusteringCapacityError,
+    KMeans,
+    MiniBatchKMeans,
+    build_merge_tree,
+)
+from repro.workloads import get_workload
+from repro.profiling.detailed import collect_counters
+from repro.mlkit import StandardScaler, log_compress
+from conftest import print_header
+
+
+def _paper_scale_features():
+    """A 1.06M x 12 feature matrix: SSD's synthetic kernels tiled by its
+    scale factor with small jitter (what profiling 5.3M kernels yields)."""
+    spec = get_workload("mlperf_ssd_training")
+    launches = spec.build()
+    base = np.stack([collect_counters(launch) for launch in launches[:10_600]])
+    rng = np.random.default_rng(0)
+    tiles = [base * (1.0 + 0.02 * rng.standard_normal(base.shape)) for _ in range(100)]
+    counters = np.abs(np.concatenate(tiles))
+    return StandardScaler().fit_transform(log_compress(counters))
+
+
+def test_clustering_scales_to_millions(harness, benchmark):
+    features = _paper_scale_features()
+    assert features.shape[0] > 1_000_000
+
+    start = time.time()
+    mini = MiniBatchKMeans(n_clusters=8, seed=0, n_init=2).fit(features)
+    mini_seconds = time.time() - start
+
+    def lloyd():
+        return KMeans(n_clusters=8, n_init=1, max_iter=30, seed=0).fit(features)
+
+    start = time.time()
+    full = benchmark.pedantic(lloyd, iterations=1, rounds=1)
+    lloyd_seconds = time.time() - start
+
+    print_header("Scalability: clustering 1.06M kernel feature vectors")
+    print(f"matrix: {features.shape[0]:,} x {features.shape[1]}")
+    print(f"Lloyd k-means:      {lloyd_seconds:6.1f}s  inertia {full.inertia_:.4g}")
+    print(f"mini-batch k-means: {mini_seconds:6.1f}s  inertia {mini.inertia_:.4g}")
+
+    # Both finish in interactive time; mini-batch is the cheaper of the
+    # two and loses little quality.
+    assert lloyd_seconds < 120.0
+    assert mini_seconds < 60.0
+    assert mini.inertia_ <= full.inertia_ * 1.25
+
+    # Hierarchical clustering hits its wall orders of magnitude earlier:
+    # the 1M-point distance matrix alone would be ~8 TB.
+    with pytest.raises(ClusteringCapacityError):
+        build_merge_tree(features[:25_000])

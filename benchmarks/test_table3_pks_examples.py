@@ -1,0 +1,62 @@
+"""Table 3 — Principal Kernel Selection output examples.
+
+Regenerates the paper's showcase selections: gaussian_208 collapses 414
+kernels into one group represented by kernel 0; histo yields four groups
+of 20; cutcp three groups of 2/3/6; fdtd2d two groups of 1000/500
+represented by kernels 0 and 2; gramschmidt ~6 groups out of 6411
+launches; CUTLASS picks kernel 0 of 7 repeats.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table3_pks_examples
+from conftest import print_header
+
+
+def test_table3_pks_examples(harness, benchmark):
+    rows = benchmark.pedantic(
+        table3_pks_examples, args=(harness,), iterations=1, rounds=1
+    )
+
+    print_header("Table 3: PKS output examples")
+    for row in rows:
+        ids = ",".join(str(i) for i in row.selected_kernel_ids)
+        counts = ",".join(str(c) for c in row.group_counts)
+        print(f"{row.suite:10s} {row.workload:30s} ids=[{ids}] counts=[{counts}]")
+
+    by_name = {row.workload: row for row in rows}
+
+    # gaussian_208: one group of all 414 kernels, represented by kernel 0.
+    gauss = by_name["gauss_208"]
+    assert gauss.selected_kernel_ids == (0,)
+    assert gauss.group_counts == (414,)
+
+    # histo: four groups of 20 kernels each, first four launches selected.
+    histo = by_name["histo"]
+    assert sorted(histo.group_counts) == [20, 20, 20, 20]
+    assert histo.selected_kernel_ids == (0, 1, 2, 3)
+
+    # cutcp: three groups sized 2/3/6.
+    cutcp = by_name["cutcp"]
+    assert sorted(cutcp.group_counts) == [2, 3, 6]
+
+    # fdtd2d: kernels 0 and 2 represent groups of 1000 and 500.
+    fdtd = by_name["fdtd2d"]
+    assert fdtd.selected_kernel_ids == (0, 2)
+    assert sorted(fdtd.group_counts) == [500, 1000]
+
+    # gramschmidt: a handful of groups (paper: 6) out of 6411 kernels,
+    # with kernels 0/1/2 among the representatives.
+    gram = by_name["gramschmidt"]
+    assert 4 <= len(gram.group_counts) <= 10
+    assert sum(gram.group_counts) == 6_411
+    assert set(gram.selected_kernel_ids[:3]) == {0, 1, 2}
+
+    # CUTLASS: kernel 0 represents all 7 repeats.
+    for name in (
+        "cutlass_sgemm_4096x4096x4096",
+        "cutlass_wgemm_2560x128x2560",
+    ):
+        row = by_name[name]
+        assert row.selected_kernel_ids == (0,)
+        assert row.group_counts == (7,)

@@ -1,0 +1,131 @@
+"""Table 4 — the paper's main per-workload results table.
+
+Regenerates every row: PKS-in-silicon error/speedup on Volta, Turing and
+Ampere (Volta-selected kernels reused across generations), simulator
+error, PKS/PKA simulation error and hours, and DRAM-utilization
+projection.  Asserts the per-suite aggregate claims of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import geomean, mean, table4_rows
+from conftest import print_header
+
+
+def _fmt(value, width=7, suffix=""):
+    return ("*" if value is None else f"{value:.1f}{suffix}").rjust(width)
+
+
+def test_table4_main_results(harness, benchmark):
+    rows = benchmark.pedantic(
+        table4_rows, args=(harness,), iterations=1, rounds=1
+    )
+
+    print_header("Table 4: cycle error and speedup (silicon + simulation)")
+    header = (
+        f"{'workload':28s}{'V err':>7s}{'V SU':>8s}{'T err':>7s}{'T SU':>8s}"
+        f"{'A err':>7s}{'A SU':>8s}{'SimErr':>8s}{'PKS err':>8s}{'PKA err':>8s}"
+        f"{'PKA H':>8s}{'DRAM f/p':>10s}"
+    )
+    print(header)
+    last_suite = None
+    for row in rows:
+        if row.suite != last_suite:
+            print(f"-- {row.suite} --")
+            last_suite = row.suite
+        dram = (
+            "*"
+            if row.dram_util_full is None or row.dram_util_pka is None
+            else f"{row.dram_util_full:.0f}/{row.dram_util_pka:.0f}"
+        )
+        print(
+            f"{row.workload:28s}"
+            f"{_fmt(row.silicon_error['volta'])}"
+            f"{_fmt(row.silicon_speedup['volta'], 8, 'x')}"
+            f"{_fmt(row.silicon_error['turing'])}"
+            f"{_fmt(row.silicon_speedup['turing'], 8, 'x')}"
+            f"{_fmt(row.silicon_error['ampere'])}"
+            f"{_fmt(row.silicon_speedup['ampere'], 8, 'x')}"
+            f"{_fmt(row.sim_error, 8)}"
+            f"{_fmt(row.pks_error, 8)}"
+            f"{_fmt(row.pka_error, 8)}"
+            f"{_fmt(row.pka_sim_hours, 8)}"
+            f"{dram:>10s}"
+        )
+
+    assert len(rows) == 147
+    by_suite: dict[str, list] = {}
+    for row in rows:
+        by_suite.setdefault(row.suite, []).append(row)
+
+    def suite_stats(suite, generation="volta"):
+        errors = [
+            r.silicon_error[generation]
+            for r in by_suite[suite]
+            if r.silicon_error[generation] is not None
+        ]
+        speedups = [
+            r.silicon_speedup[generation]
+            for r in by_suite[suite]
+            if r.silicon_speedup[generation] is not None
+        ]
+        return mean(errors), geomean(speedups)
+
+    # Section 5.2.1: classic-suite PKS silicon errors are small with
+    # multi-x speedups (paper: Rodinia 1.6%/7.2x, Parboil 1.3%/5.8x,
+    # Polybench 0.8%/4.2x).
+    for suite, max_error, min_speedup in (
+        ("rodinia", 6.0, 3.0),
+        ("parboil", 6.0, 2.5),
+        ("polybench", 6.0, 2.0),
+    ):
+        error, speedup = suite_stats(suite)
+        print(f"{suite}: mean silicon err {error:.2f}%, geomean SU {speedup:.2f}x")
+        assert error < max_error, suite
+        assert speedup > min_speedup, suite
+
+    # CUTLASS: low error, muted speedup (~6-7x from the 7-repeat pattern).
+    error, speedup = suite_stats("cutlass")
+    assert error < 3.0
+    assert 4.0 < speedup < 9.0
+
+    # DeepBench: low error, small speedups (few targeted kernels).
+    error, speedup = suite_stats("deepbench")
+    assert error < 6.0
+    assert 1.0 < speedup < 6.0
+
+    # MLPerf: higher error tolerated, enormous speedups (paper: 10.0%
+    # mean error, 1987x geomean speedup).
+    error, speedup = suite_stats("mlperf")
+    print(f"mlperf: mean silicon err {error:.2f}%, geomean SU {speedup:.0f}x")
+    assert error < 20.0
+    assert speedup > 300.0
+
+    # Cross-generation (Section 5.2.2): Volta-selected kernels keep
+    # working on Turing and Ampere for the classic suites.
+    for generation in ("turing", "ampere"):
+        error, speedup = suite_stats("rodinia", generation)
+        assert error < 8.0, generation
+        assert speedup > 3.0, generation
+
+    # MLPerf cannot run on the 6 GB Turing card: starred columns.
+    assert all(
+        r.silicon_error["turing"] is None for r in by_suite["mlperf"]
+    )
+
+    # Simulation columns: PKS error tracks the simulator's own error.
+    tracked = [
+        abs(r.pks_error - r.sim_error)
+        for r in rows
+        if r.pks_error is not None and r.sim_error is not None
+    ]
+    assert mean(tracked) < 8.0
+
+    # DRAM utilization: PKA's projection tracks full simulation closely
+    # for most completable workloads (final Table-4 columns).
+    dram_gaps = [
+        abs(r.dram_util_full - r.dram_util_pka)
+        for r in rows
+        if r.dram_util_full is not None and r.dram_util_pka is not None
+    ]
+    assert mean(dram_gaps) < 10.0

@@ -1,0 +1,72 @@
+"""Cross-architecture projection: select once on Volta, price everywhere.
+
+Reproduces the paper's Section 5.2.2/5.3 workflow: Principal Kernel
+Selection runs once on the V100's profiles, and the *same* selected
+kernels project execution time on Turing and Ampere silicon — plus the
+Figure-10 experiment of halving the V100's SM count.
+
+Run with:  python examples/architecture_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AMPERE_RTX3070,
+    PrincipalKernelAnalysis,
+    SiliconExecutor,
+    Simulator,
+    TURING_RTX2060,
+    VOLTA_V100,
+    get_workload,
+    volta_v100_half_sms,
+)
+from repro.analysis import abs_pct_error, geomean
+
+WORKLOADS = ("histo", "fdtd2d", "lavaMD", "3mm", "parboil_sgemm", "nw")
+
+
+def main() -> None:
+    volta_silicon = SiliconExecutor(VOLTA_V100)
+    pka = PrincipalKernelAnalysis()
+
+    print("PKS selections made on Volta, projected per generation:\n")
+    header = f"{'workload':16s}" + "".join(
+        f"{gpu.name + ' err%':>14s}" for gpu in (VOLTA_V100, TURING_RTX2060, AMPERE_RTX3070)
+    )
+    print(header)
+
+    selections = {}
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        launches = spec.build()
+        selection = pka.characterize(name, launches, volta_silicon)
+        selections[name] = (spec, launches, selection)
+        row = f"{name:16s}"
+        for gpu in (VOLTA_V100, TURING_RTX2060, AMPERE_RTX3070):
+            executor = SiliconExecutor(gpu)
+            truth = executor.run(name, spec.build(gpu.generation))
+            projected = pka.project_silicon(selection, executor)
+            row += f"{abs_pct_error(projected.total_cycles, truth.total_cycles):13.1f}%"
+        print(row)
+
+    # Figure-10-style study: does PKA predict the speedup of doubling the
+    # SM count the way full simulation does?
+    half = volta_v100_half_sms()
+    print(f"\n80-SM over 40-SM V100 speedup (silicon vs PKA prediction):")
+    silicon_ratios, pka_ratios = [], []
+    for name, (spec, launches, selection) in selections.items():
+        truth80 = volta_silicon.run(name, launches)
+        truth40 = SiliconExecutor(half).run(name, launches)
+        sim80 = pka.simulate(selection, Simulator(VOLTA_V100))
+        sim40 = pka.simulate(selection, Simulator(half))
+        silicon_ratio = truth40.total_cycles / truth80.total_cycles
+        pka_ratio = sim40.total_cycles / sim80.total_cycles
+        silicon_ratios.append(silicon_ratio)
+        pka_ratios.append(pka_ratio)
+        print(f"  {name:16s} silicon {silicon_ratio:5.2f}x   PKA {pka_ratio:5.2f}x")
+    print(f"  {'geomean':16s} silicon {geomean(silicon_ratios):5.2f}x   "
+          f"PKA {geomean(pka_ratios):5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Bottleneck analysis: the introspection simulators exist for.
+
+The paper's introduction motivates simulation with use cases silicon
+profiling cannot serve — among them "profiling of workloads to analyze
+performance bottlenecks".  This example runs the workload inspector (the
+roofline view) and the warp-level SM microsimulator (the cycle-accounting
+view) over contrasting workloads and shows the two agreeing on what binds
+each kernel.
+
+Run with:  python examples/bottleneck_analysis.py [workload ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import VOLTA_V100, get_workload
+from repro.analysis import inspect_workload
+from repro.sim import MicrosimConfig, SMMicrosimulator, SiliconExecutor
+
+DEFAULT_WORKLOADS = ("parboil_sgemm", "atax", "bfs1MW")
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(DEFAULT_WORKLOADS)
+    silicon = SiliconExecutor(VOLTA_V100)
+    microsim = SMMicrosimulator(
+        VOLTA_V100, MicrosimConfig(dram_share=1.0 / VOLTA_V100.num_sms)
+    )
+
+    for name in names:
+        spec = get_workload(name)
+        launches = spec.build()
+        profile = inspect_workload(name, launches, silicon=silicon)
+
+        print("=" * 76)
+        print(f"{name}: {profile.launches} launches, "
+              f"{profile.distinct_kernels} distinct kernels, "
+              f"dominant bottleneck (roofline, cycle-weighted): "
+              f"{profile.dominant_bottleneck}")
+        print("=" * 76)
+        shares = ", ".join(
+            f"{kind} {share:.0%}"
+            for kind, share in sorted(
+                profile.bottleneck_cycle_share.items(), key=lambda kv: -kv[1]
+            )
+            if share > 0.001
+        )
+        print(f"cycle shares: {shares}")
+
+        seen = set()
+        for launch in launches:
+            signature = launch.spec.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            result = microsim.run_block(launch.spec)
+            print(
+                f"  {launch.spec.name[:36]:36s} warp IPC {result.ipc:5.2f}  "
+                f"stalls: mem {result.stall_fraction('memory'):5.1%}  "
+                f"exe {result.stall_fraction('execution'):5.1%}  "
+                f"issue {result.stall_fraction('issue'):5.1%}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Two-level profiling on a scaled MLPerf workload.
+
+SSD training launches 5.3 million kernels in the paper (53,000 here at
+scale=100) — detailed profiling of all of them would take weeks, so PKA
+profiles only the first two thousand in detail, traces the rest with the
+lightweight profiler, and classifies the tail into the detailed-phase
+groups.  This example walks through that decision and shows the
+century-to-hours simulation-time collapse.
+
+Run with:  python examples/mlperf_two_level.py
+"""
+
+from __future__ import annotations
+
+from repro import PrincipalKernelAnalysis, SiliconExecutor, Simulator, VOLTA_V100, get_workload
+from repro.analysis import abs_pct_error, format_duration
+from repro.profiling import SECONDS_PER_WEEK, compute_time_landscape
+
+
+def main() -> None:
+    spec = get_workload("mlperf_ssd_training")
+    launches = spec.build()
+    silicon = SiliconExecutor(VOLTA_V100)
+    print(f"workload: {spec.name}")
+    print(f"  synthetic launches: {len(launches)} (scale {spec.scale:.0f} -> "
+          f"{len(launches) * spec.scale:.3g} kernels at paper size)")
+
+    # Why two-level profiling exists: the Figure-1 numbers.
+    landscape = compute_time_landscape(
+        spec.name, launches, silicon, scale=spec.scale
+    )
+    print(f"  silicon execution:        {format_duration(landscape.silicon_seconds)}")
+    print(f"  detailed profiling:       {format_duration(landscape.detailed_profiling_seconds)}"
+          f"  (budget: {format_duration(SECONDS_PER_WEEK)})")
+    print(f"  lightweight profiling:    {format_duration(landscape.lightweight_profiling_seconds)}")
+    print(f"  full simulation:          {format_duration(landscape.full_simulation_seconds)}")
+    assert not landscape.detailed_profiling_tractable
+
+    # Characterization automatically falls back to two-level profiling.
+    pka = PrincipalKernelAnalysis()
+    selection = pka.characterize(spec.name, launches, silicon, scale=spec.scale)
+    print("\ncharacterization:")
+    print(f"  two-level profiling used: {selection.used_two_level}")
+    print(f"  detailed head:            {selection.detailed_count} kernels")
+    print(f"  classifier:               {selection.classifier_name} "
+          f"(holdout accuracy {selection.classifier_accuracy:.1%})")
+    print(f"  groups (K):               {selection.pks.k}")
+    print(f"  principal kernels:        {selection.selected_launch_ids}")
+    print(f"  profiling cost:           {format_duration(selection.profiling_seconds)}")
+
+    # Simulate just the principal kernels under PKP.
+    simulator = Simulator(VOLTA_V100)
+    run = pka.simulate(selection, simulator, use_pkp=True)
+    truth = silicon.run(spec.name, launches)
+    print("\nsampled simulation:")
+    print(f"  simulator time:           {format_duration(run.sim_wall_seconds)} "
+          f"(full simulation would take {format_duration(landscape.full_simulation_seconds)})")
+    print(f"  projected cycle error:    "
+          f"{abs_pct_error(run.total_cycles, truth.total_cycles):.1f}% vs silicon")
+
+
+if __name__ == "__main__":
+    main()

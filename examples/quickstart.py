@@ -1,0 +1,64 @@
+"""Quickstart: run Principal Kernel Analysis on one workload.
+
+Characterizes Polybench's gramschmidt (6,411 kernel launches) on the
+silicon model, selects its principal kernels, simulates only those with
+Principal Kernel Projection enabled, and compares the projected
+application cycles against ground truth.
+
+Run with:  python examples/quickstart.py [workload-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    PrincipalKernelAnalysis,
+    SiliconExecutor,
+    Simulator,
+    VOLTA_V100,
+    get_workload,
+)
+from repro.analysis import abs_pct_error, format_duration, speedup
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "gramschmidt"
+    spec = get_workload(workload_name)
+    launches = spec.build()
+    print(f"workload: {spec.name} ({spec.suite}), {len(launches)} kernel launches")
+
+    # Ground truth: the whole application on (modelled) silicon.
+    silicon = SiliconExecutor(VOLTA_V100)
+    truth = silicon.run(spec.name, launches)
+    print(f"silicon execution: {format_duration(truth.silicon_seconds)} "
+          f"({truth.total_cycles:.3g} cycles)")
+
+    # Phase 1 — characterize: profile, cluster, select principal kernels.
+    pka = PrincipalKernelAnalysis()
+    selection = pka.characterize(spec.name, launches, silicon, scale=spec.scale)
+    print(f"\nPKS selected {selection.selected_count} principal kernels "
+          f"(K={selection.pks.k}) out of {selection.total_launches}:")
+    for group in selection.groups:
+        representative = group.representative
+        print(f"  group {group.group_id}: kernel #{representative.launch_id} "
+              f"{representative.spec.name!r} represents {group.weight} launches")
+
+    # Phase 2 — simulate only the principal kernels, stopping each at IPC
+    # stability (PKP), then project the whole application.
+    simulator = Simulator(VOLTA_V100)
+    full = simulator.run_full(spec.name, launches)
+    pka_run = pka.simulate(selection, simulator, use_pkp=True)
+
+    print(f"\nfull simulation:   {format_duration(full.sim_wall_seconds)} of "
+          f"simulator time, error vs silicon "
+          f"{abs_pct_error(full.total_cycles, truth.total_cycles):.1f}%")
+    print(f"PKA:               {format_duration(pka_run.sim_wall_seconds)} of "
+          f"simulator time, error vs silicon "
+          f"{abs_pct_error(pka_run.total_cycles, truth.total_cycles):.1f}%")
+    print(f"PKA speedup over full simulation: "
+          f"{speedup(full.simulated_cycles, pka_run.simulated_cycles):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Selective tracing: turn a PKS selection into a tracing plan.
+
+Accel-Sim-style simulation is trace-driven, and at MLPerf scale the
+instruction traces weigh terabytes.  PKS's selection tells the tracer
+which handful of kernels it actually needs — this example builds that
+plan for SSD training, writes the per-kernel .pkatrace files, and replays
+one of them through the simulator.
+
+Run with:  python examples/selective_tracing.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import PrincipalKernelAnalysis, SiliconExecutor, Simulator, VOLTA_V100, get_workload
+from repro.traces import build_tracing_plan, read_trace, write_selected_traces
+
+
+def main() -> None:
+    spec = get_workload("mlperf_ssd_training")
+    launches = spec.build()
+    silicon = SiliconExecutor(VOLTA_V100)
+    pka = PrincipalKernelAnalysis()
+    selection = pka.characterize(spec.name, launches, silicon, scale=spec.scale)
+
+    plan = build_tracing_plan(selection, launches)
+    paper_scale_full = plan.full_trace_bytes * spec.scale
+    print(f"workload: {spec.name}")
+    print(f"kernels to trace: {plan.selected_count} of "
+          f"{len(launches) * spec.scale:,.0f} (paper scale)")
+    print(f"full instruction trace:      {paper_scale_full / 1e12:8.1f} TB")
+    print(f"selective instruction trace: {plan.selected_trace_bytes / 1e9:8.3f} GB")
+    print(f"reduction: {plan.reduction_factor * spec.scale:,.0f}x")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = write_selected_traces(selection, launches, tmp)
+        print(f"\nwrote {len(paths)} trace files into {tmp}:")
+        for path in paths:
+            print(f"  {Path(path).name} ({Path(path).stat().st_size} bytes)")
+
+        # Replay one trace through the simulator.
+        _, (replayed,) = read_trace(paths[0])
+        simulator = Simulator(VOLTA_V100)
+        result = simulator.run_kernel(replayed)
+        print(f"\nreplayed kernel #{replayed.launch_id} "
+              f"({replayed.spec.name!r}): {result.cycles:,.0f} cycles, "
+              f"IPC {result.ipc:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Artifact-parity runner: the reproduction's equivalent of the original
+# artifact's Run_PKA.sh.  Regenerates every table and figure (printing
+# them), runs the full test suite, and writes the markdown report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+python3 -m pytest tests/ -q
+
+echo "== tables and figures (benchmarks) =="
+python3 -m pytest benchmarks/ --benchmark-only -s
+
+echo "== markdown report =="
+python3 -m repro.cli report --output pka_report.md
+echo "done: see pka_report.md"

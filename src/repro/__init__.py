@@ -1,0 +1,109 @@
+"""Principal Kernel Analysis — a full reproduction of Baddouh et al.,
+"Principal Kernel Analysis: A Tractable Methodology to Simulate Scaled GPU
+Workloads" (MICRO 2021), including every substrate the methodology needs:
+a GPU performance simulator, a silicon-execution model, Nsight-style
+profiler models, a 147-workload synthetic corpus, a numpy-only ML toolkit,
+and the paper's baselines.
+
+Quickstart::
+
+    from repro import (
+        PrincipalKernelAnalysis, SiliconExecutor, Simulator, VOLTA_V100,
+        get_workload,
+    )
+
+    spec = get_workload("gramschmidt")
+    launches = spec.build()
+    silicon = SiliconExecutor(VOLTA_V100)
+    pka = PrincipalKernelAnalysis()
+    selection = pka.characterize(spec.name, launches, silicon)
+    result = pka.simulate(selection, Simulator(VOLTA_V100))
+    print(selection.selected_count, "of", len(launches), "kernels simulated")
+    print(f"projected cycles: {result.total_cycles:.3g}")
+"""
+
+from repro.core import (
+    IPCStabilityMonitor,
+    KernelSelection,
+    PKAConfig,
+    PKPConfig,
+    PKSConfig,
+    PrincipalKernelAnalysis,
+    TwoLevelConfig,
+    run_pkp,
+    run_pks,
+    run_two_level,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    NotFittedError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.gpu import (
+    AMPERE_RTX3070,
+    GPUConfig,
+    InstructionMix,
+    KernelLaunch,
+    KernelSpec,
+    TURING_RTX2060,
+    VOLTA_V100,
+    compute_occupancy,
+    get_gpu,
+    volta_v100_half_sms,
+)
+from repro.sim import (
+    AppRunResult,
+    KernelSimResult,
+    ModelErrorConfig,
+    SiliconExecutor,
+    Simulator,
+    simulate_kernel,
+)
+from repro.workloads import get_workload, iter_workloads, suite_names, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMPERE_RTX3070",
+    "AppRunResult",
+    "ConfigurationError",
+    "ConvergenceError",
+    "GPUConfig",
+    "IPCStabilityMonitor",
+    "InstructionMix",
+    "KernelLaunch",
+    "KernelSelection",
+    "KernelSimResult",
+    "KernelSpec",
+    "ModelErrorConfig",
+    "NotFittedError",
+    "PKAConfig",
+    "PKPConfig",
+    "PKSConfig",
+    "PrincipalKernelAnalysis",
+    "ProfilingError",
+    "ReproError",
+    "SiliconExecutor",
+    "SimulationError",
+    "Simulator",
+    "TURING_RTX2060",
+    "TwoLevelConfig",
+    "VOLTA_V100",
+    "WorkloadError",
+    "__version__",
+    "compute_occupancy",
+    "get_gpu",
+    "get_workload",
+    "iter_workloads",
+    "run_pkp",
+    "run_pks",
+    "run_two_level",
+    "simulate_kernel",
+    "suite_names",
+    "volta_v100_half_sms",
+    "workload_names",
+]

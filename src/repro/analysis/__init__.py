@@ -1,0 +1,81 @@
+"""Evaluation layer: metrics, the memoizing harness, and the table/figure
+builders that regenerate the paper's evaluation section."""
+
+from repro.analysis.figures import (
+    IPCSeries,
+    MethodAggregate,
+    RelativeAccuracy,
+    figure1_time_landscape,
+    figure4_group_composition,
+    figure5_ipc_series,
+    figure6_simtime_reduction,
+    figure7_speedups,
+    figure8_errors,
+    figure9_volta_over_turing,
+    figure10_half_sms,
+)
+from repro.analysis.harness import EvaluationHarness, WorkloadEvaluation
+from repro.analysis.inspect import WorkloadProfile, inspect_workload
+from repro.analysis.phases import Phase, PhaseAnalysis, detect_phases
+from repro.analysis.persistence import (
+    load_selection,
+    read_selection,
+    save_selection,
+)
+from repro.analysis.plotting import ascii_timeseries, render_ipc_series
+from repro.analysis.report import render_report, write_report
+from repro.analysis.sweeps import ArchitectureProjection, sweep_architectures
+from repro.analysis.metrics import (
+    abs_pct_error,
+    format_duration,
+    geomean,
+    mae,
+    mean,
+    speedup,
+)
+from repro.analysis.tables import (
+    Table3Row,
+    Table4Row,
+    table3_pks_examples,
+    table4_rows,
+)
+
+__all__ = [
+    "EvaluationHarness",
+    "IPCSeries",
+    "MethodAggregate",
+    "Phase",
+    "PhaseAnalysis",
+    "RelativeAccuracy",
+    "Table3Row",
+    "Table4Row",
+    "WorkloadEvaluation",
+    "WorkloadProfile",
+    "ArchitectureProjection",
+    "abs_pct_error",
+    "ascii_timeseries",
+    "detect_phases",
+    "figure1_time_landscape",
+    "figure4_group_composition",
+    "figure5_ipc_series",
+    "figure6_simtime_reduction",
+    "figure7_speedups",
+    "figure8_errors",
+    "figure9_volta_over_turing",
+    "figure10_half_sms",
+    "format_duration",
+    "geomean",
+    "inspect_workload",
+    "load_selection",
+    "mae",
+    "mean",
+    "read_selection",
+    "render_ipc_series",
+    "render_report",
+    "save_selection",
+    "sweep_architectures",
+    "speedup",
+    "write_report",
+    "table3_pks_examples",
+    "table4_rows",
+]

@@ -1,0 +1,78 @@
+"""Headline-metric collection for golden-number regression testing.
+
+Calibration drift is the silent failure mode of a reproduction: a tweak
+to a workload generator or the performance model can leave every unit
+test green while the Figure-7/8 aggregates wander away from the paper.
+``collect_headline_metrics`` gathers the numbers EXPERIMENTS.md reports
+into one flat dict; ``tests/analysis/test_goldens.py`` compares them
+against the checked-in ``goldens.json`` with explicit tolerances.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.figures import (
+    figure7_speedups,
+    figure9_volta_over_turing,
+    figure10_half_sms,
+)
+from repro.analysis.harness import EvaluationHarness
+from repro.analysis.metrics import geomean, mean
+from repro.analysis.tables import table4_rows
+
+__all__ = ["collect_headline_metrics", "load_goldens", "GOLDENS_PATH"]
+
+GOLDENS_PATH = Path(__file__).resolve().parents[3] / "goldens.json"
+
+
+def collect_headline_metrics(harness: EvaluationHarness) -> dict[str, float]:
+    """Every aggregate EXPERIMENTS.md quotes, as one flat dict."""
+    metrics: dict[str, float] = {}
+
+    aggregate = figure7_speedups(harness)
+    metrics["fig7.pka_speedup_geomean"] = aggregate.pka_speedup_geomean
+    metrics["fig7.tbpoint_speedup_geomean"] = aggregate.tbpoint_speedup_geomean
+    metrics["fig7.first1b_speedup_geomean"] = aggregate.first1b_speedup_geomean
+    metrics["fig8.full_mean_error"] = aggregate.mean_error("full")
+    metrics["fig8.pka_mean_error"] = aggregate.mean_error("pka")
+    metrics["fig8.tbpoint_mean_error"] = aggregate.mean_error("tbpoint")
+    metrics["fig8.first1b_mean_error"] = aggregate.mean_error("first1b")
+
+    fig9 = figure9_volta_over_turing(harness)
+    for method, value in fig9.geomeans.items():
+        metrics[f"fig9.{method}_geomean"] = value
+
+    fig10 = figure10_half_sms(harness)
+    for method, value in fig10.geomeans.items():
+        metrics[f"fig10.{method}_geomean"] = value
+    for method, value in fig10.mae_wrt_silicon.items():
+        metrics[f"fig10.{method}_mae"] = value
+    metrics["fig10.mlperf_pka_only_mae"] = fig10.pka_only_mae
+
+    rows = table4_rows(harness)
+    by_suite: dict[str, list] = {}
+    for row in rows:
+        by_suite.setdefault(row.suite, []).append(row)
+    for suite, suite_rows in by_suite.items():
+        errors = [
+            row.silicon_error["volta"]
+            for row in suite_rows
+            if row.silicon_error["volta"] is not None
+        ]
+        speedups = [
+            row.silicon_speedup["volta"]
+            for row in suite_rows
+            if row.silicon_speedup["volta"] is not None
+        ]
+        metrics[f"table4.{suite}.silicon_error_mean"] = mean(errors)
+        metrics[f"table4.{suite}.silicon_speedup_geomean"] = geomean(speedups)
+
+    return metrics
+
+
+def load_goldens(path: Path | None = None) -> dict[str, float]:
+    """Read the checked-in golden values."""
+    path = path if path is not None else GOLDENS_PATH
+    return json.loads(path.read_text(encoding="utf-8"))

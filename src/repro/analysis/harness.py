@@ -1,0 +1,271 @@
+"""Shared evaluation harness: every method on every workload, memoized.
+
+The benchmark suite regenerates ten-plus tables and figures that all draw
+on the same underlying runs (silicon truth per GPU, PKA characterization
+on Volta, full/PKS/PKA/1B/TBPoint simulation).  The harness runs each of
+those at most once per workload per GPU and caches the results, so the
+whole benchmark suite costs one corpus sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.first_n import run_first_n_instructions
+from repro.baselines.tbpoint import TBPointSelection, select_tbpoint, simulate_tbpoint
+from repro.core.config import PKAConfig
+from repro.core.pka import KernelSelection, PrincipalKernelAnalysis
+from repro.gpu.architectures import GENERATIONS, GPUConfig, VOLTA_V100
+from repro.mlkit import ClusteringCapacityError
+from repro.profiling.detailed import DetailedProfiler
+from repro.sim.silicon import SiliconExecutor
+from repro.sim.simulator import ModelErrorConfig, Simulator
+from repro.sim.stats import AppRunResult
+from repro.workloads.spec import WorkloadSpec, get_workload, iter_workloads
+
+__all__ = ["WorkloadEvaluation", "EvaluationHarness"]
+
+
+@dataclass
+class WorkloadEvaluation:
+    """Lazy bundle of every run for one workload.
+
+    All accessors compute on first use and memoize.  Methods that do not
+    apply (full simulation of MLPerf, TBPoint beyond its capacity,
+    silicon runs on GPUs the workload does not fit) return None.
+    """
+
+    spec: WorkloadSpec
+    harness: "EvaluationHarness"
+    _launches: dict[str, list] = field(default_factory=dict)
+    _cache: dict[str, object] = field(default_factory=dict)
+
+    # -- building blocks ------------------------------------------------
+
+    def launches(self, generation: str = "volta") -> list:
+        if generation not in self._launches:
+            self._launches[generation] = self.spec.build(generation)
+        return self._launches[generation]
+
+    def runs_on(self, gpu: GPUConfig) -> bool:
+        if not self.spec.fits_on(gpu):
+            return False
+        return f"no_{gpu.generation}" not in self.spec.quirks
+
+    # -- silicon --------------------------------------------------------
+
+    def silicon(self, generation: str = "volta") -> AppRunResult | None:
+        """Full-application silicon truth on one GPU generation."""
+        key = f"silicon/{generation}"
+        if key not in self._cache:
+            gpu = GENERATIONS[generation]
+            if not self.runs_on(gpu):
+                self._cache[key] = None
+            else:
+                executor = self.harness.silicon(gpu)
+                self._cache[key] = executor.run(
+                    self.spec.name, self.launches(generation)
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+    def silicon_on(self, gpu: GPUConfig) -> AppRunResult | None:
+        """Silicon truth on an arbitrary GPU config (e.g. half-SM V100)."""
+        key = f"silicon_on/{gpu.name}"
+        if key not in self._cache:
+            if not self.runs_on(gpu):
+                self._cache[key] = None
+            else:
+                executor = self.harness.silicon(gpu)
+                self._cache[key] = executor.run(
+                    self.spec.name, self.launches(gpu.generation)
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+    # -- characterization (always on Volta, per the paper) ---------------
+
+    def selection(self) -> KernelSelection:
+        key = "selection"
+        if key not in self._cache:
+            self._cache[key] = self.harness.pka.characterize(
+                self.spec.name,
+                self.launches("volta"),
+                self.harness.silicon(VOLTA_V100),
+                scale=self.spec.scale,
+            )
+        return self._cache[key]  # type: ignore[return-value]
+
+    def pks_silicon(self, generation: str = "volta") -> AppRunResult | None:
+        """PKS priced on one generation's silicon (Volta-selected kernels)."""
+        key = f"pks_silicon/{generation}"
+        if key not in self._cache:
+            gpu = GENERATIONS[generation]
+            if not self.runs_on(gpu):
+                self._cache[key] = None
+            else:
+                executor = self.harness.silicon(gpu)
+                self._cache[key] = self.harness.pka.project_silicon(
+                    self.selection(), executor
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+    # -- simulation -----------------------------------------------------
+
+    def full_sim(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
+        gpu = gpu if gpu is not None else VOLTA_V100
+        key = f"full_sim/{gpu.name}"
+        if key not in self._cache:
+            if not self.spec.completable or not self.runs_on(gpu):
+                self._cache[key] = None
+            else:
+                simulator = self.harness.simulator(gpu)
+                self._cache[key] = simulator.run_full(
+                    self.spec.name, self.launches(gpu.generation)
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+    def pks_sim(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
+        return self._sampled_sim("pks_sim", use_pkp=False, gpu=gpu)
+
+    def pka_sim(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
+        return self._sampled_sim("pka_sim", use_pkp=True, gpu=gpu)
+
+    def pka_sim_faithful(self) -> AppRunResult | None:
+        """PKA on a *silicon-faithful* simulator (modeling error disabled).
+
+        Its error versus silicon isolates the methodology's own
+        *sampling* error — the decomposition behind the paper's claim
+        that PKA's error stays "close to the baseline simulator".
+        """
+        key = "pka_sim_faithful"
+        if key not in self._cache:
+            if "sim_kernel_mismatch" in self.spec.quirks:
+                self._cache[key] = None
+            else:
+                simulator = self.harness.faithful_simulator(VOLTA_V100)
+                self._cache[key] = self.harness.pka.simulate(
+                    self.selection(), simulator, use_pkp=True
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+    def _sampled_sim(
+        self, label: str, use_pkp: bool, gpu: GPUConfig | None
+    ) -> AppRunResult | None:
+        gpu = gpu if gpu is not None else VOLTA_V100
+        key = f"{label}/{gpu.name}"
+        if key not in self._cache:
+            if "sim_kernel_mismatch" in self.spec.quirks or not self.runs_on(gpu):
+                self._cache[key] = None
+            else:
+                simulator = self.harness.simulator(gpu)
+                self._cache[key] = self.harness.pka.simulate(
+                    self.selection(), simulator, use_pkp=use_pkp
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+    def first_1b(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
+        gpu = gpu if gpu is not None else VOLTA_V100
+        key = f"first_1b/{gpu.name}"
+        if key not in self._cache:
+            if not self.runs_on(gpu):
+                self._cache[key] = None
+            else:
+                simulator = self.harness.simulator(gpu)
+                self._cache[key] = run_first_n_instructions(
+                    self.spec.name,
+                    self.launches(gpu.generation),
+                    simulator,
+                    instruction_budget=self.harness.instruction_budget,
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+    def tbpoint_selection(self) -> TBPointSelection | None:
+        key = "tbpoint_selection"
+        if key not in self._cache:
+            if not self.spec.completable:
+                self._cache[key] = None
+            else:
+                launches = self.launches("volta")
+                profiler = DetailedProfiler(self.harness.silicon(VOLTA_V100))
+                try:
+                    self._cache[key] = select_tbpoint(
+                        self.spec.name, profiler.profile(launches)
+                    )
+                except ClusteringCapacityError:
+                    self._cache[key] = None
+        return self._cache[key]  # type: ignore[return-value]
+
+    def tbpoint_sim(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
+        gpu = gpu if gpu is not None else VOLTA_V100
+        key = f"tbpoint_sim/{gpu.name}"
+        if key not in self._cache:
+            selection = self.tbpoint_selection()
+            if selection is None or not self.runs_on(gpu):
+                self._cache[key] = None
+            else:
+                simulator = self.harness.simulator(gpu)
+                self._cache[key] = simulate_tbpoint(
+                    selection, self.launches(gpu.generation), simulator
+                )
+        return self._cache[key]  # type: ignore[return-value]
+
+
+class EvaluationHarness:
+    """Memoizing factory of silicon executors, simulators and evaluations."""
+
+    def __init__(
+        self,
+        config: PKAConfig | None = None,
+        model_error: ModelErrorConfig | None = None,
+        instruction_budget: float = 6e7,
+    ) -> None:
+        # The default instruction budget is the paper's 1-billion-
+        # instruction practice scaled by the same ~7x factor as the
+        # synthetic workloads' durations (DESIGN.md §4).
+        self.pka = PrincipalKernelAnalysis(config)
+        self.model_error = model_error if model_error is not None else ModelErrorConfig()
+        self.instruction_budget = instruction_budget
+        self._silicon: dict[str, SiliconExecutor] = {}
+        self._simulators: dict[str, Simulator] = {}
+        self._evaluations: dict[str, WorkloadEvaluation] = {}
+
+    def silicon(self, gpu: GPUConfig) -> SiliconExecutor:
+        if gpu.name not in self._silicon:
+            self._silicon[gpu.name] = SiliconExecutor(gpu)
+        return self._silicon[gpu.name]
+
+    def simulator(self, gpu: GPUConfig) -> Simulator:
+        if gpu.name not in self._simulators:
+            self._simulators[gpu.name] = Simulator(gpu, model_error=self.model_error)
+        return self._simulators[gpu.name]
+
+    def faithful_simulator(self, gpu: GPUConfig) -> Simulator:
+        """A simulator with modeling error disabled (silicon-faithful)."""
+        key = f"{gpu.name}/faithful"
+        if key not in self._simulators:
+            self._simulators[key] = Simulator(
+                gpu, model_error=ModelErrorConfig(enabled=False)
+            )
+        return self._simulators[key]
+
+    def evaluation(self, workload: str | WorkloadSpec) -> WorkloadEvaluation:
+        spec = workload if isinstance(workload, WorkloadSpec) else get_workload(workload)
+        if spec.name not in self._evaluations:
+            self._evaluations[spec.name] = WorkloadEvaluation(spec=spec, harness=self)
+        return self._evaluations[spec.name]
+
+    def evaluations(self, suite: str | None = None) -> list[WorkloadEvaluation]:
+        return [self.evaluation(spec) for spec in iter_workloads(suite)]
+
+    def completable_evaluations(self) -> list[WorkloadEvaluation]:
+        """Workloads usable in the Figure-7/8 prior-work comparison.
+
+        Excludes the paper's "*" rows: kernel-count mismatches and the
+        cuDNN conv-training workloads whose simulation pairing breaks.
+        """
+        return [
+            evaluation
+            for evaluation in self.evaluations()
+            if evaluation.spec.completable
+            and not evaluation.spec.excluded
+            and "sim_kernel_mismatch" not in evaluation.spec.quirks
+        ]

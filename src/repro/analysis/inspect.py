@@ -1,0 +1,148 @@
+"""Workload inspection: the bottleneck/mix breakdown a profiler would give.
+
+``inspect_workload`` condenses one application into the summary an
+architect reads before deciding how to sample it: launch counts, distinct
+kernels, where the cycles go (compute / memory / latency, per the
+roofline), the dynamic instruction-mix split, grid-size statistics and
+trace footprint.  Backs the ``pka inspect`` command.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.architectures import GPUConfig, VOLTA_V100
+from repro.gpu.kernels import KernelLaunch
+from repro.sim.perfmodel import analyze_kernel
+from repro.sim.silicon import SiliconExecutor
+from repro.traces.format import estimated_trace_bytes
+
+__all__ = ["WorkloadProfile", "inspect_workload"]
+
+_MIX_CLASSES = (
+    "fp_ops",
+    "int_ops",
+    "tensor_ops",
+    "global_loads",
+    "global_stores",
+    "local_loads",
+    "shared_loads",
+    "shared_stores",
+    "global_atomics",
+    "control_ops",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One workload's inspection summary.
+
+    Attributes
+    ----------
+    workload / launches / distinct_kernels:
+        Identity and size.
+    total_cycles / silicon_seconds:
+        Ground-truth totals on the inspected GPU.
+    bottleneck_cycle_share:
+        Fraction of kernel cycles spent under each roofline bound
+        ("compute" / "memory" / "latency"), cycle-weighted.
+    mix_share:
+        Fraction of dynamic thread instructions per opcode class.
+    grid_stats:
+        (min, median, max) thread blocks per launch.
+    sub_wave_fraction:
+        Share of launches whose grid fits in one occupancy wave.
+    irregular_fraction:
+        Share of launches with block-duration cv >= 0.3.
+    trace_bytes:
+        Estimated full instruction-trace footprint.
+    """
+
+    workload: str
+    launches: int
+    distinct_kernels: int
+    total_cycles: float
+    silicon_seconds: float
+    bottleneck_cycle_share: dict[str, float] = field(default_factory=dict)
+    mix_share: dict[str, float] = field(default_factory=dict)
+    grid_stats: tuple[int, int, int] = (0, 0, 0)
+    sub_wave_fraction: float = 0.0
+    irregular_fraction: float = 0.0
+    trace_bytes: float = 0.0
+
+    @property
+    def dominant_bottleneck(self) -> str:
+        return max(self.bottleneck_cycle_share, key=self.bottleneck_cycle_share.get)
+
+
+def inspect_workload(
+    workload_name: str,
+    launches: Sequence[KernelLaunch],
+    gpu: GPUConfig = VOLTA_V100,
+    silicon: SiliconExecutor | None = None,
+) -> WorkloadProfile:
+    """Build the inspection summary of one application on one GPU."""
+    if not launches:
+        raise ValueError("cannot inspect an empty workload")
+    silicon = silicon if silicon is not None else SiliconExecutor(gpu)
+
+    bottleneck_cycles: dict[str, float] = {"compute": 0.0, "memory": 0.0, "latency": 0.0}
+    mix_totals = dict.fromkeys(_MIX_CLASSES, 0.0)
+    grids = np.empty(len(launches), dtype=np.int64)
+    sub_wave = 0
+    irregular = 0
+    total_cycles = 0.0
+    trace_bytes = 0.0
+    perf_cache: dict[tuple[int, int], object] = {}
+    distinct_specs: set[int] = set()
+
+    for index, launch in enumerate(launches):
+        signature = launch.spec.signature()
+        distinct_specs.add(signature)
+        key = (signature, launch.grid_blocks)
+        perf = perf_cache.get(key)
+        if perf is None:
+            perf = analyze_kernel(launch, gpu)
+            perf_cache[key] = perf
+        cycles = silicon.kernel_cycles(launch)
+        total_cycles += cycles
+        bottleneck_cycles[perf.bottleneck] += cycles
+        for class_name in _MIX_CLASSES:
+            mix_totals[class_name] += (
+                getattr(launch.spec.mix, class_name) * launch.total_threads
+            )
+        grids[index] = launch.grid_blocks
+        if launch.grid_blocks <= perf.occupancy.wave_size:
+            sub_wave += 1
+        if launch.spec.duration_cv >= 0.3:
+            irregular += 1
+        trace_bytes += estimated_trace_bytes(launch)
+
+    mix_sum = sum(mix_totals.values()) or 1.0
+    cycle_sum = sum(bottleneck_cycles.values()) or 1.0
+    return WorkloadProfile(
+        workload=workload_name,
+        launches=len(launches),
+        distinct_kernels=len(distinct_specs),
+        total_cycles=total_cycles,
+        silicon_seconds=gpu.cycles_to_seconds(total_cycles),
+        bottleneck_cycle_share={
+            name: cycles / cycle_sum for name, cycles in bottleneck_cycles.items()
+        },
+        mix_share={
+            name: value / mix_sum
+            for name, value in mix_totals.items()
+            if value > 0
+        },
+        grid_stats=(
+            int(grids.min()),
+            int(np.median(grids)),
+            int(grids.max()),
+        ),
+        sub_wave_fraction=sub_wave / len(launches),
+        irregular_fraction=irregular / len(launches),
+        trace_bytes=trace_bytes,
+    )

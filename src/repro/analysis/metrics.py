@@ -1,0 +1,89 @@
+"""Error and speedup metrics used throughout the evaluation.
+
+The paper reports absolute percentage cycle/IPC error versus silicon,
+speedups as ratios of (simulated or executed) time, geometric means over
+workloads, and mean absolute error (MAE) for the relative-accuracy case
+studies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = [
+    "abs_pct_error",
+    "geomean",
+    "mean",
+    "mae",
+    "speedup",
+    "format_duration",
+]
+
+
+def abs_pct_error(estimate: float, reference: float) -> float:
+    """Absolute percentage error of ``estimate`` versus ``reference``."""
+    if reference == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - reference) / abs(reference) * 100.0
+
+
+def speedup(reference_cost: float, method_cost: float) -> float:
+    """How many times cheaper ``method_cost`` is than ``reference_cost``."""
+    if method_cost <= 0:
+        return float("inf")
+    return reference_cost / method_cost
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, ignoring non-positive/non-finite entries."""
+    array = np.asarray(list(values), dtype=np.float64)
+    array = array[np.isfinite(array) & (array > 0)]
+    if array.size == 0:
+        return 0.0
+    return float(np.exp(np.log(array).mean()))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean, ignoring non-finite entries."""
+    array = np.asarray(list(values), dtype=np.float64)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        return 0.0
+    return float(array.mean())
+
+
+def mae(estimates: Iterable[float], references: Iterable[float]) -> float:
+    """Mean absolute percentage error between paired sequences."""
+    pairs = list(zip(list(estimates), list(references)))
+    if not pairs:
+        return 0.0
+    return mean(abs_pct_error(estimate, ref) for estimate, ref in pairs)
+
+
+_UNITS = [
+    ("century", 100 * 365.25 * 24 * 3600.0),
+    ("decade", 10 * 365.25 * 24 * 3600.0),
+    ("year", 365.25 * 24 * 3600.0),
+    ("month", 30.44 * 24 * 3600.0),
+    ("week", 7 * 24 * 3600.0),
+    ("day", 24 * 3600.0),
+    ("h", 3600.0),
+    ("min", 60.0),
+    ("s", 1.0),
+    ("ms", 1e-3),
+    ("us", 1e-6),
+]
+
+
+def format_duration(seconds: float) -> str:
+    """Human-scale duration ("3.2 centuries", "14 h", "820 us")."""
+    if seconds <= 0:
+        return "0 s"
+    for unit, size in _UNITS:
+        if seconds >= size:
+            value = seconds / size
+            plural = "s" if unit not in ("h", "min", "s", "ms", "us") and value >= 2 else ""
+            return f"{value:.1f} {unit}{plural}"
+    return f"{seconds:.2g} s"

@@ -1,0 +1,147 @@
+"""Persisting PKA selections (the artifact's ``.pkl`` outputs, as JSON).
+
+The paper's artifact emits, per workload, "pkl files containing the number
+of principal groups, the principal kernels associated with each group and
+their respective weights" — the hand-off between the characterization
+machine (which has the GPU) and the simulation cluster (which does not).
+
+This module serializes a :class:`~repro.core.pka.KernelSelection` to a
+self-contained JSON document (embedding the representative launches in
+the .pkatrace record format) and restores it, so characterization and
+simulation can run in different processes, machines or sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.pka import KernelSelection, SelectedGroup
+from repro.core.pks import KernelGroup, PKSResult
+from repro.errors import ReproError
+from repro.traces.format import _launch_from_record, _launch_record
+
+__all__ = ["SELECTION_FORMAT_VERSION", "dump_selection", "load_selection",
+           "save_selection", "read_selection"]
+
+SELECTION_FORMAT_VERSION = 1
+
+
+def dump_selection(selection: KernelSelection) -> str:
+    """Serialize a selection to a JSON document."""
+    document = {
+        "version": SELECTION_FORMAT_VERSION,
+        "workload": selection.workload,
+        "total_launches": selection.total_launches,
+        "total_warp_instructions": selection.total_warp_instructions,
+        "used_two_level": selection.used_two_level,
+        "detailed_count": selection.detailed_count,
+        "classifier_name": selection.classifier_name,
+        "classifier_accuracy": selection.classifier_accuracy,
+        "profiling_seconds": selection.profiling_seconds,
+        "k": selection.pks.k,
+        "projection_error": selection.pks.projection_error,
+        "groups": [
+            {
+                "group_id": group.group_id,
+                "weight": group.weight,
+                "representative": _launch_record(group.representative),
+                "member_launch_ids": list(
+                    _pks_group(selection, group.group_id).member_launch_ids
+                ),
+                "mean_cycles": _pks_group(selection, group.group_id).mean_cycles,
+                "representative_cycles": _pks_group(
+                    selection, group.group_id
+                ).representative_cycles,
+            }
+            for group in selection.groups
+        ],
+    }
+    return json.dumps(document, sort_keys=True, indent=2)
+
+
+def _pks_group(selection: KernelSelection, group_id: int) -> KernelGroup:
+    for group in selection.pks.groups:
+        if group.group_id == group_id:
+            return group
+    raise ReproError(f"selection has no PKS group {group_id}")
+
+
+def load_selection(text: str) -> KernelSelection:
+    """Restore a selection from its JSON document.
+
+    The restored object carries everything simulation-side consumers need
+    (groups, weights, representatives, instruction totals).  The fitted
+    clustering artifacts (PCA basis, k-means centres) are
+    characterization-side state and are not round-tripped; the restored
+    ``pks`` summary exposes group structure and the recorded projection
+    error only.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"not a selection document: {exc}") from exc
+    if document.get("version") != SELECTION_FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported selection version {document.get('version')!r}"
+        )
+    try:
+        pks_groups = []
+        selected_groups = []
+        for record in document["groups"]:
+            representative = _launch_from_record(record["representative"])
+            pks_groups.append(
+                KernelGroup(
+                    group_id=record["group_id"],
+                    representative_launch_id=representative.launch_id,
+                    member_launch_ids=tuple(record["member_launch_ids"]),
+                    weight=len(record["member_launch_ids"]),
+                    mean_cycles=record["mean_cycles"],
+                    representative_cycles=record["representative_cycles"],
+                )
+            )
+            selected_groups.append(
+                SelectedGroup(
+                    group_id=record["group_id"],
+                    representative=representative,
+                    weight=record["weight"],
+                )
+            )
+        import numpy as np
+
+        labels = np.zeros(0, dtype=np.intp)
+        pks = PKSResult(
+            k=document["k"],
+            groups=tuple(pks_groups),
+            labels=labels,
+            projection_error=document["projection_error"],
+            sweep_errors=(),
+            pipeline=None,  # type: ignore[arg-type]
+            kmeans=None,  # type: ignore[arg-type]
+        )
+        return KernelSelection(
+            workload=document["workload"],
+            total_launches=document["total_launches"],
+            total_warp_instructions=document["total_warp_instructions"],
+            groups=tuple(selected_groups),
+            pks=pks,
+            used_two_level=document["used_two_level"],
+            detailed_count=document["detailed_count"],
+            classifier_name=document["classifier_name"],
+            classifier_accuracy=document["classifier_accuracy"],
+            profiling_seconds=document["profiling_seconds"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed selection document: {exc}") from exc
+
+
+def save_selection(path: str | Path, selection: KernelSelection) -> Path:
+    """Write a selection document to ``path``."""
+    path = Path(path)
+    path.write_text(dump_selection(selection), encoding="utf-8")
+    return path
+
+
+def read_selection(path: str | Path) -> KernelSelection:
+    """Read a selection document from ``path``."""
+    return load_selection(Path(path).read_text(encoding="utf-8"))

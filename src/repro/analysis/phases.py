@@ -1,0 +1,232 @@
+"""Program-phase detection over the kernel-launch sequence.
+
+CPU sampling classics (Sherwood et al., cited in the paper's §6) showed
+that programs move through *phases* of homogeneous behaviour.  At GPU
+granularity the same structure appears across kernel *launches*: an
+initialization burst, alternating compute/communication epochs, a
+shrinking-grid tail.  Detecting those phases explains exactly why the
+"first N instructions" practice fails (its prefix covers only the first
+phase) and gives PKS groupings a temporal complement.
+
+The detector walks the launch sequence with the same log-standardized
+Table-2 feature vectors PKS clusters, closing a phase whenever the
+windowed mean feature vector moves more than ``threshold`` standardized
+units from the phase's running centroid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernels import KernelLaunch
+from repro.mlkit import StandardScaler, log_compress
+from repro.profiling.detailed import collect_counters
+
+__all__ = ["Phase", "PhaseAnalysis", "detect_phases"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One contiguous run of behaviourally similar kernel launches."""
+
+    phase_id: int
+    start_launch: int
+    end_launch: int  # exclusive
+    thread_instructions: float
+
+    @property
+    def launches(self) -> int:
+        return self.end_launch - self.start_launch
+
+
+@dataclass(frozen=True)
+class PhaseAnalysis:
+    """The phase decomposition of one application."""
+
+    workload: str
+    phases: tuple[Phase, ...]
+    total_thread_instructions: float
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    def phase_at_instruction(self, instruction_budget: float) -> int:
+        """Index of the phase in which a prefix of the given size ends.
+
+        This is the "where does the 1B-instruction prefix stop?"
+        question; an answer of 0 for a multi-phase app means the prefix
+        saw none of the application's later behaviour.
+        """
+        consumed = 0.0
+        for index, phase in enumerate(self.phases):
+            consumed += phase.thread_instructions
+            if consumed >= instruction_budget:
+                return index
+        return len(self.phases) - 1
+
+    def coverage_of_prefix(self, instruction_budget: float) -> float:
+        """Fraction of phases a prefix of the given size touches."""
+        if not self.phases:
+            return 0.0
+        return (self.phase_at_instruction(instruction_budget) + 1) / len(
+            self.phases
+        )
+
+    def prefix_representativeness(self, instruction_budget: float) -> float:
+        """How well a prefix's phase mix matches the whole application.
+
+        One minus the total-variation distance between the phase-share
+        distribution of the first ``instruction_budget`` thread
+        instructions and that of the full app: 1.0 means the prefix is a
+        perfectly proportioned miniature; values near 0 mean it spends
+        its budget in behaviour the application barely contains (the
+        cudnnFind-probe situation that wrecks 1B truncation).
+        """
+        if not self.phases or self.total_thread_instructions <= 0:
+            return 1.0
+        budget = min(instruction_budget, self.total_thread_instructions)
+        if budget <= 0:
+            return 0.0
+        distance = 0.0
+        consumed = 0.0
+        for phase in self.phases:
+            in_prefix = max(0.0, min(phase.thread_instructions, budget - consumed))
+            consumed += phase.thread_instructions
+            prefix_share = in_prefix / budget
+            app_share = (
+                phase.thread_instructions / self.total_thread_instructions
+            )
+            distance += abs(prefix_share - app_share)
+        return 1.0 - distance / 2.0
+
+
+def detect_phases(
+    workload_name: str,
+    launches: Sequence[KernelLaunch],
+    *,
+    window: int = 8,
+    threshold: float = 1.5,
+) -> PhaseAnalysis:
+    """Segment a launch sequence into behavioural phases.
+
+    Parameters
+    ----------
+    window:
+        Launches averaged per step (smooths single-kernel excursions the
+        way Sherwood's interval granularity does).
+    threshold:
+        Standardized-feature distance from the phase centroid beyond
+        which a new phase opens.
+    """
+    if not launches:
+        raise ValueError("cannot phase-analyze an empty workload")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    # Short applications need finer steps or a 4-launch warm-up phase
+    # disappears inside the first window.
+    window = max(1, min(window, len(launches) // 6))
+
+    counters = np.stack(
+        [np.asarray(collect_counters(launch)) for launch in launches]
+    )
+    features = StandardScaler().fit_transform(log_compress(counters))
+
+    phases: list[Phase] = []
+    phase_start = 0
+    centroid = features[0].copy()
+    members = 1
+
+    def close_phase(end: int) -> None:
+        insts = sum(
+            launch.thread_instructions for launch in launches[phase_start:end]
+        )
+        phases.append(
+            Phase(
+                phase_id=len(phases),
+                start_launch=phase_start,
+                end_launch=end,
+                thread_instructions=insts,
+            )
+        )
+
+    step = max(1, window)
+    index = 1
+    while index < len(launches):
+        stop = min(index + step, len(launches))
+        window_mean = features[index:stop].mean(axis=0)
+        distance = float(np.linalg.norm(window_mean - centroid))
+        if distance > threshold:
+            close_phase(index)
+            phase_start = index
+            centroid = window_mean.copy()
+            members = stop - index
+        else:
+            # Fold the window into the running centroid.
+            total = members + (stop - index)
+            centroid = (centroid * members + window_mean * (stop - index)) / total
+            members = total
+        index = stop
+    close_phase(len(launches))
+    phases = _merge_fragments(phases, window)
+
+    return PhaseAnalysis(
+        workload=workload_name,
+        phases=tuple(phases),
+        total_thread_instructions=sum(
+            launch.thread_instructions for launch in launches
+        ),
+    )
+
+
+def _merge_fragments(phases: list[Phase], window: int) -> list[Phase]:
+    """Fold transition fragments (shorter than one window) into a neighbour.
+
+    A detection window straddling a phase boundary produces a short mixed
+    fragment; it belongs with whichever side follows it (or precedes it,
+    for a trailing fragment).
+    """
+    merged: list[Phase] = []
+    pending: Phase | None = None
+    for phase in phases:
+        if pending is not None:
+            phase = Phase(
+                phase_id=0,
+                start_launch=pending.start_launch,
+                end_launch=phase.end_launch,
+                thread_instructions=pending.thread_instructions
+                + phase.thread_instructions,
+            )
+            pending = None
+        if phase.launches <= window:
+            pending = phase
+        else:
+            merged.append(phase)
+    if pending is not None:
+        if merged:
+            last = merged.pop()
+            merged.append(
+                Phase(
+                    phase_id=0,
+                    start_launch=last.start_launch,
+                    end_launch=pending.end_launch,
+                    thread_instructions=last.thread_instructions
+                    + pending.thread_instructions,
+                )
+            )
+        else:
+            merged.append(pending)
+    return [
+        Phase(
+            phase_id=index,
+            start_launch=phase.start_launch,
+            end_launch=phase.end_launch,
+            thread_instructions=phase.thread_instructions,
+        )
+        for index, phase in enumerate(merged)
+    ]

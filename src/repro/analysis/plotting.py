@@ -1,0 +1,100 @@
+"""Terminal plotting: ASCII strip charts for time series.
+
+The reproduction reports numbers rather than pixels, but Figure-5-style
+IPC traces are much easier to read as a chart.  ``ascii_timeseries``
+renders one; ``render_ipc_series`` specializes it for
+:class:`~repro.analysis.figures.IPCSeries` with PKP stop-point markers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.figures import IPCSeries
+
+__all__ = ["ascii_timeseries", "render_ipc_series"]
+
+
+def ascii_timeseries(
+    values: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 14,
+    y_label: str = "",
+    markers: dict[int, str] | None = None,
+) -> str:
+    """Render a series as an ASCII strip chart.
+
+    Parameters
+    ----------
+    values:
+        The series; downsampled by bucket means to at most ``width``
+        columns.
+    width / height:
+        Chart dimensions in characters.
+    y_label:
+        Optional label prefixed to the top axis row.
+    markers:
+        Column markers (original-series index -> single character) drawn
+        on a ruler line under the x axis.
+    """
+    series = np.asarray(list(values), dtype=np.float64)
+    if series.size == 0:
+        raise ValueError("cannot plot an empty series")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+
+    bucket = max(1, int(np.ceil(series.size / width)))
+    n_cols = int(np.ceil(series.size / bucket))
+    columns = np.array(
+        [series[i * bucket : (i + 1) * bucket].mean() for i in range(n_cols)]
+    )
+    top = float(columns.max())
+    if top <= 0:
+        top = 1.0
+
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        line = "".join("#" if value >= threshold else " " for value in columns)
+        rows.append(f"{threshold:9.2f} |{line}")
+    rows.append(" " * 10 + "+" + "-" * n_cols)
+
+    if markers:
+        ruler = [" "] * n_cols
+        for index, char in markers.items():
+            column = min(n_cols - 1, max(0, index // bucket))
+            ruler[column] = (char or "?")[0]
+        rows.append(" " * 11 + "".join(ruler))
+    if y_label:
+        rows.insert(0, f"{y_label} (max {top:.2f})")
+    return "\n".join(rows)
+
+
+_STOP_MARKERS = {2.5: "A", 0.25: "B", 0.025: "C"}
+
+
+def render_ipc_series(series: IPCSeries, *, width: int = 72, height: int = 14) -> str:
+    """Figure-5-style chart of one kernel's IPC with PKP stop markers."""
+    markers: dict[int, str] = {}
+    cycles = np.asarray(series.cycles)
+    for threshold, stop in series.stop_points.items():
+        if stop is None:
+            continue
+        index = int(np.searchsorted(cycles, stop))
+        markers[min(index, len(cycles) - 1)] = _STOP_MARKERS.get(threshold, "?")
+    chart = ascii_timeseries(
+        series.ipc,
+        width=width,
+        height=height,
+        y_label=f"IPC, {series.workload}/{series.kernel_name}",
+        markers=markers,
+    )
+    legend = "   ".join(
+        f"{marker}: s={threshold}"
+        + (" (never fires)" if series.stop_points.get(threshold) is None else "")
+        for threshold, marker in _STOP_MARKERS.items()
+    )
+    return f"{chart}\n{legend}"

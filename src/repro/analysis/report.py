@@ -1,0 +1,167 @@
+"""Markdown report generation: the whole evaluation in one document.
+
+``render_report`` regenerates the paper's headline artifacts from an
+:class:`EvaluationHarness` and renders them as a single markdown document
+— the reproduction-side equivalent of the artifact's ``Run_PKA.sh``
+producing "the big table".
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.analysis.figures import (
+    figure1_time_landscape,
+    figure7_speedups,
+    figure9_volta_over_turing,
+    figure10_half_sms,
+)
+from repro.analysis.harness import EvaluationHarness
+from repro.analysis.metrics import format_duration, geomean, mean
+from repro.analysis.tables import table3_pks_examples, table4_rows
+
+__all__ = ["render_report", "write_report"]
+
+
+def _cell(value, suffix: str = "", digits: int = 1) -> str:
+    return "*" if value is None else f"{value:.{digits}f}{suffix}"
+
+
+def _section_table3(harness: EvaluationHarness, out: io.StringIO) -> None:
+    out.write("## Table 3 — PKS output examples\n\n")
+    out.write("| suite | workload | selected kernel ids | group counts |\n")
+    out.write("|---|---|---|---|\n")
+    for row in table3_pks_examples(harness):
+        ids = ", ".join(str(i) for i in row.selected_kernel_ids)
+        counts = ", ".join(str(c) for c in row.group_counts)
+        out.write(f"| {row.suite} | {row.workload} | {ids} | {counts} |\n")
+    out.write("\n")
+
+
+def _section_figure1(harness: EvaluationHarness, out: io.StringIO) -> None:
+    out.write("## Figure 1 — time landscape (selected workloads)\n\n")
+    out.write("| workload | silicon | detailed profiling | full simulation |\n")
+    out.write("|---|---|---|---|\n")
+    landscapes = figure1_time_landscape(harness)
+    for landscape in landscapes[:: max(1, len(landscapes) // 18)]:
+        out.write(
+            f"| {landscape.workload} "
+            f"| {format_duration(landscape.silicon_seconds)} "
+            f"| {format_duration(landscape.detailed_profiling_seconds)} "
+            f"| {format_duration(landscape.full_simulation_seconds)} |\n"
+        )
+    out.write("\n")
+
+
+def _section_figures78(harness: EvaluationHarness, out: io.StringIO) -> None:
+    aggregate = figure7_speedups(harness)
+    out.write("## Figures 7 & 8 — sampled simulation vs prior work\n\n")
+    out.write(f"Completable workloads: {len(aggregate.workloads)}\n\n")
+    out.write("| method | mean error vs silicon | geomean speedup over full sim |\n")
+    out.write("|---|---|---|\n")
+    out.write(f"| Full simulation | {aggregate.mean_error('full'):.1f}% | 1.00x |\n")
+    out.write(
+        f"| PKA | {aggregate.mean_error('pka'):.1f}% "
+        f"| {aggregate.pka_speedup_geomean:.2f}x |\n"
+    )
+    out.write(
+        f"| TBPoint | {aggregate.mean_error('tbpoint'):.1f}% "
+        f"| {aggregate.tbpoint_speedup_geomean:.2f}x |\n"
+    )
+    out.write(
+        f"| 1B instructions | {aggregate.mean_error('first1b'):.1f}% "
+        f"| {aggregate.first1b_speedup_geomean:.2f}x |\n\n"
+    )
+
+
+def _section_table4(harness: EvaluationHarness, out: io.StringIO) -> None:
+    out.write("## Table 4 — per-workload results\n\n")
+    out.write(
+        "| workload | V err | V SU | T err | A err | SimErr | PKS err "
+        "| PKA err | PKA hours |\n"
+    )
+    out.write("|---|---|---|---|---|---|---|---|---|\n")
+    rows = table4_rows(harness)
+    for row in rows:
+        out.write(
+            f"| {row.workload} "
+            f"| {_cell(row.silicon_error['volta'], '%')} "
+            f"| {_cell(row.silicon_speedup['volta'], 'x')} "
+            f"| {_cell(row.silicon_error['turing'], '%')} "
+            f"| {_cell(row.silicon_error['ampere'], '%')} "
+            f"| {_cell(row.sim_error, '%')} "
+            f"| {_cell(row.pks_error, '%')} "
+            f"| {_cell(row.pka_error, '%')} "
+            f"| {_cell(row.pka_sim_hours, ' h', 2)} |\n"
+        )
+    suites: dict[str, list] = {}
+    for row in rows:
+        suites.setdefault(row.suite, []).append(row)
+    out.write("\nPer-suite silicon PKS aggregates (Volta):\n\n")
+    out.write("| suite | mean error | geomean speedup |\n|---|---|---|\n")
+    for suite, suite_rows in suites.items():
+        errors = [
+            r.silicon_error["volta"]
+            for r in suite_rows
+            if r.silicon_error["volta"] is not None
+        ]
+        speedups = [
+            r.silicon_speedup["volta"]
+            for r in suite_rows
+            if r.silicon_speedup["volta"] is not None
+        ]
+        out.write(
+            f"| {suite} | {mean(errors):.2f}% | {geomean(speedups):.1f}x |\n"
+        )
+    out.write("\n")
+
+
+def _section_case_studies(harness: EvaluationHarness, out: io.StringIO) -> None:
+    out.write("## Figures 9 & 10 — relative accuracy case studies\n\n")
+    fig9 = figure9_volta_over_turing(harness)
+    out.write("V100 speedup over RTX 2060 (geomeans): ")
+    out.write(
+        ", ".join(f"{method} {value:.2f}x" for method, value in fig9.geomeans.items())
+    )
+    out.write("\n\n")
+    fig10 = figure10_half_sms(harness)
+    out.write("80-SM over 40-SM V100 (geomeans): ")
+    out.write(
+        ", ".join(f"{method} {value:.2f}x" for method, value in fig10.geomeans.items())
+    )
+    out.write("\n\nMAE wrt silicon (Figure 10): ")
+    out.write(
+        ", ".join(
+            f"{method} {value:.2f}"
+            for method, value in fig10.mae_wrt_silicon.items()
+        )
+    )
+    out.write("\n")
+
+
+def render_report(harness: EvaluationHarness | None = None) -> str:
+    """Render the full evaluation as a markdown document."""
+    harness = harness if harness is not None else EvaluationHarness()
+    out = io.StringIO()
+    out.write("# Principal Kernel Analysis — evaluation report\n\n")
+    out.write(
+        "Regenerated from the reproduction's calibrated models "
+        "(see DESIGN.md for substitutions, EXPERIMENTS.md for "
+        "paper-vs-measured commentary).\n\n"
+    )
+    _section_figure1(harness, out)
+    _section_table3(harness, out)
+    _section_figures78(harness, out)
+    _section_case_studies(harness, out)
+    _section_table4(harness, out)
+    return out.getvalue()
+
+
+def write_report(
+    path: str | Path, harness: EvaluationHarness | None = None
+) -> Path:
+    """Render the report and write it to ``path``."""
+    path = Path(path)
+    path.write_text(render_report(harness), encoding="utf-8")
+    return path

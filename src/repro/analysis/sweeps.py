@@ -1,0 +1,60 @@
+"""Architecture sweeps: price one selection across every GPU.
+
+The workflow the paper's Section 5.3 motivates: select principal kernels
+once (on Volta), then ask "how would this application run on each card I
+care about?" — without re-profiling and without full simulation.  Backs
+the ``pka project`` command.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.pka import KernelSelection, PrincipalKernelAnalysis
+from repro.gpu.architectures import ALL_GPUS, GPUConfig
+from repro.sim.silicon import SiliconExecutor
+
+__all__ = ["ArchitectureProjection", "sweep_architectures"]
+
+
+@dataclass(frozen=True)
+class ArchitectureProjection:
+    """One GPU's projected execution of a selection."""
+
+    gpu: GPUConfig
+    projected_cycles: float
+    projected_seconds: float
+    dram_util_percent: float
+
+    @property
+    def gpu_name(self) -> str:
+        return self.gpu.name
+
+
+def sweep_architectures(
+    selection: KernelSelection,
+    gpus: Sequence[GPUConfig] = ALL_GPUS,
+    pka: PrincipalKernelAnalysis | None = None,
+) -> list[ArchitectureProjection]:
+    """Project a selection's application onto each GPU's silicon model.
+
+    Returns projections sorted fastest-first.  Only the selection's
+    representative kernels are priced — the whole point of carrying a
+    :class:`KernelSelection` across machines.
+    """
+    pka = pka if pka is not None else PrincipalKernelAnalysis()
+    projections = []
+    for gpu in gpus:
+        executor = SiliconExecutor(gpu)
+        run = pka.project_silicon(selection, executor)
+        projections.append(
+            ArchitectureProjection(
+                gpu=gpu,
+                projected_cycles=run.total_cycles,
+                projected_seconds=run.silicon_seconds,
+                dram_util_percent=run.dram_util_percent,
+            )
+        )
+    projections.sort(key=lambda projection: projection.projected_seconds)
+    return projections

@@ -1,0 +1,149 @@
+"""Row builders for the paper's tables (Table 3 and Table 4).
+
+Like :mod:`repro.analysis.figures`, these functions return plain data; the
+benchmark harness formats and asserts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import EvaluationHarness, WorkloadEvaluation
+from repro.analysis.metrics import abs_pct_error, speedup
+from repro.gpu.architectures import GENERATIONS
+
+__all__ = ["Table3Row", "Table4Row", "table3_pks_examples", "table4_rows"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """PKS output example: selected kernel ids and group sizes."""
+
+    suite: str
+    workload: str
+    selected_kernel_ids: tuple[int, ...]
+    group_counts: tuple[int, ...]
+
+
+def table3_pks_examples(
+    harness: EvaluationHarness,
+    workloads: tuple[str, ...] = (
+        "gauss_208",
+        "bfs65536",
+        "histo",
+        "cutcp",
+        "fdtd2d",
+        "gramschmidt",
+        "cutlass_sgemm_4096x4096x4096",
+        "cutlass_wgemm_2560x128x2560",
+    ),
+) -> list[Table3Row]:
+    """Selected kernel ids and per-group counts for the showcase workloads."""
+    rows = []
+    for name in workloads:
+        evaluation = harness.evaluation(name)
+        selection = evaluation.selection()
+        ordered = sorted(
+            selection.groups, key=lambda group: group.representative.launch_id
+        )
+        rows.append(
+            Table3Row(
+                suite=evaluation.spec.suite,
+                workload=name,
+                selected_kernel_ids=tuple(
+                    group.representative.launch_id for group in ordered
+                ),
+                group_counts=tuple(group.weight for group in ordered),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One workload's full evaluation record (a row of the paper's Table 4).
+
+    ``None`` marks the paper's "*" cells: runs that are impossible
+    (MLPerf beyond the RTX 2060's memory, full simulation of MLPerf) or
+    excluded for kernel-count mismatches.  Errors are percentages,
+    speedups are ratios, times are hours.
+    """
+
+    workload: str
+    suite: str
+    silicon_error: dict[str, float | None]
+    silicon_speedup: dict[str, float | None]
+    sim_error: float | None
+    pks_error: float | None
+    pks_sim_hours: float | None
+    pks_speedup: float | None
+    pka_error: float | None
+    pka_sim_hours: float | None
+    pka_speedup: float | None
+    dram_util_full: float | None
+    dram_util_pka: float | None
+
+
+def table4_rows(
+    harness: EvaluationHarness, suite: str | None = None
+) -> list[Table4Row]:
+    """Build every Table-4 row (optionally restricted to one suite)."""
+    return [
+        _table4_row(evaluation)
+        for evaluation in harness.evaluations(suite)
+    ]
+
+
+def _table4_row(evaluation: WorkloadEvaluation) -> Table4Row:
+    spec = evaluation.spec
+
+    silicon_error: dict[str, float | None] = {}
+    silicon_speedup: dict[str, float | None] = {}
+    for generation in GENERATIONS:
+        if spec.excluded:
+            silicon_error[generation] = None
+            silicon_speedup[generation] = None
+            continue
+        truth = evaluation.silicon(generation)
+        projected = evaluation.pks_silicon(generation)
+        if truth is None or projected is None:
+            silicon_error[generation] = None
+            silicon_speedup[generation] = None
+        else:
+            silicon_error[generation] = abs_pct_error(
+                projected.total_cycles, truth.total_cycles
+            )
+            silicon_speedup[generation] = speedup(
+                truth.total_cycles, projected.simulated_cycles
+            )
+
+    truth_volta = None if spec.excluded else evaluation.silicon("volta")
+    full = None if spec.excluded else evaluation.full_sim()
+    pks = None if spec.excluded else evaluation.pks_sim()
+    pka = None if spec.excluded else evaluation.pka_sim()
+
+    def error_vs_silicon(run) -> float | None:
+        if run is None or truth_volta is None:
+            return None
+        return abs_pct_error(run.total_cycles, truth_volta.total_cycles)
+
+    def sim_speedup(run) -> float | None:
+        if run is None or full is None:
+            return None
+        return speedup(full.simulated_cycles, run.simulated_cycles)
+
+    return Table4Row(
+        workload=spec.name,
+        suite=spec.suite,
+        silicon_error=silicon_error,
+        silicon_speedup=silicon_speedup,
+        sim_error=error_vs_silicon(full),
+        pks_error=error_vs_silicon(pks),
+        pks_sim_hours=pks.sim_wall_hours if pks else None,
+        pks_speedup=sim_speedup(pks),
+        pka_error=error_vs_silicon(pka),
+        pka_sim_hours=pka.sim_wall_hours if pka else None,
+        pka_speedup=sim_speedup(pka),
+        dram_util_full=full.dram_util_percent if full else None,
+        dram_util_pka=pka.dram_util_percent if pka else None,
+    )

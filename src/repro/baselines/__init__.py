@@ -1,0 +1,25 @@
+"""Baselines the paper compares PKA against: TBPoint, first-1B-instruction
+truncation, and NVArchSim-style single-iteration scaling."""
+
+from repro.baselines.first_n import ONE_BILLION, run_first_n_instructions
+from repro.baselines.single_iteration import (
+    iteration_key,
+    run_single_iteration,
+    split_iterations,
+)
+from repro.baselines.tbpoint import (
+    TBPointSelection,
+    select_tbpoint,
+    simulate_tbpoint,
+)
+
+__all__ = [
+    "ONE_BILLION",
+    "TBPointSelection",
+    "iteration_key",
+    "run_first_n_instructions",
+    "run_single_iteration",
+    "select_tbpoint",
+    "simulate_tbpoint",
+    "split_iterations",
+]

@@ -1,0 +1,98 @@
+"""NVArchSim-style single-iteration scaling (the Section-6 comparison).
+
+Villa et al. [HPCA'21] sidestep scaled ML workloads by simulating a single
+training/inference iteration in full and scaling the result by the
+iteration count.  Intuitive, but it requires contextual knowledge of the
+application (where iteration boundaries are) and simulates far more than
+PKA: the paper measures roughly 3x the simulation of PKS and 48x that of
+PKA on ResNet at comparable accuracy.
+
+Iteration boundaries come from the PyProf-style NVTX annotations our
+MLPerf generators attach (``iterN`` / ``batchN`` / ``caseN`` layer tags).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.gpu.kernels import KernelLaunch
+from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
+from repro.sim.simulator import Simulator
+from repro.sim.stats import AppRunResult
+
+__all__ = ["iteration_key", "split_iterations", "run_single_iteration"]
+
+_ITERATION_PATTERN = re.compile(r"^(iter|batch|case)(\d+)")
+
+
+def iteration_key(launch: KernelLaunch) -> str | None:
+    """Extract the iteration tag ("iter3", "batch12"...) from a launch."""
+    layer = launch.nvtx.get("layer", "")
+    match = _ITERATION_PATTERN.match(layer)
+    return match.group(0) if match else None
+
+
+def split_iterations(
+    launches: Sequence[KernelLaunch],
+) -> list[list[KernelLaunch]]:
+    """Group launches into iterations by their NVTX tags (order-preserving).
+
+    Launches with no iteration tag attach to the current iteration (or
+    the first one, for leading untagged kernels).
+    """
+    iterations: list[list[KernelLaunch]] = []
+    current_key: str | None = None
+    for launch in launches:
+        key = iteration_key(launch)
+        if key is not None and key != current_key:
+            iterations.append([])
+            current_key = key
+        if not iterations:
+            iterations.append([])
+        iterations[-1].append(launch)
+    return iterations
+
+
+def run_single_iteration(
+    workload_name: str,
+    launches: Sequence[KernelLaunch],
+    simulator: Simulator,
+    *,
+    iteration_index: int = 1,
+) -> AppRunResult:
+    """Fully simulate one iteration and scale by the iteration count.
+
+    ``iteration_index`` defaults to the *second* iteration so warm-up
+    effects in the first do not pollute the scaled estimate (the
+    practitioners' usual choice).
+    """
+    iterations = split_iterations(launches)
+    if len(iterations) < 2:
+        raise ReproError(
+            f"{workload_name} has no NVTX iteration structure; "
+            "single-iteration scaling needs application knowledge"
+        )
+    index = min(iteration_index, len(iterations) - 1)
+    chosen = iterations[index]
+
+    iteration_cycles = 0.0
+    iteration_insts = 0.0
+    iteration_bytes = 0.0
+    for launch in chosen:
+        result = simulator.run_kernel(launch)
+        iteration_cycles += result.cycles + KERNEL_LAUNCH_OVERHEAD
+        iteration_insts += result.warp_instructions
+        iteration_bytes += result.dram_bytes
+
+    count = len(iterations)
+    return AppRunResult(
+        workload=workload_name,
+        gpu=simulator.gpu,
+        method="single_iteration",
+        total_cycles=iteration_cycles * count,
+        total_instructions=iteration_insts * count,
+        total_dram_bytes=iteration_bytes * count,
+        simulated_cycles=iteration_cycles - KERNEL_LAUNCH_OVERHEAD * len(chosen),
+    )

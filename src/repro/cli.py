@@ -1,0 +1,491 @@
+"""Command-line interface: ``pka <command>``.
+
+Commands
+--------
+``pka list``
+    List the workload corpus (suite, launch count, scale).
+``pka characterize <workload>``
+    Run PKA characterization on one workload and print the selection.
+``pka simulate <workload> [--no-pkp] [--gpu volta|turing|ampere]``
+    Sampled simulation of one workload, with error versus silicon.
+``pka table3`` / ``pka table4 [--suite S]``
+    Regenerate the paper's tables.
+``pka figure <1|4|5|6|7|8|9|10>``
+    Regenerate one figure's series as text.
+``pka compare <workload>``
+    Every applicable method on one workload, side by side.
+``pka inspect <workload> [--micro]``
+    Bottleneck/mix breakdown; ``--micro`` adds warp-level stall reports.
+``pka phases <workload>``
+    Behavioural phase decomposition of the launch sequence.
+``pka project <workload>``
+    Price the Volta selection on every known GPU.
+``pka validate [--suite S]``
+    Check the corpus's structural invariants.
+``pka sweep-k <workload>``
+    PKS's K sweep: projected error per K until the 5% target.
+``pka trace-plan <workload>``
+    The selective-tracing plan implied by the PKS selection.
+``pka report [--output FILE]``
+    Render the whole evaluation as one markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    EvaluationHarness,
+    abs_pct_error,
+    figure1_time_landscape,
+    figure4_group_composition,
+    figure5_ipc_series,
+    figure6_simtime_reduction,
+    figure7_speedups,
+    figure8_errors,
+    figure9_volta_over_turing,
+    figure10_half_sms,
+    format_duration,
+    speedup,
+    table3_pks_examples,
+    table4_rows,
+)
+from repro.gpu import get_gpu
+from repro.workloads import get_workload, iter_workloads
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'workload':30s} {'suite':10s} {'launches':>9s} {'scale':>7s}")
+    for spec in iter_workloads():
+        launches = spec.build()
+        print(
+            f"{spec.name:30s} {spec.suite:10s} {len(launches):9d} "
+            f"{spec.scale:7.0f}"
+        )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    evaluation = harness.evaluation(args.workload)
+    selection = evaluation.selection()
+    if getattr(args, "save", None):
+        from repro.analysis.persistence import save_selection
+
+        path = save_selection(args.save, selection)
+        print(f"selection saved to {path}")
+    print(f"workload:            {selection.workload}")
+    print(f"launches:            {selection.total_launches}")
+    print(f"groups (K):          {selection.pks.k}")
+    print(f"selected kernel ids: {selection.selected_launch_ids}")
+    print(f"group weights:       {tuple(g.weight for g in selection.groups)}")
+    print(f"two-level:           {selection.used_two_level}")
+    if selection.used_two_level:
+        print(f"detailed head:       {selection.detailed_count} kernels")
+        print(
+            f"classifier:          {selection.classifier_name} "
+            f"(holdout accuracy {selection.classifier_accuracy:.2%})"
+        )
+    print(f"profiling cost:      {format_duration(selection.profiling_seconds)}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    evaluation = harness.evaluation(args.workload)
+    gpu = get_gpu(args.gpu)
+    use_pkp = not args.no_pkp
+    run = (
+        evaluation.pka_sim(gpu) if use_pkp else evaluation.pks_sim(gpu)
+    )
+    if run is None:
+        print(f"{args.workload} cannot be simulated on {gpu.name} (see quirks)")
+        return 1
+    truth = evaluation.silicon_on(gpu)
+    print(f"method:              {'PKA (PKS+PKP)' if use_pkp else 'PKS only'}")
+    print(f"GPU:                 {gpu.name}")
+    print(f"projected cycles:    {run.total_cycles:.4g}")
+    print(f"simulated cycles:    {run.simulated_cycles:.4g}")
+    print(f"simulation time:     {format_duration(run.sim_wall_seconds)}")
+    if truth is not None:
+        print(
+            f"cycle error:         "
+            f"{abs_pct_error(run.total_cycles, truth.total_cycles):.2f}%"
+        )
+        full = evaluation.full_sim(gpu)
+        if full is not None:
+            print(
+                f"speedup vs full sim: "
+                f"{speedup(full.simulated_cycles, run.simulated_cycles):.2f}x"
+            )
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.analysis import sweep_architectures
+
+    harness = EvaluationHarness()
+    evaluation = harness.evaluation(args.workload)
+    selection = evaluation.selection()
+    projections = sweep_architectures(selection, pka=harness.pka)
+    scale = evaluation.spec.scale
+    print(f"{args.workload}: projected execution per architecture "
+          f"(Volta-selected kernels, paper-scale x{scale:.0f})")
+    print(f"{'GPU':10s} {'time':>14s} {'DRAM util':>10s}")
+    for projection in projections:
+        print(
+            f"{projection.gpu_name:10s} "
+            f"{format_duration(projection.projected_seconds * scale):>14s} "
+            f"{projection.dram_util_percent:9.1f}%"
+        )
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from repro.analysis.phases import detect_phases
+
+    harness = EvaluationHarness()
+    evaluation = harness.evaluation(args.workload)
+    launches = evaluation.launches("volta")
+    analysis = detect_phases(args.workload, launches)
+    print(f"workload: {args.workload} ({len(launches)} launches)")
+    print(f"phases:   {analysis.n_phases}")
+    for phase in analysis.phases:
+        share = (
+            phase.thread_instructions / analysis.total_thread_instructions
+            if analysis.total_thread_instructions
+            else 0.0
+        )
+        first = launches[phase.start_launch].spec.name
+        print(
+            f"  phase {phase.phase_id}: launches "
+            f"[{phase.start_launch}, {phase.end_launch}) "
+            f"({phase.launches} kernels, {share:.1%} of instructions), "
+            f"starts with {first!r}"
+        )
+    budget = harness.instruction_budget
+    print(
+        f"first-{budget:.0g}-instruction prefix: covers "
+        f"{analysis.coverage_of_prefix(budget):.0%} of phases, "
+        f"phase-mix representativeness "
+        f"{analysis.prefix_representativeness(budget):.2f}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workloads import validate_corpus
+
+    report = validate_corpus(args.suite)
+    print(f"checked {report.workloads_checked} workloads")
+    if report.ok:
+        print("corpus OK: every structural invariant holds")
+        return 0
+    for issue in report.issues:
+        print(f"  {issue.workload}: [{issue.check}] {issue.detail}")
+    return 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis import inspect_workload
+    from repro.workloads import get_workload as _get
+
+    spec = _get(args.workload)
+    harness = EvaluationHarness()
+    profile = inspect_workload(
+        spec.name,
+        harness.evaluation(spec.name).launches("volta"),
+        silicon=harness.silicon(get_gpu("volta")),
+    )
+    print(f"workload:           {profile.workload}")
+    print(f"launches:           {profile.launches} "
+          f"({profile.distinct_kernels} distinct kernels)")
+    print(f"silicon time:       {format_duration(profile.silicon_seconds)}")
+    print(f"grid blocks:        min {profile.grid_stats[0]}, "
+          f"median {profile.grid_stats[1]}, max {profile.grid_stats[2]}")
+    print(f"sub-wave launches:  {profile.sub_wave_fraction:.0%}")
+    print(f"irregular launches: {profile.irregular_fraction:.0%}")
+    print(f"trace footprint:    {profile.trace_bytes / 1e9:.2f} GB")
+    print("cycle share by bottleneck:")
+    for name, share in sorted(
+        profile.bottleneck_cycle_share.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:8s} {share:6.1%}")
+    print("dynamic instruction mix:")
+    for name, share in sorted(profile.mix_share.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:14s} {share:6.1%}")
+    if args.micro:
+        from repro.sim import MicrosimConfig, SMMicrosimulator
+
+        gpu = get_gpu("volta")
+        microsim = SMMicrosimulator(
+            gpu, MicrosimConfig(dram_share=1.0 / gpu.num_sms)
+        )
+        print("\nwarp-level bottleneck reports (distinct kernels):")
+        seen = set()
+        for launch in harness.evaluation(spec.name).launches("volta"):
+            signature = launch.spec.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            print(microsim.bottleneck_report(launch.spec))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    evaluation = harness.evaluation(args.workload)
+    truth = evaluation.silicon("volta")
+    if truth is None:
+        print(f"{args.workload} has no Volta silicon reference")
+        return 1
+    methods = [
+        ("full simulation", evaluation.full_sim()),
+        ("PKS", evaluation.pks_sim()),
+        ("PKA (PKS+PKP)", evaluation.pka_sim()),
+        ("first-1B", evaluation.first_1b()),
+        ("TBPoint", evaluation.tbpoint_sim()),
+    ]
+    full = evaluation.full_sim()
+    print(f"{'method':16s} {'cycle err':>10s} {'sim cost':>12s} {'speedup':>9s}")
+    for label, run in methods:
+        if run is None:
+            print(f"{label:16s} {'*':>10s} {'*':>12s} {'*':>9s}")
+            continue
+        error = abs_pct_error(run.total_cycles, truth.total_cycles)
+        cost = format_duration(run.sim_wall_seconds)
+        ratio = (
+            f"{speedup(full.simulated_cycles, run.simulated_cycles):.2f}x"
+            if full is not None
+            else "-"
+        )
+        print(f"{label:16s} {error:9.1f}% {cost:>12s} {ratio:>9s}")
+    return 0
+
+
+def _cmd_sweep_k(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    evaluation = harness.evaluation(args.workload)
+    selection = evaluation.selection()
+    print(f"K sweep for {args.workload} (target error "
+          f"{harness.pka.config.pks.target_error:.0%}):")
+    for k, error in enumerate(selection.pks.sweep_errors, start=1):
+        marker = " <- chosen" if k == selection.pks.k else ""
+        print(f"  K={k:2d}  projected error {error:7.2%}{marker}")
+    return 0
+
+
+def _cmd_trace_plan(args: argparse.Namespace) -> int:
+    from repro.traces import build_tracing_plan
+
+    harness = EvaluationHarness()
+    evaluation = harness.evaluation(args.workload)
+    plan = build_tracing_plan(evaluation.selection(), evaluation.launches("volta"))
+    scale = evaluation.spec.scale
+    print(f"workload:             {plan.workload}")
+    print(f"kernels to trace:     {plan.selected_count} "
+          f"(ids {plan.selected_launch_ids})")
+    print(f"full trace size:      {plan.full_trace_bytes * scale / 1e9:,.1f} GB "
+          f"(paper-scale)")
+    print(f"selective trace size: {plan.selected_trace_bytes / 1e9:,.3f} GB")
+    print(f"reduction:            {plan.reduction_factor * scale:,.0f}x")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import write_report
+
+    path = write_report(args.output)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_table3(_args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    print(f"{'suite':10s} {'workload':30s} {'selected ids':24s} {'counts'}")
+    for row in table3_pks_examples(harness):
+        ids = ",".join(str(i) for i in row.selected_kernel_ids)
+        counts = ",".join(str(c) for c in row.group_counts)
+        print(f"{row.suite:10s} {row.workload:30s} {ids:24s} {counts}")
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+
+    def fmt(value, unit="") -> str:
+        return "*" if value is None else f"{value:.1f}{unit}"
+
+    print(
+        f"{'workload':28s} {'V err':>6s} {'V SU':>7s} {'T err':>6s} {'A err':>6s} "
+        f"{'SimErr':>7s} {'PKS err':>8s} {'PKS H':>7s} {'PKA err':>8s} {'PKA H':>7s}"
+    )
+    for row in table4_rows(harness, suite=args.suite):
+        print(
+            f"{row.workload:28s} {fmt(row.silicon_error['volta']):>6s} "
+            f"{fmt(row.silicon_speedup['volta'], 'x'):>7s} "
+            f"{fmt(row.silicon_error['turing']):>6s} "
+            f"{fmt(row.silicon_error['ampere']):>6s} "
+            f"{fmt(row.sim_error):>7s} {fmt(row.pks_error):>8s} "
+            f"{fmt(row.pks_sim_hours):>7s} {fmt(row.pka_error):>8s} "
+            f"{fmt(row.pka_sim_hours):>7s}"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    number = args.number
+    if number == 1:
+        for landscape in figure1_time_landscape(harness):
+            print(
+                f"{landscape.workload:30s} silicon={format_duration(landscape.silicon_seconds):>12s} "
+                f"profiler={format_duration(landscape.detailed_profiling_seconds):>12s} "
+                f"simulation={format_duration(landscape.full_simulation_seconds):>14s}"
+            )
+    elif number == 4:
+        for group in figure4_group_composition(harness):
+            names = ", ".join(
+                f"{name}x{count}"
+                for name, count in sorted(group.name_counts.items())
+            )
+            print(f"group {group.group_id} ({group.total_kernels} kernels): {names}")
+    elif number == 5:
+        for workload in ("atax", "bfs65536"):
+            series = figure5_ipc_series(harness, workload)
+            print(
+                f"{workload}: {len(series.cycles)} windows, "
+                f"stops={series.stop_points}"
+            )
+    elif number == 6:
+        for row in figure6_simtime_reduction(harness):
+            pks = "*" if row.pks_hours is None else f"{row.pks_hours:10.3f}"
+            pka = "*" if row.pka_hours is None else f"{row.pka_hours:10.3f}"
+            print(f"{row.workload:30s} full={row.full_hours:14.2f}H pks={pks}H pka={pka}H")
+    elif number in (7, 8):
+        aggregate = figure7_speedups(harness) if number == 7 else figure8_errors(harness)
+        print(f"PKA     speedup geomean {aggregate.pka_speedup_geomean:6.2f}  mean error {aggregate.mean_error('pka'):6.1f}%")
+        print(f"TBPoint speedup geomean {aggregate.tbpoint_speedup_geomean:6.2f}  mean error {aggregate.mean_error('tbpoint'):6.1f}%")
+        print(f"1B      speedup geomean {aggregate.first1b_speedup_geomean:6.2f}  mean error {aggregate.mean_error('first1b'):6.1f}%")
+        print(f"FullSim                          mean error {aggregate.mean_error('full'):6.1f}%")
+    elif number in (9, 10):
+        study = (
+            figure9_volta_over_turing(harness)
+            if number == 9
+            else figure10_half_sms(harness)
+        )
+        for method, value in study.geomeans.items():
+            print(f"{method:10s} geomean speedup {value:.2f}")
+        for method, value in study.mae_wrt_silicon.items():
+            print(f"{method:10s} MAE wrt silicon {value:.2f}")
+    else:
+        print(f"unknown figure {number}; choose 1, 4, 5, 6, 7, 8, 9 or 10")
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pka", description="Principal Kernel Analysis reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the workload corpus")
+
+    characterize = subparsers.add_parser(
+        "characterize", help="run PKA characterization on one workload"
+    )
+    characterize.add_argument("workload")
+    characterize.add_argument(
+        "--save", default=None, help="write the selection to a JSON file"
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="sampled simulation of one workload"
+    )
+    simulate.add_argument("workload")
+    simulate.add_argument("--no-pkp", action="store_true", help="PKS only")
+    simulate.add_argument("--gpu", default="volta")
+
+    subparsers.add_parser("table3", help="regenerate Table 3")
+    table4 = subparsers.add_parser("table4", help="regenerate Table 4")
+    table4.add_argument("--suite", default=None)
+
+    figure = subparsers.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("number", type=int)
+
+    compare = subparsers.add_parser(
+        "compare", help="all methods on one workload, side by side"
+    )
+    compare.add_argument("workload")
+
+    inspect = subparsers.add_parser(
+        "inspect", help="bottleneck/mix breakdown of one workload"
+    )
+    inspect.add_argument("workload")
+    inspect.add_argument(
+        "--micro",
+        action="store_true",
+        help="add warp-level microsimulator reports per distinct kernel",
+    )
+
+    validate = subparsers.add_parser(
+        "validate", help="check the corpus's structural invariants"
+    )
+    validate.add_argument("--suite", default=None)
+
+    phases = subparsers.add_parser(
+        "phases", help="behavioural phase decomposition of one workload"
+    )
+    phases.add_argument("workload")
+
+    project = subparsers.add_parser(
+        "project", help="price a selection on every known GPU"
+    )
+    project.add_argument("workload")
+
+    sweep = subparsers.add_parser("sweep-k", help="show PKS's K sweep")
+    sweep.add_argument("workload")
+
+    trace_plan = subparsers.add_parser(
+        "trace-plan", help="selective-tracing plan for one workload"
+    )
+    trace_plan.add_argument("workload")
+
+    report = subparsers.add_parser(
+        "report", help="render the full evaluation as markdown"
+    )
+    report.add_argument("--output", default="pka_report.md")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "characterize": _cmd_characterize,
+        "simulate": _cmd_simulate,
+        "table3": _cmd_table3,
+        "table4": _cmd_table4,
+        "figure": _cmd_figure,
+        "compare": _cmd_compare,
+        "inspect": _cmd_inspect,
+        "validate": _cmd_validate,
+        "phases": _cmd_phases,
+        "project": _cmd_project,
+        "sweep-k": _cmd_sweep_k,
+        "trace-plan": _cmd_trace_plan,
+        "report": _cmd_report,
+    }
+    # get_workload raises WorkloadError with a clear message for typos.
+    if getattr(args, "workload", None) is not None:
+        get_workload(args.workload)
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's contribution: PKS, PKP, two-level profiling, and PKA."""
+
+from repro.core.config import PKAConfig, PKPConfig, PKSConfig, TwoLevelConfig
+from repro.core.features import FeaturePipeline, profile_feature_matrix
+from repro.core.pka import KernelSelection, PrincipalKernelAnalysis, SelectedGroup
+from repro.core.pkp import (
+    IPCStabilityMonitor,
+    PKPProjection,
+    make_monitor,
+    project_result,
+    run_pkp,
+)
+from repro.core.pks import KernelGroup, PKSResult, run_pks
+from repro.core.two_level import TwoLevelResult, run_two_level
+
+__all__ = [
+    "FeaturePipeline",
+    "IPCStabilityMonitor",
+    "KernelGroup",
+    "KernelSelection",
+    "PKAConfig",
+    "PKPConfig",
+    "PKPProjection",
+    "PKSConfig",
+    "PKSResult",
+    "PrincipalKernelAnalysis",
+    "SelectedGroup",
+    "TwoLevelConfig",
+    "TwoLevelResult",
+    "make_monitor",
+    "profile_feature_matrix",
+    "project_result",
+    "run_pks",
+    "run_pkp",
+    "run_two_level",
+]

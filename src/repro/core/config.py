@@ -1,0 +1,165 @@
+"""Configuration dataclasses for PKS, PKP and the combined PKA pipeline.
+
+The paper stresses that PKA needs exactly two user-facing inputs: the
+desired Principal-Kernel-Selection projection error (5% everywhere in the
+paper) and the Principal-Kernel-Projection stability threshold ``s``
+(0.25 everywhere).  Every other knob here has a paper-faithful default
+and exists for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PKSConfig", "PKPConfig", "TwoLevelConfig", "PKAConfig"]
+
+_REPRESENTATIVE_CHOICES = ("first", "center", "random")
+_CLASSIFIER_CHOICES = ("sgd", "gnb", "mlp", "best")
+
+
+@dataclass(frozen=True)
+class PKSConfig:
+    """Principal Kernel Selection parameters.
+
+    Attributes
+    ----------
+    target_error:
+        The K sweep stops at the smallest K whose projected total-cycle
+        error versus the profiled total falls below this (paper: 5%).
+    k_min / k_max:
+        K-sweep range (paper: "typically from 1 to 20").
+    pca_variance:
+        Fraction of variance the retained principal components must
+        explain.
+    representative:
+        How the principal kernel of each group is chosen: "first"
+        (chronological — the paper's choice), "center" (closest to the
+        cluster centroid) or "random" (shown inconsistent in §3.1).
+    k_policy:
+        How K is chosen from the sweep: "error" (the paper's smallest K
+        whose projected-runtime error beats ``target_error``) or
+        "silhouette" (extension: best feature-geometry silhouette, which
+        needs no cycle measurements at all).
+    seed:
+        RNG seed for k-means restarts and random representative choice.
+    """
+
+    target_error: float = 0.05
+    k_min: int = 1
+    k_max: int = 20
+    pca_variance: float = 0.95
+    representative: str = "first"
+    k_policy: str = "error"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_error < 1.0:
+            raise ConfigurationError("target_error must be in (0, 1)")
+        if self.k_min < 1 or self.k_max < self.k_min:
+            raise ConfigurationError("require 1 <= k_min <= k_max")
+        if self.representative not in _REPRESENTATIVE_CHOICES:
+            raise ConfigurationError(
+                f"representative must be one of {_REPRESENTATIVE_CHOICES}"
+            )
+        if self.k_policy not in ("error", "silhouette"):
+            raise ConfigurationError(
+                "k_policy must be 'error' or 'silhouette'"
+            )
+
+
+@dataclass(frozen=True)
+class PKPConfig:
+    """Principal Kernel Projection parameters.
+
+    Attributes
+    ----------
+    stability_threshold:
+        The ``s`` parameter: the rolling relative standard deviation of
+        IPC below which the signal is quasi-stable (paper: 0.25; the
+        Figure-5 sweep uses 2.5 and 0.025 as well).
+    rolling_window_cycles:
+        Width of the rolling statistics window (paper: 3000 cycles).
+    window_cycles:
+        Sampling granularity of the IPC signal.
+    enforce_wave:
+        Require at least one full wave of thread blocks to finish before
+        declaring stability (dropped automatically for sub-wave grids,
+        per §3.2).
+    consecutive_windows:
+        Number of consecutive sub-threshold rolling windows required —
+        a single window's standard deviation is a noisy estimate, and one
+        lucky dip must not end the simulation.
+    """
+
+    stability_threshold: float = 0.25
+    rolling_window_cycles: float = 3_000.0
+    window_cycles: float = 500.0
+    enforce_wave: bool = True
+    consecutive_windows: int = 3
+
+    def __post_init__(self) -> None:
+        if self.stability_threshold <= 0:
+            raise ConfigurationError("stability_threshold must be positive")
+        if self.window_cycles <= 0:
+            raise ConfigurationError("window_cycles must be positive")
+        if self.rolling_window_cycles < self.window_cycles:
+            raise ConfigurationError(
+                "rolling_window_cycles must be >= window_cycles"
+            )
+        if self.consecutive_windows < 1:
+            raise ConfigurationError("consecutive_windows must be >= 1")
+
+    @property
+    def rolling_samples(self) -> int:
+        """Number of window samples inside one rolling window."""
+        return max(2, int(round(self.rolling_window_cycles / self.window_cycles)))
+
+
+@dataclass(frozen=True)
+class TwoLevelConfig:
+    """Two-level profiling parameters.
+
+    Attributes
+    ----------
+    tractable_profiling_seconds:
+        Detailed profiling beyond this budget triggers two-level mode
+        (paper: one week).
+    detailed_limit:
+        Number of leading kernels profiled in detail when in two-level
+        mode (the paper details 20k of SSD's 5.3M kernels; scaled by the
+        same factor as the synthetic workloads).
+    classifier:
+        Which lightweight->group classifier to use: "sgd", "gnb", "mlp",
+        or "best" (train all three, keep the most accurate — the paper
+        evaluates all three).
+    validation_fraction:
+        Share of the detailed subset held out to score the classifiers.
+    """
+
+    tractable_profiling_seconds: float = 7 * 24 * 3600.0
+    detailed_limit: int = 2_000
+    classifier: str = "best"
+    validation_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.tractable_profiling_seconds <= 0:
+            raise ConfigurationError("tractable_profiling_seconds must be positive")
+        if self.detailed_limit < 2:
+            raise ConfigurationError("detailed_limit must be >= 2")
+        if self.classifier not in _CLASSIFIER_CHOICES:
+            raise ConfigurationError(
+                f"classifier must be one of {_CLASSIFIER_CHOICES}"
+            )
+        if not 0.0 < self.validation_fraction < 1.0:
+            raise ConfigurationError("validation_fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class PKAConfig:
+    """End-to-end Principal Kernel Analysis configuration."""
+
+    pks: PKSConfig = field(default_factory=PKSConfig)
+    pkp: PKPConfig = field(default_factory=PKPConfig)
+    two_level: TwoLevelConfig = field(default_factory=TwoLevelConfig)

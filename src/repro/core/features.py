@@ -1,0 +1,59 @@
+"""Feature pipeline: Table-2 counters -> log -> standardize -> PCA.
+
+PKS clusters kernels in a reduced space: the twelve
+microarchitecture-agnostic counters are log-compressed (counts span ten
+orders of magnitude), standardized per column and projected onto the
+principal components that carry 95% of the variance.  The fitted pipeline
+is reused verbatim by two-level profiling and by the TBPoint baseline so
+all methods cluster in a comparable space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.mlkit import PCA, StandardScaler, log_compress
+from repro.profiling.detailed import DetailedProfile
+
+__all__ = ["FeaturePipeline", "profile_feature_matrix"]
+
+
+def profile_feature_matrix(profiles: Sequence[DetailedProfile]) -> np.ndarray:
+    """Stack the Table-2 counter vectors of the given profiles."""
+    if not profiles:
+        raise ValueError("need at least one detailed profile")
+    return np.stack([profile.feature_vector() for profile in profiles])
+
+
+class FeaturePipeline:
+    """log1p -> StandardScaler -> PCA, with a scikit-learn-style API."""
+
+    def __init__(self, pca_variance: float = 0.95) -> None:
+        self.scaler = StandardScaler()
+        self.pca = PCA(n_components=pca_variance)
+        self._fitted = False
+
+    def fit(self, counters: np.ndarray) -> "FeaturePipeline":
+        compressed = log_compress(counters)
+        standardized = self.scaler.fit_transform(compressed)
+        self.pca.fit(standardized)
+        self._fitted = True
+        return self
+
+    def transform(self, counters: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("FeaturePipeline.transform called before fit")
+        compressed = log_compress(counters)
+        return self.pca.transform(self.scaler.transform(compressed))
+
+    def fit_transform(self, counters: np.ndarray) -> np.ndarray:
+        return self.fit(counters).transform(counters)
+
+    @property
+    def n_components(self) -> int:
+        if not self._fitted:
+            raise NotFittedError("FeaturePipeline.n_components read before fit")
+        return self.pca.n_components_

@@ -1,0 +1,286 @@
+"""Principal Kernel Analysis: the end-to-end pipeline.
+
+``PrincipalKernelAnalysis`` drives the full methodology of the paper:
+
+1. **Characterize** a workload on silicon.  If detailed profiling of the
+   whole (paper-sized) application fits in the tractability budget (one
+   week), every kernel is profiled in detail and PKS runs over all of
+   them.  Otherwise *two-level* profiling kicks in: detailed profiles for
+   the first ``j`` kernels, lightweight traces for the rest, and a
+   classifier transfers the PKS groups onto the lightweight tail.
+   The result is a :class:`KernelSelection`: one representative launch
+   per group plus group weights.
+2. **Simulate** only the representatives — optionally under Principal
+   Kernel Projection, which cuts each representative short once its IPC
+   stabilizes — and scale per-kernel results by the group weights to
+   project whole-application cycles, instructions and DRAM traffic.
+3. **Project on silicon**: the same selection can be priced on any GPU
+   generation's silicon model, which is how the paper evaluates
+   Volta-selected kernels on Turing and Ampere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.config import PKAConfig
+from repro.core.pkp import project_result, run_pkp
+from repro.core.pks import PKSResult, run_pks
+from repro.core.two_level import run_two_level
+from repro.errors import ReproError
+from repro.gpu.kernels import KernelLaunch
+from repro.profiling.detailed import DetailedProfiler
+from repro.profiling.lightweight import LightweightProfiler
+from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
+from repro.sim.silicon import SiliconExecutor
+from repro.sim.simulator import Simulator
+from repro.sim.stats import AppRunResult, KernelRecord
+
+__all__ = ["SelectedGroup", "KernelSelection", "PrincipalKernelAnalysis"]
+
+
+@dataclass(frozen=True)
+class SelectedGroup:
+    """One kernel group as it leaves characterization.
+
+    Carries the representative *launch object* (not just its id) so the
+    selection can be replayed on any simulator or silicon model.
+    """
+
+    group_id: int
+    representative: KernelLaunch
+    weight: int
+
+
+@dataclass(frozen=True)
+class KernelSelection:
+    """The concise program representation PKA produces for one workload.
+
+    ``total_warp_instructions`` is the application's exact dynamic warp
+    instruction count: the simulator's tracer records it for every kernel
+    regardless of sampling, so projected IPC divides exact instructions
+    by projected cycles (cycle error and IPC error coincide, as in the
+    paper's trace-driven setup).
+    """
+
+    workload: str
+    total_launches: int
+    total_warp_instructions: float
+    groups: tuple[SelectedGroup, ...]
+    pks: PKSResult
+    used_two_level: bool
+    detailed_count: int
+    classifier_name: str
+    classifier_accuracy: float
+    profiling_seconds: float
+
+    @property
+    def selected_count(self) -> int:
+        """Number of kernels that must actually be traced/simulated."""
+        return len(self.groups)
+
+    @property
+    def selected_launch_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(g.representative.launch_id for g in self.groups))
+
+    @property
+    def weighted_total(self) -> int:
+        """Total kernels represented (== total_launches when weights add up)."""
+        return int(sum(group.weight for group in self.groups))
+
+
+class PrincipalKernelAnalysis:
+    """The automated PKA methodology (characterize -> select -> project)."""
+
+    def __init__(self, config: PKAConfig | None = None) -> None:
+        self.config = config if config is not None else PKAConfig()
+
+    # ------------------------------------------------------------------
+    # Phase 1: characterization on silicon.
+    # ------------------------------------------------------------------
+
+    def characterize(
+        self,
+        workload_name: str,
+        launches: Sequence[KernelLaunch],
+        silicon: SiliconExecutor,
+        *,
+        scale: float = 1.0,
+    ) -> KernelSelection:
+        """Profile a workload and select its principal kernels.
+
+        ``scale`` is the workload's launch-count downscale factor: the
+        tractability decision is made against the cost of profiling the
+        *paper-sized* application (scale times more kernels).
+        """
+        if not launches:
+            raise ReproError("cannot characterize an empty workload")
+        detailed_profiler = DetailedProfiler(silicon)
+        light_profiler = LightweightProfiler(silicon)
+        by_id = {launch.launch_id: launch for launch in launches}
+
+        full_cost = detailed_profiler.profiling_seconds(launches) * scale
+        budget = self.config.two_level.tractable_profiling_seconds
+
+        if full_cost <= budget:
+            profiles = detailed_profiler.profile(launches)
+            pks = run_pks(profiles, self.config.pks)
+            weights = {group.group_id: group.weight for group in pks.groups}
+            return self._make_selection(
+                workload_name,
+                launches,
+                pks,
+                weights,
+                by_id,
+                used_two_level=False,
+                detailed_count=len(launches),
+                classifier_name="none",
+                classifier_accuracy=1.0,
+                profiling_seconds=full_cost,
+            )
+
+        # Two-level: detailed head, lightweight everything, learned map.
+        head_count = min(self.config.two_level.detailed_limit, len(launches))
+        head = list(launches[:head_count])
+        detailed = detailed_profiler.profile(head)
+        light_all = light_profiler.profile(launches)
+        two_level = run_two_level(
+            detailed,
+            light_all[:head_count],
+            light_all[head_count:],
+            pks_config=self.config.pks,
+            config=self.config.two_level,
+        )
+        profiling_seconds = (
+            detailed_profiler.profiling_seconds(head)
+            + light_profiler.profiling_seconds(launches) * scale
+        )
+        return self._make_selection(
+            workload_name,
+            launches,
+            two_level.pks,
+            two_level.group_weights,
+            by_id,
+            used_two_level=True,
+            detailed_count=head_count,
+            classifier_name=two_level.classifier_name,
+            classifier_accuracy=two_level.classifier_accuracy,
+            profiling_seconds=profiling_seconds,
+        )
+
+    def _make_selection(
+        self,
+        workload_name: str,
+        launches: Sequence[KernelLaunch],
+        pks: PKSResult,
+        weights: dict[int, int],
+        by_id: dict[int, KernelLaunch],
+        **metadata,
+    ) -> KernelSelection:
+        groups = tuple(
+            SelectedGroup(
+                group_id=group.group_id,
+                representative=by_id[group.representative_launch_id],
+                weight=weights.get(group.group_id, group.weight),
+            )
+            for group in pks.groups
+        )
+        return KernelSelection(
+            workload=workload_name,
+            total_launches=len(launches),
+            total_warp_instructions=sum(
+                launch.warp_instructions for launch in launches
+            ),
+            groups=groups,
+            pks=pks,
+            **metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: sampled simulation.
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        selection: KernelSelection,
+        simulator: Simulator,
+        *,
+        use_pkp: bool = True,
+    ) -> AppRunResult:
+        """Simulate only the principal kernels and project the application.
+
+        With ``use_pkp`` (the default, i.e. full PKA) each representative
+        is also cut short at IPC stability; without it this is PKS-only
+        sampled simulation.
+        """
+        total_cycles = KERNEL_LAUNCH_OVERHEAD * selection.total_launches
+        total_bytes = 0.0
+        simulated = 0.0
+        records = []
+        for group in selection.groups:
+            if use_pkp:
+                projection = run_pkp(simulator, group.representative, self.config.pkp)
+            else:
+                projection = project_result(simulator.run_kernel(group.representative))
+            total_cycles += projection.projected_cycles * group.weight
+            total_bytes += projection.projected_dram_bytes * group.weight
+            simulated += projection.simulated_cycles
+            records.append(
+                KernelRecord(
+                    launch_id=group.representative.launch_id,
+                    name=group.representative.spec.name,
+                    cycles=projection.projected_cycles * group.weight,
+                    instructions=projection.projected_instructions * group.weight,
+                    dram_bytes=projection.projected_dram_bytes * group.weight,
+                    simulated_cycles=projection.simulated_cycles,
+                    projected=True,
+                )
+            )
+        return AppRunResult(
+            workload=selection.workload,
+            gpu=simulator.gpu,
+            method="pka" if use_pkp else "pks_sim",
+            total_cycles=total_cycles,
+            # Traces record the exact instruction count of every kernel,
+            # so the app's instruction total is known, not projected.
+            total_instructions=selection.total_warp_instructions,
+            total_dram_bytes=total_bytes,
+            simulated_cycles=simulated,
+            kernel_records=tuple(records),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 3: silicon-side projection (any GPU generation).
+    # ------------------------------------------------------------------
+
+    def project_silicon(
+        self,
+        selection: KernelSelection,
+        silicon: SiliconExecutor,
+    ) -> AppRunResult:
+        """Price the selection on a silicon model (PKS-in-silicon).
+
+        This is how Table 4's Turing/Ampere columns reuse the kernels
+        selected on Volta: run just the representatives on the target
+        silicon and group-scale.  ``simulated_cycles`` holds the silicon
+        cycles actually *executed* (the reduced run's cost).
+        """
+        total_cycles = KERNEL_LAUNCH_OVERHEAD * selection.total_launches
+        total_bytes = 0.0
+        executed = 0.0
+        for group in selection.groups:
+            cycles = silicon.kernel_cycles(group.representative)
+            dram = silicon.kernel_dram_bytes(group.representative)
+            total_cycles += cycles * group.weight
+            total_bytes += dram * group.weight
+            executed += cycles + KERNEL_LAUNCH_OVERHEAD
+        return AppRunResult(
+            workload=selection.workload,
+            gpu=silicon.gpu,
+            method="pks_silicon",
+            total_cycles=total_cycles,
+            total_instructions=selection.total_warp_instructions,
+            total_dram_bytes=total_bytes,
+            simulated_cycles=executed,
+        )

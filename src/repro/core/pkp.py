@@ -1,0 +1,256 @@
+"""Principal Kernel Projection (PKP): intra-kernel reduction.
+
+PKP watches the simulator's windowed IPC signal and declares the kernel
+*quasi-stable* when the rolling relative standard deviation (std/mean
+over the last 3000 cycles) drops below the user's threshold ``s``.  To
+keep contention representative, stability only counts once at least one
+full *wave* of thread blocks — enough to fill every SM at the kernel's
+occupancy — has retired; grids smaller than a wave skip that condition
+(they never exhibit block turnover phases, per §3.2).
+
+Once stable, simulation stops and the kernel's totals are projected
+linearly from the amount of work remaining: with ``f`` of ``g`` blocks
+finished after ``c`` cycles, the projected total is ``c * g / f``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PKPConfig
+from repro.errors import SimulationError
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelLaunch
+from repro.gpu.occupancy import compute_occupancy
+from repro.sim.engine import KernelSimResult, WindowSample
+from repro.sim.simulator import Simulator
+
+__all__ = ["IPCStabilityMonitor", "PKPProjection", "project_result", "run_pkp"]
+
+
+class IPCStabilityMonitor:
+    """Online IPC-stability detector implementing the engine StopMonitor.
+
+    Parameters
+    ----------
+    wave_size:
+        Thread blocks needed to fill the GPU once at this kernel's
+        occupancy.
+    grid_blocks:
+        Total blocks in the launch (sub-wave grids skip the wave rule).
+    config:
+        PKP parameters (threshold ``s``, rolling window width...).
+    """
+
+    def __init__(
+        self,
+        wave_size: int,
+        grid_blocks: int,
+        config: PKPConfig | None = None,
+    ) -> None:
+        if wave_size < 1:
+            raise SimulationError("wave_size must be >= 1")
+        self.config = config if config is not None else PKPConfig()
+        self.wave_size = wave_size
+        self.grid_blocks = grid_blocks
+        self._window: deque[float] = deque(maxlen=self.config.rolling_samples)
+        self._quiet_streak = 0
+        self.stable_at_cycle: float | None = None
+        self.stop_cycle: float | None = None
+
+    @property
+    def wave_rule_active(self) -> bool:
+        """Whether the finished-wave precondition applies to this kernel."""
+        return self.config.enforce_wave and self.grid_blocks >= self.wave_size
+
+    def relative_std(self) -> float | None:
+        """Rolling std/mean of IPC, or None until the window fills."""
+        if len(self._window) < self.config.rolling_samples:
+            return None
+        values = np.asarray(self._window)
+        mean = float(values.mean())
+        if mean <= 0.0:
+            return None
+        return float(values.std() / mean)
+
+    def observe(self, sample: WindowSample) -> bool:
+        """Ingest one window sample; True stops the simulation.
+
+        The paper expresses ``s`` in raw IPC units against signals whose
+        magnitude is tens of IPC; on our normalized (relative) signal the
+        equivalent criterion is ``std/mean < s/10`` — s=0.25 means the
+        rolling IPC varies by under 2.5% of its mean.  Regular kernels
+        cross it right after their first wave; BFS-like kernels with
+        double-digit jitter effectively never do, which is why the paper
+        sees PKP gains concentrated in the regular, long-running apps.
+        """
+        self._window.append(sample.ipc)
+        spread = self.relative_std()
+        if spread is None or spread >= self.config.stability_threshold / 10.0:
+            self._quiet_streak = 0
+            return False
+        self._quiet_streak += 1
+        if self._quiet_streak < self.config.consecutive_windows:
+            return False
+        if self.stable_at_cycle is None:
+            self.stable_at_cycle = sample.cycle
+        if self.wave_rule_active and sample.blocks_finished < self.wave_size:
+            # Quasi-stable, but the first wave has not fully turned over
+            # yet; keep simulating until it has.
+            return False
+        self.stop_cycle = sample.cycle
+        return True
+
+
+@dataclass(frozen=True)
+class PKPProjection:
+    """A kernel's totals after Principal Kernel Projection.
+
+    When the monitor never fired (the kernel ran to completion) the
+    projected values equal the simulated ones and ``stopped_early`` is
+    False.
+
+    ``relative_std_at_stop`` is the rolling relative standard deviation
+    the monitor observed when it fired (None for completed runs); it
+    feeds the projection's confidence interval.
+    """
+
+    result: KernelSimResult
+    projected_cycles: float
+    projected_instructions: float
+    projected_dram_bytes: float
+    stopped_early: bool
+    relative_std_at_stop: float | None = None
+
+    def confidence_interval(
+        self, z_score: float = 1.96
+    ) -> tuple[float, float]:
+        """Cycle bounds implied by the residual IPC variability at stop.
+
+        The linear projection extends the observed rate over the
+        remaining work; the rolling relative standard deviation bounds
+        how far the true rate may sit from the observed one, so the
+        interval widens with both the residual variability and the
+        unsimulated fraction.  Completed runs return a degenerate
+        interval.
+        """
+        if not self.stopped_early or self.relative_std_at_stop is None:
+            return (self.projected_cycles, self.projected_cycles)
+        remaining_fraction = 1.0 - (
+            self.result.cycles / self.projected_cycles
+            if self.projected_cycles > 0
+            else 0.0
+        )
+        margin = (
+            z_score
+            * self.relative_std_at_stop
+            * remaining_fraction
+            * self.projected_cycles
+        )
+        return (
+            max(self.result.cycles, self.projected_cycles - margin),
+            self.projected_cycles + margin,
+        )
+
+    @property
+    def simulated_cycles(self) -> float:
+        """Simulation cost actually paid for this kernel."""
+        return self.result.cycles
+
+    @property
+    def speedup(self) -> float:
+        """Projected cycles over simulated cycles (intra-kernel speedup)."""
+        if self.result.cycles <= 0:
+            return 1.0
+        return self.projected_cycles / self.result.cycles
+
+    @property
+    def projected_ipc(self) -> float:
+        if self.projected_cycles <= 0:
+            return 0.0
+        return self.projected_instructions / self.projected_cycles
+
+    @property
+    def projected_dram_util_fraction(self) -> float:
+        """Projected DRAM bytes per cycle (divide by peak for percent)."""
+        if self.projected_cycles <= 0:
+            return 0.0
+        return self.projected_dram_bytes / self.projected_cycles
+
+
+def project_result(
+    result: KernelSimResult, relative_std_at_stop: float | None = None
+) -> PKPProjection:
+    """Project a (possibly truncated) kernel run to completion.
+
+    Multi-wave kernels scale linearly by the unfinished thread blocks —
+    the paper's occupancy-based projection.  Sub-wave kernels (which the
+    monitor may stop before any block retires) scale by the remaining
+    warp instructions instead, since every block is already resident and
+    progressing.
+    """
+    if not result.stopped_early:
+        return PKPProjection(
+            result=result,
+            projected_cycles=result.cycles,
+            projected_instructions=result.warp_instructions,
+            projected_dram_bytes=result.dram_bytes,
+            stopped_early=False,
+        )
+    multi_wave = result.grid_blocks > result.perf.occupancy.wave_size
+    if multi_wave and result.blocks_finished > 0:
+        scale = result.grid_blocks / result.blocks_finished
+    else:
+        # Sub-wave: every block is already resident and progressing in
+        # parallel, so block counts misrepresent progress — scale by the
+        # remaining warp instructions instead.
+        total_insts = result.perf.warp_insts_per_block * result.grid_blocks
+        scale = (
+            total_insts / result.warp_instructions
+            if result.warp_instructions > 0
+            else 1.0
+        )
+    return PKPProjection(
+        result=result,
+        projected_cycles=result.cycles * scale,
+        projected_instructions=result.warp_instructions * scale,
+        projected_dram_bytes=result.dram_bytes * scale,
+        stopped_early=True,
+        relative_std_at_stop=relative_std_at_stop,
+    )
+
+
+def run_pkp(
+    simulator: Simulator,
+    launch: KernelLaunch,
+    config: PKPConfig | None = None,
+    *,
+    collect_series: bool = False,
+) -> PKPProjection:
+    """Simulate one launch under PKP and project its totals."""
+    config = config if config is not None else PKPConfig()
+    monitor = make_monitor(launch, simulator.gpu, config)
+    result = simulator.run_kernel(
+        launch,
+        monitor=monitor,
+        collect_series=collect_series,
+        window_cycles=config.window_cycles,
+    )
+    return project_result(result, relative_std_at_stop=monitor.relative_std())
+
+
+def make_monitor(
+    launch: KernelLaunch,
+    gpu: GPUConfig,
+    config: PKPConfig | None = None,
+) -> IPCStabilityMonitor:
+    """Build a stability monitor sized to the launch's occupancy wave."""
+    occupancy = compute_occupancy(launch.spec, gpu)
+    return IPCStabilityMonitor(
+        wave_size=occupancy.wave_size,
+        grid_blocks=launch.grid_blocks,
+        config=config,
+    )

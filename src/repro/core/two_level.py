@@ -1,0 +1,185 @@
+"""Two-level profiling: detailed head, lightweight tail, learned mapping.
+
+For workloads whose detailed profiling would take over a week, PKA
+profiles only the first ``j`` kernels in detail, runs PKS on that subset,
+and traces the remaining kernels with the lightweight profiler (name,
+grid dims, PyProf annotations).  Three classifiers — SGD logistic
+regression, Gaussian Naive Bayes and an MLP — are trained to map
+lightweight records onto the detailed-phase groups; the mapping fixes the
+group *weights* used to project the whole application.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PKSConfig, TwoLevelConfig
+from repro.core.pks import PKSResult, run_pks
+from repro.errors import ReproError
+from repro.mlkit import GaussianNB, MLPClassifier, SGDClassifier, StandardScaler
+from repro.profiling.detailed import DetailedProfile
+from repro.profiling.lightweight import LightweightProfile, light_feature_matrix
+
+__all__ = ["TwoLevelResult", "run_two_level"]
+
+
+@dataclass(frozen=True)
+class TwoLevelResult:
+    """Outcome of two-level profiling.
+
+    Attributes
+    ----------
+    pks:
+        The PKS result computed on the detailed head.
+    group_weights:
+        Per-group kernel counts over the *whole* application (detailed
+        members counted exactly, lightweight members by classification).
+    classifier_name / classifier_accuracy:
+        Which of the three models won and its held-out accuracy on the
+        detailed head.
+    detailed_count / lightweight_count:
+        How many kernels were profiled at each level.
+    """
+
+    pks: PKSResult
+    group_weights: dict[int, int]
+    classifier_name: str
+    classifier_accuracy: float
+    detailed_count: int
+    lightweight_count: int
+
+    def project_total(self, representative_values: dict[int, float]) -> float:
+        """Group-weighted total using the *two-level* weights."""
+        total = 0.0
+        by_group = {group.group_id: group for group in self.pks.groups}
+        for group_id, weight in self.group_weights.items():
+            representative = by_group[group_id].representative_launch_id
+            try:
+                value = representative_values[representative]
+            except KeyError as exc:
+                raise ReproError(
+                    f"missing measurement for representative launch {representative}"
+                ) from exc
+            total += value * weight
+        return total
+
+    @property
+    def total_kernels(self) -> int:
+        return int(sum(self.group_weights.values()))
+
+
+_CLASSIFIER_FACTORIES = {
+    "sgd": lambda: SGDClassifier(epochs=30),
+    "gnb": lambda: GaussianNB(),
+    "mlp": lambda: MLPClassifier(epochs=40, hidden_size=24),
+}
+
+
+def run_two_level(
+    detailed_profiles: Sequence[DetailedProfile],
+    lightweight_head: Sequence[LightweightProfile],
+    lightweight_tail: Sequence[LightweightProfile],
+    *,
+    pks_config: PKSConfig | None = None,
+    config: TwoLevelConfig | None = None,
+) -> TwoLevelResult:
+    """Run two-level profiling.
+
+    Parameters
+    ----------
+    detailed_profiles:
+        Detailed profiles of the first ``j`` kernels (chronological).
+    lightweight_head:
+        Lightweight records of the *same* first ``j`` kernels — the
+        classifier's labelled training data.
+    lightweight_tail:
+        Lightweight records of the remaining kernels to be mapped.
+    """
+    config = config if config is not None else TwoLevelConfig()
+    if len(detailed_profiles) != len(lightweight_head):
+        raise ReproError(
+            "detailed head and lightweight head must describe the same kernels"
+        )
+
+    pks = run_pks(detailed_profiles, pks_config)
+    labels = pks.labels
+
+    weights: dict[int, int] = {group.group_id: 0 for group in pks.groups}
+    for label in labels:
+        weights[int(label)] += 1
+
+    if not lightweight_tail:
+        return TwoLevelResult(
+            pks=pks,
+            group_weights=weights,
+            classifier_name="none",
+            classifier_accuracy=1.0,
+            detailed_count=len(detailed_profiles),
+            lightweight_count=0,
+        )
+
+    features_head = light_feature_matrix(lightweight_head)
+    features_tail = light_feature_matrix(lightweight_tail)
+    scaler = StandardScaler()
+    features_head = scaler.fit_transform(features_head)
+    features_tail = scaler.transform(features_tail)
+
+    name, accuracy, model = _select_classifier(features_head, labels, config)
+    predictions = model.predict(features_tail)
+    for label in predictions:
+        weights[int(label)] = weights.get(int(label), 0) + 1
+
+    return TwoLevelResult(
+        pks=pks,
+        group_weights=weights,
+        classifier_name=name,
+        classifier_accuracy=accuracy,
+        detailed_count=len(detailed_profiles),
+        lightweight_count=len(lightweight_tail),
+    )
+
+
+def _select_classifier(
+    features: np.ndarray,
+    labels: np.ndarray,
+    config: TwoLevelConfig,
+):
+    """Train the configured classifier(s); return (name, accuracy, model).
+
+    With ``classifier="best"`` all three models compete on a held-out
+    slice of the detailed head, then the winner is refit on everything.
+    """
+    wanted = (
+        list(_CLASSIFIER_FACTORIES)
+        if config.classifier == "best"
+        else [config.classifier]
+    )
+    n_samples = len(labels)
+    # Deterministic split: every k-th sample held out.
+    stride = max(2, int(round(1.0 / config.validation_fraction)))
+    holdout_mask = np.zeros(n_samples, dtype=bool)
+    holdout_mask[::stride] = True
+    # Guard: training split must retain every class, else fall back to
+    # fitting on everything and scoring in-sample.
+    train_labels = labels[~holdout_mask]
+    degenerate_split = len(np.unique(train_labels)) < len(np.unique(labels))
+
+    best_name = wanted[0]
+    best_accuracy = -1.0
+    for name in wanted:
+        model = _CLASSIFIER_FACTORIES[name]()
+        if degenerate_split:
+            model.fit(features, labels)
+            accuracy = model.score(features, labels)
+        else:
+            model.fit(features[~holdout_mask], labels[~holdout_mask])
+            accuracy = model.score(features[holdout_mask], labels[holdout_mask])
+        if accuracy > best_accuracy:
+            best_name, best_accuracy = name, accuracy
+
+    final_model = _CLASSIFIER_FACTORIES[best_name]()
+    final_model.fit(features, labels)
+    return best_name, float(best_accuracy), final_model

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """An estimator was used before its ``fit`` method was called."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object holds an invalid combination of values."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is malformed or references unknown data."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state."""
+
+
+class ProfilingError(ReproError):
+    """A profiler was asked for data it cannot provide."""

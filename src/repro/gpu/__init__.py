@@ -1,0 +1,32 @@
+"""GPU hardware model: architectures, kernel descriptions and occupancy."""
+
+from repro.gpu.architectures import (
+    ALL_GPUS,
+    AMPERE_A100,
+    AMPERE_RTX3070,
+    GENERATIONS,
+    GPUConfig,
+    TURING_RTX2060,
+    VOLTA_V100,
+    get_gpu,
+    volta_v100_half_sms,
+)
+from repro.gpu.kernels import InstructionMix, KernelLaunch, KernelSpec
+from repro.gpu.occupancy import Occupancy, compute_occupancy
+
+__all__ = [
+    "ALL_GPUS",
+    "AMPERE_A100",
+    "AMPERE_RTX3070",
+    "GENERATIONS",
+    "GPUConfig",
+    "InstructionMix",
+    "KernelLaunch",
+    "KernelSpec",
+    "Occupancy",
+    "TURING_RTX2060",
+    "VOLTA_V100",
+    "compute_occupancy",
+    "get_gpu",
+    "volta_v100_half_sms",
+]

@@ -1,0 +1,82 @@
+"""CUDA occupancy calculation.
+
+Principal Kernel Projection's "wave" constraint — stability may only be
+declared after enough thread blocks have finished to fill the GPU once —
+requires knowing how many blocks of a given kernel are simultaneously
+resident.  This module reproduces the standard CUDA occupancy calculation
+from the four per-SM limits: thread slots, block slots, registers and
+shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelSpec
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel on one GPU.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Concurrent thread blocks one SM can host.
+    wave_size:
+        Blocks needed to fill the whole GPU once (PKP's "wave").
+    limiting_resource:
+        Which per-SM limit bound the residency ("threads", "blocks",
+        "registers" or "shared_mem").
+    occupancy_fraction:
+        Resident warps over the SM's warp capacity, the familiar
+        "achieved occupancy" metric.
+    """
+
+    blocks_per_sm: int
+    wave_size: int
+    limiting_resource: str
+    occupancy_fraction: float
+
+
+def compute_occupancy(spec: KernelSpec, gpu: GPUConfig) -> Occupancy:
+    """Compute how many blocks of ``spec`` fit per SM of ``gpu``.
+
+    Follows the CUDA occupancy calculator: the residency is the minimum
+    over the four per-SM resource limits, floored at one block (a kernel
+    that oversubscribes an SM still runs, serially).
+    """
+    if spec.threads_per_block > gpu.max_threads_per_sm:
+        raise ConfigurationError(
+            f"kernel {spec.name!r} uses {spec.threads_per_block} threads per "
+            f"block but {gpu.name} SMs hold at most {gpu.max_threads_per_sm}"
+        )
+
+    limits = {
+        "threads": gpu.max_threads_per_sm // spec.threads_per_block,
+        "blocks": gpu.max_blocks_per_sm,
+        "registers": gpu.registers_per_sm
+        // (spec.regs_per_thread * spec.threads_per_block),
+        "shared_mem": (
+            gpu.shared_mem_per_sm // spec.shared_mem_per_block
+            if spec.shared_mem_per_block > 0
+            else gpu.max_blocks_per_sm
+        ),
+    }
+    limiting_resource = min(limits, key=limits.get)  # type: ignore[arg-type]
+    blocks_per_sm = max(1, limits[limiting_resource])
+
+    warps_per_block = -(-spec.threads_per_block // gpu.warp_size)
+    warp_capacity = gpu.max_threads_per_sm // gpu.warp_size
+    fraction = min(1.0, blocks_per_sm * warps_per_block / warp_capacity)
+
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        wave_size=blocks_per_sm * gpu.num_sms,
+        limiting_resource=limiting_resource,
+        occupancy_fraction=fraction,
+    )

@@ -1,0 +1,39 @@
+"""A small, numpy-only machine-learning toolkit.
+
+Implements exactly the estimators Principal Kernel Analysis needs — PCA,
+k-means, hierarchical clustering (for the TBPoint baseline), and the three
+two-level-profiling classifiers — with a scikit-learn-flavoured
+``fit``/``predict`` API.
+"""
+
+from repro.mlkit.cluster_quality import davies_bouldin_score, silhouette_score
+from repro.mlkit.hierarchical import (
+    AgglomerativeClustering,
+    ClusteringCapacityError,
+    MergeTree,
+    build_merge_tree,
+)
+from repro.mlkit.kmeans import KMeans
+from repro.mlkit.minibatch_kmeans import MiniBatchKMeans
+from repro.mlkit.mlp import MLPClassifier
+from repro.mlkit.naive_bayes import GaussianNB
+from repro.mlkit.pca import PCA
+from repro.mlkit.preprocessing import StandardScaler, log_compress
+from repro.mlkit.sgd import SGDClassifier
+
+__all__ = [
+    "AgglomerativeClustering",
+    "ClusteringCapacityError",
+    "GaussianNB",
+    "KMeans",
+    "MLPClassifier",
+    "MergeTree",
+    "MiniBatchKMeans",
+    "build_merge_tree",
+    "PCA",
+    "SGDClassifier",
+    "StandardScaler",
+    "davies_bouldin_score",
+    "log_compress",
+    "silhouette_score",
+]

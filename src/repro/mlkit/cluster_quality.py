@@ -1,0 +1,103 @@
+"""Internal cluster-quality indices: silhouette and Davies-Bouldin.
+
+PKS chooses K by projected-runtime error, which needs the profiled cycle
+counts.  A natural extension (and a useful diagnostic) is choosing K from
+the feature geometry alone — these two classic indices support that
+``k_policy="silhouette"`` extension in :mod:`repro.core.pks` and the
+corresponding ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["silhouette_score", "davies_bouldin_score"]
+
+
+def _validate(points: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2:
+        raise ValueError("expected a 2-D point matrix")
+    if labels.shape[0] != points.shape[0]:
+        raise ValueError("points and labels disagree on sample count")
+    return points, labels
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points, in [-1, 1].
+
+    For each point: ``(b - a) / max(a, b)`` where ``a`` is the mean
+    distance to its own cluster and ``b`` the smallest mean distance to
+    any other cluster.  Single-cluster labelings score 0 by convention
+    (there is no "other" cluster to contrast against).
+    """
+    points, labels = _validate(points, labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return 0.0
+
+    # Pairwise distances once; clusters index into it.
+    sq_norms = np.sum(points**2, axis=1)
+    distances = np.sqrt(
+        np.maximum(
+            sq_norms[:, None] - 2.0 * (points @ points.T) + sq_norms[None, :],
+            0.0,
+        )
+    )
+
+    members = {label: np.flatnonzero(labels == label) for label in unique}
+    scores = np.zeros(points.shape[0])
+    for index in range(points.shape[0]):
+        own = members[labels[index]]
+        if len(own) <= 1:
+            scores[index] = 0.0  # singleton convention
+            continue
+        a = distances[index, own].sum() / (len(own) - 1)
+        b = min(
+            distances[index, members[other]].mean()
+            for other in unique
+            if other != labels[index]
+        )
+        scores[index] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def davies_bouldin_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better; 0 is ideal).
+
+    Mean over clusters of the worst ratio of within-cluster scatter sums
+    to centroid separation.  Single-cluster labelings score 0.
+    """
+    points, labels = _validate(points, labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return 0.0
+
+    centroids = np.stack(
+        [points[labels == label].mean(axis=0) for label in unique]
+    )
+    scatters = np.array(
+        [
+            np.linalg.norm(points[labels == label] - centroid, axis=1).mean()
+            for label, centroid in zip(unique, centroids)
+        ]
+    )
+    separation = np.sqrt(
+        np.maximum(
+            np.sum(centroids**2, axis=1)[:, None]
+            - 2.0 * (centroids @ centroids.T)
+            + np.sum(centroids**2, axis=1)[None, :],
+            0.0,
+        )
+    )
+    n = len(unique)
+    worst_ratios = np.zeros(n)
+    for i in range(n):
+        ratios = [
+            (scatters[i] + scatters[j]) / separation[i, j]
+            for j in range(n)
+            if j != i and separation[i, j] > 0
+        ]
+        worst_ratios[i] = max(ratios) if ratios else 0.0
+    return float(worst_ratios.mean())

@@ -1,0 +1,161 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+K-means is the clustering workhorse of Principal Kernel Selection: it
+scales to the millions of kernel instances found in MLPerf workloads where
+hierarchical clustering (used by TBPoint) runs out of memory, and its
+single ``k`` parameter is directly interpretable as "number of kernel
+groups".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """K-means clustering with deterministic, seeded k-means++ init.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of groups ``k``.
+    n_init:
+        Independent restarts; the run with the lowest inertia wins.
+    max_iter:
+        Lloyd iteration budget per restart.
+    tol:
+        Relative centroid-movement tolerance for convergence.
+    seed:
+        Seed for the restart RNG; fixed by default so PKS is reproducible.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 4,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.n_iter_: int = 0
+
+    def fit(self, points: np.ndarray) -> "KMeans":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("KMeans expects a 2-D matrix")
+        n_samples = points.shape[0]
+        if n_samples < self.n_clusters:
+            raise ValueError(
+                f"n_samples={n_samples} is smaller than n_clusters={self.n_clusters}"
+            )
+
+        rng = np.random.default_rng(self.seed)
+        best_inertia = np.inf
+        for _ in range(self.n_init):
+            centers, labels, inertia, n_iter = self._single_run(points, rng)
+            if inertia < best_inertia:
+                best_inertia = inertia
+                self.cluster_centers_ = centers
+                self.labels_ = labels
+                self.inertia_ = float(inertia)
+                self.n_iter_ = n_iter
+        return self
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        self.fit(points)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        points = np.asarray(points, dtype=np.float64)
+        return _nearest_center(points, self.cluster_centers_)[0]
+
+    def _single_run(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        centers = self._kmeans_plus_plus(points, rng)
+        labels = np.zeros(points.shape[0], dtype=np.intp)
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            labels, distances = _nearest_center(points, centers)
+            new_centers = centers.copy()
+            for cluster in range(self.n_clusters):
+                members = points[labels == cluster]
+                if len(members) > 0:
+                    new_centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point furthest from
+                    # its assigned centre, the standard fix for collapse.
+                    new_centers[cluster] = points[int(np.argmax(distances))]
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            scale = float(np.linalg.norm(centers)) or 1.0
+            if shift / scale <= self.tol:
+                break
+        labels, distances = _nearest_center(points, centers)
+        inertia = float(np.sum(distances))
+        return centers, labels, inertia, n_iter
+
+    def _kmeans_plus_plus(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n_samples = points.shape[0]
+        centers = np.empty((self.n_clusters, points.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n_samples))
+        centers[0] = points[first]
+        closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+        for i in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0.0:
+                # All remaining points coincide with an existing centre.
+                centers[i:] = centers[0]
+                break
+            probabilities = closest_sq / total
+            choice = int(rng.choice(n_samples, p=probabilities))
+            centers[i] = points[choice]
+            new_sq = np.sum((points - centers[i]) ** 2, axis=1)
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return centers
+
+
+def _nearest_center(
+    points: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (labels, squared distance to the nearest centre) per point.
+
+    Chunked so a million-kernel feature matrix never materializes the full
+    n_samples x n_clusters distance matrix at once when k is large.
+    """
+    n_samples = points.shape[0]
+    labels = np.empty(n_samples, dtype=np.intp)
+    best_sq = np.empty(n_samples, dtype=np.float64)
+    chunk = max(1, min(n_samples, 262_144 // max(1, centers.shape[0])))
+    centers_sq = np.sum(centers**2, axis=1)
+    for start in range(0, n_samples, chunk):
+        stop = min(start + chunk, n_samples)
+        block = points[start:stop]
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2
+        cross = block @ centers.T
+        dist_sq = np.sum(block**2, axis=1)[:, None] - 2.0 * cross + centers_sq[None, :]
+        np.maximum(dist_sq, 0.0, out=dist_sq)
+        labels[start:stop] = np.argmin(dist_sq, axis=1)
+        best_sq[start:stop] = dist_sq[np.arange(stop - start), labels[start:stop]]
+    return labels, best_sq

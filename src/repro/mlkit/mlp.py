@@ -1,0 +1,152 @@
+"""Multilayer perceptron classifier (one hidden layer, ReLU, softmax).
+
+The third of PKA's two-level-profiling classifiers.  Trained with Adam on
+cross-entropy loss; sized for the small tabular feature vectors produced by
+lightweight profiling (a handful of columns), not for deep learning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier:
+    """Softmax MLP with a single ReLU hidden layer, trained with Adam.
+
+    Parameters
+    ----------
+    hidden_size:
+        Width of the hidden layer.
+    learning_rate:
+        Adam step size.
+    epochs:
+        Passes over the training set.
+    batch_size:
+        Minibatch size.
+    alpha:
+        L2 regularization strength on the weight matrices.
+    seed:
+        Initialization/shuffling seed.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        learning_rate: float = 1e-2,
+        epochs: int = 60,
+        batch_size: int = 64,
+        alpha: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self._params: dict[str, np.ndarray] | None = None
+        self.loss_curve_: list[float] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n_samples, n_features = features.shape
+        n_classes = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+
+        def he_init(fan_in: int, shape: tuple[int, ...]) -> np.ndarray:
+            return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+        params = {
+            "w1": he_init(n_features, (n_features, self.hidden_size)),
+            "b1": np.zeros(self.hidden_size),
+            "w2": he_init(self.hidden_size, (self.hidden_size, n_classes)),
+            "b2": np.zeros(n_classes),
+        }
+        moments = {k: np.zeros_like(v) for k, v in params.items()}
+        velocities = {k: np.zeros_like(v) for k, v in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_curve_ = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n_samples, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                x = features[batch]
+                y = encoded[batch]
+                grads, loss = self._backward(params, x, y)
+                epoch_loss += loss
+                n_batches += 1
+                step += 1
+                for key, grad in grads.items():
+                    moments[key] = beta1 * moments[key] + (1 - beta1) * grad
+                    velocities[key] = beta2 * velocities[key] + (1 - beta2) * grad**2
+                    m_hat = moments[key] / (1 - beta1**step)
+                    v_hat = velocities[key] / (1 - beta2**step)
+                    params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            self.loss_curve_.append(epoch_loss / max(n_batches, 1))
+        self._params = params
+        return self
+
+    def _backward(
+        self, params: dict[str, np.ndarray], x: np.ndarray, y: np.ndarray
+    ) -> tuple[dict[str, np.ndarray], float]:
+        n = x.shape[0]
+        hidden_pre = x @ params["w1"] + params["b1"]
+        hidden = np.maximum(hidden_pre, 0.0)
+        logits = hidden @ params["w2"] + params["b2"]
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        loss = float(-np.log(probs[np.arange(n), y] + 1e-12).mean())
+
+        delta_out = probs
+        delta_out[np.arange(n), y] -= 1.0
+        delta_out /= n
+        grads = {
+            "w2": hidden.T @ delta_out + self.alpha * params["w2"],
+            "b2": delta_out.sum(axis=0),
+        }
+        delta_hidden = (delta_out @ params["w2"].T) * (hidden_pre > 0)
+        grads["w1"] = x.T @ delta_hidden + self.alpha * params["w1"]
+        grads["b1"] = delta_hidden.sum(axis=0)
+        return grads, loss
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise NotFittedError("MLPClassifier used before fit")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._params["w1"].shape[0]:
+            raise ValueError("feature matrix shape does not match the fitted model")
+        hidden = np.maximum(features @ self._params["w1"] + self._params["b1"], 0.0)
+        logits = hidden @ self._params["w2"] + self._params["b2"]
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(features)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean accuracy on the given data."""
+        return float(np.mean(self.predict(features) == np.asarray(labels)))

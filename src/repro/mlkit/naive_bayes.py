@@ -1,0 +1,90 @@
+"""Gaussian Naive Bayes classifier.
+
+One of the three classifiers PKA uses in its two-level profiling phase to
+map lightly-profiled kernels (name hash, grid/block dimensions, tensor
+dims) onto the groups discovered by detailed profiling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB:
+    """Per-class independent Gaussian likelihoods with smoothed variances.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every per-class
+        variance, preventing degenerate zero-variance likelihoods.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be >= 0")
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None  # per-class feature means
+        self.var_: np.ndarray | None = None  # per-class feature variances
+        self.class_log_prior_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GaussianNB":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+
+        self.classes_ = np.unique(labels)
+        n_classes = len(self.classes_)
+        n_features = features.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        priors = np.zeros(n_classes)
+        epsilon = self.var_smoothing * max(float(features.var(axis=0).max()), 1e-12)
+        for idx, cls in enumerate(self.classes_):
+            members = features[labels == cls]
+            self.theta_[idx] = members.mean(axis=0)
+            self.var_[idx] = members.var(axis=0) + epsilon
+            priors[idx] = len(members) / features.shape[0]
+        self.class_log_prior_ = np.log(priors)
+        return self
+
+    def _joint_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        if self.theta_ is None or self.var_ is None or self.class_log_prior_ is None:
+            raise NotFittedError("GaussianNB used before fit")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.theta_.shape[1]:
+            raise ValueError("feature matrix shape does not match the fitted model")
+        # log N(x; mu, var) summed over independent features, per class.
+        log_lik = np.empty((features.shape[0], self.theta_.shape[0]))
+        for idx in range(self.theta_.shape[0]):
+            mean = self.theta_[idx]
+            var = self.var_[idx]
+            log_lik[:, idx] = -0.5 * np.sum(
+                np.log(2.0 * np.pi * var) + (features - mean) ** 2 / var, axis=1
+            )
+        return log_lik + self.class_log_prior_[None, :]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        joint = self._joint_log_likelihood(features)
+        assert self.classes_ is not None  # guaranteed by _joint_log_likelihood
+        return self.classes_[np.argmax(joint, axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        joint = self._joint_log_likelihood(features)
+        joint -= joint.max(axis=1, keepdims=True)
+        probs = np.exp(joint)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean accuracy on the given data."""
+        predictions = self.predict(features)
+        return float(np.mean(predictions == np.asarray(labels)))

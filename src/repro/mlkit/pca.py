@@ -1,0 +1,101 @@
+"""Principal Component Analysis via singular value decomposition.
+
+PKS uses PCA to collapse the 12 microarchitecture-agnostic counters of
+Table 2 into a handful of dimensions before k-means clustering, avoiding
+the curse of dimensionality and making the grouping explainable (the
+principal dimensions carry the most variance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Linear dimensionality reduction keeping the top principal components.
+
+    Parameters
+    ----------
+    n_components:
+        Either an integer number of components to keep, or a float in
+        (0, 1) interpreted as the minimum fraction of total variance the
+        retained components must explain (the paper keeps "a more
+        manageable number" of dimensions; we default to 95% variance).
+    """
+
+    def __init__(self, n_components: int | float = 0.95) -> None:
+        if isinstance(n_components, float):
+            if not 0.0 < n_components <= 1.0:
+                raise ValueError("fractional n_components must be in (0, 1]")
+        elif isinstance(n_components, int):
+            if n_components < 1:
+                raise ValueError("integer n_components must be >= 1")
+        else:
+            raise TypeError("n_components must be an int or a float")
+        self.n_components = n_components
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+
+    @property
+    def n_components_(self) -> int:
+        """Number of components actually retained after fitting."""
+        if self.components_ is None:
+            raise NotFittedError("PCA.n_components_ read before fit")
+        return self.components_.shape[0]
+
+    def fit(self, features: np.ndarray) -> "PCA":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("PCA expects a 2-D matrix")
+        n_samples, n_features = features.shape
+        if n_samples < 1:
+            raise ValueError("PCA requires at least one sample")
+
+        self.mean_ = features.mean(axis=0)
+        centered = features - self.mean_
+        # Economy SVD: centered = U @ diag(S) @ Vt; rows of Vt are components.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        denom = max(n_samples - 1, 1)
+        explained = (singular_values**2) / denom
+        total = explained.sum()
+        ratio = explained / total if total > 0 else np.zeros_like(explained)
+
+        n_keep = self._resolve_component_count(ratio, n_features)
+        self.components_ = vt[:n_keep]
+        self.explained_variance_ = explained[:n_keep]
+        self.explained_variance_ratio_ = ratio[:n_keep]
+        return self
+
+    def _resolve_component_count(self, ratio: np.ndarray, n_features: int) -> int:
+        if isinstance(self.n_components, int):
+            return min(self.n_components, len(ratio))
+        if ratio.sum() == 0.0:
+            # Degenerate all-identical input: keep a single component.
+            return 1
+        cumulative = np.cumsum(ratio)
+        n_keep = int(np.searchsorted(cumulative, self.n_components) + 1)
+        return min(max(n_keep, 1), n_features)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.transform called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.mean_.shape[0]:
+            raise ValueError("feature matrix shape does not match the fitted PCA")
+        return (features - self.mean_) @ self.components_.T
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, reduced: np.ndarray) -> np.ndarray:
+        """Map reduced coordinates back into the original feature space."""
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.inverse_transform called before fit")
+        reduced = np.asarray(reduced, dtype=np.float64)
+        return reduced @ self.components_ + self.mean_

@@ -1,0 +1,83 @@
+"""Feature preprocessing: standardization and log-compression.
+
+Principal Kernel Selection operates on raw hardware counters whose dynamic
+range spans many orders of magnitude (a kernel may execute ten instructions
+or ten billion).  The paper's pipeline — like most PCA front-ends — first
+log-compresses the counters and then standardizes each column to zero mean
+and unit variance so that no single counter dominates the principal
+components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+__all__ = ["StandardScaler", "log_compress"]
+
+
+def log_compress(features: np.ndarray) -> np.ndarray:
+    """Return ``log1p`` of non-negative features, preserving sign for ratios.
+
+    Counter columns are non-negative counts; ``log1p`` maps them onto a
+    scale where a 10x difference in count is a constant offset.  Columns
+    that already live in [0, 1] (e.g. divergence efficiency) pass through
+    ``log1p`` too, which is monotone and nearly linear there, so a single
+    uniform transform keeps the pipeline simple.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if np.any(features < 0):
+        raise ValueError("feature counters must be non-negative")
+    return np.log1p(features)
+
+
+class StandardScaler:
+    """Standardize columns to zero mean and unit variance.
+
+    Mirrors the scikit-learn API (``fit`` / ``transform`` /
+    ``fit_transform`` / ``inverse_transform``) so the rest of the code reads
+    like the pipeline the paper describes.  Zero-variance columns are left
+    centred but unscaled, which keeps constant counters (common in
+    single-kernel workloads) from producing NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = _as_2d(features)
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        features = _as_2d(features)
+        if features.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {features.shape[1]}"
+            )
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.inverse_transform called before fit")
+        features = _as_2d(features)
+        return features * self.scale_ + self.mean_
+
+
+def _as_2d(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got ndim={features.ndim}")
+    if features.shape[0] == 0:
+        raise ValueError("feature matrix has no rows")
+    return features

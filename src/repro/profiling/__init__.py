@@ -1,0 +1,34 @@
+"""Silicon profiler models: detailed (Nsight Compute), lightweight
+(Nsight Systems + PyProf) and the profiling-time cost landscape."""
+
+from repro.profiling.cost import (
+    SECONDS_PER_WEEK,
+    TimeLandscape,
+    compute_time_landscape,
+)
+from repro.profiling.detailed import (
+    FEATURE_NAMES,
+    DetailedProfile,
+    DetailedProfiler,
+    collect_counters,
+)
+from repro.profiling.lightweight import (
+    LIGHT_FEATURE_DIM,
+    LightweightProfile,
+    LightweightProfiler,
+    light_feature_matrix,
+)
+
+__all__ = [
+    "DetailedProfile",
+    "DetailedProfiler",
+    "FEATURE_NAMES",
+    "LIGHT_FEATURE_DIM",
+    "LightweightProfile",
+    "LightweightProfiler",
+    "SECONDS_PER_WEEK",
+    "TimeLandscape",
+    "collect_counters",
+    "compute_time_landscape",
+    "light_feature_matrix",
+]

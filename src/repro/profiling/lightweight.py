@@ -1,0 +1,134 @@
+"""Lightweight silicon profiler (the Nsight Systems + PyProf stand-in).
+
+For workloads where detailed profiling is intractable, PKA profiles the
+bulk of the kernels with a low-overhead tracer that records only the
+kernel name and launch geometry; for PyTorch-based MLPerf workloads the
+trace is augmented with PyProf-style NVTX annotations (tensor dimensions
+and the owning network layer).  These records are all the two-level
+classifier gets to see.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.kernels import KernelLaunch
+from repro.sim.silicon import SiliconExecutor
+
+__all__ = [
+    "LIGHT_FEATURE_DIM",
+    "LightweightProfile",
+    "LightweightProfiler",
+    "light_feature_matrix",
+]
+
+# Feature layout: name-hash buckets + log grid + log block + tensor volume
+# + layer-tag bucket.
+_NAME_BUCKETS = 12
+LIGHT_FEATURE_DIM = _NAME_BUCKETS + 4
+
+
+@dataclass(frozen=True)
+class LightweightProfile:
+    """One kernel's lightweight trace record.
+
+    Attributes
+    ----------
+    launch_id / kernel_name / grid_blocks / threads_per_block:
+        What Nsight Systems reports for every launch.
+    tensor_volume:
+        Product of the NVTX-annotated tensor dimensions (0 when the
+        workload is not PyProf-instrumented).
+    layer_tag:
+        The annotated network-layer name ("" when unavailable).
+    """
+
+    launch_id: int
+    kernel_name: str
+    grid_blocks: int
+    threads_per_block: int
+    tensor_volume: float = 0.0
+    layer_tag: str = ""
+
+    def feature_vector(self) -> np.ndarray:
+        """Numeric features for the two-level group classifier.
+
+        The kernel name is folded into a bag of hash buckets (a stable
+        stand-in for learned name embeddings); geometry and tensor volume
+        are log-compressed.
+        """
+        vector = np.zeros(LIGHT_FEATURE_DIM)
+        name_hash = zlib.crc32(self.kernel_name.encode("utf-8"))
+        # Two hash probes soften bucket collisions between names.
+        vector[name_hash % _NAME_BUCKETS] += 1.0
+        vector[(name_hash // _NAME_BUCKETS) % _NAME_BUCKETS] += 0.5
+        vector[_NAME_BUCKETS] = np.log1p(self.grid_blocks)
+        vector[_NAME_BUCKETS + 1] = np.log1p(self.threads_per_block)
+        vector[_NAME_BUCKETS + 2] = np.log1p(self.tensor_volume)
+        layer_hash = zlib.crc32(self.layer_tag.encode("utf-8")) if self.layer_tag else 0
+        vector[_NAME_BUCKETS + 3] = (layer_hash % 97) / 97.0
+        return vector
+
+
+def light_feature_matrix(profiles: Sequence[LightweightProfile]) -> np.ndarray:
+    """Stack lightweight feature vectors into a matrix."""
+    if not profiles:
+        return np.zeros((0, LIGHT_FEATURE_DIM))
+    return np.stack([profile.feature_vector() for profile in profiles])
+
+
+class LightweightProfiler:
+    """Traces launches with Nsight-Systems-like (negligible) overhead.
+
+    Parameters
+    ----------
+    silicon:
+        Used only for cost accounting (tracing runs the app once).
+    runtime_dilation:
+        Multiplier on application runtime while tracing (~10% overhead).
+    per_kernel_overhead_s:
+        Fixed per-launch event cost.
+    """
+
+    def __init__(
+        self,
+        silicon: SiliconExecutor,
+        *,
+        runtime_dilation: float = 1.1,
+        per_kernel_overhead_s: float = 20e-6,
+    ) -> None:
+        self.silicon = silicon
+        self.runtime_dilation = runtime_dilation
+        self.per_kernel_overhead_s = per_kernel_overhead_s
+
+    def profile(self, launches: Iterable[KernelLaunch]) -> list[LightweightProfile]:
+        """Trace every launch (lightweight profiling is never truncated)."""
+        records = []
+        for launch in launches:
+            tensor_volume = float(launch.nvtx.get("tensor_volume", 0.0))
+            records.append(
+                LightweightProfile(
+                    launch_id=launch.launch_id,
+                    kernel_name=launch.spec.name,
+                    grid_blocks=launch.grid_blocks,
+                    threads_per_block=launch.spec.threads_per_block,
+                    tensor_volume=tensor_volume,
+                    layer_tag=launch.nvtx.get("layer", ""),
+                )
+            )
+        return records
+
+    def profiling_seconds(self, launches: Sequence[KernelLaunch]) -> float:
+        """Wall-clock cost of tracing all given launches."""
+        gpu = self.silicon.gpu
+        app_seconds = sum(
+            gpu.cycles_to_seconds(self.silicon.kernel_cycles(launch))
+            for launch in launches
+        )
+        return app_seconds * self.runtime_dilation + len(launches) * (
+            self.per_kernel_overhead_s
+        )

@@ -1,0 +1,55 @@
+"""Simulation substrate: performance model, DES engine, silicon executor."""
+
+from repro.sim.calibration import (
+    CalibrationResult,
+    calibrate_model_error,
+    measure_mean_error,
+)
+from repro.sim.engine import (
+    DEFAULT_WINDOW_CYCLES,
+    KernelSimResult,
+    StopMonitor,
+    WindowSample,
+    block_durations,
+    simulate_kernel,
+)
+from repro.sim.memory import SECTOR_BYTES, MemoryProfile, build_memory_profile
+from repro.sim.microsim import MicrosimConfig, MicrosimResult, SMMicrosimulator
+from repro.sim.perfmodel import (
+    BLOCK_LATENCY_FLOOR,
+    KERNEL_LAUNCH_OVERHEAD,
+    KernelPerformance,
+    analytic_kernel_cycles,
+    analyze_kernel,
+)
+from repro.sim.silicon import SiliconExecutor
+from repro.sim.simulator import ModelErrorConfig, Simulator
+from repro.sim.stats import AppRunResult, KernelRecord
+
+__all__ = [
+    "AppRunResult",
+    "BLOCK_LATENCY_FLOOR",
+    "CalibrationResult",
+    "calibrate_model_error",
+    "DEFAULT_WINDOW_CYCLES",
+    "KERNEL_LAUNCH_OVERHEAD",
+    "KernelPerformance",
+    "KernelRecord",
+    "KernelSimResult",
+    "MemoryProfile",
+    "MicrosimConfig",
+    "MicrosimResult",
+    "ModelErrorConfig",
+    "SMMicrosimulator",
+    "SECTOR_BYTES",
+    "SiliconExecutor",
+    "Simulator",
+    "StopMonitor",
+    "WindowSample",
+    "analytic_kernel_cycles",
+    "analyze_kernel",
+    "block_durations",
+    "build_memory_profile",
+    "measure_mean_error",
+    "simulate_kernel",
+]

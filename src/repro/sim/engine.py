@@ -1,0 +1,362 @@
+"""Block-level discrete-event simulation of one kernel launch.
+
+The engine schedules thread blocks onto the GPU greedily (a finished block
+immediately frees its residency slot for the next one), exactly like a
+hardware CTA scheduler.  While running it emits fixed-width *windows* of
+GPU state — IPC, L2 miss rate, DRAM utilization, finished-block count —
+which is the online signal Principal Kernel Projection consumes to detect
+IPC stability and stop the simulation early.
+
+Per-block durations come from :mod:`repro.sim.perfmodel` stretched by
+
+* a deterministic, seeded log-normal variation (the spec's
+  ``duration_cv`` — regular kernels near zero, BFS-like kernels large),
+* a linear phase drift across the grid (``phase_drift``),
+* the caller-supplied ``bias`` — the simulator's per-kernel modeling
+  error; silicon-faithful runs pass 1.0.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelLaunch
+from repro.sim.perfmodel import KernelPerformance, analyze_kernel
+
+__all__ = [
+    "DEFAULT_WINDOW_CYCLES",
+    "KernelSimResult",
+    "StopMonitor",
+    "WindowSample",
+    "block_durations",
+    "simulate_kernel",
+]
+
+DEFAULT_WINDOW_CYCLES = 500.0
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """One fixed-width observation window of simulated GPU state.
+
+    Attributes
+    ----------
+    cycle:
+        Cycle at the *end* of the window.
+    ipc:
+        Warp instructions retired per cycle during the window.
+    l2_miss_rate:
+        Percentage of L2 sector requests that missed during the window.
+    dram_util:
+        Percentage of peak DRAM bandwidth consumed during the window.
+    blocks_finished:
+        Cumulative thread blocks retired by the end of the window.
+    """
+
+    cycle: float
+    ipc: float
+    l2_miss_rate: float
+    dram_util: float
+    blocks_finished: int
+
+
+class StopMonitor(Protocol):
+    """Online observer that can end a kernel simulation early (PKP)."""
+
+    def observe(self, sample: WindowSample) -> bool:
+        """Ingest one window; return True to stop simulating now."""
+        ...
+
+
+@dataclass(frozen=True)
+class KernelSimResult:
+    """Outcome of simulating (part of) one kernel launch.
+
+    ``cycles`` and the traffic counters cover only the simulated portion;
+    when ``stopped_early`` the caller is expected to *project* totals from
+    them (that is Principal Kernel Projection's job, not the engine's).
+    """
+
+    launch: KernelLaunch
+    perf: KernelPerformance
+    cycles: float
+    blocks_finished: int
+    warp_instructions: float
+    dram_bytes: float
+    stopped_early: bool
+    samples: tuple[WindowSample, ...] = ()
+
+    @property
+    def grid_blocks(self) -> int:
+        return self.launch.grid_blocks
+
+    @property
+    def ipc(self) -> float:
+        """Mean warp IPC over the simulated portion."""
+        return self.warp_instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def blocks_remaining(self) -> int:
+        return self.launch.grid_blocks - self.blocks_finished
+
+
+def block_durations(
+    launch: KernelLaunch,
+    perf: KernelPerformance,
+    bias: float = 1.0,
+) -> np.ndarray:
+    """Deterministic per-block durations for ``launch``.
+
+    Seeded by the kernel spec's signature and the grid size so the same
+    launch always produces the same schedule, on every GPU and in every
+    process.
+    """
+    spec = launch.spec
+    grid = launch.grid_blocks
+    rng = np.random.default_rng((spec.signature() * 1_000_003 + grid) % 2**63)
+
+    if spec.duration_cv > 0:
+        sigma = float(np.sqrt(np.log1p(spec.duration_cv**2)))
+        variation = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=grid)
+    else:
+        variation = np.ones(grid)
+
+    if grid > 1 and spec.phase_drift != 0.0:
+        phase = 1.0 + spec.phase_drift * np.arange(grid) / (grid - 1)
+        phase = np.maximum(phase, 0.05)
+    else:
+        phase = np.ones(grid)
+
+    # Cold caches slow the first wave down, producing the IPC ramp-up
+    # phase that PKP's wave constraint exists to wait out.
+    if spec.cold_start_factor > 0:
+        first_wave = min(grid, perf.occupancy.wave_size)
+        cold = np.ones(grid)
+        cold[:first_wave] *= 1.0 + spec.cold_start_factor
+        phase = phase * cold
+
+    durations = perf.base_block_cycles * variation * phase * bias
+    return np.maximum(durations, 1.0)
+
+
+def simulate_kernel(
+    launch: KernelLaunch,
+    gpu: GPUConfig,
+    *,
+    bias: float = 1.0,
+    window_cycles: float = DEFAULT_WINDOW_CYCLES,
+    monitor: StopMonitor | Callable[[WindowSample], bool] | None = None,
+    collect_series: bool = False,
+) -> KernelSimResult:
+    """Simulate ``launch`` on ``gpu``, optionally stopping early.
+
+    Parameters
+    ----------
+    bias:
+        Per-kernel duration multiplier modelling simulator-vs-silicon
+        error; 1.0 reproduces the performance model exactly.
+    window_cycles:
+        Width of the observation windows fed to ``monitor``.
+    monitor:
+        Online stop condition (e.g. a PKP stability detector).  When it
+        returns True the engine stops at that window boundary.
+    collect_series:
+        Keep every window sample on the result (needed for Figure-5-style
+        time-series plots); otherwise samples are discarded after the
+        monitor sees them.
+
+    Notes
+    -----
+    When neither ``monitor`` nor ``collect_series`` is given the engine
+    takes a fast path that computes the identical greedy schedule without
+    window bookkeeping.
+    """
+    if bias <= 0:
+        raise SimulationError("bias must be positive")
+    if window_cycles <= 0:
+        raise SimulationError("window_cycles must be positive")
+
+    perf = analyze_kernel(launch, gpu)
+    durations = block_durations(launch, perf, bias)
+    slots = min(launch.grid_blocks, perf.occupancy.wave_size)
+
+    if monitor is None and not collect_series:
+        return _run_fast(launch, perf, durations, slots)
+    return _run_windowed(
+        launch, gpu, perf, durations, slots, window_cycles, monitor, collect_series
+    )
+
+
+def _run_fast(
+    launch: KernelLaunch,
+    perf: KernelPerformance,
+    durations: np.ndarray,
+    slots: int,
+) -> KernelSimResult:
+    """Greedy list scheduling without window bookkeeping (full-run totals)."""
+    grid = launch.grid_blocks
+    if grid <= slots:
+        makespan = float(durations.max())
+    else:
+        heap = list(durations[:slots])
+        heapq.heapify(heap)
+        for idx in range(slots, grid):
+            start = heapq.heappop(heap)
+            heapq.heappush(heap, start + float(durations[idx]))
+        makespan = max(heap)
+    total_insts = perf.warp_insts_per_block * grid
+    total_bytes = perf.memory.dram_bytes_per_block * grid
+    return KernelSimResult(
+        launch=launch,
+        perf=perf,
+        cycles=makespan,
+        blocks_finished=grid,
+        warp_instructions=total_insts,
+        dram_bytes=total_bytes,
+        stopped_early=False,
+    )
+
+
+def _run_windowed(
+    launch: KernelLaunch,
+    gpu: GPUConfig,
+    perf: KernelPerformance,
+    durations: np.ndarray,
+    slots: int,
+    window_cycles: float,
+    monitor: StopMonitor | Callable[[WindowSample], bool] | None,
+    collect_series: bool,
+) -> KernelSimResult:
+    """Event loop with per-window IPC/L2/DRAM emission and early stop."""
+    observe = _resolve_monitor(monitor)
+    grid = launch.grid_blocks
+    inst_per_block = perf.warp_insts_per_block
+    bytes_per_block = perf.memory.dram_bytes_per_block
+    base_miss = (1.0 - perf.memory.l2_hit_rate) * 100.0
+    peak_dram = gpu.dram_bytes_per_cycle
+    miss_rng = np.random.default_rng(launch.spec.signature() % 2**63)
+    # Windowed IPC is bursty in proportion to the kernel's irregularity:
+    # memory bursts, instruction replays and uneven intra-block progress
+    # show up as window-to-window jitter that the uniform-rate attribution
+    # would otherwise smooth away.  This is the signal PKP's stability
+    # detector actually contends with (Figure 5b's noisy BFS trace).
+    ipc_noise_sigma = 0.45 * launch.spec.duration_cv
+    noise_rng = np.random.default_rng((launch.spec.signature() * 31 + 7) % 2**63)
+    # On top of white jitter, IPC *wanders* at low frequency while blocks
+    # work through their phases (cache warm-up, loop progression, DRAM row
+    # locality shifts); the wander dies out over roughly one block
+    # lifetime.  Kernels with many short blocks therefore calm down after
+    # a wave (syr2k-style, where PKP saves 50x), while a handful of huge
+    # blocks keep the signal moving for much of the kernel (DeepBench
+    # GEMMs, where PKP saves ~2x).
+    wander = 0.0
+    wander_rho = 0.8
+    wander_amp0 = 0.12
+    first_wave = durations[: min(slots, len(durations))]
+    block_lifetime = float(first_wave.mean()) if len(first_wave) else 1.0
+
+    # Resident blocks as a heap of (end_cycle, inst_rate, byte_rate).
+    heap: list[tuple[float, float, float]] = []
+    inst_rate = 0.0
+    byte_rate = 0.0
+    next_block = 0
+    finished = 0
+    now = 0.0
+    win_insts = 0.0
+    win_bytes = 0.0
+    window_end = window_cycles
+    total_insts = 0.0
+    total_bytes = 0.0
+    samples: list[WindowSample] = []
+    stopped = False
+
+    def start_blocks() -> None:
+        nonlocal next_block, inst_rate, byte_rate
+        while next_block < grid and len(heap) < slots:
+            duration = float(durations[next_block])
+            block_inst_rate = inst_per_block / duration
+            block_byte_rate = bytes_per_block / duration
+            heapq.heappush(heap, (now + duration, block_inst_rate, block_byte_rate))
+            inst_rate += block_inst_rate
+            byte_rate += block_byte_rate
+            next_block += 1
+
+    start_blocks()
+    while finished < grid and not stopped:
+        next_completion = heap[0][0]
+        # Emit any windows that close before the next block completion.
+        while window_end <= next_completion and not stopped:
+            elapsed = window_end - now
+            win_insts += inst_rate * elapsed
+            win_bytes += byte_rate * elapsed
+            total_insts += inst_rate * elapsed
+            total_bytes += byte_rate * elapsed
+            now = window_end
+            observed_ipc = win_insts / window_cycles
+            amp = wander_amp0 * np.exp(-3.0 * now / block_lifetime)
+            wander = wander_rho * wander + amp * float(noise_rng.standard_normal())
+            observed_ipc *= 1.0 + wander
+            if ipc_noise_sigma > 0:
+                observed_ipc *= 1.0 + ipc_noise_sigma * float(
+                    noise_rng.standard_normal()
+                )
+            observed_ipc = max(0.0, observed_ipc)
+            sample = WindowSample(
+                cycle=window_end,
+                ipc=observed_ipc,
+                l2_miss_rate=min(
+                    100.0,
+                    max(0.0, base_miss * (1.0 + 0.04 * miss_rng.standard_normal())),
+                ),
+                dram_util=min(100.0, 100.0 * win_bytes / (window_cycles * peak_dram)),
+                blocks_finished=finished,
+            )
+            if collect_series:
+                samples.append(sample)
+            if observe is not None and observe(sample):
+                stopped = True
+            win_insts = 0.0
+            win_bytes = 0.0
+            window_end += window_cycles
+        if stopped:
+            break
+        # Advance to the completion and retire every block ending there.
+        elapsed = next_completion - now
+        win_insts += inst_rate * elapsed
+        win_bytes += byte_rate * elapsed
+        total_insts += inst_rate * elapsed
+        total_bytes += byte_rate * elapsed
+        now = next_completion
+        while heap and heap[0][0] <= now + 1e-9:
+            _, done_inst_rate, done_byte_rate = heapq.heappop(heap)
+            inst_rate -= done_inst_rate
+            byte_rate -= done_byte_rate
+            finished += 1
+        start_blocks()
+
+    return KernelSimResult(
+        launch=launch,
+        perf=perf,
+        cycles=now,
+        blocks_finished=finished,
+        warp_instructions=total_insts,
+        dram_bytes=total_bytes,
+        stopped_early=stopped,
+        samples=tuple(samples),
+    )
+
+
+def _resolve_monitor(
+    monitor: StopMonitor | Callable[[WindowSample], bool] | None,
+) -> Callable[[WindowSample], bool] | None:
+    if monitor is None:
+        return None
+    if hasattr(monitor, "observe"):
+        return monitor.observe  # type: ignore[union-attr]
+    return monitor

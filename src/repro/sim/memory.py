@@ -1,0 +1,78 @@
+"""Cache and DRAM traffic model.
+
+Reduces a kernel's memory behaviour to the two quantities the performance
+model needs: the DRAM bytes one thread block moves, and the L2 hit rate it
+achieves.  Both derive only from the kernel spec and the GPU's L2
+capacity, mirroring how the paper's arch-agnostic counters (sector counts)
+relate to arch-dependent outcomes (miss rates) through the cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelSpec
+
+__all__ = ["MemoryProfile", "build_memory_profile", "SECTOR_BYTES"]
+
+SECTOR_BYTES = 32
+# Atomics are serialized read-modify-writes at the L2; charge each one a
+# full sector round-trip regardless of locality.
+_ATOMIC_BYTES = 2 * SECTOR_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Per-block memory behaviour of one kernel on one GPU.
+
+    Attributes
+    ----------
+    l2_hit_rate:
+        Fraction of sector requests served by the L2.
+    l2_sectors_per_block:
+        Sector requests one block presents to the L2.
+    dram_bytes_per_block:
+        Bytes one block moves to/from DRAM after L2 filtering.
+    """
+
+    l2_hit_rate: float
+    l2_sectors_per_block: float
+    dram_bytes_per_block: float
+
+
+def l2_hit_rate(spec: KernelSpec, gpu: GPUConfig) -> float:
+    """Effective L2 hit rate of ``spec`` on ``gpu``.
+
+    The spec's ``l2_locality`` is the hit rate an infinite cache would
+    achieve; a finite cache degrades it by the square root of the
+    capacity/footprint ratio, a standard smooth approximation of
+    reuse-distance truncation.
+    """
+    capacity_ratio = min(1.0, gpu.l2_size_bytes / spec.working_set_bytes)
+    return spec.l2_locality * capacity_ratio**0.5
+
+
+def build_memory_profile(
+    spec: KernelSpec, gpu: GPUConfig
+) -> MemoryProfile:
+    """Compute the memory traffic one block of ``spec`` generates on ``gpu``."""
+    threads = spec.threads_per_block
+    warp_accesses = (
+        threads * (spec.mix.global_loads + spec.mix.global_stores) / gpu.warp_size
+    )
+    global_sectors = warp_accesses * spec.sectors_per_global_access
+    # Local memory is thread-private and interleaved by the compiler, so it
+    # coalesces perfectly: one sector per warp-level access.
+    local_sectors = threads * spec.mix.local_loads / gpu.warp_size
+
+    sectors = global_sectors + local_sectors
+    hit = l2_hit_rate(spec, gpu)
+    dram_bytes = sectors * SECTOR_BYTES * (1.0 - hit)
+    dram_bytes += threads * spec.mix.global_atomics * _ATOMIC_BYTES / gpu.warp_size
+
+    return MemoryProfile(
+        l2_hit_rate=hit,
+        l2_sectors_per_block=sectors,
+        dram_bytes_per_block=dram_bytes,
+    )

@@ -1,0 +1,362 @@
+"""Warp-level SM microsimulator: one thread block, cycle by cycle.
+
+The block-level engine treats a thread block as a single duration drawn
+from the roofline model.  This module goes one level deeper for the
+simulator use cases the paper's introduction motivates — debugging and
+bottleneck analysis: it executes one block's warps through an in-order
+SM pipeline with an issue-width limit, per-class instruction latencies,
+a bounded pool of in-flight memory requests (MSHR-style) and a DRAM
+bandwidth token bucket, and reports where the cycles went.
+
+It deliberately stays small (one block, one SM) — its jobs are
+
+* producing per-kernel *stall breakdowns* (`bottleneck_report`), and
+* cross-validating the roofline's per-block durations
+  (`benchmarks/test_microsim_validation.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.architectures import GPUConfig, VOLTA_V100
+from repro.gpu.kernels import KernelSpec
+from repro.sim.memory import SECTOR_BYTES, l2_hit_rate
+
+__all__ = ["MicrosimConfig", "MicrosimResult", "SMMicrosimulator"]
+
+# Issue-to-ready latencies per instruction class, in cycles.
+_ALU_LATENCY = 4
+_SHARED_LATENCY = 24
+_TENSOR_LATENCY = 16
+_L2_HIT_LATENCY = 190
+_DRAM_LATENCY = 450
+
+
+@dataclass(frozen=True)
+class MicrosimConfig:
+    """Microsimulator knobs.
+
+    Attributes
+    ----------
+    max_warp_instructions:
+        Per-warp instruction budget; longer streams are truncated and the
+        measured duration scaled back up (keeps runs sub-second while the
+        steady-state mix dominates).
+    mshr_entries:
+        Maximum in-flight global-memory requests per SM.
+    warp_outstanding_loads:
+        Maximum non-blocking loads one warp keeps in flight (its
+        memory-level parallelism).
+    dependence_distance:
+        Instructions between a load and its first consumer; the warp only
+        stalls on a load once it has advanced this far past it.
+    ilp:
+        Independent instructions between execution dependencies: only
+        every ``ilp``-th ALU/shared/tensor instruction pays its full
+        latency, the rest issue back-to-back.
+    scheduler:
+        Warp scheduling policy: "gto" (greedy-then-oldest: a static
+        oldest-first priority) or "rr" (round-robin: the issue scan
+        rotates its starting warp each cycle).
+    dram_share:
+        Fraction of the GPU's DRAM bandwidth this SM may consume (1/SMs
+        under full-machine contention, up to 1.0 for a lone block).
+    """
+
+    max_warp_instructions: int = 2_000
+    mshr_entries: int = 48
+    warp_outstanding_loads: int = 6
+    dependence_distance: int = 24
+    ilp: int = 4
+    scheduler: str = "gto"
+    dram_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_warp_instructions < 1:
+            raise SimulationError("max_warp_instructions must be >= 1")
+        if self.mshr_entries < 1:
+            raise SimulationError("mshr_entries must be >= 1")
+        if self.warp_outstanding_loads < 1:
+            raise SimulationError("warp_outstanding_loads must be >= 1")
+        if self.dependence_distance < 1:
+            raise SimulationError("dependence_distance must be >= 1")
+        if self.ilp < 1:
+            raise SimulationError("ilp must be >= 1")
+        if self.scheduler not in ("gto", "rr"):
+            raise SimulationError("scheduler must be 'gto' or 'rr'")
+        if not 0.0 < self.dram_share <= 1.0:
+            raise SimulationError("dram_share must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MicrosimResult:
+    """One block's microarchitectural execution summary.
+
+    ``stall_cycles`` categorizes cycles: "memory" / "execution" are
+    cycles in which *nothing* issued because every unfinished warp waited
+    on that resource; "issue" counts cycles that saturated the SM's issue
+    width (throughput-limited, not stalled).  Cycles that issued below
+    the width without being empty are uncategorized slack.
+    """
+
+    cycles: int
+    warp_instructions: float
+    issued_instructions: int
+    stall_cycles: dict[str, int]
+    dram_bytes: float
+    truncation_scale: float
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions issued per cycle on this SM."""
+        return self.issued_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def scaled_cycles(self) -> float:
+        """Cycles projected back to the untruncated instruction stream."""
+        return self.cycles * self.truncation_scale
+
+    @property
+    def dominant_stall(self) -> str:
+        return max(self.stall_cycles, key=self.stall_cycles.get)
+
+    def stall_fraction(self, kind: str) -> float:
+        total = sum(self.stall_cycles.values())
+        return self.stall_cycles.get(kind, 0) / total if total else 0.0
+
+
+class SMMicrosimulator:
+    """Cycle-level model of one SM executing one thread block."""
+
+    def __init__(
+        self, gpu: GPUConfig = VOLTA_V100, config: MicrosimConfig | None = None
+    ) -> None:
+        self.gpu = gpu
+        self.config = config if config is not None else MicrosimConfig()
+
+    # ------------------------------------------------------------------
+
+    def _instruction_stream(
+        self, spec: KernelSpec
+    ) -> tuple[list[tuple[str, int]], float]:
+        """Deterministic per-warp stream of (class, latency) pairs.
+
+        Classes are interleaved round-robin in proportion to the mix, the
+        way compilers schedule independent work between loads, and
+        truncated to the configured budget (returning the scale factor).
+        """
+        mix = spec.mix
+        class_latency = {
+            "alu": _ALU_LATENCY,
+            "shared": _SHARED_LATENCY,
+            "tensor": _TENSOR_LATENCY,
+            "global": 0,  # resolved per access by the cache model
+        }
+        # Without tensor cores each matrix op lowers to several FMA
+        # instructions: same work, several times the issue slots.
+        tensor_expansion = 1.0 if spec.uses_tensor_cores else 4.0
+        counts = {
+            "alu": mix.fp_ops
+            + mix.int_ops
+            + mix.control_ops
+            + (0.0 if spec.uses_tensor_cores else mix.tensor_ops * tensor_expansion),
+            "shared": mix.shared_loads + mix.shared_stores,
+            "tensor": mix.tensor_ops if spec.uses_tensor_cores else 0.0,
+            "global": mix.global_loads
+            + mix.global_stores
+            + mix.local_loads
+            + mix.global_atomics,
+        }
+        # Control divergence issues each instruction once per active
+        # lane subset: the warp-level stream grows by 1/efficiency.
+        divergence_expansion = 1.0 / spec.divergence_efficiency
+        counts = {
+            name: value * divergence_expansion for name, value in counts.items()
+        }
+        total = sum(counts.values())
+        budget = min(self.config.max_warp_instructions, int(round(total)))
+        scale = total / budget if budget else 1.0
+
+        # Largest-remainder interleave of the classes across the budget.
+        stream: list[tuple[str, int]] = []
+        errors = dict.fromkeys(counts, 0.0)
+        for _ in range(budget):
+            for name in counts:
+                errors[name] += counts[name] / total
+            pick = max(errors, key=errors.get)  # type: ignore[arg-type]
+            errors[pick] -= 1.0
+            stream.append((pick, class_latency[pick]))
+        return stream, scale
+
+    # ------------------------------------------------------------------
+
+    def run_block(
+        self, spec: KernelSpec, resident_blocks: int | None = None
+    ) -> MicrosimResult:
+        """Execute one SM's resident complement of ``spec`` blocks.
+
+        ``resident_blocks`` defaults to the kernel's occupancy limit —
+        a lone block cannot hide 400-cycle memory latencies, and real SMs
+        never run one when more are available.  The returned ``cycles``
+        approximates the duration of one block at that residency.
+        """
+        from repro.gpu.occupancy import compute_occupancy
+
+        if resident_blocks is None:
+            resident_blocks = compute_occupancy(spec, self.gpu).blocks_per_sm
+        if resident_blocks < 1:
+            raise SimulationError("resident_blocks must be >= 1")
+        warps_per_block = -(-spec.threads_per_block // self.gpu.warp_size)
+        warps = warps_per_block * resident_blocks
+        stream, scale = self._instruction_stream(spec)
+        if not stream:
+            raise SimulationError("kernel has no instructions to simulate")
+
+        hit_rate = l2_hit_rate(spec, self.gpu)
+        bytes_per_access = spec.sectors_per_global_access * SECTOR_BYTES
+        dram_bytes_per_cycle = (
+            self.gpu.dram_bytes_per_cycle * self.config.dram_share
+        )
+        # Deterministic hit/miss sequence shared by all warps (SIMT).
+        rng = np.random.default_rng(spec.signature() % 2**63)
+        n_global = sum(1 for kind, _ in stream if kind == "global")
+        hits = rng.random(max(n_global, 1)) < hit_rate
+
+        from collections import deque
+
+        program_counter = [0] * warps  # next instruction index per warp
+        ready_at = [0] * warps  # cycle the warp may issue next (ALU deps)
+        global_seen = [0] * warps  # per-warp global-access counter
+        # Per-warp outstanding loads: deque of (completion cycle, pc at issue).
+        outstanding: list[deque] = [deque() for _ in range(warps)]
+        sm_inflight = 0  # MSHR occupancy across the SM
+        inflight_completions: list[int] = []
+        dram_tokens = 0.0
+        issued = 0
+        stalls = {"memory": 0, "execution": 0, "issue": 0}
+        total_dram_bytes = 0.0
+
+        cycle = 0
+        remaining = warps
+        issue_width = int(round(self.gpu.issue_rate_per_sm))
+        distance = self.config.dependence_distance
+        horizon = 10_000_000  # hard safety net against livelock
+
+        while remaining > 0 and cycle < horizon:
+            dram_tokens = min(
+                dram_tokens + dram_bytes_per_cycle, 8.0 * dram_bytes_per_cycle
+            )
+            if inflight_completions:
+                still = [t for t in inflight_completions if t > cycle]
+                sm_inflight -= len(inflight_completions) - len(still)
+                inflight_completions = still
+
+            issued_now = 0
+            waiting_on_memory = 0
+            waiting_on_execution = 0
+            if self.config.scheduler == "rr":
+                scan_order = [
+                    (cycle + offset) % warps for offset in range(warps)
+                ]
+            else:  # gto: static oldest-first priority
+                scan_order = range(warps)
+            for warp in scan_order:
+                pc = program_counter[warp]
+                if pc >= len(stream):
+                    continue
+                # Retire completed loads from the warp's queue.
+                queue = outstanding[warp]
+                while queue and queue[0][0] <= cycle:
+                    queue.popleft()
+                # A load's first consumer sits `distance` instructions
+                # later; reaching it before completion blocks the warp.
+                if queue and pc - queue[0][1] >= distance:
+                    waiting_on_memory += 1
+                    continue
+                if ready_at[warp] > cycle:
+                    waiting_on_execution += 1
+                    continue
+                if issued_now >= issue_width:
+                    continue
+                kind, latency = stream[pc]
+                if kind == "global":
+                    if (
+                        len(queue) >= self.config.warp_outstanding_loads
+                        or sm_inflight >= self.config.mshr_entries
+                    ):
+                        waiting_on_memory += 1
+                        continue
+                    hit = bool(hits[global_seen[warp] % len(hits)])
+                    global_seen[warp] += 1
+                    if hit:
+                        mem_latency = _L2_HIT_LATENCY
+                    else:
+                        mem_latency = _DRAM_LATENCY
+                        total_dram_bytes += bytes_per_access
+                        if dram_tokens >= bytes_per_access:
+                            dram_tokens -= bytes_per_access
+                        else:
+                            # Bandwidth-saturated: serve on token refill.
+                            deficit = bytes_per_access - dram_tokens
+                            dram_tokens = 0.0
+                            mem_latency += int(deficit / dram_bytes_per_cycle)
+                    queue.append((cycle + mem_latency, pc))
+                    inflight_completions.append(cycle + mem_latency)
+                    sm_inflight += 1
+                    latency = 1  # the load itself issues in one cycle
+                elif pc % self.config.ilp != 0:
+                    # Independent instruction: no dependency to wait on.
+                    latency = 1
+                program_counter[warp] += 1
+                ready_at[warp] = cycle + latency
+                issued += 1
+                issued_now += 1
+                if program_counter[warp] >= len(stream):
+                    remaining -= 1
+
+            if issued_now == 0:
+                if waiting_on_memory >= waiting_on_execution:
+                    stalls["memory"] += 1
+                else:
+                    stalls["execution"] += 1
+            elif issued_now >= issue_width:
+                # The cycle was limited by issue throughput, not stalls.
+                stalls["issue"] += 1
+            cycle += 1
+
+        if cycle >= horizon:
+            raise SimulationError("microsimulation exceeded its cycle horizon")
+
+        return MicrosimResult(
+            cycles=cycle,
+            warp_instructions=warps * len(stream) * scale,
+            issued_instructions=issued,
+            stall_cycles=stalls,
+            dram_bytes=total_dram_bytes * scale,
+            truncation_scale=scale,
+        )
+
+    def bottleneck_report(self, spec: KernelSpec) -> str:
+        """Human-readable one-SM bottleneck summary at full occupancy."""
+        result = self.run_block(spec)
+        lines = [
+            f"kernel {spec.name!r} on {self.gpu.name} "
+            "(one SM at full occupancy)",
+            f"  cycles:            {result.cycles}"
+            + (
+                f" (x{result.truncation_scale:.1f} stream truncation)"
+                if result.truncation_scale > 1.001
+                else ""
+            ),
+            f"  warp IPC:          {result.ipc:.2f}",
+            f"  dominant stall:    {result.dominant_stall}",
+        ]
+        for kind in ("memory", "execution", "issue"):
+            lines.append(
+                f"  {kind:9s} stalls: {result.stall_fraction(kind):6.1%}"
+            )
+        return "\n".join(lines)

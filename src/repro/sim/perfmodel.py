@@ -1,0 +1,195 @@
+"""Shared performance kernel: how long one thread block takes.
+
+Both the silicon executor (closed-form) and the discrete-event simulator
+derive per-block durations from this module, so silicon and simulation
+disagree only where the simulator's injected modeling error says they
+should, not because they embody different performance models.
+
+The model is a contention-aware roofline at block granularity:
+
+* ``compute``  — the block's warp instructions issued at the SM's rate,
+  stretched by the number of co-resident blocks sharing the SM;
+* ``memory``   — the block's DRAM bytes served at the GPU's bandwidth,
+  stretched by the total number of resident blocks sharing DRAM;
+* ``latency``  — a floor modelling launch and memory latency that no block
+  goes below.
+
+A block's duration is the max of the three.
+
+Known corner: ramp/drain overhead is charged in units of the steady-state
+block duration, which grows with residency.  For memory-bound or
+straggler-dominated kernels with only a couple of waves this can make a
+*smaller* machine finish a few percent sooner — a deliberate simplicity
+trade-off that both the silicon model and the simulator share, so no
+method sees it as error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelLaunch, KernelSpec
+from repro.gpu.occupancy import Occupancy, compute_occupancy
+from repro.sim.memory import MemoryProfile, build_memory_profile
+
+__all__ = [
+    "BLOCK_LATENCY_FLOOR",
+    "KERNEL_LAUNCH_OVERHEAD",
+    "KernelPerformance",
+    "analyze_kernel",
+    "analytic_kernel_cycles",
+]
+
+# Minimum cycles any thread block occupies an SM: pipeline fill, first
+# memory round-trips, CTA launch handshake.
+BLOCK_LATENCY_FLOOR = 1_200.0
+# Cycles the GPU sits idle between back-to-back kernel launches (driver
+# and launch latency), charged once per launch at the application level.
+KERNEL_LAUNCH_OVERHEAD = 2_500.0
+
+
+@dataclass(frozen=True)
+class KernelPerformance:
+    """Steady-state performance summary of one launch on one GPU.
+
+    Attributes
+    ----------
+    occupancy:
+        Residency limits for the kernel's spec.
+    memory:
+        Per-block traffic profile.
+    resident_blocks:
+        Blocks actually co-resident (grid-limited below one full wave).
+    warp_insts_per_block:
+        Issued warp instructions per block (divergence-adjusted).
+    base_block_cycles:
+        Duration of an average block at steady-state contention.
+    bottleneck:
+        "compute", "memory" or "latency" — which roofline bound.
+    """
+
+    occupancy: Occupancy
+    memory: MemoryProfile
+    resident_blocks: int
+    warp_insts_per_block: float
+    base_block_cycles: float
+    bottleneck: str
+
+    @property
+    def steady_state_ipc(self) -> float:
+        """GPU-wide warp IPC while the kernel keeps the machine full."""
+        return self.resident_blocks * self.warp_insts_per_block / self.base_block_cycles
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Steady-state DRAM traffic rate of the kernel."""
+        return (
+            self.resident_blocks
+            * self.memory.dram_bytes_per_block
+            / self.base_block_cycles
+        )
+
+
+def _warp_issue_cycles(spec: KernelSpec, gpu: GPUConfig) -> tuple[float, float]:
+    """Return (warp instructions per block, solo issue cycles per block)."""
+    threads = spec.threads_per_block
+    thread_insts = threads * spec.mix.per_thread_total
+    warp_insts = thread_insts / (gpu.warp_size * spec.divergence_efficiency)
+
+    tensor_warp_insts = (
+        threads
+        * spec.mix.tensor_ops
+        / (gpu.warp_size * spec.divergence_efficiency)
+    )
+    plain_warp_insts = warp_insts - tensor_warp_insts
+    tensor_rate_factor = gpu.tensor_speedup if spec.uses_tensor_cores else 1.0
+    issue_cycles = (
+        plain_warp_insts + tensor_warp_insts / tensor_rate_factor
+    ) / gpu.issue_rate_per_sm
+    return warp_insts, issue_cycles
+
+
+def analyze_kernel(launch: KernelLaunch, gpu: GPUConfig) -> KernelPerformance:
+    """Steady-state per-block duration and bottleneck of ``launch`` on ``gpu``."""
+    spec = launch.spec
+    occupancy: Occupancy = compute_occupancy(spec, gpu)
+    resident = min(launch.grid_blocks, occupancy.wave_size)
+    memory: MemoryProfile = build_memory_profile(spec, gpu)
+
+    warp_insts, issue_cycles = _warp_issue_cycles(spec, gpu)
+
+    # With fewer resident blocks than SMs, each block has an SM (and its
+    # issue slots) to itself; above that they multiplex.
+    blocks_sharing_sm = max(1.0, resident / gpu.num_sms)
+    compute_cycles = issue_cycles * blocks_sharing_sm
+    memory_cycles = (
+        memory.dram_bytes_per_block * resident / gpu.dram_bytes_per_cycle
+    )
+
+    candidates = {
+        "compute": compute_cycles,
+        "memory": memory_cycles,
+        "latency": BLOCK_LATENCY_FLOOR,
+    }
+    bottleneck = max(candidates, key=candidates.get)  # type: ignore[arg-type]
+
+    return KernelPerformance(
+        occupancy=occupancy,
+        memory=memory,
+        resident_blocks=resident,
+        warp_insts_per_block=warp_insts,
+        base_block_cycles=candidates[bottleneck],
+        bottleneck=bottleneck,
+    )
+
+
+def analytic_kernel_cycles(launch: KernelLaunch, gpu: GPUConfig) -> float:
+    """Closed-form total cycles for ``launch`` on ``gpu`` (the silicon truth).
+
+    Steady-state throughput applied over all waves, plus half a block
+    duration of ramp/drain, plus the mean phase-drift stretch.  O(1) per
+    launch, so full MLPerf-scale applications are costed in milliseconds.
+    """
+    perf = analyze_kernel(launch, gpu)
+    spec = launch.spec
+    waves = launch.grid_blocks / perf.resident_blocks
+    phase_mean = 1.0 + spec.phase_drift / 2.0
+    if launch.grid_blocks <= perf.resident_blocks:
+        # One partial wave: every block runs in parallel and the kernel
+        # ends when the *slowest* block does, so irregular kernels are
+        # straggler-dominated.
+        straggler = _expected_extreme(spec.duration_cv, launch.grid_blocks)
+        total = (
+            perf.base_block_cycles
+            * phase_mean
+            * (1.0 + spec.cold_start_factor)
+            * straggler
+        )
+    else:
+        # Steady state over all waves, the cold first wave's extra cycles,
+        # half a block of ramp/drain skew, and the final wave's straggler.
+        drain_straggler = _expected_extreme(spec.duration_cv, perf.resident_blocks)
+        total = perf.base_block_cycles * (
+            waves * phase_mean
+            + spec.cold_start_factor
+            + 0.5
+            + (drain_straggler - 1.0)
+        )
+    return total
+
+
+def _expected_extreme(duration_cv: float, n_blocks: int) -> float:
+    """E[max of n unit-mean log-normal block durations], approximately.
+
+    Uses the standard extreme-value approximation
+    ``exp(sigma * sqrt(2 ln n) - sigma^2 / 2)`` with the log-normal sigma
+    implied by the coefficient of variation.  Regular kernels (cv ~ 0)
+    return ~1; a BFS-like kernel (cv 0.7) with 256 parallel blocks is
+    straggler-stretched several-fold.
+    """
+    if duration_cv <= 0 or n_blocks <= 1:
+        return 1.0
+    sigma = math.sqrt(math.log1p(duration_cv**2))
+    return math.exp(sigma * math.sqrt(2.0 * math.log(n_blocks)) - 0.5 * sigma**2)

@@ -1,0 +1,90 @@
+"""Result containers for silicon and simulated application runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.architectures import GPUConfig
+
+__all__ = ["KernelRecord", "AppRunResult"]
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Per-kernel outcome inside an application run.
+
+    Attributes
+    ----------
+    launch_id:
+        Chronological launch index within the application.
+    name:
+        Kernel name.
+    cycles:
+        Cycles this kernel contributes to the application total (after
+        any projection).
+    instructions:
+        Warp instructions it contributes (after any projection).
+    dram_bytes:
+        DRAM traffic it contributes (after any projection).
+    simulated_cycles:
+        Cycles of simulator work actually *paid* for this kernel; zero
+        for kernels skipped by PKS, less than ``cycles`` when PKP stopped
+        the kernel early, equal to ``cycles`` under full simulation.
+    projected:
+        True if any part of this record was projected rather than run.
+    """
+
+    launch_id: int
+    name: str
+    cycles: float
+    instructions: float
+    dram_bytes: float
+    simulated_cycles: float
+    projected: bool = False
+
+
+@dataclass(frozen=True)
+class AppRunResult:
+    """Application-level outcome of one (possibly sampled) run.
+
+    ``total_cycles`` is the run's *estimate of the application's cycles*
+    (what gets compared against silicon), while ``simulated_cycles`` is
+    the amount of simulation actually performed (what determines
+    simulation wall-clock time and hence speedup).
+    """
+
+    workload: str
+    gpu: GPUConfig
+    method: str
+    total_cycles: float
+    total_instructions: float
+    total_dram_bytes: float
+    simulated_cycles: float
+    kernel_records: tuple[KernelRecord, ...] = field(default_factory=tuple)
+
+    @property
+    def ipc(self) -> float:
+        """Application-level warp IPC estimate."""
+        return self.total_instructions / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def dram_util_percent(self) -> float:
+        """Average DRAM bandwidth utilization estimate, in percent."""
+        if self.total_cycles <= 0:
+            return 0.0
+        rate = self.total_dram_bytes / self.total_cycles
+        return min(100.0, 100.0 * rate / self.gpu.dram_bytes_per_cycle)
+
+    @property
+    def silicon_seconds(self) -> float:
+        """Wall-clock seconds the estimated cycles take on silicon."""
+        return self.gpu.cycles_to_seconds(self.total_cycles)
+
+    @property
+    def sim_wall_seconds(self) -> float:
+        """Wall-clock seconds the performed simulation takes."""
+        return self.gpu.cycles_to_sim_seconds(self.simulated_cycles)
+
+    @property
+    def sim_wall_hours(self) -> float:
+        return self.sim_wall_seconds / 3600.0

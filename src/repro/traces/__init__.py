@@ -1,0 +1,28 @@
+"""Trace substrate: the .pkatrace serialization format and the selective
+tracing plans that turn PKS selections into terabyte savings."""
+
+from repro.traces.format import (
+    TRACE_FORMAT_VERSION,
+    dumps_trace,
+    estimated_trace_bytes,
+    loads_trace,
+    read_trace,
+    write_trace,
+)
+from repro.traces.selective import (
+    TracingPlan,
+    build_tracing_plan,
+    write_selected_traces,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TracingPlan",
+    "build_tracing_plan",
+    "dumps_trace",
+    "estimated_trace_bytes",
+    "loads_trace",
+    "read_trace",
+    "write_selected_traces",
+    "write_trace",
+]

@@ -1,0 +1,141 @@
+"""Kernel trace format: serialize launches the way a tracer would.
+
+Accel-Sim's pipeline is *trace-driven*: an NVBit tracer records every
+kernel's instructions to disk, and the simulator replays them.  At MLPerf
+scale the traces weigh terabytes — which is why PKS's output matters
+twice: it reduces not just what is simulated but what must be *traced*.
+
+This module provides a faithful, compact stand-in for that pipeline: a
+line-oriented text format (``.pkatrace``) that captures everything the
+simulator consumes about a launch (the full kernel spec, grid, NVTX
+annotations), plus estimated on-disk size of the *real* instruction-level
+trace the launch would produce, so selective-tracing savings can be
+quantified.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections.abc import Sequence
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.gpu.kernels import InstructionMix, KernelLaunch, KernelSpec
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "estimated_trace_bytes",
+    "write_trace",
+    "read_trace",
+    "dumps_trace",
+    "loads_trace",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+# An NVBit-style instruction trace stores roughly 16 bytes per executed
+# warp instruction (opcode, operands, addresses) after light compression.
+_BYTES_PER_WARP_INSTRUCTION = 16.0
+_HEADER_PREFIX = "#pkatrace"
+
+
+def estimated_trace_bytes(launch: KernelLaunch) -> float:
+    """On-disk size of the instruction-level trace this launch produces."""
+    return launch.warp_instructions * _BYTES_PER_WARP_INSTRUCTION
+
+
+def _launch_record(launch: KernelLaunch) -> dict:
+    spec = launch.spec
+    return {
+        "launch_id": launch.launch_id,
+        "grid_blocks": launch.grid_blocks,
+        "nvtx": launch.nvtx,
+        "spec": {
+            "name": spec.name,
+            "threads_per_block": spec.threads_per_block,
+            "regs_per_thread": spec.regs_per_thread,
+            "shared_mem_per_block": spec.shared_mem_per_block,
+            "divergence_efficiency": spec.divergence_efficiency,
+            "sectors_per_global_access": spec.sectors_per_global_access,
+            "l2_locality": spec.l2_locality,
+            "working_set_bytes": spec.working_set_bytes,
+            "duration_cv": spec.duration_cv,
+            "phase_drift": spec.phase_drift,
+            "cold_start_factor": spec.cold_start_factor,
+            "uses_tensor_cores": spec.uses_tensor_cores,
+            "mix": asdict(spec.mix),
+        },
+    }
+
+
+def _launch_from_record(record: dict) -> KernelLaunch:
+    try:
+        spec_data = dict(record["spec"])
+        mix = InstructionMix(**spec_data.pop("mix"))
+        spec = KernelSpec(mix=mix, **spec_data)
+        return KernelLaunch(
+            spec=spec,
+            grid_blocks=record["grid_blocks"],
+            launch_id=record["launch_id"],
+            nvtx=dict(record.get("nvtx", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise WorkloadError(f"malformed trace record: {exc}") from exc
+
+
+def dumps_trace(workload_name: str, launches: Sequence[KernelLaunch]) -> str:
+    """Serialize launches to the textual .pkatrace format."""
+    buffer = io.StringIO()
+    header = {
+        "version": TRACE_FORMAT_VERSION,
+        "workload": workload_name,
+        "launches": len(launches),
+        "estimated_full_trace_bytes": sum(
+            estimated_trace_bytes(launch) for launch in launches
+        ),
+    }
+    buffer.write(f"{_HEADER_PREFIX} {json.dumps(header, sort_keys=True)}\n")
+    for launch in launches:
+        buffer.write(json.dumps(_launch_record(launch), sort_keys=True))
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+def loads_trace(text: str) -> tuple[str, list[KernelLaunch]]:
+    """Parse a .pkatrace document; returns (workload_name, launches)."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+        raise WorkloadError("not a pkatrace document (missing header)")
+    header = json.loads(lines[0][len(_HEADER_PREFIX) :])
+    if header.get("version") != TRACE_FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported trace version {header.get('version')!r} "
+            f"(this reader supports {TRACE_FORMAT_VERSION})"
+        )
+    launches = [
+        _launch_from_record(json.loads(line))
+        for line in lines[1:]
+        if line.strip()
+    ]
+    declared = header.get("launches")
+    if declared is not None and declared != len(launches):
+        raise WorkloadError(
+            f"trace declares {declared} launches but contains {len(launches)}"
+        )
+    return header.get("workload", ""), launches
+
+
+def write_trace(
+    path: str | Path, workload_name: str, launches: Sequence[KernelLaunch]
+) -> Path:
+    """Write launches to ``path`` in .pkatrace format."""
+    path = Path(path)
+    path.write_text(dumps_trace(workload_name, launches), encoding="utf-8")
+    return path
+
+
+def read_trace(path: str | Path) -> tuple[str, list[KernelLaunch]]:
+    """Read a .pkatrace file; returns (workload_name, launches)."""
+    return loads_trace(Path(path).read_text(encoding="utf-8"))

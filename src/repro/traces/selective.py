@@ -1,0 +1,95 @@
+"""Selective tracing: only the principal kernels hit the disk.
+
+The practical payoff of Principal Kernel Selection upstream of the
+simulator: instead of tracing 5.3 million kernels (terabytes), trace the
+handful of representatives.  This module builds a *tracing plan* from a
+:class:`~repro.core.pka.KernelSelection` and quantifies the saving.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.pka import KernelSelection
+from repro.gpu.kernels import KernelLaunch
+from repro.traces.format import estimated_trace_bytes, write_trace
+
+__all__ = ["TracingPlan", "build_tracing_plan", "write_selected_traces"]
+
+
+@dataclass(frozen=True)
+class TracingPlan:
+    """Which launches to trace and what that saves.
+
+    Attributes
+    ----------
+    workload:
+        Application name.
+    selected_launch_ids:
+        Launch ids the tracer must capture (the principal kernels),
+        ascending.
+    full_trace_bytes / selected_trace_bytes:
+        Estimated on-disk instruction-trace sizes with and without
+        selection.
+    """
+
+    workload: str
+    selected_launch_ids: tuple[int, ...]
+    full_trace_bytes: float
+    selected_trace_bytes: float
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times smaller the selective trace is."""
+        if self.selected_trace_bytes <= 0:
+            return float("inf")
+        return self.full_trace_bytes / self.selected_trace_bytes
+
+    @property
+    def selected_count(self) -> int:
+        return len(self.selected_launch_ids)
+
+
+def build_tracing_plan(
+    selection: KernelSelection,
+    launches: Sequence[KernelLaunch],
+) -> TracingPlan:
+    """Derive the tracing plan implied by a PKA selection."""
+    selected = set(selection.selected_launch_ids)
+    full_bytes = 0.0
+    selected_bytes = 0.0
+    for launch in launches:
+        size = estimated_trace_bytes(launch)
+        full_bytes += size
+        if launch.launch_id in selected:
+            selected_bytes += size
+    return TracingPlan(
+        workload=selection.workload,
+        selected_launch_ids=selection.selected_launch_ids,
+        full_trace_bytes=full_bytes,
+        selected_trace_bytes=selected_bytes,
+    )
+
+
+def write_selected_traces(
+    selection: KernelSelection,
+    launches: Sequence[KernelLaunch],
+    directory: str | Path,
+) -> list[Path]:
+    """Write one .pkatrace file per principal kernel into ``directory``.
+
+    Mirrors the per-kernel trace files a selective tracer would leave
+    behind; the simulator-side tooling can replay them individually.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    by_id = {launch.launch_id: launch for launch in launches}
+    paths = []
+    for launch_id in selection.selected_launch_ids:
+        launch = by_id[launch_id]
+        path = directory / f"{selection.workload}.kernel_{launch_id}.pkatrace"
+        write_trace(path, selection.workload, [launch])
+        paths.append(path)
+    return paths

@@ -1,0 +1,173 @@
+"""Workload specifications and the 147-workload registry.
+
+A :class:`WorkloadSpec` names one benchmark (one row of the paper's
+Table 4), knows how to build its kernel-launch list deterministically, and
+records the metadata the harness needs: which suite it belongs to, the
+launch-count ``scale`` factor applied by the synthetic generator (see
+DESIGN.md §4), whether full simulation is tractable, how much device
+memory it needs (MLPerf does not fit on the RTX 2060), and any known
+quirks (the paper excludes myocyte and DeepBench conv-training runs whose
+kernel counts mismatch between profiling and tracing runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelLaunch
+
+__all__ = [
+    "WorkloadSpec",
+    "register",
+    "get_workload",
+    "iter_workloads",
+    "suite_names",
+    "workload_names",
+    "clear_registry",
+]
+
+Builder = Callable[[], list[KernelLaunch]]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark workload.
+
+    Attributes
+    ----------
+    name / suite:
+        Identifiers; ``name`` is unique across the registry.
+    builder:
+        Zero-argument callable producing the deterministic launch list.
+    scale:
+        Launch-count downscale applied by the generator: the paper-sized
+        workload launches ``scale`` times more kernels than ``build()``
+        returns.  Time projections multiply it back in.
+    completable:
+        Whether full simulation finishes in tolerable time (the paper's
+        Figures 7/8 include only completable workloads).
+    min_memory_gb:
+        Device-memory footprint; used to exclude MLPerf from the 6 GB
+        RTX 2060.
+    quirks:
+        Known anomalies, e.g. ``"kernel_mismatch"`` for workloads whose
+        profiled and traced runs launch different kernel counts.
+    variant_builders:
+        Per-generation builders for workloads whose execution genuinely
+        differs across GPUs (cuDNN's runtime algorithm selection).
+    """
+
+    name: str
+    suite: str
+    builder: Builder
+    scale: float = 1.0
+    completable: bool = True
+    min_memory_gb: float = 2.0
+    quirks: tuple[str, ...] = ()
+    variant_builders: dict[str, Builder] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scale < 1.0:
+            raise WorkloadError("scale must be >= 1")
+        if self.min_memory_gb <= 0:
+            raise WorkloadError("min_memory_gb must be positive")
+
+    def build(self, generation: str | None = None) -> list[KernelLaunch]:
+        """Build the launch list, optionally for a specific GPU generation.
+
+        Most workloads run identically on every generation; the few with
+        ``variant_builders`` (cuDNN autotuned ones) produce a different
+        list on the named generation — the source of the paper's Turing
+        conv-training anomaly.
+        """
+        if generation is not None and generation in self.variant_builders:
+            return self.variant_builders[generation]()
+        return self.builder()
+
+    def fits_on(self, gpu: GPUConfig) -> bool:
+        """Whether the workload's footprint fits in the GPU's memory."""
+        return gpu.dram_capacity_gb >= self.min_memory_gb
+
+    @property
+    def excluded(self) -> bool:
+        """Workloads the paper reports as "*" (kernel-count mismatches)."""
+        return "kernel_mismatch" in self.quirks
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a workload to the global registry (name must be unique)."""
+    if spec.name in _REGISTRY:
+        raise WorkloadError(f"workload {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look a workload up by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise WorkloadError(f"unknown workload {name!r}") from exc
+
+
+def iter_workloads(suite: str | None = None) -> Iterator[WorkloadSpec]:
+    """Iterate registered workloads, optionally restricted to one suite."""
+    _ensure_loaded()
+    for spec in _REGISTRY.values():
+        if suite is None or spec.suite == suite:
+            yield spec
+
+
+def suite_names() -> list[str]:
+    """All registered suite names, in first-seen order."""
+    _ensure_loaded()
+    seen: dict[str, None] = {}
+    for spec in _REGISTRY.values():
+        seen.setdefault(spec.suite, None)
+    return list(seen)
+
+
+def workload_names(suite: str | None = None) -> list[str]:
+    """All registered workload names, optionally restricted to one suite."""
+    return [spec.name for spec in iter_workloads(suite)]
+
+
+_LOADED = False
+
+
+def clear_registry() -> None:
+    """Empty the registry (test isolation helper); it reloads on next use."""
+    global _LOADED
+    _REGISTRY.clear()
+    _LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Populate the registry from the suite modules on first access.
+
+    Each suite module exposes ``build_suite() -> list[WorkloadSpec]``;
+    importing is deferred to avoid a circular import at package load.
+    """
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.workloads import (
+        cutlass,
+        deepbench,
+        mlperf,
+        parboil,
+        polybench,
+        rodinia,
+    )
+
+    for module in (rodinia, parboil, polybench, cutlass, deepbench, mlperf):
+        for spec in module.build_suite():
+            register(spec)
+    _LOADED = True

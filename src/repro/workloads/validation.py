@@ -1,0 +1,122 @@
+"""Corpus validation: structural invariants every workload must satisfy.
+
+The suite generators are plain code; a typo there silently skews every
+downstream experiment.  ``validate_corpus`` checks each workload against
+the invariants the rest of the library assumes — chronological launch
+ids, bounded grids, buildable determinism, scale sanity, quirk/metadata
+coherence — and returns structured diagnostics instead of crashing, so
+both the test suite and the ``pka`` CLI can report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.spec import WorkloadSpec, iter_workloads
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_workload", "validate_corpus"]
+
+_MAX_GRID_BLOCKS = 60_000
+_MAX_LAUNCHES = 120_000
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violated invariant in one workload."""
+
+    workload: str
+    check: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Aggregate outcome of validating a set of workloads."""
+
+    workloads_checked: int
+    issues: tuple[ValidationIssue, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def issues_for(self, workload: str) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.workload == workload]
+
+
+def validate_workload(spec: WorkloadSpec) -> list[ValidationIssue]:
+    """Check one workload's structural invariants."""
+    issues: list[ValidationIssue] = []
+
+    def issue(check: str, detail: str) -> None:
+        issues.append(ValidationIssue(spec.name, check, detail))
+
+    try:
+        launches = spec.build()
+    except Exception as error:  # noqa: BLE001 — reported, not raised
+        issue("buildable", f"builder raised {error!r}")
+        return issues
+
+    if not launches:
+        issue("nonempty", "builder returned no launches")
+        return issues
+    if len(launches) > _MAX_LAUNCHES:
+        issue(
+            "bounded_launches",
+            f"{len(launches)} launches exceed the {_MAX_LAUNCHES} cap",
+        )
+
+    ids = [launch.launch_id for launch in launches]
+    if ids != list(range(len(launches))):
+        issue("chronological_ids", "launch ids are not 0..n-1 in order")
+
+    oversized = [
+        launch.launch_id
+        for launch in launches
+        if launch.grid_blocks > _MAX_GRID_BLOCKS
+    ]
+    if oversized:
+        issue(
+            "bounded_grids",
+            f"launches {oversized[:5]} exceed {_MAX_GRID_BLOCKS} blocks",
+        )
+
+    rebuilt = spec.build()
+    if len(rebuilt) != len(launches) or any(
+        a.spec.signature() != b.spec.signature() or a.grid_blocks != b.grid_blocks
+        for a, b in zip(launches, rebuilt)
+    ):
+        issue("deterministic", "two builds disagree")
+
+    if spec.suite == "mlperf":
+        if spec.scale <= 1.0:
+            issue("mlperf_scale", "MLPerf workloads must record a scale factor")
+        if spec.completable:
+            issue("mlperf_completable", "MLPerf must not claim completability")
+        untagged = sum(1 for launch in launches if not launch.nvtx)
+        if untagged / len(launches) > 0.05:
+            issue(
+                "nvtx_annotations",
+                f"{untagged} launches lack PyProf-style NVTX tags",
+            )
+
+    for generation, builder in spec.variant_builders.items():
+        try:
+            variant = builder()
+        except Exception as error:  # noqa: BLE001
+            issue("variant_buildable", f"{generation} variant raised {error!r}")
+            continue
+        if not variant:
+            issue("variant_nonempty", f"{generation} variant is empty")
+
+    return issues
+
+
+def validate_corpus(suite: str | None = None) -> ValidationReport:
+    """Validate every registered workload (optionally one suite)."""
+    issues: list[ValidationIssue] = []
+    count = 0
+    for spec in iter_workloads(suite):
+        count += 1
+        issues.extend(validate_workload(spec))
+    return ValidationReport(workloads_checked=count, issues=tuple(issues))

@@ -1,0 +1,94 @@
+"""Unit-level tests for the figure builders' data contracts.
+
+Shape assertions for the corpus-wide artifacts live in `benchmarks/`;
+these tests pin the builders' structural contracts cheaply via the shared
+session harness (every underlying run is memoized).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    figure1_time_landscape,
+    figure6_simtime_reduction,
+    figure7_speedups,
+    figure9_volta_over_turing,
+    figure10_half_sms,
+)
+
+
+class TestFigure1Contract:
+    def test_sorted_by_silicon_time(self, harness):
+        landscapes = figure1_time_landscape(harness)
+        times = [landscape.silicon_seconds for landscape in landscapes]
+        assert times == sorted(times)
+
+    def test_one_row_per_workload(self, harness):
+        landscapes = figure1_time_landscape(harness)
+        names = {landscape.workload for landscape in landscapes}
+        assert len(names) == len(landscapes) == 147
+
+
+class TestFigure6Contract:
+    def test_sorted_by_full_hours(self, harness):
+        rows = figure6_simtime_reduction(harness)
+        hours = [row.full_hours for row in rows]
+        assert hours == sorted(hours)
+
+    def test_starred_rows_match_quirks(self, harness):
+        rows = {row.workload: row for row in figure6_simtime_reduction(harness)}
+        assert rows["db_conv_train_fp32_0"].pks_hours is None
+        assert rows["histo"].pks_hours is not None
+
+
+class TestFigure78Contract:
+    def test_parallel_tuples(self, harness):
+        aggregate = figure7_speedups(harness)
+        n = len(aggregate.workloads)
+        for attribute in (
+            "full_errors",
+            "pka_speedups",
+            "pka_errors",
+            "tbpoint_speedups",
+            "tbpoint_errors",
+            "first1b_speedups",
+            "first1b_errors",
+        ):
+            assert len(getattr(aggregate, attribute)) == n, attribute
+
+    def test_mean_error_rejects_unknown_method(self, harness):
+        aggregate = figure7_speedups(harness)
+        with pytest.raises(KeyError):
+            aggregate.mean_error("simpoint")
+
+    def test_geomeans_positive(self, harness):
+        aggregate = figure7_speedups(harness)
+        assert aggregate.pka_speedup_geomean > 0
+        assert aggregate.tbpoint_speedup_geomean > 0
+        assert aggregate.first1b_speedup_geomean > 0
+
+
+class TestRelativeAccuracyContract:
+    def test_figure9_parallel_series(self, harness):
+        study = figure9_volta_over_turing(harness)
+        n = len(study.workloads)
+        assert len(study.silicon) == len(study.full_sim) == n
+        assert len(study.first1b) == len(study.pka) == n
+
+    def test_figure9_geomeans_keys(self, harness):
+        study = figure9_volta_over_turing(harness)
+        assert set(study.geomeans) == {"silicon", "full_sim", "first1b", "pka"}
+        assert set(study.mae_wrt_silicon) == {"full_sim", "first1b", "pka"}
+
+    def test_figure10_covers_mlperf_via_pka_only_series(self, harness):
+        study = figure10_half_sms(harness)
+        assert len(study.pka_only_workloads) == 7
+        assert all(
+            name.startswith("mlperf") for name in study.pka_only_workloads
+        )
+        assert study.pka_only_mae < 25.0
+
+    def test_figure9_excludes_mlperf(self, harness):
+        study = figure9_volta_over_turing(harness)
+        assert not any(name.startswith("mlperf") for name in study.workloads)

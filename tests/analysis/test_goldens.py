@@ -1,0 +1,81 @@
+"""Golden-number regression: headline metrics must not drift silently.
+
+``goldens.json`` pins the aggregates EXPERIMENTS.md quotes.  A deliberate
+recalibration should regenerate it (see the module docstring of
+``repro.analysis.goldens``); anything else moving these numbers is a bug
+in a generator or the performance model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.goldens import (
+    GOLDENS_PATH,
+    collect_headline_metrics,
+    load_goldens,
+)
+
+# Errors and MAEs may wobble a little with numeric churn; geomeans of
+# speedups are tighter.  Tolerances are relative.
+_TOLERANCES = {
+    "fig7.": 0.10,
+    "fig8.": 0.15,
+    "fig9.": 0.05,
+    "fig10.": 0.25,
+    "table4.": 0.15,
+}
+
+
+def _tolerance(key: str) -> float:
+    for prefix, tolerance in _TOLERANCES.items():
+        if key.startswith(prefix):
+            return tolerance
+    return 0.10
+
+
+@pytest.fixture(scope="module")
+def current(harness):
+    return collect_headline_metrics(harness)
+
+
+def test_goldens_file_exists():
+    assert GOLDENS_PATH.exists(), (
+        "goldens.json missing — regenerate via repro.analysis.goldens"
+    )
+
+
+def test_every_golden_still_collected(current):
+    goldens = load_goldens()
+    assert set(goldens) <= set(current)
+
+
+def test_headline_metrics_match_goldens(current):
+    goldens = load_goldens()
+    drifted = []
+    for key, expected in goldens.items():
+        actual = current[key]
+        tolerance = _tolerance(key)
+        reference = max(abs(expected), 1e-9)
+        if abs(actual - expected) / reference > tolerance:
+            drifted.append((key, expected, round(actual, 4)))
+    assert not drifted, f"metrics drifted beyond tolerance: {drifted}"
+
+
+def test_goldens_stay_in_paper_shape():
+    """Beyond drift detection: the stored goldens themselves must encode
+    the paper's orderings, so a bad regeneration cannot be snuck in."""
+    goldens = load_goldens()
+    # 1B error is several times full-sim error.
+    assert goldens["fig8.first1b_mean_error"] > 3 * goldens["fig8.full_mean_error"]
+    # PKA reduces more than TBPoint.
+    assert (
+        goldens["fig7.pka_speedup_geomean"]
+        > goldens["fig7.tbpoint_speedup_geomean"]
+    )
+    # PKA tracks full sim on the case studies.
+    assert abs(
+        goldens["fig9.pka_geomean"] - goldens["fig9.full_sim_geomean"]
+    ) < 0.4
+    # MLPerf silicon speedups are enormous.
+    assert goldens["table4.mlperf.silicon_speedup_geomean"] > 300

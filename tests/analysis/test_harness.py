@@ -1,0 +1,116 @@
+"""Tests for the evaluation harness (memoization and applicability rules).
+
+Uses the session-scoped ``harness`` fixture so repeated accesses across the
+analysis tests share one set of runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import TURING_RTX2060, VOLTA_V100, volta_v100_half_sms
+
+
+class TestMemoization:
+    def test_silicon_executor_shared(self, harness):
+        assert harness.silicon(VOLTA_V100) is harness.silicon(VOLTA_V100)
+
+    def test_simulator_shared(self, harness):
+        assert harness.simulator(VOLTA_V100) is harness.simulator(VOLTA_V100)
+
+    def test_evaluation_shared(self, harness):
+        assert harness.evaluation("histo") is harness.evaluation("histo")
+
+    def test_runs_memoized(self, harness):
+        evaluation = harness.evaluation("histo")
+        assert evaluation.silicon("volta") is evaluation.silicon("volta")
+        assert evaluation.selection() is evaluation.selection()
+        assert evaluation.full_sim() is evaluation.full_sim()
+
+
+class TestApplicabilityRules:
+    def test_mlperf_no_full_sim(self, harness):
+        evaluation = harness.evaluation("mlperf_3dunet_inference")
+        assert evaluation.full_sim() is None
+        assert evaluation.pka_sim() is not None
+
+    def test_mlperf_not_on_turing(self, harness):
+        evaluation = harness.evaluation("mlperf_3dunet_inference")
+        assert not evaluation.runs_on(TURING_RTX2060)
+        assert evaluation.silicon("turing") is None
+
+    def test_sim_mismatch_quirk_blocks_sampled_sim(self, harness):
+        evaluation = harness.evaluation("db_conv_train_fp32_0")
+        assert evaluation.pks_sim() is None
+        assert evaluation.pka_sim() is None
+        # Silicon-side PKS still works on Volta (the paper reports it).
+        assert evaluation.pks_silicon("volta") is not None
+
+    def test_tensor_conv_training_missing_on_other_generations(self, harness):
+        evaluation = harness.evaluation("db_conv_train_tc_0")
+        assert evaluation.silicon("volta") is not None
+        assert evaluation.silicon("turing") is None
+        assert evaluation.silicon("ampere") is None
+
+    def test_tbpoint_refuses_mlperf(self, harness):
+        evaluation = harness.evaluation("mlperf_ssd_training")
+        assert evaluation.tbpoint_selection() is None
+
+    def test_completable_excludes_starred_rows(self, harness):
+        names = {e.spec.name for e in harness.completable_evaluations()}
+        assert "myocyte" not in names
+        assert "db_conv_train_fp32_0" not in names
+        assert "mlperf_ssd_training" not in names
+        assert "histo" in names
+
+
+class TestCustomGPUs:
+    def test_half_sm_slows_regular_workloads(self, harness):
+        """Halving SMs never speeds a regular workload up.  (Irregular
+        sub-wave kernels can get *faster* under the block-contention
+        model: fewer resident blocks -> less per-block contention -> the
+        straggler that dominates the makespan finishes sooner.)"""
+        half = volta_v100_half_sms()
+        for name in ("fdtd2d", "lavaMD", "parboil_sgemm"):
+            evaluation = harness.evaluation(name)
+            full80 = evaluation.full_sim(VOLTA_V100)
+            full40 = evaluation.full_sim(half)
+            assert full40.total_cycles >= full80.total_cycles * 0.999, name
+
+    def test_turing_variant_workload_differs(self, harness):
+        evaluation = harness.evaluation("db_conv_train_fp32_0")
+        assert len(evaluation.launches("turing")) != len(evaluation.launches("volta"))
+
+
+class TestMethodOrderings:
+    """The paper's qualitative orderings, on a handful of workloads."""
+
+    @pytest.mark.parametrize("name", ["gramschmidt", "fdtd2d", "gauss_208"])
+    def test_pka_cheaper_than_full(self, harness, name):
+        evaluation = harness.evaluation(name)
+        full = evaluation.full_sim()
+        pka = evaluation.pka_sim()
+        assert pka.simulated_cycles < full.simulated_cycles
+
+    @pytest.mark.parametrize("name", ["gramschmidt", "histo", "fdtd2d"])
+    def test_pks_error_tracks_full_error(self, harness, name):
+        from repro.analysis import abs_pct_error
+
+        evaluation = harness.evaluation(name)
+        silicon = evaluation.silicon("volta")
+        full = evaluation.full_sim()
+        pks = evaluation.pks_sim()
+        full_error = abs_pct_error(full.total_cycles, silicon.total_cycles)
+        pks_error = abs_pct_error(pks.total_cycles, silicon.total_cycles)
+        assert abs(pks_error - full_error) < 25.0
+
+    def test_pks_silicon_error_small(self, harness):
+        from repro.analysis import abs_pct_error
+
+        for name in ("gauss_208", "histo", "cutcp", "fdtd2d"):
+            evaluation = harness.evaluation(name)
+            truth = evaluation.silicon("volta")
+            projected = evaluation.pks_silicon("volta")
+            assert (
+                abs_pct_error(projected.total_cycles, truth.total_cycles) < 6.0
+            ), name

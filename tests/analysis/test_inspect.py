@@ -1,0 +1,67 @@
+"""Tests for the workload inspector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import inspect_workload
+from repro.gpu import VOLTA_V100
+
+
+def _profile(harness, name):
+    evaluation = harness.evaluation(name)
+    return inspect_workload(
+        name,
+        evaluation.launches("volta"),
+        silicon=harness.silicon(VOLTA_V100),
+    )
+
+
+class TestInspectWorkload:
+    def test_basic_counts(self, harness):
+        profile = _profile(harness, "histo")
+        assert profile.launches == 80
+        assert profile.distinct_kernels == 4
+
+    def test_shares_sum_to_one(self, harness):
+        profile = _profile(harness, "fdtd2d")
+        assert sum(profile.bottleneck_cycle_share.values()) == pytest.approx(1.0)
+        assert sum(profile.mix_share.values()) == pytest.approx(1.0)
+
+    def test_bfs_is_memory_bound_and_irregular(self, harness):
+        profile = _profile(harness, "bfs1MW")
+        assert profile.dominant_bottleneck == "memory"
+        assert profile.irregular_fraction > 0.4
+
+    def test_gemm_is_compute_bound(self, harness):
+        profile = _profile(harness, "parboil_sgemm")
+        assert profile.dominant_bottleneck == "compute"
+        assert profile.mix_share["fp_ops"] > 0.4
+
+    def test_gaussian_is_latency_bound(self, harness):
+        profile = _profile(harness, "gauss_208")
+        assert profile.dominant_bottleneck == "latency"
+        assert profile.sub_wave_fraction == 1.0
+
+    def test_tensor_workload_reports_tensor_ops(self, harness):
+        profile = _profile(harness, "cutlass_wgemm_2560x128x2560")
+        assert profile.mix_share.get("tensor_ops", 0.0) > 0.3
+
+    def test_grid_stats_ordered(self, harness):
+        profile = _profile(harness, "gramschmidt")
+        low, median, high = profile.grid_stats
+        assert low <= median <= high
+        assert low == 1
+
+    def test_silicon_time_matches_executor(self, harness):
+        profile = _profile(harness, "histo")
+        evaluation = harness.evaluation("histo")
+        truth = evaluation.silicon("volta")
+        # The inspector excludes launch overheads; stay within a few %.
+        assert profile.silicon_seconds == pytest.approx(
+            truth.silicon_seconds, rel=0.25
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            inspect_workload("empty", [])

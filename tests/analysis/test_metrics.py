@@ -1,0 +1,93 @@
+"""Tests for repro.analysis.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import abs_pct_error, format_duration, geomean, mae, mean, speedup
+
+
+class TestAbsPctError:
+    def test_exact_is_zero(self):
+        assert abs_pct_error(10.0, 10.0) == 0.0
+
+    def test_symmetric_in_magnitude(self):
+        assert abs_pct_error(15.0, 10.0) == pytest.approx(50.0)
+        assert abs_pct_error(5.0, 10.0) == pytest.approx(50.0)
+
+    def test_zero_reference(self):
+        assert abs_pct_error(0.0, 0.0) == 0.0
+        assert math.isinf(abs_pct_error(1.0, 0.0))
+
+    @given(st.floats(0.1, 1e6), st.floats(0.1, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative(self, estimate, reference):
+        assert abs_pct_error(estimate, reference) >= 0.0
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+
+    def test_zero_cost_is_infinite(self):
+        assert math.isinf(speedup(10.0, 0.0))
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 8.0, 0.0, -5.0]) == pytest.approx(4.0)
+
+    def test_ignores_infinite(self):
+        assert geomean([2.0, 8.0, float("inf")]) == pytest.approx(4.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_between_min_and_max(self, values):
+        result = geomean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestMeanAndMae:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_skips_nan(self):
+        assert mean([1.0, float("nan"), 3.0]) == pytest.approx(2.0)
+
+    def test_mae(self):
+        assert mae([1.1, 0.9], [1.0, 1.0]) == pytest.approx(10.0)
+
+    def test_mae_empty(self):
+        assert mae([], []) == 0.0
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds, expected_unit",
+        [
+            (5e-6, "us"),
+            (5e-3, "ms"),
+            (30.0, "s"),
+            (120.0, "min"),
+            (7_200.0, "h"),
+            (200_000.0, "day"),
+            (5e6, "month"),
+            (8e7, "year"),
+            (4e9, "century"),
+        ],
+    )
+    def test_unit_selection(self, seconds, expected_unit):
+        assert expected_unit in format_duration(seconds)
+
+    def test_zero(self):
+        assert format_duration(0.0) == "0 s"

@@ -1,0 +1,83 @@
+"""Tests for selection persistence (the artifact's pkl-file hand-off)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.persistence import (
+    dump_selection,
+    load_selection,
+    read_selection,
+    save_selection,
+)
+from repro.errors import ReproError
+from repro.gpu import TURING_RTX2060, VOLTA_V100
+from repro.sim import SiliconExecutor
+
+
+@pytest.fixture(scope="module")
+def selection(harness):
+    return harness.evaluation("gramschmidt").selection()
+
+
+class TestRoundTrip:
+    def test_identity_fields(self, selection):
+        restored = load_selection(dump_selection(selection))
+        assert restored.workload == selection.workload
+        assert restored.total_launches == selection.total_launches
+        assert restored.total_warp_instructions == pytest.approx(
+            selection.total_warp_instructions
+        )
+        assert restored.pks.k == selection.pks.k
+        assert restored.selected_launch_ids == selection.selected_launch_ids
+        assert [g.weight for g in restored.groups] == [
+            g.weight for g in selection.groups
+        ]
+
+    def test_representatives_identical(self, selection):
+        restored = load_selection(dump_selection(selection))
+        for original, loaded in zip(selection.groups, restored.groups):
+            assert loaded.representative.spec == original.representative.spec
+            assert (
+                loaded.representative.grid_blocks
+                == original.representative.grid_blocks
+            )
+
+    def test_restored_selection_simulates_identically(self, selection, harness):
+        restored = load_selection(dump_selection(selection))
+        simulator = harness.simulator(VOLTA_V100)
+        original_run = harness.pka.simulate(selection, simulator)
+        restored_run = harness.pka.simulate(restored, simulator)
+        assert restored_run.total_cycles == pytest.approx(
+            original_run.total_cycles
+        )
+        assert restored_run.simulated_cycles == pytest.approx(
+            original_run.simulated_cycles
+        )
+
+    def test_restored_selection_projects_other_silicon(self, selection, harness):
+        restored = load_selection(dump_selection(selection))
+        turing = SiliconExecutor(TURING_RTX2060)
+        original = harness.pka.project_silicon(selection, turing)
+        loaded = harness.pka.project_silicon(restored, turing)
+        assert loaded.total_cycles == pytest.approx(original.total_cycles)
+
+    def test_file_roundtrip(self, selection, tmp_path):
+        path = save_selection(tmp_path / "sel.json", selection)
+        restored = read_selection(path)
+        assert restored.workload == selection.workload
+
+
+class TestValidation:
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            load_selection("not json at all {")
+
+    def test_rejects_wrong_version(self, selection):
+        text = dump_selection(selection).replace('"version": 1', '"version": 9')
+        with pytest.raises(ReproError):
+            load_selection(text)
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ReproError):
+            load_selection('{"version": 1, "workload": "x"}')

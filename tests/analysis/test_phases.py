@@ -1,0 +1,86 @@
+"""Tests for kernel-launch phase detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.phases import detect_phases
+from repro.gpu import KernelLaunch
+from repro.workloads import compute_spec, get_workload, streaming_spec, tiny_spec
+
+
+def _two_phase_app(first=30, second=30):
+    heavy = compute_spec("ph_gemm", flops=5_000.0, shared=400.0)
+    light = tiny_spec("ph_tiny", work=40.0)
+    launches = [
+        KernelLaunch(spec=heavy, grid_blocks=1_000, launch_id=i)
+        for i in range(first)
+    ]
+    launches += [
+        KernelLaunch(spec=light, grid_blocks=4, launch_id=first + i)
+        for i in range(second)
+    ]
+    return launches
+
+
+class TestDetectPhases:
+    def test_homogeneous_app_is_one_phase(self):
+        spec = streaming_spec("ph_uniform")
+        launches = [
+            KernelLaunch(spec=spec, grid_blocks=512, launch_id=i)
+            for i in range(50)
+        ]
+        analysis = detect_phases("uniform", launches)
+        assert analysis.n_phases == 1
+        assert analysis.phases[0].launches == 50
+
+    def test_two_phase_app_detected(self):
+        analysis = detect_phases("two_phase", _two_phase_app())
+        assert analysis.n_phases == 2
+        assert analysis.phases[0].end_launch == pytest.approx(30, abs=8)
+
+    def test_phases_partition_the_sequence(self):
+        analysis = detect_phases("two_phase", _two_phase_app())
+        boundaries = [(p.start_launch, p.end_launch) for p in analysis.phases]
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == 60
+        for (_, end), (start, _) in zip(boundaries, boundaries[1:]):
+            assert end == start
+
+    def test_instruction_totals_conserved(self):
+        launches = _two_phase_app()
+        analysis = detect_phases("two_phase", launches)
+        assert sum(p.thread_instructions for p in analysis.phases) == (
+            pytest.approx(analysis.total_thread_instructions)
+        )
+
+    def test_prefix_coverage_explains_1b_failure(self):
+        """A prefix that fits inside phase 0 covers half the phases."""
+        launches = _two_phase_app()
+        analysis = detect_phases("two_phase", launches)
+        tiny_budget = launches[0].thread_instructions * 2
+        assert analysis.phase_at_instruction(tiny_budget) == 0
+        assert analysis.coverage_of_prefix(tiny_budget) == pytest.approx(0.5)
+        assert analysis.coverage_of_prefix(float("inf")) == 1.0
+
+    def test_gaussian_shrinkage_is_single_family(self):
+        """gaussian's kernels shrink smoothly — few phases, not dozens."""
+        launches = get_workload("gauss_208").build()
+        analysis = detect_phases("gauss_208", launches)
+        assert analysis.n_phases <= 5
+
+    def test_deepbench_autotune_probes_form_a_phase(self):
+        launches = get_workload("db_conv_inf_fp32_0").build()
+        analysis = detect_phases("conv", launches, window=2)
+        # Probes at the head behave differently from the real convs.
+        assert analysis.n_phases >= 2
+        assert analysis.phases[0].start_launch == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_phases("empty", [])
+        launches = _two_phase_app(5, 5)
+        with pytest.raises(ValueError):
+            detect_phases("bad", launches, window=0)
+        with pytest.raises(ValueError):
+            detect_phases("bad", launches, threshold=0.0)

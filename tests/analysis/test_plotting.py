@@ -1,0 +1,67 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure5_ipc_series
+from repro.analysis.plotting import ascii_timeseries, render_ipc_series
+
+
+class TestAsciiTimeseries:
+    def test_dimensions(self):
+        chart = ascii_timeseries(np.linspace(0, 10, 500), width=40, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 9  # height rows + axis
+        assert all(len(line) <= 11 + 40 for line in lines)
+
+    def test_monotone_series_fills_towards_the_right(self):
+        chart = ascii_timeseries(np.linspace(0, 10, 200), width=40, height=8)
+        top_row = chart.splitlines()[0]
+        body = top_row.split("|", 1)[1]
+        # The top band is only reached near the end of a rising series.
+        assert body.strip().startswith("#")
+        assert body.index("#") > len(body) // 2
+
+    def test_flat_series_fills_every_row(self):
+        chart = ascii_timeseries([5.0] * 100, width=20, height=5)
+        for line in chart.splitlines()[:-1]:
+            assert line.split("|", 1)[1].count("#") == 20
+
+    def test_markers_on_ruler(self):
+        chart = ascii_timeseries(
+            [1.0] * 100, width=20, height=4, markers={50: "B"}
+        )
+        assert "B" in chart.splitlines()[-1]
+
+    def test_y_label(self):
+        chart = ascii_timeseries([1.0, 2.0], y_label="IPC")
+        assert chart.splitlines()[0].startswith("IPC")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_timeseries([])
+
+    def test_tiny_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_timeseries([1.0], width=1)
+
+    def test_all_zero_series(self):
+        chart = ascii_timeseries([0.0] * 10)
+        assert "#" not in chart
+
+
+class TestRenderIpcSeries:
+    def test_figure5_rendering(self, harness):
+        series = figure5_ipc_series(harness, "atax")
+        rendered = render_ipc_series(series)
+        assert "IPC, atax/" in rendered
+        assert "B: s=0.25" in rendered
+        # The default threshold fires on atax, so its marker is drawn.
+        assert "B" in rendered.splitlines()[-2]
+
+    def test_never_firing_threshold_labelled(self, harness):
+        series = figure5_ipc_series(harness, "bfs1MW", launch_index=24)
+        rendered = render_ipc_series(series)
+        assert "(never fires)" in rendered

@@ -1,0 +1,43 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+from repro.analysis import render_report, write_report
+
+
+class TestRenderReport:
+    def test_contains_every_section(self, harness):
+        report = render_report(harness)
+        for heading in (
+            "# Principal Kernel Analysis — evaluation report",
+            "## Figure 1",
+            "## Table 3",
+            "## Figures 7 & 8",
+            "## Figures 9 & 10",
+            "## Table 4",
+        ):
+            assert heading in report
+
+    def test_table4_has_all_workloads(self, harness):
+        report = render_report(harness)
+        for name in ("gramschmidt", "mlperf_ssd_training", "histo", "myocyte"):
+            assert f"| {name} " in report
+
+    def test_starred_cells_render(self, harness):
+        report = render_report(harness)
+        # Table 4's myocyte row (the Figure-1 section also mentions it).
+        table4 = report[report.index("## Table 4") :]
+        myocyte_line = next(
+            line for line in table4.splitlines() if line.startswith("| myocyte ")
+        )
+        assert "*" in myocyte_line
+
+    def test_method_rows_present(self, harness):
+        report = render_report(harness)
+        for method in ("Full simulation", "PKA", "TBPoint", "1B instructions"):
+            assert f"| {method} |" in report
+
+    def test_write_report(self, harness, tmp_path):
+        path = write_report(tmp_path / "report.md", harness)
+        assert path.exists()
+        assert path.read_text(encoding="utf-8").startswith("# Principal Kernel")

@@ -1,0 +1,52 @@
+"""Tests for architecture sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import sweep_architectures
+from repro.gpu import ALL_GPUS, AMPERE_A100, TURING_RTX2060, VOLTA_V100
+
+
+@pytest.fixture(scope="module")
+def selection(harness):
+    return harness.evaluation("fdtd2d").selection()
+
+
+class TestSweepArchitectures:
+    def test_covers_every_gpu(self, selection):
+        projections = sweep_architectures(selection)
+        assert {p.gpu_name for p in projections} == {
+            gpu.name for gpu in ALL_GPUS
+        }
+
+    def test_sorted_fastest_first(self, selection):
+        projections = sweep_architectures(selection)
+        seconds = [p.projected_seconds for p in projections]
+        assert seconds == sorted(seconds)
+
+    def test_a100_beats_the_2060(self, selection):
+        projections = {p.gpu_name: p for p in sweep_architectures(selection)}
+        assert (
+            projections["A100"].projected_seconds
+            < projections["RTX2060"].projected_seconds
+        )
+
+    def test_projection_matches_direct_call(self, selection, harness):
+        from repro.sim import SiliconExecutor
+
+        (volta,) = [
+            p
+            for p in sweep_architectures(selection, gpus=[VOLTA_V100])
+            if p.gpu_name == "V100"
+        ]
+        direct = harness.pka.project_silicon(
+            selection, SiliconExecutor(VOLTA_V100)
+        )
+        assert volta.projected_cycles == pytest.approx(direct.total_cycles)
+
+    def test_subset_of_gpus(self, selection):
+        projections = sweep_architectures(
+            selection, gpus=[TURING_RTX2060, AMPERE_A100]
+        )
+        assert len(projections) == 2

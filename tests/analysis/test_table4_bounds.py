@@ -1,0 +1,74 @@
+"""Row-level Table-4 bounds: PKS silicon accuracy across the whole corpus.
+
+The paper's central accuracy claim is per-row: PKS's silicon projection
+stays within a few percent for the classic suites and within ~tens of
+percent for the scaled MLPerf workloads.  These tests assert that bound
+for *every* workload, not just aggregates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import abs_pct_error
+from repro.workloads import workload_names
+
+
+def _classic_names():
+    return [
+        name
+        for suite in ("rodinia", "parboil", "polybench", "cutlass")
+        for name in workload_names(suite)
+        if name != "myocyte"
+    ]
+
+
+@pytest.mark.parametrize("name", _classic_names())
+def test_classic_pks_silicon_error_bounded(harness, name):
+    evaluation = harness.evaluation(name)
+    truth = evaluation.silicon("volta")
+    projected = evaluation.pks_silicon("volta")
+    error = abs_pct_error(projected.total_cycles, truth.total_cycles)
+    assert error < 10.0, f"{name}: {error:.2f}%"
+
+
+@pytest.mark.parametrize("name", workload_names("mlperf"))
+def test_mlperf_pks_silicon_error_bounded(harness, name):
+    evaluation = harness.evaluation(name)
+    truth = evaluation.silicon("volta")
+    projected = evaluation.pks_silicon("volta")
+    error = abs_pct_error(projected.total_cycles, truth.total_cycles)
+    # The paper tolerates ~10-30% on the two-level MLPerf workloads.
+    assert error < 30.0, f"{name}: {error:.2f}%"
+
+
+@pytest.mark.parametrize("name", workload_names("mlperf"))
+def test_mlperf_selection_is_tiny(harness, name):
+    """MLPerf selections must be minuscule relative to the app."""
+    selection = harness.evaluation(name).selection()
+    assert selection.selected_count <= 25
+    assert selection.selected_count < selection.total_launches / 40
+
+
+@pytest.mark.parametrize(
+    "generation, bound", [("turing", 15.0), ("ampere", 15.0)]
+)
+def test_cross_generation_errors_bounded(harness, generation, bound):
+    """Volta-selected kernels keep projecting accurately per generation."""
+    violations = []
+    for name in _classic_names():
+        evaluation = harness.evaluation(name)
+        if not evaluation.runs_on(
+            __import__("repro.gpu", fromlist=["GENERATIONS"]).GENERATIONS[
+                generation
+            ]
+        ):
+            continue
+        truth = evaluation.silicon(generation)
+        projected = evaluation.pks_silicon(generation)
+        if truth is None or projected is None:
+            continue
+        error = abs_pct_error(projected.total_cycles, truth.total_cycles)
+        if error >= bound:
+            violations.append((name, round(error, 2)))
+    assert not violations, violations

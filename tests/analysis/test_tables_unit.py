@@ -1,0 +1,49 @@
+"""Unit-level contracts for the table builders."""
+
+from __future__ import annotations
+
+from repro.analysis import table3_pks_examples, table4_rows
+
+
+class TestTable3Contract:
+    def test_custom_workload_list(self, harness):
+        rows = table3_pks_examples(harness, workloads=("histo",))
+        assert len(rows) == 1
+        assert rows[0].suite == "parboil"
+
+    def test_ids_ascending_per_row(self, harness):
+        for row in table3_pks_examples(harness, workloads=("gramschmidt",)):
+            ids = list(row.selected_kernel_ids)
+            assert ids == sorted(ids)
+
+    def test_ids_and_counts_parallel(self, harness):
+        for row in table3_pks_examples(harness, workloads=("cutcp", "histo")):
+            assert len(row.selected_kernel_ids) == len(row.group_counts)
+
+
+class TestTable4Contract:
+    def test_suite_filter(self, harness):
+        rows = table4_rows(harness, suite="cutlass")
+        assert len(rows) == 20
+        assert all(row.suite == "cutlass" for row in rows)
+
+    def test_row_count_matches_corpus(self, harness):
+        assert len(table4_rows(harness)) == 147
+
+    def test_silicon_columns_cover_three_generations(self, harness):
+        (row,) = table4_rows(harness, suite="parboil")[:1]
+        assert set(row.silicon_error) == {"volta", "turing", "ampere"}
+        assert set(row.silicon_speedup) == {"volta", "turing", "ampere"}
+
+    def test_speedups_are_at_least_one_where_present(self, harness):
+        for row in table4_rows(harness, suite="rodinia"):
+            speedup = row.silicon_speedup["volta"]
+            if speedup is not None:
+                assert speedup >= 0.99, row.workload
+
+    def test_sim_hours_nonnegative(self, harness):
+        for row in table4_rows(harness, suite="mlperf"):
+            assert row.pks_sim_hours is None or row.pks_sim_hours >= 0
+            assert row.pka_sim_hours is None or row.pka_sim_hours >= 0
+            if row.pks_sim_hours is not None and row.pka_sim_hours is not None:
+                assert row.pka_sim_hours <= row.pks_sim_hours * 1.001

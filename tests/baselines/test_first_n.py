@@ -1,0 +1,101 @@
+"""Tests for the first-N-instructions baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_first_n_instructions
+from repro.errors import ReproError
+from repro.gpu import KernelLaunch
+
+
+def _app(spec, count, grid=500):
+    return [
+        KernelLaunch(spec=spec, grid_blocks=grid, launch_id=index)
+        for index in range(count)
+    ]
+
+
+class TestFirstN:
+    def test_generous_budget_equals_full_sim(
+        self, faithful_simulator, compute_spec
+    ):
+        launches = _app(compute_spec, 10)
+        result = run_first_n_instructions(
+            "app", launches, faithful_simulator, instruction_budget=1e18
+        )
+        full = faithful_simulator.run_full("app", launches)
+        assert result.total_cycles == pytest.approx(full.total_cycles)
+        assert result.simulated_cycles == pytest.approx(full.simulated_cycles)
+
+    def test_budget_truncates_and_extrapolates(
+        self, faithful_simulator, compute_spec
+    ):
+        launches = _app(compute_spec, 20)
+        one_kernel_insts = launches[0].thread_instructions
+        result = run_first_n_instructions(
+            "app",
+            launches,
+            faithful_simulator,
+            instruction_budget=one_kernel_insts * 3.5,
+        )
+        full = faithful_simulator.run_full("app", launches)
+        # Uniform app: extrapolation is nearly exact, cost is ~4/20.
+        assert result.total_cycles == pytest.approx(full.total_cycles, rel=0.05)
+        assert result.simulated_cycles < full.simulated_cycles / 4
+
+    def test_phased_app_misleads_the_prefix(self, faithful_simulator, compute_spec):
+        """If early kernels are atypically slow per instruction, the prefix
+        overestimates the app — the paper's Figure-8 effect."""
+        import dataclasses
+
+        slow = dataclasses.replace(
+            compute_spec,
+            name="warmup_probe",
+            mix=compute_spec.mix,
+            l2_locality=0.0,
+            sectors_per_global_access=32.0,
+            working_set_bytes=5e8,
+        )
+        launches = [
+            KernelLaunch(spec=slow, grid_blocks=500, launch_id=0),
+            KernelLaunch(spec=slow, grid_blocks=500, launch_id=1),
+        ] + [
+            KernelLaunch(spec=compute_spec, grid_blocks=500, launch_id=i)
+            for i in range(2, 40)
+        ]
+        truth = faithful_simulator.run_full("app", launches)
+        result = run_first_n_instructions(
+            "app",
+            launches,
+            faithful_simulator,
+            instruction_budget=launches[0].thread_instructions * 4,
+        )
+        assert result.total_cycles > 1.5 * truth.total_cycles
+
+    def test_instruction_totals_exact(self, faithful_simulator, compute_spec):
+        launches = _app(compute_spec, 10)
+        result = run_first_n_instructions(
+            "app",
+            launches,
+            faithful_simulator,
+            instruction_budget=launches[0].thread_instructions,
+        )
+        exact = sum(launch.warp_instructions for launch in launches)
+        assert result.total_instructions == pytest.approx(exact)
+
+    def test_validation(self, faithful_simulator, compute_launch):
+        with pytest.raises(ReproError):
+            run_first_n_instructions(
+                "app", [], faithful_simulator
+            )
+        with pytest.raises(ReproError):
+            run_first_n_instructions(
+                "app", [compute_launch], faithful_simulator, instruction_budget=0
+            )
+
+    def test_method_label(self, faithful_simulator, compute_launch):
+        result = run_first_n_instructions(
+            "app", [compute_launch], faithful_simulator
+        )
+        assert result.method == "first_1b"

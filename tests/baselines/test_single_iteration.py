@@ -1,0 +1,97 @@
+"""Tests for the NVArchSim-style single-iteration baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    iteration_key,
+    run_single_iteration,
+    split_iterations,
+)
+from repro.errors import ReproError
+from repro.gpu import KernelLaunch, VOLTA_V100
+from repro.workloads import get_workload, tiny_spec
+
+
+def _tagged_app(iterations=5, kernels_per=4):
+    spec = tiny_spec("iter_kernel", work=100.0)
+    launches = []
+    for iteration in range(iterations):
+        for _ in range(kernels_per):
+            launches.append(
+                KernelLaunch(
+                    spec=spec,
+                    grid_blocks=64,
+                    launch_id=len(launches),
+                    nvtx={"layer": f"iter{iteration}.stage"},
+                )
+            )
+    return launches
+
+
+class TestSplitIterations:
+    def test_iteration_key(self):
+        launch = _tagged_app()[0]
+        assert iteration_key(launch) == "iter0"
+
+    def test_untagged_has_no_key(self, compute_launch):
+        assert iteration_key(compute_launch) is None
+
+    def test_splits_by_tag(self):
+        iterations = split_iterations(_tagged_app(iterations=5, kernels_per=4))
+        assert len(iterations) == 5
+        assert all(len(chunk) == 4 for chunk in iterations)
+
+    def test_untagged_launches_attach_to_current(self, compute_spec):
+        launches = _tagged_app(iterations=2, kernels_per=2)
+        launches.insert(
+            1, KernelLaunch(spec=compute_spec, grid_blocks=8, launch_id=99)
+        )
+        iterations = split_iterations(launches)
+        assert len(iterations) == 2
+        assert len(iterations[0]) == 3
+
+    def test_resnet_batches_detected(self):
+        launches = get_workload("mlperf_resnet50_64b").build()
+        iterations = split_iterations(launches)
+        assert len(iterations) == 200  # 12800 images / batch 64
+
+
+class TestRunSingleIteration:
+    def test_uniform_app_is_exact(self, faithful_simulator):
+        launches = _tagged_app(iterations=6, kernels_per=3)
+        result = run_single_iteration("app", launches, faithful_simulator)
+        full = faithful_simulator.run_full("app", launches)
+        assert result.total_cycles == pytest.approx(full.total_cycles, rel=0.02)
+
+    def test_cost_is_one_iteration(self, faithful_simulator):
+        launches = _tagged_app(iterations=6, kernels_per=3)
+        result = run_single_iteration("app", launches, faithful_simulator)
+        full = faithful_simulator.run_full("app", launches)
+        assert result.simulated_cycles == pytest.approx(
+            full.simulated_cycles / 6, rel=0.05
+        )
+
+    def test_needs_iteration_structure(self, faithful_simulator, compute_launch):
+        with pytest.raises(ReproError):
+            run_single_iteration("app", [compute_launch], faithful_simulator)
+
+    def test_skips_first_iteration_by_default(self, faithful_simulator):
+        """The default picks iteration index 1, avoiding warm-up effects."""
+        launches = _tagged_app(iterations=3, kernels_per=2)
+        result = run_single_iteration(
+            "app", launches, faithful_simulator, iteration_index=1
+        )
+        assert result.method == "single_iteration"
+
+    def test_simulates_more_than_pka_on_resnet(self, harness):
+        """The Section-6 comparison: comparable accuracy, far more cost."""
+        evaluation = harness.evaluation("mlperf_resnet50_64b")
+        launches = evaluation.launches("volta")
+        simulator = harness.simulator(VOLTA_V100)
+        single = run_single_iteration(
+            "mlperf_resnet50_64b", launches, simulator
+        )
+        pka = evaluation.pka_sim()
+        assert single.simulated_cycles > 5.0 * pka.simulated_cycles

@@ -1,0 +1,116 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small, fast kernels and workloads; the module-scoped
+``harness`` fixture is shared across analysis tests so corpus runs are
+computed once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.harness import EvaluationHarness
+from repro.gpu import (
+    InstructionMix,
+    KernelLaunch,
+    KernelSpec,
+    VOLTA_V100,
+)
+from repro.sim import SiliconExecutor, Simulator
+from repro.sim.simulator import ModelErrorConfig
+
+
+@pytest.fixture
+def compute_mix() -> InstructionMix:
+    """A compute-heavy per-thread instruction mix."""
+    return InstructionMix(
+        fp_ops=1_200.0,
+        int_ops=300.0,
+        global_loads=20.0,
+        global_stores=8.0,
+        shared_loads=200.0,
+        shared_stores=100.0,
+        control_ops=60.0,
+    )
+
+
+@pytest.fixture
+def memory_mix() -> InstructionMix:
+    """A bandwidth-heavy per-thread instruction mix."""
+    return InstructionMix(
+        fp_ops=20.0,
+        int_ops=10.0,
+        global_loads=40.0,
+        global_stores=20.0,
+        control_ops=5.0,
+    )
+
+
+@pytest.fixture
+def compute_spec(compute_mix) -> KernelSpec:
+    return KernelSpec(
+        name="test_compute_kernel",
+        threads_per_block=256,
+        mix=compute_mix,
+        l2_locality=0.85,
+        working_set_bytes=8e6,
+        duration_cv=0.05,
+    )
+
+
+@pytest.fixture
+def memory_spec(memory_mix) -> KernelSpec:
+    return KernelSpec(
+        name="test_memory_kernel",
+        threads_per_block=256,
+        mix=memory_mix,
+        l2_locality=0.2,
+        working_set_bytes=256e6,
+        duration_cv=0.05,
+    )
+
+
+@pytest.fixture
+def irregular_spec(memory_mix) -> KernelSpec:
+    return KernelSpec(
+        name="test_irregular_kernel",
+        threads_per_block=256,
+        mix=memory_mix,
+        divergence_efficiency=0.4,
+        sectors_per_global_access=16.0,
+        l2_locality=0.2,
+        working_set_bytes=128e6,
+        duration_cv=0.6,
+    )
+
+
+@pytest.fixture
+def compute_launch(compute_spec) -> KernelLaunch:
+    return KernelLaunch(spec=compute_spec, grid_blocks=2_000, launch_id=0)
+
+
+@pytest.fixture
+def memory_launch(memory_spec) -> KernelLaunch:
+    return KernelLaunch(spec=memory_spec, grid_blocks=2_000, launch_id=1)
+
+
+@pytest.fixture
+def volta_silicon() -> SiliconExecutor:
+    return SiliconExecutor(VOLTA_V100)
+
+
+@pytest.fixture
+def volta_simulator() -> Simulator:
+    return Simulator(VOLTA_V100)
+
+
+@pytest.fixture
+def faithful_simulator() -> Simulator:
+    """A simulator with modeling error disabled (silicon-faithful)."""
+    return Simulator(VOLTA_V100, model_error=ModelErrorConfig(enabled=False))
+
+
+@pytest.fixture(scope="session")
+def harness() -> EvaluationHarness:
+    """A shared harness so expensive corpus runs are computed once."""
+    return EvaluationHarness()

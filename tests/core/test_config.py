@@ -1,0 +1,80 @@
+"""Tests for repro.core.config validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PKAConfig, PKPConfig, PKSConfig, TwoLevelConfig
+from repro.errors import ConfigurationError
+
+
+class TestPKSConfig:
+    def test_paper_defaults(self):
+        config = PKSConfig()
+        assert config.target_error == 0.05
+        assert (config.k_min, config.k_max) == (1, 20)
+        assert config.representative == "first"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PKSConfig(target_error=0.0)
+        with pytest.raises(ConfigurationError):
+            PKSConfig(target_error=1.5)
+        with pytest.raises(ConfigurationError):
+            PKSConfig(k_min=0)
+        with pytest.raises(ConfigurationError):
+            PKSConfig(k_min=10, k_max=5)
+        with pytest.raises(ConfigurationError):
+            PKSConfig(representative="median")
+
+
+class TestPKPConfig:
+    def test_paper_defaults(self):
+        config = PKPConfig()
+        assert config.stability_threshold == 0.25
+        assert config.rolling_window_cycles == 3_000.0
+        assert config.enforce_wave
+
+    def test_rolling_samples(self):
+        assert PKPConfig().rolling_samples == 6
+        assert PKPConfig(window_cycles=1_000.0).rolling_samples == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PKPConfig(stability_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            PKPConfig(window_cycles=-1.0)
+        with pytest.raises(ConfigurationError):
+            PKPConfig(rolling_window_cycles=100.0, window_cycles=500.0)
+        with pytest.raises(ConfigurationError):
+            PKPConfig(consecutive_windows=0)
+
+
+class TestTwoLevelConfig:
+    def test_paper_defaults(self):
+        config = TwoLevelConfig()
+        assert config.tractable_profiling_seconds == 7 * 24 * 3600.0
+        assert config.classifier == "best"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelConfig(tractable_profiling_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            TwoLevelConfig(detailed_limit=1)
+        with pytest.raises(ConfigurationError):
+            TwoLevelConfig(classifier="random_forest")
+        with pytest.raises(ConfigurationError):
+            TwoLevelConfig(validation_fraction=1.0)
+
+
+class TestPKAConfig:
+    def test_composes_defaults(self):
+        config = PKAConfig()
+        assert config.pks.target_error == 0.05
+        assert config.pkp.stability_threshold == 0.25
+        assert config.two_level.classifier == "best"
+
+    def test_override_one_piece(self):
+        config = PKAConfig(pkp=PKPConfig(stability_threshold=2.5))
+        assert config.pkp.stability_threshold == 2.5
+        assert config.pks.target_error == 0.05

@@ -1,0 +1,125 @@
+"""Tests for repro.core.pka (the end-to-end pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PKAConfig, PrincipalKernelAnalysis, TwoLevelConfig
+from repro.errors import ReproError
+from repro.gpu import TURING_RTX2060, VOLTA_V100
+from repro.sim import ModelErrorConfig, SiliconExecutor, Simulator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def pka():
+    return PrincipalKernelAnalysis()
+
+
+@pytest.fixture(scope="module")
+def silicon():
+    return SiliconExecutor(VOLTA_V100)
+
+
+@pytest.fixture(scope="module")
+def gramschmidt_selection(pka, silicon):
+    spec = get_workload("gramschmidt")
+    return pka.characterize(spec.name, spec.build(), silicon)
+
+
+class TestCharacterize:
+    def test_small_workload_fully_profiled(self, gramschmidt_selection):
+        assert not gramschmidt_selection.used_two_level
+        assert gramschmidt_selection.detailed_count == 6_411
+
+    def test_selection_covers_all_launches(self, gramschmidt_selection):
+        assert gramschmidt_selection.weighted_total == 6_411
+        assert gramschmidt_selection.total_launches == 6_411
+
+    def test_massive_reduction(self, gramschmidt_selection):
+        assert gramschmidt_selection.selected_count < 25
+
+    def test_representatives_are_launch_objects(self, gramschmidt_selection):
+        for group in gramschmidt_selection.groups:
+            assert group.representative.spec.name.startswith("gramschmidt")
+
+    def test_scaled_workload_triggers_two_level(self, pka, silicon):
+        spec = get_workload("mlperf_ssd_training")
+        selection = pka.characterize(
+            spec.name, spec.build(), silicon, scale=spec.scale
+        )
+        assert selection.used_two_level
+        assert selection.detailed_count == 2_000
+        assert selection.classifier_name in {"sgd", "gnb", "mlp"}
+        assert selection.weighted_total == selection.total_launches
+
+    def test_empty_workload_raises(self, pka, silicon):
+        with pytest.raises(ReproError):
+            pka.characterize("empty", [], silicon)
+
+    def test_two_level_limit_configurable(self, silicon):
+        config = PKAConfig(two_level=TwoLevelConfig(detailed_limit=500))
+        pka = PrincipalKernelAnalysis(config)
+        spec = get_workload("mlperf_bert_inference")
+        selection = pka.characterize(
+            spec.name, spec.build(), silicon, scale=spec.scale
+        )
+        assert selection.used_two_level
+        assert selection.detailed_count == 500
+
+
+class TestSimulate:
+    def test_pks_projects_whole_app(self, pka, gramschmidt_selection):
+        simulator = Simulator(
+            VOLTA_V100, model_error=ModelErrorConfig(enabled=False)
+        )
+        run = pka.simulate(gramschmidt_selection, simulator, use_pkp=False)
+        full = simulator.run_full(
+            "gramschmidt", get_workload("gramschmidt").build()
+        )
+        error = abs(run.total_cycles - full.total_cycles) / full.total_cycles
+        assert error < 0.10
+        assert run.simulated_cycles < full.simulated_cycles / 10
+
+    def test_pka_cheaper_or_equal_to_pks(self, pka, gramschmidt_selection):
+        simulator = Simulator(VOLTA_V100)
+        pks_run = pka.simulate(gramschmidt_selection, simulator, use_pkp=False)
+        pka_run = pka.simulate(gramschmidt_selection, simulator, use_pkp=True)
+        assert pka_run.simulated_cycles <= pks_run.simulated_cycles
+
+    def test_methods_labelled(self, pka, gramschmidt_selection):
+        simulator = Simulator(VOLTA_V100)
+        assert pka.simulate(gramschmidt_selection, simulator).method == "pka"
+        assert (
+            pka.simulate(gramschmidt_selection, simulator, use_pkp=False).method
+            == "pks_sim"
+        )
+
+    def test_instruction_totals_are_exact(self, pka, gramschmidt_selection):
+        simulator = Simulator(VOLTA_V100)
+        run = pka.simulate(gramschmidt_selection, simulator)
+        launches = get_workload("gramschmidt").build()
+        exact = sum(launch.warp_instructions for launch in launches)
+        assert run.total_instructions == pytest.approx(exact)
+
+    def test_records_marked_projected(self, pka, gramschmidt_selection):
+        simulator = Simulator(VOLTA_V100)
+        run = pka.simulate(gramschmidt_selection, simulator)
+        assert run.kernel_records
+        assert all(record.projected for record in run.kernel_records)
+
+
+class TestProjectSilicon:
+    def test_cross_generation_projection(self, pka, gramschmidt_selection):
+        turing = SiliconExecutor(TURING_RTX2060)
+        truth = turing.run("gramschmidt", get_workload("gramschmidt").build())
+        projected = pka.project_silicon(gramschmidt_selection, turing)
+        error = (
+            abs(projected.total_cycles - truth.total_cycles) / truth.total_cycles
+        )
+        assert error < 0.15
+
+    def test_reduced_run_cost_much_smaller(self, pka, gramschmidt_selection, silicon):
+        projected = pka.project_silicon(gramschmidt_selection, silicon)
+        truth = silicon.run("gramschmidt", get_workload("gramschmidt").build())
+        assert projected.simulated_cycles < truth.total_cycles / 50

@@ -1,0 +1,75 @@
+"""Tests for PKP's projection confidence intervals."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import PKPConfig, run_pkp
+from repro.gpu import KernelLaunch
+
+
+class TestConfidenceInterval:
+    def test_completed_run_is_degenerate(self, faithful_simulator, compute_spec):
+        launch = KernelLaunch(spec=compute_spec, grid_blocks=2, launch_id=0)
+        projection = run_pkp(faithful_simulator, launch)
+        assert not projection.stopped_early
+        low, high = projection.confidence_interval()
+        assert low == high == projection.projected_cycles
+
+    def test_interval_brackets_projection(self, faithful_simulator, compute_launch):
+        projection = run_pkp(faithful_simulator, compute_launch)
+        assert projection.stopped_early
+        low, high = projection.confidence_interval()
+        assert low <= projection.projected_cycles <= high
+        assert low >= projection.simulated_cycles
+
+    def test_interval_contains_truth_for_regular_kernel(
+        self, faithful_simulator, compute_launch
+    ):
+        full = faithful_simulator.run_kernel(compute_launch)
+        projection = run_pkp(faithful_simulator, compute_launch)
+        low, high = projection.confidence_interval(z_score=4.0)
+        # Generous z: a regular kernel's truth sits inside a wide interval.
+        span = high - low
+        assert span > 0
+        assert low - span <= full.cycles <= high + span
+
+    def test_higher_z_widens(self, faithful_simulator, compute_launch):
+        projection = run_pkp(faithful_simulator, compute_launch)
+        narrow = projection.confidence_interval(z_score=1.0)
+        wide = projection.confidence_interval(z_score=3.0)
+        assert wide[1] - wide[0] >= narrow[1] - narrow[0]
+
+    def test_earlier_stop_means_wider_interval(
+        self, faithful_simulator, compute_spec
+    ):
+        """Stopping with more work remaining leaves more uncertainty."""
+        heavy = dataclasses.replace(
+            compute_spec,
+            mix=compute_spec.mix.scaled(30.0),
+            name="ci_subwave",
+        )
+        launch = KernelLaunch(spec=heavy, grid_blocks=100, launch_id=0)
+        loose = run_pkp(
+            faithful_simulator, launch, PKPConfig(stability_threshold=2.5)
+        )
+        strict = run_pkp(
+            faithful_simulator, launch, PKPConfig(stability_threshold=0.025)
+        )
+        if loose.stopped_early and strict.stopped_early:
+            loose_width = (
+                loose.confidence_interval()[1] - loose.confidence_interval()[0]
+            ) / loose.projected_cycles
+            strict_width = (
+                strict.confidence_interval()[1]
+                - strict.confidence_interval()[0]
+            ) / strict.projected_cycles
+            assert loose.simulated_cycles <= strict.simulated_cycles
+            assert loose_width >= strict_width - 1e-9
+
+    def test_std_recorded_on_stop(self, faithful_simulator, compute_launch):
+        projection = run_pkp(faithful_simulator, compute_launch)
+        assert projection.stopped_early
+        assert projection.relative_std_at_stop is not None
+        # The monitor only stops below s/10 relative std.
+        assert projection.relative_std_at_stop < 0.025

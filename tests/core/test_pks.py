@@ -1,0 +1,157 @@
+"""Tests for repro.core.pks (Principal Kernel Selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PKSConfig, run_pks
+from repro.core.features import FeaturePipeline, profile_feature_matrix
+from repro.errors import ReproError
+from repro.gpu import KernelLaunch, VOLTA_V100
+from repro.profiling import DetailedProfiler
+from repro.sim import SiliconExecutor
+from repro.workloads import compute_spec, streaming_spec, tiny_spec
+
+
+def _profiles(launches):
+    return DetailedProfiler(SiliconExecutor(VOLTA_V100)).profile(launches)
+
+
+def _launches(*family_specs):
+    """Interleave (spec, grid, count) families chronologically."""
+    launches = []
+    families = [
+        (spec, grid, count) for spec, grid, count in family_specs
+    ]
+    index = 0
+    remaining = [count for _, _, count in families]
+    while any(remaining):
+        for family, (spec, grid, _count) in enumerate(families):
+            if remaining[family]:
+                launches.append(
+                    KernelLaunch(spec=spec, grid_blocks=grid, launch_id=index)
+                )
+                index += 1
+                remaining[family] -= 1
+    return launches
+
+
+HEAVY = compute_spec("heavy_gemm", flops=5_000.0, shared=400.0)
+LIGHT = tiny_spec("light_helper", work=50.0)
+STREAM = streaming_spec("streamer", loads=80.0, stores=20.0)
+
+
+class TestRunPKS:
+    def test_identical_kernels_one_group(self):
+        launches = _launches((HEAVY, 1_000, 30))
+        result = run_pks(_profiles(launches))
+        assert result.k == 1
+        assert result.groups[0].weight == 30
+        assert result.selected_launch_ids == (0,)
+        assert result.projection_error < 0.01
+
+    def test_two_distinct_families_two_groups(self):
+        launches = _launches((HEAVY, 1_000, 20), (LIGHT, 4, 20))
+        result = run_pks(_profiles(launches))
+        assert result.k == 2
+        assert sorted(group.weight for group in result.groups) == [20, 20]
+
+    def test_representative_is_first_chronological(self):
+        launches = _launches((HEAVY, 1_000, 10), (LIGHT, 4, 10))
+        result = run_pks(_profiles(launches))
+        # The interleaving puts HEAVY at id 0 and LIGHT at id 1.
+        assert result.selected_launch_ids == (0, 1)
+
+    def test_projection_scales_by_weight(self):
+        launches = _launches((HEAVY, 1_000, 10), (LIGHT, 4, 5))
+        result = run_pks(_profiles(launches))
+        values = {
+            group.representative_launch_id: 100.0 for group in result.groups
+        }
+        assert result.project_total(values) == pytest.approx(100.0 * 15)
+
+    def test_project_total_missing_rep_raises(self):
+        launches = _launches((HEAVY, 1_000, 4))
+        result = run_pks(_profiles(launches))
+        with pytest.raises(ReproError):
+            result.project_total({})
+
+    def test_error_below_target_for_clean_families(self):
+        launches = _launches((HEAVY, 1_000, 12), (STREAM, 2_000, 12), (LIGHT, 4, 12))
+        result = run_pks(_profiles(launches))
+        assert result.projection_error <= 0.05
+
+    def test_sweep_stops_at_smallest_sufficient_k(self):
+        launches = _launches((HEAVY, 1_000, 12), (LIGHT, 4, 12))
+        result = run_pks(_profiles(launches))
+        assert len(result.sweep_errors) == result.k
+
+    def test_center_representative_supported(self):
+        launches = _launches((HEAVY, 1_000, 10), (LIGHT, 4, 10))
+        result = run_pks(_profiles(launches), PKSConfig(representative="center"))
+        assert len(result.selected_launch_ids) == result.k
+
+    def test_random_representative_deterministic_by_seed(self):
+        launches = _launches((HEAVY, 1_000, 10), (LIGHT, 4, 10))
+        config = PKSConfig(representative="random", seed=3)
+        a = run_pks(_profiles(launches), config)
+        b = run_pks(_profiles(launches), config)
+        assert a.selected_launch_ids == b.selected_launch_ids
+
+    def test_single_profile(self):
+        launches = _launches((HEAVY, 1_000, 1))
+        result = run_pks(_profiles(launches))
+        assert result.k == 1
+        assert result.total_profiled_kernels == 1
+
+    def test_empty_profiles_raise(self):
+        with pytest.raises(ReproError):
+            run_pks([])
+
+    def test_k_never_exceeds_kernel_count(self):
+        launches = _launches((HEAVY, 1_000, 3), (LIGHT, 4, 3))
+        result = run_pks(_profiles(launches), PKSConfig(k_max=20))
+        assert result.k <= 6
+
+    def test_tighter_target_never_fewer_groups(self):
+        launches = _launches(
+            (HEAVY, 1_000, 10),
+            (compute_spec("medium", flops=2_500.0, shared=200.0), 1_000, 10),
+            (LIGHT, 4, 10),
+        )
+        loose = run_pks(_profiles(launches), PKSConfig(target_error=0.30))
+        tight = run_pks(_profiles(launches), PKSConfig(target_error=0.01))
+        assert tight.k >= loose.k
+
+    def test_groups_partition_all_kernels(self):
+        launches = _launches((HEAVY, 1_000, 7), (LIGHT, 4, 9), (STREAM, 2_000, 5))
+        result = run_pks(_profiles(launches))
+        member_ids = sorted(
+            launch_id
+            for group in result.groups
+            for launch_id in group.member_launch_ids
+        )
+        assert member_ids == list(range(21))
+
+    def test_same_name_different_behaviour_can_split(self):
+        """Kernels sharing a name but differing in behaviour may land in
+        different groups (the paper's ResNet observation)."""
+        big = compute_spec("same_name", flops=6_000.0, shared=500.0)
+        small = tiny_spec("same_name", work=40.0)
+        launches = _launches((big, 1_000, 10), (small, 2, 10))
+        result = run_pks(_profiles(launches))
+        assert result.k == 2
+
+
+class TestFeaturePipeline:
+    def test_reduces_dimensions(self):
+        launches = _launches((HEAVY, 1_000, 10), (LIGHT, 4, 10), (STREAM, 512, 10))
+        counters = profile_feature_matrix(_profiles(launches))
+        pipeline = FeaturePipeline()
+        reduced = pipeline.fit_transform(counters)
+        assert reduced.shape[0] == 30
+        assert pipeline.n_components <= counters.shape[1]
+
+    def test_empty_profiles_raise(self):
+        with pytest.raises(ValueError):
+            profile_feature_matrix([])

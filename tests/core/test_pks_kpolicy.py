@@ -1,0 +1,75 @@
+"""Tests for the silhouette K-selection policy (PKS extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PKSConfig, run_pks
+from repro.errors import ConfigurationError
+from repro.gpu import KernelLaunch, VOLTA_V100
+from repro.profiling import DetailedProfiler
+from repro.sim import SiliconExecutor
+from repro.workloads import compute_spec, streaming_spec, tiny_spec
+
+HEAVY = compute_spec("kp_heavy", flops=5_000.0, shared=400.0)
+LIGHT = tiny_spec("kp_light", work=50.0)
+STREAM = streaming_spec("kp_stream", loads=80.0, stores=20.0)
+
+
+def _profiles(families):
+    launches = []
+    remaining = [count for _, _, count in families]
+    while any(remaining):
+        for index, (spec, grid, _count) in enumerate(families):
+            if remaining[index]:
+                launches.append(
+                    KernelLaunch(spec=spec, grid_blocks=grid, launch_id=len(launches))
+                )
+                remaining[index] -= 1
+    return DetailedProfiler(SiliconExecutor(VOLTA_V100)).profile(launches)
+
+
+class TestSilhouettePolicy:
+    def test_finds_true_group_count(self):
+        profiles = _profiles(
+            [(HEAVY, 1_000, 15), (LIGHT, 4, 15), (STREAM, 2_000, 15)]
+        )
+        result = run_pks(profiles, PKSConfig(k_policy="silhouette"))
+        assert result.k == 3
+
+    def test_needs_no_cycle_information_to_cluster_well(self):
+        """The silhouette policy must recover groups the error policy
+        would, on well-separated families."""
+        profiles = _profiles([(HEAVY, 1_000, 20), (LIGHT, 4, 20)])
+        by_error = run_pks(profiles, PKSConfig(k_policy="error"))
+        by_shape = run_pks(profiles, PKSConfig(k_policy="silhouette"))
+        assert by_shape.k == by_error.k == 2
+        assert by_shape.projection_error < 0.05
+
+    def test_single_family_degenerates_to_smallest_k(self):
+        profiles = _profiles([(HEAVY, 1_000, 10)])
+        result = run_pks(profiles, PKSConfig(k_policy="silhouette"))
+        # With one behavioural family the best silhouette is at the
+        # smallest K the policy considers.
+        assert result.k <= 3
+        assert result.projection_error < 0.05
+
+    def test_sweep_errors_recorded(self):
+        profiles = _profiles([(HEAVY, 1_000, 10), (LIGHT, 4, 10)])
+        result = run_pks(profiles, PKSConfig(k_policy="silhouette"))
+        assert len(result.sweep_errors) >= 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PKSConfig(k_policy="elbow")
+
+    def test_policies_share_representative_semantics(self):
+        """Whatever K either policy picks, representatives stay
+        first-chronological."""
+        profiles = _profiles([(HEAVY, 1_000, 12), (LIGHT, 4, 12)])
+        for policy in ("error", "silhouette"):
+            result = run_pks(profiles, PKSConfig(k_policy=policy))
+            for group in result.groups:
+                assert (
+                    group.representative_launch_id == group.member_launch_ids[0]
+                )

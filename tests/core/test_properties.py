@@ -1,0 +1,150 @@
+"""Property-based tests over randomized kernel corpora.
+
+Hypothesis drives randomly composed applications through PKS, PKP and the
+projection math, pinning the invariants that must hold for *any* input,
+not just the curated corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PKSConfig, run_pks
+from repro.core.pkp import IPCStabilityMonitor, PKPConfig, project_result
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec, VOLTA_V100
+from repro.profiling import DetailedProfiler
+from repro.sim import SiliconExecutor, simulate_kernel
+from repro.sim.engine import WindowSample
+
+_SILICON = SiliconExecutor(VOLTA_V100)
+_PROFILER = DetailedProfiler(_SILICON)
+
+
+@st.composite
+def random_app(draw):
+    """A random application of 2-5 kernel families, interleaved."""
+    n_families = draw(st.integers(2, 5))
+    families = []
+    for index in range(n_families):
+        flops = draw(st.floats(20.0, 5_000.0))
+        loads = draw(st.floats(1.0, 200.0))
+        spec = KernelSpec(
+            name=f"family_{index}",
+            threads_per_block=draw(st.sampled_from([64, 128, 256, 512])),
+            mix=InstructionMix(fp_ops=flops, global_loads=loads, control_ops=5.0),
+            l2_locality=draw(st.floats(0.0, 1.0)),
+            working_set_bytes=draw(st.floats(1e5, 1e9)),
+            duration_cv=draw(st.floats(0.0, 0.5)),
+        )
+        count = draw(st.integers(1, 12))
+        grid = draw(st.integers(1, 3_000))
+        families.append((spec, grid, count))
+    launches = []
+    remaining = [count for _, _, count in families]
+    while any(remaining):
+        for family, (spec, grid, _count) in enumerate(families):
+            if remaining[family]:
+                launches.append(
+                    KernelLaunch(
+                        spec=spec, grid_blocks=grid, launch_id=len(launches)
+                    )
+                )
+                remaining[family] -= 1
+    return launches
+
+
+@given(random_app())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_pks_invariants_hold_for_any_app(launches):
+    profiles = _PROFILER.profile(launches)
+    result = run_pks(profiles, PKSConfig())
+
+    # Groups partition the launch set exactly.
+    members = sorted(
+        launch_id
+        for group in result.groups
+        for launch_id in group.member_launch_ids
+    )
+    assert members == [launch.launch_id for launch in launches]
+
+    # Each representative belongs to its own group and is its first
+    # (chronologically smallest) member.
+    for group in result.groups:
+        assert group.representative_launch_id == group.member_launch_ids[0]
+        assert group.representative_launch_id in group.member_launch_ids
+
+    # K within the sweep bounds.
+    assert 1 <= result.k <= min(20, len(launches))
+
+    # The projection with the representatives' own profiled cycles equals
+    # the reported projection error.
+    by_id = {profile.launch_id: profile.cycles for profile in profiles}
+    projected = result.project_total(
+        {g.representative_launch_id: by_id[g.representative_launch_id]
+         for g in result.groups}
+    )
+    actual = sum(profile.cycles for profile in profiles)
+    assert abs(projected - actual) / actual == pytest.approx(
+        result.projection_error, abs=1e-9
+    )
+
+
+@given(random_app())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_projection_consistent_with_simulation(launches):
+    """PKP's projection of a kernel equals its full run when the monitor
+    never fires, and scales sensibly when it does."""
+    launch = launches[0]
+    full = simulate_kernel(launch, VOLTA_V100)
+    projection = project_result(full)
+    assert projection.projected_cycles == full.cycles
+    assert projection.projected_instructions == full.warp_instructions
+
+
+@given(
+    ipc_level=st.floats(1.0, 500.0),
+    noise=st.floats(0.0, 0.001),
+    wave=st.integers(1, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_monitor_stops_on_flat_signals(ipc_level, noise, wave):
+    """Any near-flat positive IPC signal eventually satisfies stability
+    once the wave has retired."""
+    rng = np.random.default_rng(0)
+    monitor = IPCStabilityMonitor(
+        wave_size=wave,
+        grid_blocks=wave * 3,
+        config=PKPConfig(consecutive_windows=1),
+    )
+    stopped = False
+    for step in range(1, 40):
+        sample = WindowSample(
+            cycle=500.0 * step,
+            ipc=ipc_level * (1.0 + noise * rng.standard_normal()),
+            l2_miss_rate=0.0,
+            dram_util=0.0,
+            blocks_finished=wave * min(3, step),
+        )
+        if monitor.observe(sample):
+            stopped = True
+            break
+    assert stopped
+
+
+@given(st.integers(1, 10_000), st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_monitor_wave_rule_matches_definition(grid, fraction):
+    wave = max(1, int(10_000 * fraction))
+    monitor = IPCStabilityMonitor(wave_size=wave, grid_blocks=grid)
+    assert monitor.wave_rule_active == (grid >= wave)

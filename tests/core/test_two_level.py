@@ -1,0 +1,105 @@
+"""Tests for repro.core.two_level (two-level profiling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PKSConfig, TwoLevelConfig, run_two_level
+from repro.errors import ReproError
+from repro.gpu import KernelLaunch, VOLTA_V100
+from repro.profiling import DetailedProfiler, LightweightProfiler
+from repro.sim import SiliconExecutor
+from repro.workloads import compute_spec, streaming_spec, tiny_spec
+
+HEAVY = compute_spec("tl_heavy_gemm", flops=5_000.0, shared=400.0)
+LIGHT = tiny_spec("tl_light_helper", work=50.0)
+STREAM = streaming_spec("tl_streamer", loads=80.0, stores=20.0)
+
+
+def _alternating_launches(count: int):
+    """HEAVY/LIGHT/STREAM repeating, so the head sees every family."""
+    launches = []
+    for index in range(count):
+        spec, grid = [(HEAVY, 1_000), (LIGHT, 4), (STREAM, 2_000)][index % 3]
+        launches.append(KernelLaunch(spec=spec, grid_blocks=grid, launch_id=index))
+    return launches
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    launches = _alternating_launches(300)
+    silicon = SiliconExecutor(VOLTA_V100)
+    head = launches[:60]
+    detailed = DetailedProfiler(silicon).profile(head)
+    light = LightweightProfiler(silicon).profile(launches)
+    return launches, detailed, light[:60], light[60:]
+
+
+class TestRunTwoLevel:
+    def test_weights_cover_whole_app(self, profiled):
+        launches, detailed, light_head, light_tail = profiled
+        result = run_two_level(detailed, light_head, light_tail)
+        assert result.total_kernels == len(launches)
+        assert result.detailed_count == 60
+        assert result.lightweight_count == 240
+
+    def test_classifier_maps_tail_correctly(self, profiled):
+        """Distinct families with distinct names: mapping should be exact,
+        so the weights match the true family sizes (100 each)."""
+        _launches, detailed, light_head, light_tail = profiled
+        result = run_two_level(detailed, light_head, light_tail)
+        assert result.classifier_accuracy > 0.9
+        assert sorted(result.group_weights.values()) == [100, 100, 100]
+
+    def test_projection_uses_two_level_weights(self, profiled):
+        _launches, detailed, light_head, light_tail = profiled
+        result = run_two_level(detailed, light_head, light_tail)
+        values = {
+            group.representative_launch_id: 1.0 for group in result.pks.groups
+        }
+        assert result.project_total(values) == pytest.approx(300.0)
+
+    def test_project_total_missing_rep_raises(self, profiled):
+        _launches, detailed, light_head, light_tail = profiled
+        result = run_two_level(detailed, light_head, light_tail)
+        with pytest.raises(ReproError):
+            result.project_total({})
+
+    def test_no_tail_short_circuits(self, profiled):
+        _launches, detailed, light_head, _light_tail = profiled
+        result = run_two_level(detailed, light_head, [])
+        assert result.classifier_name == "none"
+        assert result.lightweight_count == 0
+        assert result.total_kernels == 60
+
+    def test_head_mismatch_raises(self, profiled):
+        _launches, detailed, light_head, light_tail = profiled
+        with pytest.raises(ReproError):
+            run_two_level(detailed, light_head[:-1], light_tail)
+
+    @pytest.mark.parametrize("name", ["sgd", "gnb", "mlp"])
+    def test_each_classifier_choice_works(self, profiled, name):
+        _launches, detailed, light_head, light_tail = profiled
+        result = run_two_level(
+            detailed,
+            light_head,
+            light_tail,
+            config=TwoLevelConfig(classifier=name),
+        )
+        assert result.classifier_name == name
+        assert result.total_kernels == 300
+
+    def test_best_picks_a_real_classifier(self, profiled):
+        _launches, detailed, light_head, light_tail = profiled
+        result = run_two_level(detailed, light_head, light_tail)
+        assert result.classifier_name in {"sgd", "gnb", "mlp"}
+
+    def test_pks_config_forwarded(self, profiled):
+        _launches, detailed, light_head, light_tail = profiled
+        result = run_two_level(
+            detailed,
+            light_head,
+            light_tail,
+            pks_config=PKSConfig(k_min=3, k_max=3),
+        )
+        assert result.pks.k == 3

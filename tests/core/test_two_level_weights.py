@@ -1,0 +1,85 @@
+"""Two-level weight correctness on apps with known family sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PKAConfig, PrincipalKernelAnalysis, TwoLevelConfig
+from repro.gpu import KernelLaunch, VOLTA_V100
+from repro.sim import SiliconExecutor
+from repro.workloads import compute_spec, streaming_spec, tiny_spec
+
+FAMILIES = [
+    (compute_spec("wt_gemm", flops=5_000.0, shared=400.0), 1_000, 180),
+    (streaming_spec("wt_stream", loads=80.0, stores=20.0), 2_000, 420),
+    (tiny_spec("wt_tiny", work=50.0), 4, 600),
+]
+
+
+def _interleaved_app():
+    launches = []
+    remaining = [count for _, _, count in FAMILIES]
+    while any(remaining):
+        for index, (spec, grid, _count) in enumerate(FAMILIES):
+            if remaining[index]:
+                launches.append(
+                    KernelLaunch(
+                        spec=spec, grid_blocks=grid, launch_id=len(launches)
+                    )
+                )
+                remaining[index] -= 1
+    return launches
+
+
+@pytest.fixture(scope="module")
+def forced_two_level_selection():
+    """Characterize with a tractability budget of one second, forcing the
+    two-level path on a small app whose true family sizes we know."""
+    launches = _interleaved_app()
+    pka = PrincipalKernelAnalysis(
+        PKAConfig(
+            two_level=TwoLevelConfig(
+                tractable_profiling_seconds=1.0, detailed_limit=90
+            )
+        )
+    )
+    silicon = SiliconExecutor(VOLTA_V100)
+    return launches, pka.characterize("weights_app", launches, silicon)
+
+
+class TestTwoLevelWeights:
+    def test_two_level_path_taken(self, forced_two_level_selection):
+        _launches, selection = forced_two_level_selection
+        assert selection.used_two_level
+        assert selection.detailed_count == 90
+
+    def test_weights_recover_true_family_sizes(self, forced_two_level_selection):
+        launches, selection = forced_two_level_selection
+        assert selection.weighted_total == len(launches)
+        # Distinct names + geometry make classification exact, so the
+        # group weights must equal the true per-family counts.
+        assert sorted(group.weight for group in selection.groups) == [
+            180,
+            420,
+            600,
+        ]
+
+    def test_projection_with_true_weights_is_exact(
+        self, forced_two_level_selection
+    ):
+        launches, selection = forced_two_level_selection
+        silicon = SiliconExecutor(VOLTA_V100)
+        truth = silicon.run("weights_app", launches)
+        pka = PrincipalKernelAnalysis()
+        projected = pka.project_silicon(selection, silicon)
+        error = abs(projected.total_cycles - truth.total_cycles)
+        assert error / truth.total_cycles < 0.01
+
+    def test_representatives_come_from_the_detailed_head(
+        self, forced_two_level_selection
+    ):
+        _launches, selection = forced_two_level_selection
+        assert all(
+            launch_id < selection.detailed_count
+            for launch_id in selection.selected_launch_ids
+        )

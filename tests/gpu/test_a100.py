@@ -1,0 +1,51 @@
+"""Tests for the A100 extension config."""
+
+from __future__ import annotations
+
+from repro.gpu import ALL_GPUS, AMPERE_A100, AMPERE_RTX3070, VOLTA_V100, get_gpu
+
+
+class TestA100:
+    def test_registered(self):
+        assert AMPERE_A100 in ALL_GPUS
+        assert get_gpu("A100") is AMPERE_A100
+
+    def test_generation_lookup_still_gives_the_paper_card(self):
+        """The paper's Ampere is the RTX 3070; "ampere" must keep
+        resolving to it so Table-4 regeneration is unaffected."""
+        assert get_gpu("ampere") is AMPERE_RTX3070
+
+    def test_datacenter_class_parameters(self):
+        assert AMPERE_A100.num_sms > VOLTA_V100.num_sms
+        assert AMPERE_A100.dram_bandwidth_gbps > VOLTA_V100.dram_bandwidth_gbps
+        assert AMPERE_A100.l2_size_bytes > VOLTA_V100.l2_size_bytes
+        assert AMPERE_A100.dram_capacity_gb >= 40.0
+
+    def test_faster_than_v100_on_corpus_kernels(self):
+        from repro.sim import analytic_kernel_cycles
+        from repro.workloads import get_workload
+
+        for name in ("parboil_sgemm", "atax", "fdtd2d"):
+            launch = get_workload(name).build()[0]
+            a100 = analytic_kernel_cycles(launch, AMPERE_A100)
+            v100 = analytic_kernel_cycles(launch, VOLTA_V100)
+            assert a100 < v100 * 1.05, name
+
+    def test_mlperf_fits_on_a100(self):
+        from repro.workloads import get_workload
+
+        assert get_workload("mlperf_ssd_training").fits_on(AMPERE_A100)
+
+    def test_selection_projects_onto_a100(self, harness):
+        """Volta-selected kernels price A100 silicon (extension of the
+        paper's cross-generation experiment)."""
+        from repro.analysis import abs_pct_error
+        from repro.sim import SiliconExecutor
+
+        evaluation = harness.evaluation("histo")
+        a100 = SiliconExecutor(AMPERE_A100)
+        truth = a100.run("histo", evaluation.launches("volta"))
+        projected = harness.pka.project_silicon(evaluation.selection(), a100)
+        assert (
+            abs_pct_error(projected.total_cycles, truth.total_cycles) < 10.0
+        )

@@ -1,0 +1,81 @@
+"""Tests for repro.gpu.architectures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    AMPERE_RTX3070,
+    GENERATIONS,
+    TURING_RTX2060,
+    VOLTA_V100,
+    get_gpu,
+    volta_v100_half_sms,
+)
+
+
+class TestConfigs:
+    def test_three_generations_registered(self):
+        assert set(GENERATIONS) == {"volta", "turing", "ampere"}
+
+    def test_volta_shape(self):
+        assert VOLTA_V100.num_sms == 80
+        assert VOLTA_V100.dram_capacity_gb == 32.0
+        assert VOLTA_V100.generation == "volta"
+
+    def test_turing_smaller_than_volta(self):
+        assert TURING_RTX2060.num_sms < VOLTA_V100.num_sms
+        assert TURING_RTX2060.dram_bandwidth_gbps < VOLTA_V100.dram_bandwidth_gbps
+        assert TURING_RTX2060.dram_capacity_gb < VOLTA_V100.dram_capacity_gb
+
+    def test_peak_ipc(self):
+        assert VOLTA_V100.peak_ipc == pytest.approx(320.0)
+
+    def test_dram_bytes_per_cycle(self):
+        expected = VOLTA_V100.dram_bandwidth_gbps / VOLTA_V100.core_clock_ghz
+        assert VOLTA_V100.dram_bytes_per_cycle == pytest.approx(expected)
+
+    def test_cycles_to_seconds(self):
+        one_second_cycles = VOLTA_V100.core_clock_ghz * 1e9
+        assert VOLTA_V100.cycles_to_seconds(one_second_cycles) == pytest.approx(1.0)
+
+    def test_sim_is_orders_of_magnitude_slower_than_silicon(self):
+        cycles = 1e9
+        sim = VOLTA_V100.cycles_to_sim_seconds(cycles)
+        silicon = VOLTA_V100.cycles_to_seconds(cycles)
+        assert sim / silicon > 1e6
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            VOLTA_V100.num_sms = 1  # type: ignore[misc]
+
+
+class TestHalfSMs:
+    def test_half_sm_count(self):
+        half = volta_v100_half_sms()
+        assert half.num_sms == 40
+        assert half.generation == "volta"
+
+    def test_half_keeps_other_params(self):
+        half = volta_v100_half_sms()
+        assert half.dram_bandwidth_gbps == VOLTA_V100.dram_bandwidth_gbps
+        assert half.l2_size_bytes == VOLTA_V100.l2_size_bytes
+
+    def test_with_sms_validates(self):
+        with pytest.raises(ConfigurationError):
+            VOLTA_V100.with_sms(0)
+
+
+class TestLookup:
+    def test_by_generation(self):
+        assert get_gpu("volta") is VOLTA_V100
+        assert get_gpu("Turing") is TURING_RTX2060
+
+    def test_by_name(self):
+        assert get_gpu("V100") is VOLTA_V100
+        assert get_gpu("rtx3070") is AMPERE_RTX3070
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_gpu("pascal")

@@ -1,0 +1,146 @@
+"""Tests for repro.gpu.kernels."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec
+
+
+class TestInstructionMix:
+    def test_per_thread_total(self, compute_mix):
+        assert compute_mix.per_thread_total == pytest.approx(1_888.0)
+
+    def test_memory_fraction(self, memory_mix):
+        expected = (40 + 20) / memory_mix.per_thread_total
+        assert memory_mix.memory_fraction == pytest.approx(expected)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix(fp_ops=-1.0, int_ops=2.0)
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix()
+
+    def test_scaled(self, compute_mix):
+        doubled = compute_mix.scaled(2.0)
+        assert doubled.per_thread_total == pytest.approx(
+            2.0 * compute_mix.per_thread_total
+        )
+        assert doubled.memory_fraction == pytest.approx(compute_mix.memory_fraction)
+
+    def test_scaled_rejects_nonpositive(self, compute_mix):
+        with pytest.raises(WorkloadError):
+            compute_mix.scaled(0.0)
+
+
+class TestKernelSpec:
+    def test_validation(self, compute_mix):
+        with pytest.raises(WorkloadError):
+            KernelSpec(name="bad", threads_per_block=0, mix=compute_mix)
+        with pytest.raises(WorkloadError):
+            KernelSpec(name="bad", threads_per_block=2048, mix=compute_mix)
+        with pytest.raises(WorkloadError):
+            KernelSpec(
+                name="bad",
+                threads_per_block=128,
+                mix=compute_mix,
+                divergence_efficiency=0.0,
+            )
+        with pytest.raises(WorkloadError):
+            KernelSpec(
+                name="bad",
+                threads_per_block=128,
+                mix=compute_mix,
+                sectors_per_global_access=64.0,
+            )
+        with pytest.raises(WorkloadError):
+            KernelSpec(
+                name="bad", threads_per_block=128, mix=compute_mix, l2_locality=1.5
+            )
+
+    def test_signature_stable_across_instances(self, compute_mix):
+        spec_a = KernelSpec(name="k", threads_per_block=256, mix=compute_mix)
+        spec_b = KernelSpec(name="k", threads_per_block=256, mix=compute_mix)
+        assert spec_a.signature() == spec_b.signature()
+
+    def test_signature_differs_by_any_field(self, compute_spec):
+        for field, value in [
+            ("name", "other"),
+            ("threads_per_block", 128),
+            ("l2_locality", 0.3),
+            ("duration_cv", 0.5),
+            ("uses_tensor_cores", True),
+            ("cold_start_factor", 0.0),
+        ]:
+            variant = dataclasses.replace(compute_spec, **{field: value})
+            assert variant.signature() != compute_spec.signature(), field
+
+    def test_signature_fits_63_bits(self, compute_spec):
+        assert 0 <= compute_spec.signature() < 2**63
+
+    def test_with_mix(self, compute_spec, memory_mix):
+        swapped = compute_spec.with_mix(memory_mix)
+        assert swapped.mix is memory_mix
+        assert swapped.name == compute_spec.name
+
+
+class TestKernelLaunch:
+    def test_totals(self, compute_spec):
+        launch = KernelLaunch(spec=compute_spec, grid_blocks=100, launch_id=0)
+        assert launch.total_threads == 100 * 256
+        assert launch.total_warps == pytest.approx(100 * 8)
+        assert launch.thread_instructions == pytest.approx(
+            100 * 256 * compute_spec.mix.per_thread_total
+        )
+
+    def test_divergence_inflates_warp_instructions(self, compute_mix):
+        divergent = KernelSpec(
+            name="d",
+            threads_per_block=256,
+            mix=compute_mix,
+            divergence_efficiency=0.5,
+        )
+        straight = KernelSpec(name="s", threads_per_block=256, mix=compute_mix)
+        launch_d = KernelLaunch(spec=divergent, grid_blocks=10, launch_id=0)
+        launch_s = KernelLaunch(spec=straight, grid_blocks=10, launch_id=0)
+        assert launch_d.warp_instructions == pytest.approx(
+            2.0 * launch_s.warp_instructions
+        )
+
+    def test_validation(self, compute_spec):
+        with pytest.raises(WorkloadError):
+            KernelLaunch(spec=compute_spec, grid_blocks=0, launch_id=0)
+        with pytest.raises(WorkloadError):
+            KernelLaunch(spec=compute_spec, grid_blocks=1, launch_id=-1)
+
+    def test_nvtx_defaults_empty(self, compute_spec):
+        launch = KernelLaunch(spec=compute_spec, grid_blocks=1, launch_id=0)
+        assert launch.nvtx == {}
+
+
+@given(
+    tpb=st.integers(1, 1024),
+    grid=st.integers(1, 10_000),
+    efficiency=st.floats(0.05, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_warp_instruction_identity(tpb, grid, efficiency):
+    """thread_insts == warp_insts * 32 * efficiency, always."""
+    mix = InstructionMix(fp_ops=100.0, global_loads=10.0)
+    spec = KernelSpec(
+        name="prop",
+        threads_per_block=tpb,
+        mix=mix,
+        divergence_efficiency=efficiency,
+    )
+    launch = KernelLaunch(spec=spec, grid_blocks=grid, launch_id=0)
+    assert launch.thread_instructions == pytest.approx(
+        launch.warp_instructions * 32.0 * efficiency, rel=1e-9
+    )

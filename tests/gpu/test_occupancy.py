@@ -1,0 +1,113 @@
+"""Tests for repro.gpu.occupancy."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    InstructionMix,
+    KernelSpec,
+    TURING_RTX2060,
+    VOLTA_V100,
+    compute_occupancy,
+)
+
+
+def _spec(**overrides) -> KernelSpec:
+    defaults = dict(
+        name="occ",
+        threads_per_block=256,
+        mix=InstructionMix(fp_ops=100.0),
+        regs_per_thread=32,
+        shared_mem_per_block=0,
+    )
+    defaults.update(overrides)
+    return KernelSpec(**defaults)
+
+
+class TestComputeOccupancy:
+    def test_thread_limited(self):
+        occupancy = compute_occupancy(_spec(threads_per_block=256), VOLTA_V100)
+        assert occupancy.blocks_per_sm == 8  # 2048 / 256
+        assert occupancy.limiting_resource == "threads"
+        assert occupancy.wave_size == 8 * 80
+
+    def test_block_slot_limited(self):
+        occupancy = compute_occupancy(_spec(threads_per_block=32), VOLTA_V100)
+        assert occupancy.blocks_per_sm == 32
+        assert occupancy.limiting_resource == "blocks"
+
+    def test_register_limited(self):
+        occupancy = compute_occupancy(
+            _spec(threads_per_block=256, regs_per_thread=128), VOLTA_V100
+        )
+        assert occupancy.blocks_per_sm == 65_536 // (128 * 256)
+        assert occupancy.limiting_resource == "registers"
+
+    def test_shared_memory_limited(self):
+        occupancy = compute_occupancy(
+            _spec(shared_mem_per_block=48 * 1024), VOLTA_V100
+        )
+        assert occupancy.blocks_per_sm == 2  # 96KB / 48KB
+        assert occupancy.limiting_resource == "shared_mem"
+
+    def test_oversubscribed_floors_at_one(self):
+        occupancy = compute_occupancy(
+            _spec(threads_per_block=1024, regs_per_thread=255), VOLTA_V100
+        )
+        assert occupancy.blocks_per_sm == 1
+
+    def test_max_size_block_fits_exactly_on_turing(self):
+        # RTX 2060 SMs hold at most 1024 threads; a 1024-thread block fits
+        # exactly, so occupancy is one block per SM.
+        occupancy = compute_occupancy(_spec(threads_per_block=1024), TURING_RTX2060)
+        assert occupancy.blocks_per_sm == 1
+
+    def test_block_exceeding_sm_capacity_raises(self):
+        huge = _spec(threads_per_block=1024)
+        tiny_gpu = dataclasses.replace(VOLTA_V100, max_threads_per_sm=512)
+        with pytest.raises(ConfigurationError):
+            compute_occupancy(huge, tiny_gpu)
+
+    def test_occupancy_fraction_full(self):
+        occupancy = compute_occupancy(_spec(threads_per_block=256), VOLTA_V100)
+        assert occupancy.occupancy_fraction == pytest.approx(1.0)
+
+    def test_occupancy_fraction_partial(self):
+        occupancy = compute_occupancy(
+            _spec(threads_per_block=256, regs_per_thread=128), VOLTA_V100
+        )
+        assert occupancy.occupancy_fraction == pytest.approx(2 * 8 / 64)
+
+    def test_wave_smaller_on_smaller_gpu(self):
+        spec = _spec()
+        volta = compute_occupancy(spec, VOLTA_V100)
+        turing = compute_occupancy(spec, TURING_RTX2060)
+        assert turing.wave_size < volta.wave_size
+
+
+@given(
+    tpb=st.sampled_from([32, 64, 128, 256, 512, 1024]),
+    regs=st.integers(16, 255),
+    smem=st.sampled_from([0, 1024, 8 * 1024, 32 * 1024, 96 * 1024]),
+)
+@settings(max_examples=80, deadline=None)
+def test_occupancy_respects_every_limit(tpb, regs, smem):
+    spec = _spec(threads_per_block=tpb, regs_per_thread=regs, shared_mem_per_block=smem)
+    occupancy = compute_occupancy(spec, VOLTA_V100)
+    blocks = occupancy.blocks_per_sm
+    assert blocks >= 1
+    if blocks > 1:
+        # Never over thread, block, register or shared-memory capacity.
+        assert blocks * tpb <= VOLTA_V100.max_threads_per_sm
+        assert blocks <= VOLTA_V100.max_blocks_per_sm
+        assert blocks * regs * tpb <= VOLTA_V100.registers_per_sm
+        if smem:
+            assert blocks * smem <= VOLTA_V100.shared_mem_per_sm
+    assert occupancy.wave_size == blocks * VOLTA_V100.num_sms
+    assert 0.0 < occupancy.occupancy_fraction <= 1.0

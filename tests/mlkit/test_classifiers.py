@@ -1,0 +1,150 @@
+"""Tests for the three two-level-profiling classifiers (SGD, GNB, MLP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.mlkit import GaussianNB, MLPClassifier, SGDClassifier
+
+ALL_CLASSIFIERS = [
+    pytest.param(lambda: SGDClassifier(epochs=25), id="sgd"),
+    pytest.param(lambda: GaussianNB(), id="gnb"),
+    pytest.param(lambda: MLPClassifier(epochs=30, hidden_size=16), id="mlp"),
+]
+
+
+def _separable(seed=0, n_per=60):
+    rng = np.random.default_rng(seed)
+    features = np.concatenate(
+        [
+            rng.normal(loc, 0.4, size=(n_per, 3))
+            for loc in ((0, 0, 0), (4, 0, 0), (0, 4, 4))
+        ]
+    )
+    labels = np.repeat([0, 1, 2], n_per)
+    return features, labels
+
+
+@pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+class TestClassifierContract:
+    def test_learns_separable_classes(self, make):
+        features, labels = _separable()
+        model = make().fit(features, labels)
+        assert model.score(features, labels) > 0.97
+
+    def test_generalizes_to_held_out(self, make):
+        train_x, train_y = _separable(seed=0)
+        test_x, test_y = _separable(seed=1)
+        model = make().fit(train_x, train_y)
+        assert model.score(test_x, test_y) > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self, make):
+        features, labels = _separable()
+        model = make().fit(features, labels)
+        probs = model.predict_proba(features[:10])
+        assert probs.shape == (10, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_predict_before_fit_raises(self, make):
+        with pytest.raises(NotFittedError):
+            make().predict(np.ones((2, 3)))
+
+    def test_preserves_label_dtype(self, make):
+        features, labels = _separable()
+        string_labels = np.array(["alpha", "beta", "gamma"])[labels]
+        model = make().fit(features, string_labels)
+        predictions = model.predict(features[:5])
+        assert set(predictions) <= {"alpha", "beta", "gamma"}
+
+    def test_mismatched_shapes_raise(self, make):
+        with pytest.raises(ValueError):
+            make().fit(np.ones((10, 3)), np.zeros(7))
+
+    def test_wrong_feature_count_at_predict_raises(self, make):
+        features, labels = _separable()
+        model = make().fit(features, labels)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 5)))
+
+    def test_deterministic(self, make):
+        features, labels = _separable()
+        run_a = make().fit(features, labels).predict(features)
+        run_b = make().fit(features, labels).predict(features)
+        assert np.array_equal(run_a, run_b)
+
+    def test_single_class_degenerates_gracefully(self, make):
+        features = np.random.default_rng(0).normal(size=(20, 3))
+        labels = np.zeros(20, dtype=int)
+        model = make().fit(features, labels)
+        assert np.all(model.predict(features) == 0)
+
+
+class TestGaussianNBSpecifics:
+    def test_var_smoothing_prevents_zero_variance_blowup(self):
+        features = np.zeros((20, 2))
+        features[10:, 0] = 1.0
+        labels = np.repeat([0, 1], 10)
+        model = GaussianNB().fit(features, labels)
+        assert model.score(features, labels) == 1.0
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=-1.0)
+
+    def test_priors_reflect_class_balance(self):
+        features, labels = _separable()
+        model = GaussianNB().fit(features, labels)
+        assert np.allclose(np.exp(model.class_log_prior_), 1.0 / 3, atol=1e-9)
+
+
+class TestSGDSpecifics:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SGDClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGDClassifier(epochs=0)
+
+    def test_decision_function_shape(self):
+        features, labels = _separable()
+        model = SGDClassifier(epochs=10).fit(features, labels)
+        assert model.decision_function(features[:4]).shape == (4, 3)
+
+
+class TestMLPSpecifics:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_size=0)
+        with pytest.raises(ValueError):
+            MLPClassifier(epochs=0)
+
+    def test_loss_decreases(self):
+        features, labels = _separable()
+        model = MLPClassifier(epochs=30, hidden_size=16).fit(features, labels)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_learns_nonlinear_boundary(self):
+        """XOR-style classes that no linear model can separate."""
+        rng = np.random.default_rng(0)
+        features = rng.uniform(-1, 1, size=(400, 2))
+        labels = ((features[:, 0] > 0) ^ (features[:, 1] > 0)).astype(int)
+        model = MLPClassifier(epochs=150, hidden_size=32, learning_rate=0.02)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.9
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=15, deadline=None)
+def test_all_classifiers_agree_on_trivially_separated_data(seed):
+    rng = np.random.default_rng(seed)
+    features = np.concatenate(
+        [rng.normal(-10, 0.1, size=(15, 2)), rng.normal(10, 0.1, size=(15, 2))]
+    )
+    labels = np.repeat([0, 1], 15)
+    for factory in (SGDClassifier, GaussianNB, MLPClassifier):
+        model = factory().fit(features, labels)
+        assert model.score(features, labels) == 1.0

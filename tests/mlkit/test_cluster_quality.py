@@ -1,0 +1,127 @@
+"""Tests for silhouette and Davies-Bouldin cluster-quality indices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlkit import KMeans, davies_bouldin_score, silhouette_score
+
+
+def _blobs(spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [
+            rng.normal(loc, spread, size=(25, 2))
+            for loc in ((0.0, 0.0), (8.0, 0.0), (0.0, 8.0))
+        ]
+    )
+
+
+def _true_labels():
+    return np.repeat([0, 1, 2], 25)
+
+
+class TestSilhouette:
+    def test_clean_blobs_score_high(self):
+        assert silhouette_score(_blobs(), _true_labels()) > 0.9
+
+    def test_shuffled_labels_score_low(self):
+        rng = np.random.default_rng(0)
+        labels = rng.permutation(_true_labels())
+        assert silhouette_score(_blobs(), labels) < 0.2
+
+    def test_single_cluster_is_zero(self):
+        assert silhouette_score(_blobs(), np.zeros(75, dtype=int)) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(40, 3))
+        labels = rng.integers(0, 4, size=40)
+        score = silhouette_score(points, labels)
+        assert -1.0 <= score <= 1.0
+
+    def test_true_k_beats_wrong_k(self):
+        points = _blobs()
+        scores = {}
+        for k in (2, 3, 6):
+            labels = KMeans(n_clusters=k, seed=0).fit_predict(points)
+            scores[k] = silhouette_score(points, labels)
+        assert scores[3] == max(scores.values())
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.ones((5, 2)), np.zeros(3))
+
+    def test_agrees_with_scipy_free_reference(self):
+        """Cross-check against a brute-force reference implementation."""
+        points = _blobs(spread=1.0)
+        labels = KMeans(n_clusters=3, seed=0).fit_predict(points)
+
+        def reference(points, labels):
+            n = len(points)
+            values = []
+            for i in range(n):
+                own = [
+                    j
+                    for j in range(n)
+                    if labels[j] == labels[i] and j != i
+                ]
+                if not own:
+                    values.append(0.0)
+                    continue
+                a = np.mean(
+                    [np.linalg.norm(points[i] - points[j]) for j in own]
+                )
+                b = min(
+                    np.mean(
+                        [
+                            np.linalg.norm(points[i] - points[j])
+                            for j in range(n)
+                            if labels[j] == other
+                        ]
+                    )
+                    for other in set(labels)
+                    if other != labels[i]
+                )
+                values.append((b - a) / max(a, b))
+            return float(np.mean(values))
+
+        assert silhouette_score(points, labels) == pytest.approx(
+            reference(points, labels), abs=1e-9
+        )
+
+
+class TestDaviesBouldin:
+    def test_clean_blobs_score_low(self):
+        assert davies_bouldin_score(_blobs(), _true_labels()) < 0.1
+
+    def test_shuffled_labels_score_high(self):
+        rng = np.random.default_rng(0)
+        labels = rng.permutation(_true_labels())
+        assert davies_bouldin_score(_blobs(), labels) > 1.0
+
+    def test_single_cluster_is_zero(self):
+        assert davies_bouldin_score(_blobs(), np.zeros(75, dtype=int)) == 0.0
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 3, size=30)
+        assert davies_bouldin_score(points, labels) >= 0.0
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_indices_agree_on_ranking_clean_vs_noise(seed):
+    """Both indices prefer the true labeling over a random one."""
+    points = _blobs(seed=seed)
+    true = _true_labels()
+    rng = np.random.default_rng(seed)
+    shuffled = rng.permutation(true)
+    assert silhouette_score(points, true) > silhouette_score(points, shuffled)
+    assert davies_bouldin_score(points, true) < davies_bouldin_score(
+        points, shuffled
+    )

@@ -1,0 +1,145 @@
+"""Tests for repro.mlkit.hierarchical (TBPoint's clustering substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.mlkit import (
+    AgglomerativeClustering,
+    ClusteringCapacityError,
+    build_merge_tree,
+)
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [
+            rng.normal(loc, 0.05, size=(20, 2))
+            for loc in ((0.0, 0.0), (5.0, 0.0), (0.0, 5.0))
+        ]
+    )
+
+
+class TestMergeTree:
+    def test_merges_count(self):
+        tree = build_merge_tree(_blobs())
+        assert tree.n_points == 60
+        assert len(tree.merges) == 59
+
+    def test_merge_distances_nondecreasing_average_linkage(self):
+        tree = build_merge_tree(_blobs(), linkage="average")
+        distances = [dist for _, _, dist in tree.merges]
+        assert all(b >= a - 1e-9 for a, b in zip(distances, distances[1:]))
+
+    def test_labels_at_k(self):
+        tree = build_merge_tree(_blobs())
+        labels = tree.labels_at_k(3)
+        assert len(np.unique(labels)) == 3
+
+    def test_labels_at_threshold_extremes(self):
+        tree = build_merge_tree(_blobs())
+        assert len(np.unique(tree.labels_at_threshold(0.0))) == 60
+        assert len(np.unique(tree.labels_at_threshold(1e9))) == 1
+
+    def test_threshold_monotone_in_cluster_count(self):
+        tree = build_merge_tree(_blobs())
+        counts = [
+            len(np.unique(tree.labels_at_threshold(t)))
+            for t in (0.01, 0.1, 1.0, 10.0)
+        ]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_single_point(self):
+        tree = build_merge_tree(np.zeros((1, 2)))
+        assert tree.merges == ()
+        assert tree.labels_at_k(1).tolist() == [0]
+
+    def test_capacity_guard(self):
+        with pytest.raises(ClusteringCapacityError):
+            build_merge_tree(np.zeros((11, 2)), max_points=10)
+
+    def test_bad_linkage(self):
+        with pytest.raises(ValueError):
+            build_merge_tree(np.zeros((3, 2)), linkage="ward")
+
+
+class TestAgglomerativeClustering:
+    def test_recovers_blobs_at_k(self):
+        data = _blobs()
+        labels = AgglomerativeClustering(n_clusters=3).fit_predict(data)
+        blob_labels = [set(labels[i * 20 : (i + 1) * 20]) for i in range(3)]
+        assert all(len(block) == 1 for block in blob_labels)
+        assert len(set().union(*blob_labels)) == 3
+
+    def test_recovers_blobs_at_threshold(self):
+        data = _blobs()
+        clustering = AgglomerativeClustering(distance_threshold=1.0)
+        labels = clustering.fit_predict(data)
+        assert clustering.n_clusters_ == 3
+        assert len(np.unique(labels)) == 3
+
+    def test_requires_exactly_one_criterion(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering()
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=2, distance_threshold=1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=0)
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(distance_threshold=-1.0)
+
+    def test_labels_property_before_fit(self):
+        with pytest.raises(NotFittedError):
+            _ = AgglomerativeClustering(n_clusters=2).labels
+
+    def test_all_linkages_agree_on_clean_blobs(self):
+        data = _blobs()
+        for linkage in ("single", "complete", "average"):
+            labels = AgglomerativeClustering(
+                n_clusters=3, linkage=linkage
+            ).fit_predict(data)
+            assert len(np.unique(labels)) == 3
+
+    def test_duplicate_points(self):
+        data = np.repeat(np.array([[0.0, 0.0], [5.0, 5.0]]), 5, axis=0)
+        labels = AgglomerativeClustering(distance_threshold=1.0).fit_predict(data)
+        assert len(np.unique(labels)) == 2
+
+    @given(st.integers(0, 1000), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_label_count_matches_request(self, seed, k):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(20, 3))
+        labels = AgglomerativeClustering(n_clusters=k).fit_predict(data)
+        assert len(np.unique(labels)) == k
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_agrees_with_scipy(self, seed):
+        """Cross-check the dendrogram cut against scipy's implementation."""
+        scipy_hierarchy = pytest.importorskip("scipy.cluster.hierarchy")
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(15, 2))
+        ours = AgglomerativeClustering(n_clusters=3, linkage="average")
+        ours_labels = ours.fit_predict(data)
+        linkage_matrix = scipy_hierarchy.linkage(data, method="average")
+        scipy_labels = scipy_hierarchy.fcluster(
+            linkage_matrix, t=3, criterion="maxclust"
+        )
+        # Same partition up to label permutation.
+        ours_partition = {
+            tuple(sorted(np.flatnonzero(ours_labels == label)))
+            for label in np.unique(ours_labels)
+        }
+        scipy_partition = {
+            tuple(sorted(np.flatnonzero(scipy_labels == label)))
+            for label in np.unique(scipy_labels)
+        }
+        assert ours_partition == scipy_partition

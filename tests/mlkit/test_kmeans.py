@@ -1,0 +1,115 @@
+"""Tests for repro.mlkit.kmeans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.mlkit import KMeans
+
+
+def _blobs(centers, n_per=50, spread=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    parts = [
+        center + spread * rng.normal(size=(n_per, len(center)))
+        for center in centers
+    ]
+    return np.concatenate(parts)
+
+
+WELL_SEPARATED = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        data = _blobs(WELL_SEPARATED)
+        labels = KMeans(n_clusters=3, seed=0).fit_predict(data)
+        # Each blob must be pure: same label inside, distinct across blobs.
+        blob_labels = [set(labels[i * 50 : (i + 1) * 50]) for i in range(3)]
+        assert all(len(block) == 1 for block in blob_labels)
+        assert len(set().union(*blob_labels)) == 3
+
+    def test_centers_near_true_centers(self):
+        data = _blobs(WELL_SEPARATED)
+        model = KMeans(n_clusters=3, seed=0).fit(data)
+        for true_center in WELL_SEPARATED:
+            distances = np.linalg.norm(
+                model.cluster_centers_ - np.asarray(true_center), axis=1
+            )
+            assert distances.min() < 0.5
+
+    def test_k_equal_one(self):
+        data = _blobs(WELL_SEPARATED)
+        model = KMeans(n_clusters=1).fit(data)
+        assert np.allclose(model.cluster_centers_[0], data.mean(axis=0))
+
+    def test_k_equals_n_samples(self):
+        data = np.arange(6, dtype=float).reshape(6, 1)
+        model = KMeans(n_clusters=6, seed=0).fit(data)
+        assert len(np.unique(model.labels_)) == 6
+        assert model.inertia_ == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_given_seed(self):
+        data = _blobs(WELL_SEPARATED)
+        run_a = KMeans(n_clusters=3, seed=7).fit(data)
+        run_b = KMeans(n_clusters=3, seed=7).fit(data)
+        assert np.array_equal(run_a.labels_, run_b.labels_)
+        assert run_a.inertia_ == run_b.inertia_
+
+    def test_predict_matches_fit_labels(self):
+        data = _blobs(WELL_SEPARATED)
+        model = KMeans(n_clusters=3, seed=0).fit(data)
+        assert np.array_equal(model.predict(data), model.labels_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans(n_clusters=2).predict(np.ones((2, 2)))
+
+    def test_more_clusters_than_samples_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.ones((3, 2)))
+
+    def test_identical_points_do_not_crash(self):
+        data = np.ones((10, 3))
+        model = KMeans(n_clusters=3, seed=0).fit(data)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, n_init=0)
+
+    def test_inertia_non_increasing_in_k(self):
+        data = _blobs(WELL_SEPARATED, spread=2.0)
+        inertias = [
+            KMeans(n_clusters=k, seed=0, n_init=4).fit(data).inertia_
+            for k in (1, 2, 3, 5, 8)
+        ]
+        # Allow tiny numerical slack; inertia must trend down with k.
+        assert all(b <= a * 1.001 for a, b in zip(inertias, inertias[1:]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_labels_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(40, 3))
+        labels = KMeans(n_clusters=4, seed=seed).fit_predict(data)
+        assert labels.min() >= 0
+        assert labels.max() < 4
+        assert len(labels) == 40
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_equals_assigned_distances(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(30, 2))
+        model = KMeans(n_clusters=3, seed=seed).fit(data)
+        manual = sum(
+            np.sum((data[model.labels_ == k] - center) ** 2)
+            for k, center in enumerate(model.cluster_centers_)
+        )
+        assert model.inertia_ == pytest.approx(manual, rel=1e-9)

@@ -1,0 +1,73 @@
+"""Tests for mini-batch k-means (million-kernel-scale clustering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.mlkit import KMeans, MiniBatchKMeans
+
+
+def _blobs(n_per=2_000, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([(0.0, 0.0), (12.0, 0.0), (0.0, 12.0), (12.0, 12.0)])
+    return np.concatenate(
+        [center + rng.normal(size=(n_per, 2)) for center in centers]
+    )
+
+
+class TestMiniBatchKMeans:
+    def test_recovers_blobs(self):
+        data = _blobs()
+        model = MiniBatchKMeans(n_clusters=4, seed=0).fit(data)
+        counts = np.bincount(model.labels_, minlength=4)
+        assert counts.min() > 1_500  # roughly balanced recovery
+
+    def test_inertia_close_to_full_lloyd(self):
+        data = _blobs()
+        mini = MiniBatchKMeans(n_clusters=4, seed=0).fit(data)
+        full = KMeans(n_clusters=4, seed=0).fit(data)
+        assert mini.inertia_ <= full.inertia_ * 1.1
+
+    def test_deterministic(self):
+        data = _blobs()
+        a = MiniBatchKMeans(n_clusters=4, seed=3).fit(data)
+        b = MiniBatchKMeans(n_clusters=4, seed=3).fit(data)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_predict_matches_fit(self):
+        data = _blobs()
+        model = MiniBatchKMeans(n_clusters=4, seed=0).fit(data)
+        assert np.array_equal(model.predict(data), model.labels_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MiniBatchKMeans(n_clusters=2).predict(np.ones((2, 2)))
+
+    def test_scales_to_large_inputs_quickly(self):
+        import time
+
+        rng = np.random.default_rng(1)
+        centers = rng.normal(scale=10, size=(6, 4))
+        data = np.concatenate(
+            [center + rng.normal(size=(80_000, 4)) for center in centers]
+        )
+        start = time.time()
+        model = MiniBatchKMeans(n_clusters=6, seed=0).fit(data)
+        elapsed = time.time() - start
+        assert elapsed < 5.0
+        full = KMeans(n_clusters=6, n_init=1, max_iter=30, seed=0).fit(data)
+        assert model.inertia_ <= full.inertia_ * 1.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(n_clusters=2, batch_size=0)
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(n_clusters=2, n_batches=0)
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(n_clusters=2, n_init=0)
+        with pytest.raises(ValueError):
+            MiniBatchKMeans(n_clusters=5).fit(np.ones((3, 2)))

@@ -1,0 +1,91 @@
+"""Tests for repro.mlkit.pca."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.mlkit import PCA
+
+
+def _correlated_data(n=300, seed=0):
+    """3-D data with essentially 2 significant directions."""
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 2))
+    mixing = np.array([[3.0, 0.1], [0.2, 2.0], [1.0, -1.0]])
+    return latent @ mixing.T + 0.01 * rng.normal(size=(n, 3))
+
+
+class TestPCA:
+    def test_variance_fraction_selects_components(self):
+        pca = PCA(n_components=0.95).fit(_correlated_data())
+        assert pca.n_components_ == 2
+
+    def test_integer_component_count(self):
+        pca = PCA(n_components=1).fit(_correlated_data())
+        assert pca.n_components_ == 1
+
+    def test_integer_count_clamped_to_rank(self):
+        pca = PCA(n_components=10).fit(_correlated_data())
+        assert pca.n_components_ <= 3
+
+    def test_explained_variance_sorted_descending(self):
+        pca = PCA(n_components=3).fit(_correlated_data())
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-12)
+
+    def test_explained_variance_ratio_at_most_one(self):
+        pca = PCA(n_components=3).fit(_correlated_data())
+        assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+    def test_components_are_orthonormal(self):
+        pca = PCA(n_components=3).fit(_correlated_data())
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(pca.n_components_), atol=1e-9)
+
+    def test_transform_centers_data(self):
+        data = _correlated_data()
+        reduced = PCA(n_components=2).fit_transform(data)
+        assert np.allclose(reduced.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_reconstruction_error_small_for_low_rank_data(self):
+        data = _correlated_data()
+        pca = PCA(n_components=2).fit(data)
+        reconstructed = pca.inverse_transform(pca.transform(data))
+        relative = np.linalg.norm(data - reconstructed) / np.linalg.norm(data)
+        assert relative < 0.05
+
+    def test_degenerate_constant_data(self):
+        data = np.ones((20, 4))
+        pca = PCA(n_components=0.95).fit(data)
+        assert pca.n_components_ == 1
+        assert np.allclose(pca.transform(data), 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PCA().transform(np.ones((3, 3)))
+
+    def test_rejects_bad_component_spec(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA(n_components=1.5)
+        with pytest.raises(TypeError):
+            PCA(n_components="two")
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.ones(5))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_transform_preserves_pairwise_distances_full_rank(self, seed):
+        """With all components kept, PCA is a rotation: distances survive."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(20, 4))
+        reduced = PCA(n_components=4).fit_transform(data)
+        original = np.linalg.norm(data[0] - data[1])
+        projected = np.linalg.norm(reduced[0] - reduced[1])
+        assert projected == pytest.approx(original, rel=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for repro.mlkit.preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import NotFittedError
+from repro.mlkit import StandardScaler, log_compress
+
+
+class TestLogCompress:
+    def test_monotone(self):
+        values = np.array([[0.0, 1.0, 10.0, 1e9]])
+        compressed = log_compress(values)
+        assert np.all(np.diff(compressed[0]) > 0)
+
+    def test_zero_maps_to_zero(self):
+        assert log_compress(np.zeros((2, 3))).sum() == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_compress(np.array([[-1.0]]))
+
+    def test_compresses_dynamic_range(self):
+        values = np.array([[1.0, 1e12]])
+        compressed = log_compress(values)
+        assert compressed[0, 1] / compressed[0, 0] < 1e3
+
+    @given(
+        arrays(
+            np.float64,
+            (5, 3),
+            elements=st.floats(0, 1e12, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_expm1_recovers(self, values):
+        assert np.allclose(np.expm1(log_compress(values)), values, rtol=1e-9)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_does_not_nan(self):
+        data = np.ones((10, 2))
+        data[:, 1] = np.arange(10)
+        scaled = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(50, 3)) * [1.0, 10.0, 0.1] + [0, 5, -2]
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_shape_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.ones((4, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((4, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones((0, 3)))
+
+    @given(
+        arrays(
+            np.float64,
+            (30, 2),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transform_is_affine(self, data):
+        scaler = StandardScaler().fit(data)
+        a = scaler.transform(data[:1])
+        b = scaler.transform(data[1:2])
+        midpoint = scaler.transform((data[:1] + data[1:2]) / 2.0)
+        assert np.allclose(midpoint, (a + b) / 2.0, atol=1e-6)

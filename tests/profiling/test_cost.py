@@ -1,0 +1,61 @@
+"""Tests for repro.profiling.cost (the Figure-1 time landscape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling import SECONDS_PER_WEEK, compute_time_landscape
+from repro.workloads import get_workload
+
+
+class TestTimeLandscape:
+    def test_ordering_silicon_lt_profiling_lt_simulation(self, volta_silicon):
+        spec = get_workload("fdtd2d")
+        landscape = compute_time_landscape(
+            spec.name, spec.build(), volta_silicon
+        )
+        assert landscape.silicon_seconds < landscape.detailed_profiling_seconds
+        assert landscape.detailed_profiling_seconds < landscape.full_simulation_seconds
+
+    def test_scale_multiplies_everything(self, volta_silicon, compute_launch):
+        base = compute_time_landscape("w", [compute_launch], volta_silicon)
+        scaled = compute_time_landscape(
+            "w", [compute_launch], volta_silicon, scale=10.0
+        )
+        assert scaled.silicon_seconds == pytest.approx(10.0 * base.silicon_seconds)
+        assert scaled.full_simulation_seconds == pytest.approx(
+            10.0 * base.full_simulation_seconds
+        )
+
+    def test_classic_workload_sim_time_hours_to_days(self, volta_silicon):
+        spec = get_workload("atax")
+        landscape = compute_time_landscape(spec.name, spec.build(), volta_silicon)
+        assert 0.1 < landscape.simulation_hours < 24 * 30
+
+    def test_mlperf_sim_time_years_plus(self, volta_silicon):
+        spec = get_workload("mlperf_bert_inference")
+        landscape = compute_time_landscape(
+            spec.name, spec.build(), volta_silicon, scale=spec.scale
+        )
+        assert landscape.simulation_years > 10.0
+
+    def test_mlperf_silicon_seconds_scale(self, volta_silicon):
+        spec = get_workload("mlperf_resnet50_64b")
+        landscape = compute_time_landscape(
+            spec.name, spec.build(), volta_silicon, scale=spec.scale
+        )
+        assert 1.0 < landscape.silicon_seconds < 600.0
+
+    def test_tractability_rule(self, volta_silicon):
+        classic = get_workload("histo")
+        landscape = compute_time_landscape(
+            classic.name, classic.build(), volta_silicon
+        )
+        assert landscape.detailed_profiling_tractable
+
+        ssd = get_workload("mlperf_ssd_training")
+        big = compute_time_landscape(
+            ssd.name, ssd.build(), volta_silicon, scale=ssd.scale
+        )
+        assert not big.detailed_profiling_tractable
+        assert big.detailed_profiling_seconds > SECONDS_PER_WEEK

@@ -1,0 +1,90 @@
+"""Tests for repro.profiling.lightweight (Nsight Systems + PyProf)."""
+
+from __future__ import annotations
+
+import numpy as np
+from repro.gpu import KernelLaunch
+from repro.profiling import (
+    LIGHT_FEATURE_DIM,
+    LightweightProfile,
+    LightweightProfiler,
+    light_feature_matrix,
+)
+
+
+class TestLightweightProfile:
+    def test_feature_dimension(self):
+        profile = LightweightProfile(
+            launch_id=0, kernel_name="k", grid_blocks=10, threads_per_block=128
+        )
+        assert profile.feature_vector().shape == (LIGHT_FEATURE_DIM,)
+
+    def test_same_name_same_hash_features(self):
+        a = LightweightProfile(0, "sgemm", 10, 128)
+        b = LightweightProfile(5, "sgemm", 10, 128)
+        assert np.array_equal(a.feature_vector(), b.feature_vector())
+
+    def test_different_names_usually_differ(self):
+        a = LightweightProfile(0, "sgemm", 10, 128).feature_vector()
+        b = LightweightProfile(0, "winograd", 10, 128).feature_vector()
+        assert not np.array_equal(a, b)
+
+    def test_grid_encoded_logarithmically(self):
+        small = LightweightProfile(0, "k", 10, 128).feature_vector()
+        large = LightweightProfile(0, "k", 10_000, 128).feature_vector()
+        diff = np.abs(large - small)
+        assert diff.max() < 10.0  # log compression keeps features tame
+        assert diff.sum() > 0
+
+    def test_nvtx_fields_enter_features(self):
+        plain = LightweightProfile(0, "k", 10, 128).feature_vector()
+        tagged = LightweightProfile(
+            0, "k", 10, 128, tensor_volume=1e6, layer_tag="layer3.conv1"
+        ).feature_vector()
+        assert not np.array_equal(plain, tagged)
+
+
+class TestLightFeatureMatrix:
+    def test_empty(self):
+        assert light_feature_matrix([]).shape == (0, LIGHT_FEATURE_DIM)
+
+    def test_stacks(self):
+        profiles = [LightweightProfile(i, "k", 10, 128) for i in range(3)]
+        assert light_feature_matrix(profiles).shape == (3, LIGHT_FEATURE_DIM)
+
+
+class TestLightweightProfiler:
+    def test_records_geometry_and_nvtx(self, volta_silicon, compute_spec):
+        launch = KernelLaunch(
+            spec=compute_spec,
+            grid_blocks=77,
+            launch_id=4,
+            nvtx={"layer": "conv1", "tensor_volume": "4096.0"},
+        )
+        (record,) = LightweightProfiler(volta_silicon).profile([launch])
+        assert record.launch_id == 4
+        assert record.grid_blocks == 77
+        assert record.kernel_name == compute_spec.name
+        assert record.layer_tag == "conv1"
+        assert record.tensor_volume == 4096.0
+
+    def test_cost_is_near_native(self, volta_silicon, compute_launch):
+        from repro.gpu import VOLTA_V100
+
+        profiler = LightweightProfiler(volta_silicon)
+        cost = profiler.profiling_seconds([compute_launch])
+        run_time = VOLTA_V100.cycles_to_seconds(
+            volta_silicon.kernel_cycles(compute_launch)
+        )
+        assert cost < 3.0 * run_time + 1e-3
+
+    def test_cost_much_cheaper_than_detailed(self, volta_silicon, compute_launch):
+        from repro.profiling import DetailedProfiler
+
+        light = LightweightProfiler(volta_silicon).profiling_seconds(
+            [compute_launch] * 10
+        )
+        detailed = DetailedProfiler(volta_silicon).profiling_seconds(
+            [compute_launch] * 10
+        )
+        assert detailed / light > 100.0

@@ -1,0 +1,55 @@
+"""Tests for model-error calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.calibration import calibrate_model_error, measure_mean_error
+from repro.sim.simulator import ModelErrorConfig
+from repro.workloads import get_workload
+
+SAMPLE_NAMES = ("histo", "cutcp", "fdtd2d", "gauss_208", "sad", "mri")
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return [(name, get_workload(name).build()) for name in SAMPLE_NAMES]
+
+
+class TestMeasureMeanError:
+    def test_disabled_error_is_the_shape_residual(self, sample):
+        """Without injected bias only the DES-vs-analytic shape residual
+        remains (largest for irregular, straggler-dominated kernels)."""
+        error = measure_mean_error(sample, ModelErrorConfig(enabled=False))
+        assert error < 15.0
+
+    def test_default_config_lands_in_the_paper_band(self, sample):
+        error = measure_mean_error(sample, ModelErrorConfig())
+        assert 8.0 < error < 60.0
+
+    def test_monotone_in_sigma(self, sample):
+        small = measure_mean_error(
+            sample, ModelErrorConfig(sigma_min=0.02, sigma_max=0.1)
+        )
+        large = measure_mean_error(
+            sample, ModelErrorConfig(sigma_min=0.4, sigma_max=1.2)
+        )
+        assert large > small
+
+
+class TestCalibrate:
+    def test_hits_a_low_target(self, sample):
+        result = calibrate_model_error(sample, target_mean_error=10.0)
+        assert result.residual < 4.0
+        assert result.config.sigma_max < ModelErrorConfig().sigma_max
+
+    def test_hits_a_high_target(self, sample):
+        result = calibrate_model_error(sample, target_mean_error=50.0)
+        assert result.residual < 12.0
+        assert result.config.sigma_max > ModelErrorConfig().sigma_max * 0.8
+
+    def test_validation(self, sample):
+        with pytest.raises(ValueError):
+            calibrate_model_error(sample, target_mean_error=0.0)
+        with pytest.raises(ValueError):
+            calibrate_model_error([], target_mean_error=10.0)

@@ -1,0 +1,208 @@
+"""Tests for repro.sim.engine (the discrete-event kernel simulator)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec, VOLTA_V100
+from repro.sim import analytic_kernel_cycles, analyze_kernel, simulate_kernel
+from repro.sim.engine import block_durations
+
+
+def _launch(spec: KernelSpec, grid: int = 2_000, launch_id: int = 0) -> KernelLaunch:
+    return KernelLaunch(spec=spec, grid_blocks=grid, launch_id=launch_id)
+
+
+class TestBlockDurations:
+    def test_deterministic(self, compute_spec):
+        launch = _launch(compute_spec)
+        perf = analyze_kernel(launch, VOLTA_V100)
+        assert np.array_equal(
+            block_durations(launch, perf), block_durations(launch, perf)
+        )
+
+    def test_bias_scales_all_durations(self, compute_spec):
+        launch = _launch(compute_spec)
+        perf = analyze_kernel(launch, VOLTA_V100)
+        base = block_durations(launch, perf, bias=1.0)
+        doubled = block_durations(launch, perf, bias=2.0)
+        assert np.allclose(doubled, 2.0 * base)
+
+    def test_cold_start_slows_first_wave(self, compute_spec):
+        launch = _launch(compute_spec)
+        perf = analyze_kernel(launch, VOLTA_V100)
+        durations = block_durations(launch, perf)
+        wave = perf.occupancy.wave_size
+        assert durations[:wave].mean() > durations[wave:].mean()
+
+    def test_zero_cv_durations_equal_within_regions(self, compute_spec):
+        spec = dataclasses.replace(compute_spec, duration_cv=0.0)
+        launch = _launch(spec)
+        perf = analyze_kernel(launch, VOLTA_V100)
+        durations = block_durations(launch, perf)
+        wave = perf.occupancy.wave_size
+        assert np.allclose(durations[wave:], durations[wave])
+
+    def test_mean_variation_near_one(self, compute_spec):
+        spec = dataclasses.replace(
+            compute_spec, duration_cv=0.5, cold_start_factor=0.0
+        )
+        launch = _launch(spec, grid=20_000)
+        perf = analyze_kernel(launch, VOLTA_V100)
+        durations = block_durations(launch, perf)
+        assert durations.mean() == pytest.approx(perf.base_block_cycles, rel=0.05)
+
+
+class TestFastPath:
+    def test_matches_analytic_for_regular_kernel(self, compute_spec):
+        launch = _launch(compute_spec)
+        result = simulate_kernel(launch, VOLTA_V100)
+        analytic = analytic_kernel_cycles(launch, VOLTA_V100)
+        assert result.cycles == pytest.approx(analytic, rel=0.08)
+
+    def test_matches_analytic_for_irregular_sub_wave(self, irregular_spec):
+        launch = _launch(irregular_spec, grid=256)
+        result = simulate_kernel(launch, VOLTA_V100)
+        analytic = analytic_kernel_cycles(launch, VOLTA_V100)
+        assert result.cycles == pytest.approx(analytic, rel=0.6)
+
+    def test_counts_all_work(self, compute_spec):
+        launch = _launch(compute_spec)
+        result = simulate_kernel(launch, VOLTA_V100)
+        assert result.blocks_finished == launch.grid_blocks
+        assert result.warp_instructions == pytest.approx(launch.warp_instructions)
+        assert not result.stopped_early
+
+    def test_bias_scales_cycles(self, compute_spec):
+        launch = _launch(compute_spec)
+        base = simulate_kernel(launch, VOLTA_V100, bias=1.0)
+        stretched = simulate_kernel(launch, VOLTA_V100, bias=1.7)
+        assert stretched.cycles == pytest.approx(1.7 * base.cycles, rel=1e-9)
+
+    def test_invalid_bias_rejected(self, compute_launch):
+        with pytest.raises(SimulationError):
+            simulate_kernel(compute_launch, VOLTA_V100, bias=0.0)
+
+    def test_invalid_window_rejected(self, compute_launch):
+        with pytest.raises(SimulationError):
+            simulate_kernel(compute_launch, VOLTA_V100, window_cycles=0.0)
+
+
+class TestWindowedPath:
+    def test_totals_match_fast_path(self, compute_spec):
+        launch = _launch(compute_spec)
+        fast = simulate_kernel(launch, VOLTA_V100)
+        windowed = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+        assert windowed.cycles == pytest.approx(fast.cycles, rel=1e-6)
+        assert windowed.blocks_finished == fast.blocks_finished
+        assert windowed.warp_instructions == pytest.approx(
+            fast.warp_instructions, rel=1e-6
+        )
+
+    def test_series_covers_run(self, compute_spec):
+        launch = _launch(compute_spec)
+        result = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+        assert len(result.samples) > 10
+        cycles = [sample.cycle for sample in result.samples]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] <= result.cycles + 1e-6
+
+    def test_blocks_finished_monotone(self, compute_spec):
+        launch = _launch(compute_spec)
+        result = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+        finished = [sample.blocks_finished for sample in result.samples]
+        assert finished == sorted(finished)
+
+    def test_ipc_ramp_up_visible(self, compute_spec):
+        """Cold first wave -> later windows retire faster than early ones."""
+        launch = _launch(compute_spec, grid=5_000)
+        result = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+        n = len(result.samples)
+        early = np.mean([s.ipc for s in result.samples[: n // 10]])
+        middle = np.mean([s.ipc for s in result.samples[n // 2 : n // 2 + n // 10]])
+        assert middle > early
+
+    def test_irregular_signal_noisier_than_regular(
+        self, compute_spec, irregular_spec
+    ):
+        def mid_rel_std(spec, grid):
+            result = simulate_kernel(
+                _launch(spec, grid), VOLTA_V100, collect_series=True
+            )
+            values = np.array([s.ipc for s in result.samples])
+            mid = values[len(values) // 4 : -len(values) // 4]
+            return mid.std() / mid.mean()
+
+        assert mid_rel_std(irregular_spec, 2_000) > 2.0 * mid_rel_std(
+            compute_spec, 2_000
+        )
+
+    def test_monitor_stops_simulation(self, compute_spec):
+        launch = _launch(compute_spec)
+        full = simulate_kernel(launch, VOLTA_V100)
+
+        def stop_after_ten(sample):
+            return sample.cycle >= 5_000
+
+        stopped = simulate_kernel(launch, VOLTA_V100, monitor=stop_after_ten)
+        assert stopped.stopped_early
+        assert stopped.cycles == pytest.approx(5_000)
+        assert stopped.cycles < full.cycles
+        assert stopped.blocks_finished < launch.grid_blocks
+
+    def test_monitor_object_protocol(self, compute_spec):
+        class Monitor:
+            def __init__(self):
+                self.seen = 0
+
+            def observe(self, sample):
+                self.seen += 1
+                return self.seen >= 3
+
+        monitor = Monitor()
+        result = simulate_kernel(
+            _launch(compute_spec), VOLTA_V100, monitor=monitor
+        )
+        assert monitor.seen == 3
+        assert result.stopped_early
+
+    def test_dram_util_bounded(self, memory_spec):
+        result = simulate_kernel(
+            _launch(memory_spec), VOLTA_V100, collect_series=True
+        )
+        for sample in result.samples:
+            assert 0.0 <= sample.dram_util <= 100.0
+            assert 0.0 <= sample.l2_miss_rate <= 100.0
+
+    def test_memory_bound_kernel_saturates_dram(self, memory_spec):
+        result = simulate_kernel(
+            _launch(memory_spec), VOLTA_V100, collect_series=True
+        )
+        n = len(result.samples)
+        mid = [s.dram_util for s in result.samples[n // 4 : 3 * n // 4]]
+        assert np.mean(mid) > 80.0
+
+
+@given(grid=st.integers(1, 3_000), seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_engine_invariants(grid, seed):
+    """For any grid: everything retires, IPC positive, cycles positive."""
+    mix = InstructionMix(fp_ops=50.0, global_loads=8.0)
+    spec = KernelSpec(
+        name=f"prop_{seed}",
+        threads_per_block=128,
+        mix=mix,
+        duration_cv=0.2,
+    )
+    launch = KernelLaunch(spec=spec, grid_blocks=grid, launch_id=0)
+    result = simulate_kernel(launch, VOLTA_V100)
+    assert result.blocks_finished == grid
+    assert result.cycles > 0
+    assert result.ipc > 0
+    assert result.warp_instructions == pytest.approx(launch.warp_instructions)

@@ -1,0 +1,111 @@
+"""Advanced engine behaviours: window overrides, stop edges, signal
+determinism."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpu import KernelLaunch, VOLTA_V100
+from repro.sim import Simulator, simulate_kernel
+from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
+
+
+class TestWindowOverride:
+    def test_window_size_changes_sampling_not_totals(self, compute_launch):
+        narrow = simulate_kernel(
+            compute_launch, VOLTA_V100, window_cycles=250.0, collect_series=True
+        )
+        wide = simulate_kernel(
+            compute_launch, VOLTA_V100, window_cycles=2_000.0, collect_series=True
+        )
+        assert len(narrow.samples) > len(wide.samples)
+        assert narrow.cycles == pytest.approx(wide.cycles, rel=1e-6)
+
+    def test_simulator_run_kernel_window_override(self, compute_launch):
+        simulator = Simulator(VOLTA_V100)
+        result = simulator.run_kernel(
+            compute_launch, collect_series=True, window_cycles=1_000.0
+        )
+        spacing = result.samples[1].cycle - result.samples[0].cycle
+        assert spacing == pytest.approx(1_000.0)
+
+
+class TestStopEdges:
+    def test_stop_at_first_window(self, compute_launch):
+        result = simulate_kernel(
+            compute_launch, VOLTA_V100, monitor=lambda _sample: True
+        )
+        assert result.stopped_early
+        assert result.cycles == pytest.approx(500.0)
+        assert result.blocks_finished == 0
+
+    def test_monitor_never_firing_completes(self, compute_launch):
+        result = simulate_kernel(
+            compute_launch, VOLTA_V100, monitor=lambda _sample: False
+        )
+        assert not result.stopped_early
+        assert result.blocks_finished == compute_launch.grid_blocks
+
+    def test_stop_preserves_partial_totals(self, compute_launch):
+        full = simulate_kernel(compute_launch, VOLTA_V100)
+
+        def halfway(sample):
+            return sample.cycle >= full.cycles / 2
+
+        partial = simulate_kernel(compute_launch, VOLTA_V100, monitor=halfway)
+        assert 0 < partial.warp_instructions < full.warp_instructions
+        assert 0 < partial.dram_bytes < full.dram_bytes
+
+
+class TestSignalDeterminism:
+    def test_observed_series_is_deterministic(self, irregular_spec):
+        launch = KernelLaunch(spec=irregular_spec, grid_blocks=1_000, launch_id=0)
+        first = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+        second = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+        assert [s.ipc for s in first.samples] == [s.ipc for s in second.samples]
+
+    def test_noise_scales_with_irregularity(self, compute_spec):
+        def tail_noise(cv):
+            spec = dataclasses.replace(
+                compute_spec, duration_cv=cv, name=f"noise_{cv}"
+            )
+            launch = KernelLaunch(spec=spec, grid_blocks=3_000, launch_id=0)
+            result = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+            values = np.array([s.ipc for s in result.samples])
+            tail = values[len(values) // 2 : -len(values) // 10]
+            return float(tail.std() / tail.mean())
+
+        assert tail_noise(0.6) > tail_noise(0.05)
+
+    def test_wander_decays_over_the_run(self, compute_spec):
+        """Early windows carry the warm-up wander; late windows are calm."""
+        spec = dataclasses.replace(
+            compute_spec,
+            mix=compute_spec.mix.scaled(20.0),
+            name="wander_probe",
+        )
+        launch = KernelLaunch(spec=spec, grid_blocks=600, launch_id=0)
+        result = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+        values = np.array([s.ipc for s in result.samples])
+        n = len(values)
+        early = values[n // 20 : n // 5]
+        # Compare against the settled middle; the drain tail re-adds
+        # variance as blocks retire unevenly.
+        middle = values[n // 3 : n // 2]
+        early_spread = early.std() / early.mean()
+        middle_spread = middle.std() / middle.mean()
+        assert middle_spread < early_spread
+
+
+class TestOverheadAccounting:
+    def test_engine_excludes_launch_overhead(self, volta_simulator, compute_launch):
+        """Launch overhead is an application-level charge, not engine time."""
+        kernel = volta_simulator.run_kernel(compute_launch)
+        app = volta_simulator.run_full("one", [compute_launch])
+        assert app.total_cycles == pytest.approx(
+            kernel.cycles + KERNEL_LAUNCH_OVERHEAD
+        )
+        assert app.simulated_cycles == pytest.approx(kernel.cycles)

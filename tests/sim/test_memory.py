@@ -1,0 +1,97 @@
+"""Tests for repro.sim.memory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import InstructionMix, KernelSpec, TURING_RTX2060, VOLTA_V100
+from repro.sim.memory import SECTOR_BYTES, build_memory_profile, l2_hit_rate
+
+
+def _spec(**overrides) -> KernelSpec:
+    defaults = dict(
+        name="mem",
+        threads_per_block=256,
+        mix=InstructionMix(fp_ops=10.0, global_loads=16.0, global_stores=8.0),
+        l2_locality=0.5,
+        working_set_bytes=6 * 1024 * 1024,  # exactly V100 L2
+        sectors_per_global_access=4.0,
+    )
+    defaults.update(overrides)
+    return KernelSpec(**defaults)
+
+
+class TestL2HitRate:
+    def test_fitting_working_set_gives_full_locality(self):
+        assert l2_hit_rate(_spec(), VOLTA_V100) == pytest.approx(0.5)
+
+    def test_oversized_working_set_degrades(self):
+        big = _spec(working_set_bytes=24 * 1024 * 1024)
+        assert l2_hit_rate(big, VOLTA_V100) == pytest.approx(0.5 * 0.5)  # sqrt(1/4)
+
+    def test_smaller_l2_hits_less(self):
+        spec = _spec(working_set_bytes=24 * 1024 * 1024)
+        assert l2_hit_rate(spec, TURING_RTX2060) < l2_hit_rate(spec, VOLTA_V100)
+
+    def test_zero_locality_never_hits(self):
+        assert l2_hit_rate(_spec(l2_locality=0.0), VOLTA_V100) == 0.0
+
+    @given(
+        locality=st.floats(0.0, 1.0),
+        working_set=st.floats(1e3, 1e12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hit_rate_bounded(self, locality, working_set):
+        spec = _spec(l2_locality=locality, working_set_bytes=working_set)
+        hit = l2_hit_rate(spec, VOLTA_V100)
+        assert 0.0 <= hit <= locality + 1e-12
+
+
+class TestMemoryProfile:
+    def test_sector_accounting(self):
+        spec = _spec(l2_locality=0.0)
+        profile = build_memory_profile(spec, VOLTA_V100)
+        warp_accesses = 256 * (16 + 8) / 32
+        assert profile.l2_sectors_per_block == pytest.approx(warp_accesses * 4.0)
+        assert profile.dram_bytes_per_block == pytest.approx(
+            warp_accesses * 4.0 * SECTOR_BYTES
+        )
+
+    def test_hits_filter_dram_traffic(self):
+        cold = build_memory_profile(_spec(l2_locality=0.0), VOLTA_V100)
+        warm = build_memory_profile(_spec(l2_locality=0.8), VOLTA_V100)
+        assert warm.dram_bytes_per_block == pytest.approx(
+            cold.dram_bytes_per_block * 0.2
+        )
+
+    def test_uncoalesced_access_multiplies_traffic(self):
+        coalesced = build_memory_profile(
+            _spec(sectors_per_global_access=4.0, l2_locality=0.0), VOLTA_V100
+        )
+        scattered = build_memory_profile(
+            _spec(sectors_per_global_access=32.0, l2_locality=0.0), VOLTA_V100
+        )
+        assert scattered.dram_bytes_per_block == pytest.approx(
+            8.0 * coalesced.dram_bytes_per_block
+        )
+
+    def test_atomics_bypass_locality(self):
+        mix = InstructionMix(fp_ops=10.0, global_atomics=4.0)
+        spec = _spec(mix=mix, l2_locality=1.0, working_set_bytes=1024.0)
+        profile = build_memory_profile(spec, VOLTA_V100)
+        assert profile.dram_bytes_per_block > 0
+
+    def test_local_loads_coalesce_perfectly(self):
+        mix = InstructionMix(fp_ops=10.0, local_loads=16.0)
+        spec = _spec(mix=mix, l2_locality=0.0, sectors_per_global_access=32.0)
+        profile = build_memory_profile(spec, VOLTA_V100)
+        warp_accesses = 256 * 16 / 32
+        assert profile.l2_sectors_per_block == pytest.approx(warp_accesses)
+
+    def test_pure_compute_kernel_has_no_traffic(self):
+        spec = _spec(mix=InstructionMix(fp_ops=100.0))
+        profile = build_memory_profile(spec, VOLTA_V100)
+        assert profile.dram_bytes_per_block == 0.0
+        assert profile.l2_sectors_per_block == 0.0

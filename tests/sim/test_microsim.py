@@ -1,0 +1,185 @@
+"""Tests for the warp-level SM microsimulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu import TURING_RTX2060, VOLTA_V100
+from repro.sim import MicrosimConfig, SMMicrosimulator
+from repro.workloads import compute_spec, streaming_spec, tensor_spec, tiny_spec
+
+# Full-machine DRAM contention: one SM gets 1/80 of the V100's bandwidth.
+CONTENDED = MicrosimConfig(dram_share=1.0 / 80)
+
+
+@pytest.fixture(scope="module")
+def microsim():
+    return SMMicrosimulator(VOLTA_V100, CONTENDED)
+
+
+class TestBottleneckAttribution:
+    def test_heavy_gemm_is_issue_bound(self, microsim):
+        spec = compute_spec(
+            "ms_gemm", flops=8_000.0, locality=0.85, working_set=8e6
+        )
+        result = microsim.run_block(spec)
+        assert result.dominant_stall == "issue"
+        assert result.ipc > 2.5
+
+    def test_streaming_kernel_is_memory_bound(self, microsim):
+        result = microsim.run_block(streaming_spec("ms_stream"))
+        assert result.dominant_stall == "memory"
+        assert result.stall_fraction("memory") > 0.7
+
+    def test_stall_fractions_bounded(self, microsim):
+        result = microsim.run_block(tiny_spec("ms_tiny"))
+        total = sum(
+            result.stall_fraction(kind)
+            for kind in ("memory", "execution", "issue")
+        )
+        assert 0.0 <= total <= 1.0 + 1e-9
+
+    def test_tensor_cores_lift_ipc(self):
+        import dataclasses
+
+        sim = SMMicrosimulator(VOLTA_V100, CONTENDED)
+        spec = tensor_spec("ms_wmma", tensor_ops=2_000.0, working_set=8e6)
+        plain = dataclasses.replace(spec, uses_tensor_cores=False)
+        fast = sim.run_block(spec)
+        slow = sim.run_block(plain)
+        # Lowering matrix ops to FMAs needs ~4x the issue slots.
+        assert slow.warp_instructions > 2.0 * fast.warp_instructions
+        assert slow.scaled_cycles > 1.5 * fast.scaled_cycles
+
+
+class TestExecutionAccounting:
+    def test_all_instructions_issue(self, microsim):
+        spec = tiny_spec("ms_count", work=200.0)
+        result = microsim.run_block(spec, resident_blocks=2)
+        warps = -(-spec.threads_per_block // 32) * 2
+        stream_length = result.issued_instructions / warps
+        assert stream_length == pytest.approx(round(stream_length))
+        assert result.issued_instructions > 0
+
+    def test_truncation_scale(self, microsim):
+        spec = compute_spec("ms_long", flops=50_000.0)
+        result = microsim.run_block(spec)
+        assert result.truncation_scale > 1.0
+        assert result.scaled_cycles > result.cycles
+
+    def test_deterministic(self, microsim):
+        spec = streaming_spec("ms_det")
+        a = microsim.run_block(spec)
+        b = microsim.run_block(spec)
+        assert a.cycles == b.cycles
+        assert a.stall_cycles == b.stall_cycles
+
+    def test_more_residency_hides_latency(self):
+        sim = SMMicrosimulator(VOLTA_V100, CONTENDED)
+        spec = compute_spec("ms_occ", flops=1_000.0, locality=0.85,
+                            working_set=8e6)
+        lone = sim.run_block(spec, resident_blocks=1)
+        full = sim.run_block(spec, resident_blocks=8)
+        # Eight co-resident blocks take far less than eight times one.
+        assert full.cycles < 4.0 * lone.cycles
+        assert full.ipc > lone.ipc
+
+    def test_bandwidth_contention_slows_memory_kernels(self):
+        spec = streaming_spec("ms_bw")
+        whole_machine = SMMicrosimulator(
+            VOLTA_V100, MicrosimConfig(dram_share=1.0 / 80)
+        ).run_block(spec)
+        lone_sm = SMMicrosimulator(
+            VOLTA_V100, MicrosimConfig(dram_share=1.0)
+        ).run_block(spec)
+        assert whole_machine.cycles > lone_sm.cycles
+
+    def test_smaller_gpu_not_faster(self):
+        spec = compute_spec("ms_gen", flops=2_000.0)
+        volta = SMMicrosimulator(VOLTA_V100, CONTENDED).run_block(
+            spec, resident_blocks=4
+        )
+        turing = SMMicrosimulator(
+            TURING_RTX2060, MicrosimConfig(dram_share=1.0 / 30)
+        ).run_block(spec, resident_blocks=4)
+        assert turing.cycles >= volta.cycles * 0.8
+
+
+class TestSchedulerPolicies:
+    def test_both_policies_run_the_same_work(self):
+        spec = compute_spec("ms_sched", flops=1_500.0, locality=0.85,
+                            working_set=8e6)
+        results = {}
+        for policy in ("gto", "rr"):
+            sim = SMMicrosimulator(
+                VOLTA_V100,
+                MicrosimConfig(scheduler=policy, dram_share=1.0 / 80),
+            )
+            results[policy] = sim.run_block(spec)
+        assert (
+            results["gto"].issued_instructions
+            == results["rr"].issued_instructions
+        )
+
+    def test_round_robin_spreads_issue_fairly(self):
+        """RR keeps every warp progressing, so issue-bound kernels finish
+        no later (usually sooner) than under static-priority GTO."""
+        spec = compute_spec("ms_fair", flops=1_500.0, locality=0.85,
+                            working_set=8e6)
+        gto = SMMicrosimulator(
+            VOLTA_V100, MicrosimConfig(scheduler="gto", dram_share=1.0 / 80)
+        ).run_block(spec)
+        rr = SMMicrosimulator(
+            VOLTA_V100, MicrosimConfig(scheduler="rr", dram_share=1.0 / 80)
+        ).run_block(spec)
+        assert rr.cycles <= gto.cycles * 1.05
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            MicrosimConfig(scheduler="fifo")
+
+
+class TestRooflineCrossValidation:
+    @pytest.mark.parametrize(
+        "make, name",
+        [
+            (lambda: compute_spec("xval_c", flops=3_000.0, locality=0.85,
+                                  working_set=8e6), "compute"),
+            (lambda: streaming_spec("xval_m"), "memory"),
+        ],
+    )
+    def test_microsim_within_3x_of_roofline(self, microsim, make, name):
+        """The two models must agree on magnitude (not exact cycles)."""
+        from repro.gpu.kernels import KernelLaunch
+        from repro.sim import analyze_kernel
+
+        spec = make()
+        perf = analyze_kernel(
+            KernelLaunch(spec=spec, grid_blocks=100_000, launch_id=0),
+            VOLTA_V100,
+        )
+        result = microsim.run_block(spec)
+        ratio = result.scaled_cycles / perf.base_block_cycles
+        assert 1 / 3 < ratio < 3.0, (name, ratio)
+
+
+class TestValidation:
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            MicrosimConfig(max_warp_instructions=0)
+        with pytest.raises(SimulationError):
+            MicrosimConfig(mshr_entries=0)
+        with pytest.raises(SimulationError):
+            MicrosimConfig(dram_share=0.0)
+        with pytest.raises(SimulationError):
+            MicrosimConfig(ilp=0)
+
+    def test_invalid_residency(self, microsim):
+        with pytest.raises(SimulationError):
+            microsim.run_block(tiny_spec("ms_bad"), resident_blocks=0)
+
+    def test_report_renders(self, microsim):
+        report = microsim.bottleneck_report(streaming_spec("ms_report"))
+        assert "dominant stall" in report
+        assert "memory" in report

@@ -1,0 +1,74 @@
+"""Property: the DES engine and the analytic silicon model stay coherent.
+
+Silicon truth is the closed form; the simulator is the DES.  Their
+agreement (for bias = 1) is what separates *sampling* error from
+*modeling* error throughout the evaluation, so it must hold for arbitrary
+kernels, not only the corpus.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec, VOLTA_V100
+from repro.sim import analytic_kernel_cycles, simulate_kernel
+
+
+@st.composite
+def regular_launch(draw):
+    """A regular kernel (small duration_cv) with an arbitrary profile."""
+    mix = InstructionMix(
+        fp_ops=draw(st.floats(10.0, 5_000.0)),
+        int_ops=draw(st.floats(0.0, 1_000.0)),
+        global_loads=draw(st.floats(0.0, 500.0)),
+        global_stores=draw(st.floats(0.0, 200.0)),
+        shared_loads=draw(st.floats(0.0, 500.0)),
+        control_ops=draw(st.floats(1.0, 100.0)),
+    )
+    spec = KernelSpec(
+        name=f"consistency_{draw(st.integers(0, 10**6))}",
+        threads_per_block=draw(st.sampled_from([64, 128, 256, 512])),
+        mix=mix,
+        l2_locality=draw(st.floats(0.0, 1.0)),
+        working_set_bytes=draw(st.floats(1e5, 1e9)),
+        duration_cv=draw(st.floats(0.0, 0.15)),
+        phase_drift=draw(st.floats(0.0, 0.5)),
+        cold_start_factor=draw(st.floats(0.0, 0.4)),
+    )
+    return KernelLaunch(
+        spec=spec,
+        grid_blocks=draw(st.integers(1, 8_000)),
+        launch_id=0,
+    )
+
+
+@given(regular_launch())
+@settings(max_examples=60, deadline=None)
+def test_des_matches_analytic_for_regular_kernels(launch):
+    analytic = analytic_kernel_cycles(launch, VOLTA_V100)
+    simulated = simulate_kernel(launch, VOLTA_V100).cycles
+    assert simulated == pytest_approx(analytic, rel=0.35)
+
+
+@given(regular_launch(), st.floats(0.2, 5.0))
+@settings(max_examples=40, deadline=None)
+def test_bias_is_exactly_multiplicative(launch, bias):
+    base = simulate_kernel(launch, VOLTA_V100, bias=1.0).cycles
+    scaled = simulate_kernel(launch, VOLTA_V100, bias=bias).cycles
+    assert scaled == pytest_approx(base * bias, rel=1e-6)
+
+
+@given(regular_launch())
+@settings(max_examples=40, deadline=None)
+def test_windowed_and_fast_paths_agree(launch):
+    fast = simulate_kernel(launch, VOLTA_V100)
+    windowed = simulate_kernel(launch, VOLTA_V100, collect_series=True)
+    assert windowed.cycles == pytest_approx(fast.cycles, rel=1e-6)
+    assert windowed.blocks_finished == fast.blocks_finished
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,132 @@
+"""Tests for repro.sim.perfmodel."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    InstructionMix,
+    KernelLaunch,
+    KernelSpec,
+    TURING_RTX2060,
+    VOLTA_V100,
+)
+from repro.sim.perfmodel import (
+    BLOCK_LATENCY_FLOOR,
+    _expected_extreme,
+    analytic_kernel_cycles,
+    analyze_kernel,
+)
+
+
+def _launch(spec: KernelSpec, grid: int = 2_000) -> KernelLaunch:
+    return KernelLaunch(spec=spec, grid_blocks=grid, launch_id=0)
+
+
+class TestAnalyzeKernel:
+    def test_compute_bound_kernel(self, compute_spec):
+        perf = analyze_kernel(_launch(compute_spec), VOLTA_V100)
+        assert perf.bottleneck == "compute"
+        assert perf.base_block_cycles > BLOCK_LATENCY_FLOOR
+
+    def test_memory_bound_kernel(self, memory_spec):
+        perf = analyze_kernel(_launch(memory_spec), VOLTA_V100)
+        assert perf.bottleneck == "memory"
+
+    def test_latency_bound_tiny_kernel(self):
+        spec = KernelSpec(
+            name="tiny",
+            threads_per_block=64,
+            mix=InstructionMix(fp_ops=10.0),
+        )
+        perf = analyze_kernel(_launch(spec, grid=4), VOLTA_V100)
+        assert perf.bottleneck == "latency"
+        assert perf.base_block_cycles == BLOCK_LATENCY_FLOOR
+
+    def test_resident_blocks_capped_by_grid(self, compute_spec):
+        perf = analyze_kernel(_launch(compute_spec, grid=5), VOLTA_V100)
+        assert perf.resident_blocks == 5
+
+    def test_resident_blocks_capped_by_wave(self, compute_spec):
+        perf = analyze_kernel(_launch(compute_spec, grid=100_000), VOLTA_V100)
+        assert perf.resident_blocks == perf.occupancy.wave_size
+
+    def test_steady_state_ipc_below_peak(self, compute_spec):
+        perf = analyze_kernel(_launch(compute_spec), VOLTA_V100)
+        assert 0 < perf.steady_state_ipc <= VOLTA_V100.peak_ipc * 1.01
+
+    def test_tensor_cores_speed_up_tensor_kernels(self):
+        mix = InstructionMix(tensor_ops=500.0, fp_ops=50.0, global_loads=10.0)
+        base = KernelSpec(
+            name="wmma", threads_per_block=256, mix=mix, l2_locality=0.9,
+            working_set_bytes=1e6,
+        )
+        with_tc = dataclasses.replace(base, uses_tensor_cores=True)
+        slow = analyze_kernel(_launch(base), VOLTA_V100)
+        fast = analyze_kernel(_launch(with_tc), VOLTA_V100)
+        assert fast.base_block_cycles < slow.base_block_cycles / 3
+
+
+class TestAnalyticCycles:
+    def test_scales_linearly_with_grid_above_wave(self, compute_spec):
+        small = analytic_kernel_cycles(_launch(compute_spec, 20_000), VOLTA_V100)
+        large = analytic_kernel_cycles(_launch(compute_spec, 40_000), VOLTA_V100)
+        assert large / small == pytest.approx(2.0, rel=0.05)
+
+    def test_sub_wave_grid_is_one_wave(self, compute_spec):
+        one = analytic_kernel_cycles(_launch(compute_spec, 10), VOLTA_V100)
+        two = analytic_kernel_cycles(_launch(compute_spec, 20), VOLTA_V100)
+        # Both fit simultaneously; no throughput difference.
+        assert two == pytest.approx(one, rel=0.05)
+
+    def test_memory_bound_insensitive_to_sm_count(self, memory_spec):
+        half = dataclasses.replace(VOLTA_V100, num_sms=40, name="half")
+        full_cycles = analytic_kernel_cycles(_launch(memory_spec), VOLTA_V100)
+        half_cycles = analytic_kernel_cycles(_launch(memory_spec), half)
+        assert half_cycles == pytest.approx(full_cycles, rel=0.15)
+
+    def test_compute_bound_scales_with_sm_count(self, compute_spec):
+        half = dataclasses.replace(VOLTA_V100, num_sms=40, name="half")
+        full_cycles = analytic_kernel_cycles(_launch(compute_spec), VOLTA_V100)
+        half_cycles = analytic_kernel_cycles(_launch(compute_spec), half)
+        assert half_cycles / full_cycles == pytest.approx(2.0, rel=0.15)
+
+    def test_volta_beats_turing(self, compute_spec, memory_spec):
+        for spec in (compute_spec, memory_spec):
+            volta = analytic_kernel_cycles(_launch(spec), VOLTA_V100)
+            turing = analytic_kernel_cycles(_launch(spec), TURING_RTX2060)
+            assert turing > volta
+
+    def test_phase_drift_stretches_mean(self, compute_spec):
+        drifted = dataclasses.replace(compute_spec, phase_drift=1.0)
+        base = analytic_kernel_cycles(_launch(compute_spec), VOLTA_V100)
+        stretched = analytic_kernel_cycles(_launch(drifted), VOLTA_V100)
+        assert stretched == pytest.approx(base * 1.5, rel=0.1)
+
+    def test_irregular_sub_wave_is_straggler_dominated(self, irregular_spec):
+        regular = dataclasses.replace(irregular_spec, duration_cv=0.0)
+        grid = 256  # below the wave
+        smooth = analytic_kernel_cycles(_launch(regular, grid), VOLTA_V100)
+        jagged = analytic_kernel_cycles(_launch(irregular_spec, grid), VOLTA_V100)
+        assert jagged > 3.0 * smooth
+
+
+class TestExpectedExtreme:
+    def test_regular_kernel_is_one(self):
+        assert _expected_extreme(0.0, 1000) == 1.0
+
+    def test_single_block_is_one(self):
+        assert _expected_extreme(0.9, 1) == 1.0
+
+    def test_grows_with_cv_and_n(self):
+        assert _expected_extreme(0.7, 256) > _expected_extreme(0.3, 256)
+        assert _expected_extreme(0.7, 256) > _expected_extreme(0.7, 16)
+
+    @given(cv=st.floats(0.01, 1.5), n=st.integers(2, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_always_at_least_one(self, cv, n):
+        assert _expected_extreme(cv, n) >= 1.0

@@ -1,0 +1,66 @@
+"""Tests for repro.sim.stats containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import VOLTA_V100
+from repro.sim import AppRunResult, KernelRecord
+
+
+def _result(**overrides) -> AppRunResult:
+    defaults = dict(
+        workload="app",
+        gpu=VOLTA_V100,
+        method="full_sim",
+        total_cycles=1e6,
+        total_instructions=5e7,
+        total_dram_bytes=1e8,
+        simulated_cycles=1e6,
+    )
+    defaults.update(overrides)
+    return AppRunResult(**defaults)
+
+
+class TestAppRunResult:
+    def test_ipc(self):
+        assert _result().ipc == pytest.approx(50.0)
+
+    def test_ipc_zero_cycles(self):
+        assert _result(total_cycles=0.0).ipc == 0.0
+
+    def test_dram_util_percent(self):
+        result = _result()
+        expected = 100.0 * (1e8 / 1e6) / VOLTA_V100.dram_bytes_per_cycle
+        assert result.dram_util_percent == pytest.approx(expected)
+
+    def test_dram_util_capped_at_100(self):
+        result = _result(total_dram_bytes=1e15)
+        assert result.dram_util_percent == 100.0
+
+    def test_silicon_seconds(self):
+        result = _result(total_cycles=VOLTA_V100.core_clock_ghz * 1e9)
+        assert result.silicon_seconds == pytest.approx(1.0)
+
+    def test_sim_wall_hours(self):
+        result = _result(simulated_cycles=VOLTA_V100.sim_cycles_per_second * 3600)
+        assert result.sim_wall_hours == pytest.approx(1.0)
+
+    def test_records_default_empty(self):
+        assert _result().kernel_records == ()
+
+
+class TestKernelRecord:
+    def test_fields(self):
+        record = KernelRecord(
+            launch_id=3,
+            name="k",
+            cycles=100.0,
+            instructions=5_000.0,
+            dram_bytes=64.0,
+            simulated_cycles=50.0,
+            projected=True,
+        )
+        assert record.launch_id == 3
+        assert record.projected
+        assert record.simulated_cycles < record.cycles

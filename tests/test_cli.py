@@ -1,0 +1,122 @@
+"""Tests for the pka command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import WorkloadError
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "histo", "--no-pkp", "--gpu", "turing"]
+        )
+        assert args.workload == "histo"
+        assert args.no_pkp
+        assert args.gpu == "turing"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gramschmidt" in out
+        assert "mlperf_ssd_training" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "histo"]) == 0
+        out = capsys.readouterr().out
+        assert "groups (K):" in out
+        assert "selected kernel ids:" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "gauss_208"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle error" in out
+        assert "speedup vs full sim" in out
+
+    def test_simulate_pks_only(self, capsys):
+        assert main(["simulate", "gauss_208", "--no-pkp"]) == 0
+        assert "PKS only" in capsys.readouterr().out
+
+    def test_simulate_quirked_workload_fails_cleanly(self, capsys):
+        assert main(["simulate", "db_conv_train_fp32_0"]) == 1
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "gauss_208" in out
+        assert "fdtd2d" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            main(["characterize", "not_a_workload"])
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "atax" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "2"]) == 1
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gauss_208"]) == 0
+        out = capsys.readouterr().out
+        for label in ("full simulation", "PKS", "PKA", "first-1B", "TBPoint"):
+            assert label in out
+
+    def test_sweep_k(self, capsys):
+        assert main(["sweep-k", "fdtd2d"]) == 0
+        out = capsys.readouterr().out
+        assert "K= 1" in out
+        assert "<- chosen" in out
+
+    def test_trace_plan(self, capsys):
+        assert main(["trace-plan", "gauss_208"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels to trace" in out
+        assert "reduction" in out
+
+    def test_report(self, capsys, tmp_path, monkeypatch):
+        output = tmp_path / "report.md"
+        assert main(["report", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "## Table 4" in output.read_text(encoding="utf-8")
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "histo"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle share by bottleneck" in out
+        assert "dynamic instruction mix" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--suite", "cutlass"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus OK" in out
+
+    def test_phases(self, capsys):
+        assert main(["phases", "db_conv_train_fp32_0"]) == 0
+        out = capsys.readouterr().out
+        assert "phases:" in out
+        assert "representativeness" in out
+
+    def test_project(self, capsys):
+        assert main(["project", "histo"]) == 0
+        out = capsys.readouterr().out
+        for gpu in ("V100", "RTX2060", "RTX3070", "A100"):
+            assert gpu in out
+
+    def test_characterize_save(self, capsys, tmp_path):
+        output = tmp_path / "selection.json"
+        assert main(["characterize", "histo", "--save", str(output)]) == 0
+        assert output.exists()
+        from repro.analysis.persistence import read_selection
+
+        assert read_selection(output).workload == "histo"

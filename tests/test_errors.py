@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    NotFittedError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    ConvergenceError,
+    NotFittedError,
+    ProfilingError,
+    SimulationError,
+    WorkloadError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+    assert issubclass(error_type, Exception)
+
+
+def test_single_except_clause_catches_everything():
+    for error_type in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+
+def test_library_raises_only_its_own_types():
+    """A user typo surfaces as a ReproError, not a bare KeyError."""
+    from repro.workloads import get_workload
+
+    with pytest.raises(ReproError):
+        get_workload("no_such_workload")

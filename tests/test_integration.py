@@ -1,0 +1,107 @@
+"""End-to-end integration tests exercising the public API as a user would."""
+
+from __future__ import annotations
+
+import repro
+from repro import (
+    PKAConfig,
+    PKPConfig,
+    PrincipalKernelAnalysis,
+    SiliconExecutor,
+    Simulator,
+    VOLTA_V100,
+    get_workload,
+)
+
+
+class TestQuickstartFlow:
+    """The README quickstart, assertion-hardened."""
+
+    def test_full_pipeline(self):
+        spec = get_workload("gramschmidt")
+        launches = spec.build()
+        silicon = SiliconExecutor(VOLTA_V100)
+        pka = PrincipalKernelAnalysis()
+
+        selection = pka.characterize(spec.name, launches, silicon)
+        assert selection.selected_count < len(launches) / 100
+
+        simulator = Simulator(VOLTA_V100)
+        result = pka.simulate(selection, simulator)
+        truth = silicon.run(spec.name, launches)
+        error = abs(result.total_cycles - truth.total_cycles) / truth.total_cycles
+        assert error < 0.8  # bounded by the simulator's modeling error
+        assert result.sim_wall_seconds > 0
+
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestCustomConfiguration:
+    def test_threshold_sweep_changes_cost(self):
+        spec = get_workload("syr2k")
+        launches = spec.build()
+        silicon = SiliconExecutor(VOLTA_V100)
+        simulator = Simulator(VOLTA_V100)
+
+        costs = []
+        for s in (2.5, 0.025):
+            pka = PrincipalKernelAnalysis(
+                PKAConfig(pkp=PKPConfig(stability_threshold=s))
+            )
+            selection = pka.characterize(spec.name, launches, silicon)
+            run = pka.simulate(selection, simulator)
+            costs.append(run.simulated_cycles)
+        assert costs[0] <= costs[1]
+
+    def test_cross_generation_selection_reuse(self):
+        """Volta-selected kernels project Turing silicon (paper §5.2.2)."""
+        from repro import TURING_RTX2060
+
+        spec = get_workload("histo")
+        launches = spec.build()
+        volta = SiliconExecutor(VOLTA_V100)
+        turing = SiliconExecutor(TURING_RTX2060)
+        pka = PrincipalKernelAnalysis()
+
+        selection = pka.characterize(spec.name, launches, volta)
+        projected = pka.project_silicon(selection, turing)
+        truth = turing.run(spec.name, launches)
+        error = (
+            abs(projected.total_cycles - truth.total_cycles) / truth.total_cycles
+        )
+        assert error < 0.10
+
+
+class TestDeterminism:
+    """Everything downstream of a seed must be bit-stable across runs."""
+
+    def test_characterization_deterministic(self):
+        spec = get_workload("fdtd2d")
+        launches = spec.build()
+        silicon = SiliconExecutor(VOLTA_V100)
+        a = PrincipalKernelAnalysis().characterize(spec.name, launches, silicon)
+        b = PrincipalKernelAnalysis().characterize(spec.name, launches, silicon)
+        assert a.selected_launch_ids == b.selected_launch_ids
+        assert [g.weight for g in a.groups] == [g.weight for g in b.groups]
+
+    def test_simulation_deterministic(self):
+        spec = get_workload("histo")
+        launches = spec.build()
+        run_a = Simulator(VOLTA_V100).run_full(spec.name, launches)
+        run_b = Simulator(VOLTA_V100).run_full(spec.name, launches)
+        assert run_a.total_cycles == run_b.total_cycles
+
+    def test_pkp_deterministic(self):
+        spec = get_workload("syrk")
+        launch = spec.build()[0]
+        from repro import run_pkp
+
+        a = run_pkp(Simulator(VOLTA_V100), launch)
+        b = run_pkp(Simulator(VOLTA_V100), launch)
+        assert a.projected_cycles == b.projected_cycles
+        assert a.simulated_cycles == b.simulated_cycles

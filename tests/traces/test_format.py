@@ -1,0 +1,91 @@
+"""Tests for the .pkatrace serialization format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces import (
+    TRACE_FORMAT_VERSION,
+    dumps_trace,
+    estimated_trace_bytes,
+    loads_trace,
+    read_trace,
+    write_trace,
+)
+from repro.workloads import get_workload
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, compute_launch, memory_launch):
+        text = dumps_trace("app", [compute_launch, memory_launch])
+        name, launches = loads_trace(text)
+        assert name == "app"
+        assert len(launches) == 2
+        for original, restored in zip([compute_launch, memory_launch], launches):
+            assert restored.launch_id == original.launch_id
+            assert restored.grid_blocks == original.grid_blocks
+            assert restored.spec == original.spec
+            assert restored.spec.signature() == original.spec.signature()
+
+    def test_roundtrip_preserves_nvtx(self):
+        launches = get_workload("mlperf_3dunet_inference").build()[:5]
+        name, restored = loads_trace(dumps_trace("unet", launches))
+        assert all(a.nvtx == b.nvtx for a, b in zip(launches, restored))
+
+    def test_roundtrip_through_file(self, tmp_path, compute_launch):
+        path = write_trace(tmp_path / "app.pkatrace", "app", [compute_launch])
+        name, launches = read_trace(path)
+        assert name == "app"
+        assert launches[0].spec == compute_launch.spec
+
+    def test_roundtrip_whole_workload(self):
+        launches = get_workload("cutcp").build()
+        _, restored = loads_trace(dumps_trace("cutcp", launches))
+        assert [l.spec.signature() for l in restored] == [
+            l.spec.signature() for l in launches
+        ]
+
+
+class TestValidation:
+    def test_rejects_non_trace(self):
+        with pytest.raises(WorkloadError):
+            loads_trace("hello world\n")
+
+    def test_rejects_wrong_version(self, compute_launch):
+        text = dumps_trace("app", [compute_launch])
+        bad = text.replace(
+            f'"version": {TRACE_FORMAT_VERSION}', '"version": 999'
+        )
+        with pytest.raises(WorkloadError):
+            loads_trace(bad)
+
+    def test_rejects_truncated_document(self, compute_launch, memory_launch):
+        text = dumps_trace("app", [compute_launch, memory_launch])
+        truncated = "\n".join(text.splitlines()[:-1]) + "\n"
+        with pytest.raises(WorkloadError):
+            loads_trace(truncated)
+
+    def test_rejects_malformed_record(self, compute_launch):
+        text = dumps_trace("app", [compute_launch])
+        lines = text.splitlines()
+        lines[1] = '{"launch_id": 0}'
+        with pytest.raises(WorkloadError):
+            loads_trace("\n".join(lines))
+
+
+class TestSizeEstimate:
+    def test_scales_with_instructions(self, compute_spec):
+        from repro.gpu import KernelLaunch
+
+        small = KernelLaunch(spec=compute_spec, grid_blocks=10, launch_id=0)
+        large = KernelLaunch(spec=compute_spec, grid_blocks=100, launch_id=1)
+        assert estimated_trace_bytes(large) == pytest.approx(
+            10.0 * estimated_trace_bytes(small)
+        )
+
+    def test_mlperf_full_trace_is_huge(self):
+        spec = get_workload("mlperf_ssd_training")
+        launches = spec.build()
+        total = sum(estimated_trace_bytes(l) for l in launches) * spec.scale
+        assert total > 1e12  # terabytes at paper scale

@@ -1,0 +1,79 @@
+"""Property-based tests: trace serialization over random kernel specs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec
+from repro.traces import dumps_trace, loads_trace
+
+
+@st.composite
+def random_launch(draw):
+    mix = InstructionMix(
+        fp_ops=draw(st.floats(0.0, 1e4)),
+        int_ops=draw(st.floats(0.0, 1e4)),
+        tensor_ops=draw(st.floats(0.0, 1e3)),
+        global_loads=draw(st.floats(0.0, 1e3)),
+        global_stores=draw(st.floats(0.0, 1e3)),
+        shared_loads=draw(st.floats(0.0, 1e3)),
+        control_ops=draw(st.floats(0.1, 100.0)),  # keeps the mix non-empty
+    )
+    spec = KernelSpec(
+        name=draw(
+            st.text(
+                alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1,
+                max_size=40,
+            )
+        ),
+        threads_per_block=draw(st.integers(1, 1024)),
+        mix=mix,
+        regs_per_thread=draw(st.integers(1, 255)),
+        shared_mem_per_block=draw(st.integers(0, 96 * 1024)),
+        divergence_efficiency=draw(st.floats(0.05, 1.0)),
+        sectors_per_global_access=draw(st.floats(1.0, 32.0)),
+        l2_locality=draw(st.floats(0.0, 1.0)),
+        working_set_bytes=draw(st.floats(1.0, 1e12)),
+        duration_cv=draw(st.floats(0.0, 2.0)),
+        phase_drift=draw(st.floats(-0.9, 3.0)),
+        cold_start_factor=draw(st.floats(0.0, 2.0)),
+        uses_tensor_cores=draw(st.booleans()),
+    )
+    return KernelLaunch(
+        spec=spec,
+        grid_blocks=draw(st.integers(1, 10**7)),
+        launch_id=draw(st.integers(0, 10**7)),
+        nvtx={
+            "layer": draw(st.text(max_size=20)),
+            "tensor_volume": str(draw(st.floats(0.0, 1e12))),
+        },
+    )
+
+
+@given(st.lists(random_launch(), min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_trace_roundtrip_preserves_specs(launches):
+    name, restored = loads_trace(dumps_trace("prop_app", launches))
+    assert name == "prop_app"
+    assert len(restored) == len(launches)
+    for original, loaded in zip(launches, restored):
+        assert loaded.spec == original.spec
+        assert loaded.spec.signature() == original.spec.signature()
+        assert loaded.grid_blocks == original.grid_blocks
+        assert loaded.launch_id == original.launch_id
+        assert loaded.nvtx == original.nvtx
+
+
+@given(random_launch())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_simulation_behaviour(launch):
+    """A restored launch prices identically on the silicon model."""
+    from repro.gpu import VOLTA_V100
+    from repro.sim import analytic_kernel_cycles
+
+    _, (restored,) = loads_trace(dumps_trace("app", [launch]))
+    assert analytic_kernel_cycles(restored, VOLTA_V100) == analytic_kernel_cycles(
+        launch, VOLTA_V100
+    )

@@ -1,0 +1,66 @@
+"""Tests for selective tracing plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import build_tracing_plan, read_trace, write_selected_traces
+
+
+@pytest.fixture(scope="module")
+def gramschmidt(harness):
+    evaluation = harness.evaluation("gramschmidt")
+    return evaluation.selection(), evaluation.launches("volta")
+
+
+class TestTracingPlan:
+    def test_plan_covers_selected_ids(self, gramschmidt):
+        selection, launches = gramschmidt
+        plan = build_tracing_plan(selection, launches)
+        assert plan.selected_launch_ids == selection.selected_launch_ids
+        assert plan.selected_count == selection.selected_count
+
+    def test_massive_trace_reduction(self, gramschmidt):
+        selection, launches = gramschmidt
+        plan = build_tracing_plan(selection, launches)
+        assert plan.reduction_factor > 50.0
+        assert plan.selected_trace_bytes < plan.full_trace_bytes
+
+    def test_bytes_consistent_with_format_estimate(self, gramschmidt):
+        from repro.traces import estimated_trace_bytes
+
+        selection, launches = gramschmidt
+        plan = build_tracing_plan(selection, launches)
+        manual = sum(estimated_trace_bytes(launch) for launch in launches)
+        assert plan.full_trace_bytes == pytest.approx(manual)
+
+
+class TestWriteSelectedTraces:
+    def test_writes_one_file_per_representative(self, gramschmidt, tmp_path):
+        selection, launches = gramschmidt
+        paths = write_selected_traces(selection, launches, tmp_path)
+        assert len(paths) == selection.selected_count
+        for path in paths:
+            assert path.exists()
+            name, restored = read_trace(path)
+            assert name == "gramschmidt"
+            assert len(restored) == 1
+            assert restored[0].launch_id in selection.selected_launch_ids
+
+    def test_traces_replayable_in_simulator(self, gramschmidt, tmp_path, harness):
+        """A written trace drives the simulator to the identical result."""
+        from repro.gpu import VOLTA_V100
+
+        selection, launches = gramschmidt
+        (path, *_rest) = write_selected_traces(selection, launches, tmp_path)
+        _, (restored,) = read_trace(path)
+        simulator = harness.simulator(VOLTA_V100)
+        original = next(
+            launch
+            for launch in launches
+            if launch.launch_id == restored.launch_id
+        )
+        assert (
+            simulator.run_kernel(restored).cycles
+            == simulator.run_kernel(original).cycles
+        )

@@ -1,0 +1,130 @@
+"""Structural checks for Rodinia / Parboil / Polybench / CUTLASS."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import get_workload, workload_names
+
+
+class TestRodiniaStructure:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [("gauss_208", 414), ("gauss_s256", 510), ("gauss_s64", 126),
+         ("gauss_s16", 30), ("gauss_mat4", 12)],
+    )
+    def test_gaussian_launch_counts(self, name, expected):
+        assert len(get_workload(name).build()) == expected
+
+    def test_gaussian_grids_shrink(self):
+        launches = get_workload("gauss_208").build()
+        fan2_grids = [
+            launch.grid_blocks
+            for launch in launches
+            if launch.spec.name == "Fan2"
+        ]
+        assert fan2_grids[0] >= fan2_grids[-1]
+        assert fan2_grids[-1] == 1
+
+    def test_nw_triangular_sweep(self):
+        launches = get_workload("nw").build()
+        assert len(launches) == 256
+        first_half = [launch.grid_blocks for launch in launches[:128]]
+        second_half = [launch.grid_blocks for launch in launches[128:]]
+        assert first_half == sorted(first_half)
+        assert second_half == sorted(second_half, reverse=True)
+
+    def test_bfs_frontier_rises_and_falls(self):
+        launches = get_workload("bfs65536").build()
+        kernel1_grids = [
+            launch.grid_blocks
+            for launch in launches
+            if launch.spec.name.endswith("_Kernel")
+        ]
+        peak = max(kernel1_grids)
+        peak_index = kernel1_grids.index(peak)
+        assert 0 < peak_index < len(kernel1_grids) - 1
+        assert kernel1_grids[0] < peak
+        assert kernel1_grids[-1] < peak
+
+    def test_lud_internal_grid_is_quadratic(self):
+        launches = get_workload("lud_i").build()
+        internal = [
+            launch.grid_blocks
+            for launch in launches
+            if "internal" in launch.spec.name
+        ]
+        # First step works on (n-1)^2 tiles of a 16-block matrix.
+        assert internal[0] == 15 * 15
+        assert internal[-1] == 1
+
+    @pytest.mark.parametrize(
+        "name", ["b+tree", "backprop", "hots_1024", "hots_512", "nn", "lavaMD"]
+    )
+    def test_single_group_apps_have_few_launches(self, name):
+        assert len(get_workload(name).build()) <= 2
+
+
+class TestPolybenchStructure:
+    def test_fdtd2d_interleaving(self):
+        launches = get_workload("fdtd2d").build()
+        names = [launch.spec.name for launch in launches[:6]]
+        assert names == [
+            "fdtd_step1_kernel",
+            "fdtd_step2_kernel",
+            "fdtd_step3_kernel",
+        ] * 2
+
+    def test_gramschmidt_plateau_grids(self):
+        launches = get_workload("gramschmidt").build()
+        update_grids = {
+            launch.grid_blocks
+            for launch in launches
+            if launch.spec.name == "gramschmidt_kernel3"
+        }
+        # BLAS tiling plateaus: a handful of distinct grids, not 2137.
+        assert len(update_grids) <= 6
+
+    @pytest.mark.parametrize(
+        "name", ["syr2k", "syrk", "correlation", "covariance"]
+    )
+    def test_long_kernel_apps_have_few_fat_launches(self, name):
+        launches = get_workload(name).build()
+        assert len(launches) <= 4
+        assert max(launch.spec.mix.per_thread_total for launch in launches) > 1_000
+
+    def test_atax_two_distinct_kernels(self):
+        launches = get_workload("atax").build()
+        assert len(launches) == 2
+        assert launches[0].spec.signature() != launches[1].spec.signature()
+
+
+class TestCutlassStructure:
+    @pytest.mark.parametrize("name", workload_names("cutlass"))
+    def test_seven_identical_launches(self, name):
+        launches = get_workload(name).build()
+        assert len(launches) == 7
+        assert len({launch.spec.signature() for launch in launches}) == 1
+        assert len({launch.grid_blocks for launch in launches}) == 1
+
+    def test_wgemm_uses_tensor_cores_sgemm_does_not(self):
+        wgemm = get_workload("cutlass_wgemm_2560x128x2560").build()[0]
+        sgemm = get_workload("cutlass_sgemm_2560x128x2560").build()[0]
+        assert wgemm.spec.uses_tensor_cores
+        assert not sgemm.spec.uses_tensor_cores
+
+
+class TestParboilStructure:
+    def test_histo_interleaves_four_kernels(self):
+        launches = get_workload("histo").build()
+        first_cycle = [launch.spec.name for launch in launches[:4]]
+        assert len(set(first_cycle)) == 4
+        counts = Counter(launch.spec.name for launch in launches)
+        assert all(count == 20 for count in counts.values())
+
+    def test_stencil_repeats_one_kernel(self):
+        launches = get_workload("parboil_stencil").build()
+        assert len(launches) == 100
+        assert len({launch.spec.signature() for launch in launches}) == 1

@@ -1,0 +1,89 @@
+"""Structural checks across every DeepBench workload family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import get_workload, workload_names
+
+ALL_DEEPBENCH = workload_names("deepbench")
+
+
+def _family(prefix: str) -> list[str]:
+    return [name for name in ALL_DEEPBENCH if name.startswith(prefix)]
+
+
+class TestFamilyCounts:
+    def test_total_is_69(self):
+        assert len(ALL_DEEPBENCH) == 69
+
+    @pytest.mark.parametrize(
+        "prefix, expected",
+        [
+            ("db_conv_inf_fp32", 5),
+            ("db_conv_inf_tc", 5),
+            ("db_conv_train_fp32", 5),
+            ("db_conv_train_tc", 5),
+            ("db_gemm_inf_fp32", 5),
+            ("db_gemm_inf_tc", 5),
+            ("db_gemm_train_fp32", 5),
+            ("db_gemm_train_tc", 5),
+            ("db_rnn_inf_fp32", 9),
+            ("db_rnn_inf_tc", 10),
+            ("db_rnn_train_fp32", 5),
+            ("db_rnn_train_tc", 5),
+        ],
+    )
+    def test_input_counts_match_table4(self, prefix, expected):
+        assert len(_family(prefix)) == expected
+
+
+@pytest.mark.parametrize("name", _family("db_conv") + _family("db_gemm"))
+def test_conv_and_gemm_open_with_autotune_probes(name):
+    launches = get_workload(name).build()
+    head_names = [launch.spec.name for launch in launches[:4]]
+    assert all("autotune" in kernel for kernel in head_names), name
+
+
+@pytest.mark.parametrize("name", _family("db_rnn"))
+def test_rnn_workloads_use_persistent_kernels(name):
+    launches = get_workload(name).build()
+    assert len(launches) < 25, name
+    assert any("persist" in launch.spec.name for launch in launches), name
+
+
+@pytest.mark.parametrize("name", [n for n in ALL_DEEPBENCH if "_tc_" in n])
+def test_tensor_core_variants_use_tensor_cores(name):
+    launches = get_workload(name).build()
+    assert any(launch.spec.uses_tensor_cores for launch in launches), name
+
+
+@pytest.mark.parametrize("name", [n for n in ALL_DEEPBENCH if "_fp32_" in n])
+def test_fp32_variants_avoid_tensor_cores(name):
+    launches = get_workload(name).build()
+    assert not any(launch.spec.uses_tensor_cores for launch in launches), name
+
+
+@pytest.mark.parametrize("name", _family("db_conv_train_fp32"))
+def test_cuda_conv_training_quirks(name):
+    spec = get_workload(name)
+    assert "sim_kernel_mismatch" in spec.quirks
+    assert "turing" in spec.variant_builders
+    # The FFT-algorithm variant launches more kernels than winograd.
+    assert len(spec.build("turing")) > len(spec.build("volta"))
+
+
+@pytest.mark.parametrize("name", _family("db_conv_train_tc"))
+def test_tensor_conv_training_missing_generations(name):
+    spec = get_workload(name)
+    assert "no_turing" in spec.quirks
+    assert "no_ampere" in spec.quirks
+
+
+@pytest.mark.parametrize("name", _family("db_gemm_train"))
+def test_training_adds_backward_and_optimizer_work(name):
+    inference_name = name.replace("_train_", "_inf_")
+    train = get_workload(name).build()
+    infer = get_workload(inference_name).build()
+    assert len(train) > len(infer)
+    assert any("sgd_update" in launch.spec.name for launch in train)

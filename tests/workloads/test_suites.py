@@ -1,0 +1,121 @@
+"""Corpus-wide invariants and per-suite structural checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import split_iterations
+from repro.workloads import get_workload, iter_workloads
+
+
+class TestCorpusInvariants:
+    def test_every_workload_builds_nonempty(self):
+        for spec in iter_workloads():
+            launches = spec.build()
+            assert launches, spec.name
+            assert all(launch.grid_blocks >= 1 for launch in launches)
+
+    def test_grid_sizes_bounded(self):
+        """No workload should have absurd grids that stall the engine."""
+        for spec in iter_workloads():
+            for launch in spec.build():
+                assert launch.grid_blocks <= 60_000, spec.name
+
+
+class TestTable3Structures:
+    def test_gaussian_208_launches(self):
+        assert len(get_workload("gauss_208").build()) == 414
+
+    def test_gramschmidt_launches(self):
+        assert len(get_workload("gramschmidt").build()) == 6_411
+
+    def test_fdtd2d_structure(self):
+        launches = get_workload("fdtd2d").build()
+        assert len(launches) == 1_500
+        names = {launch.spec.name for launch in launches}
+        assert len(names) == 3
+
+    def test_histo_four_families_of_20(self):
+        launches = get_workload("histo").build()
+        from collections import Counter
+
+        counts = Counter(launch.spec.name for launch in launches)
+        assert sorted(counts.values()) == [20, 20, 20, 20]
+
+    def test_cutcp_families_2_3_6(self):
+        launches = get_workload("cutcp").build()
+        from collections import Counter
+
+        counts = Counter(launch.spec.name for launch in launches)
+        assert sorted(counts.values()) == [2, 3, 6]
+
+    def test_cutlass_seven_repeats(self):
+        launches = get_workload("cutlass_sgemm_4096x4096x4096").build()
+        assert len(launches) == 7
+        assert len({launch.spec.signature() for launch in launches}) == 1
+
+
+class TestMLPerfStructures:
+    def test_ssd_is_largest(self):
+        sizes = {
+            spec.name: len(spec.build()) for spec in iter_workloads("mlperf")
+        }
+        assert max(sizes, key=sizes.get) == "mlperf_ssd_training"
+
+    def test_ssd_paper_scale(self):
+        spec = get_workload("mlperf_ssd_training")
+        paper_size = len(spec.build()) * spec.scale
+        assert paper_size == pytest.approx(5.3e6, rel=0.1)
+
+    def test_nvtx_annotations_present(self):
+        for spec in iter_workloads("mlperf"):
+            launches = spec.build()
+            tagged = sum(1 for launch in launches if launch.nvtx)
+            assert tagged / len(launches) > 0.95, spec.name
+
+    def test_iteration_structure_detectable(self):
+        for name in (
+            "mlperf_resnet50_64b",
+            "mlperf_ssd_training",
+            "mlperf_bert_inference",
+            "mlperf_gnmt_training",
+            "mlperf_3dunet_inference",
+        ):
+            launches = get_workload(name).build()
+            iterations = split_iterations(launches)
+            assert len(iterations) > 10, name
+
+    def test_resnet_batch_sizes_scale_launch_counts(self):
+        n64 = len(get_workload("mlperf_resnet50_64b").build())
+        n128 = len(get_workload("mlperf_resnet50_128b").build())
+        n256 = len(get_workload("mlperf_resnet50_256b").build())
+        assert n64 > n128 > n256
+        assert n64 == pytest.approx(2 * n128, rel=0.05)
+
+    def test_resnet_reuses_kernel_names_across_groups(self):
+        """Same kernel name with different behaviour (paper §3.1)."""
+        launches = get_workload("mlperf_resnet50_64b").build()
+        by_name: dict[str, set[int]] = {}
+        for launch in launches:
+            by_name.setdefault(launch.spec.name, set()).add(
+                launch.spec.signature()
+            )
+        assert any(len(signatures) > 1 for signatures in by_name.values())
+
+
+class TestDeepBenchStructures:
+    def test_rnn_uses_persistent_kernels(self):
+        launches = get_workload("db_rnn_inf_fp32_0").build()
+        assert len(launches) < 20
+
+    def test_conv_training_has_autotune_probes(self):
+        launches = get_workload("db_conv_train_fp32_0").build()
+        assert any("autotune" in launch.spec.name for launch in launches[:6])
+
+    def test_probes_are_memory_hostile(self):
+        launches = get_workload("db_gemm_inf_fp32_0").build()
+        probe = next(
+            launch for launch in launches if "autotune" in launch.spec.name
+        )
+        assert probe.spec.l2_locality <= 0.1
+        assert probe.spec.sectors_per_global_access >= 16.0

@@ -1,0 +1,95 @@
+"""Tests for corpus validation."""
+
+from __future__ import annotations
+
+from repro.workloads import WorkloadSpec, get_workload
+from repro.workloads.validation import (
+    validate_corpus,
+    validate_workload,
+)
+
+
+class TestValidateWorkload:
+    def test_clean_workload_has_no_issues(self):
+        assert validate_workload(get_workload("histo")) == []
+
+    def test_broken_builder_reported_not_raised(self):
+        def explode():
+            raise RuntimeError("boom")
+
+        spec = WorkloadSpec(name="broken", suite="test", builder=explode)
+        issues = validate_workload(spec)
+        assert len(issues) == 1
+        assert issues[0].check == "buildable"
+
+    def test_empty_builder_reported(self):
+        spec = WorkloadSpec(name="empty", suite="test", builder=list)
+        issues = validate_workload(spec)
+        assert issues[0].check == "nonempty"
+
+    def test_bad_launch_ids_reported(self):
+        from repro.gpu import KernelLaunch
+        from repro.workloads import tiny_spec
+
+        kernel = tiny_spec("vw_tiny")
+
+        def build():
+            return [
+                KernelLaunch(spec=kernel, grid_blocks=1, launch_id=5),
+                KernelLaunch(spec=kernel, grid_blocks=1, launch_id=2),
+            ]
+
+        issues = validate_workload(
+            WorkloadSpec(name="ids", suite="test", builder=build)
+        )
+        assert any(issue.check == "chronological_ids" for issue in issues)
+
+    def test_nondeterministic_builder_reported(self):
+        from repro.gpu import KernelLaunch
+        from repro.workloads import tiny_spec
+
+        kernel = tiny_spec("vw_nd")
+        state = {"count": 0}
+
+        def build():
+            state["count"] += 1
+            return [
+                KernelLaunch(
+                    spec=kernel, grid_blocks=state["count"], launch_id=0
+                )
+            ]
+
+        issues = validate_workload(
+            WorkloadSpec(name="nondet", suite="test", builder=build)
+        )
+        assert any(issue.check == "deterministic" for issue in issues)
+
+    def test_mlperf_invariants_enforced(self):
+        from repro.gpu import KernelLaunch
+        from repro.workloads import tiny_spec
+
+        kernel = tiny_spec("vw_ml")
+
+        def build():
+            return [KernelLaunch(spec=kernel, grid_blocks=1, launch_id=0)]
+
+        spec = WorkloadSpec(
+            name="fake_mlperf", suite="mlperf", builder=build,
+            scale=1.0, completable=True,
+        )
+        checks = {issue.check for issue in validate_workload(spec)}
+        assert "mlperf_scale" in checks
+        assert "mlperf_completable" in checks
+        assert "nvtx_annotations" in checks
+
+
+class TestValidateCorpus:
+    def test_whole_corpus_is_clean(self):
+        report = validate_corpus()
+        assert report.workloads_checked == 147
+        assert report.ok, report.issues
+
+    def test_suite_scoped(self):
+        report = validate_corpus("mlperf")
+        assert report.workloads_checked == 7
+        assert report.ok
