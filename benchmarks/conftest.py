@@ -8,6 +8,8 @@ pytest with ``-s`` to see it) and assert the paper's qualitative shape.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis import EvaluationHarness
@@ -15,7 +17,13 @@ from repro.analysis import EvaluationHarness
 
 @pytest.fixture(scope="session")
 def harness() -> EvaluationHarness:
-    return EvaluationHarness()
+    """Session harness; ``PKA_JOBS`` / ``PKA_CACHE_DIR`` select the
+    execution backend and the on-disk run cache (a warm cache makes a
+    repeat benchmark sweep mostly disk reads)."""
+    return EvaluationHarness(
+        backend=os.environ.get("PKA_JOBS"),
+        cache_dir=os.environ.get("PKA_CACHE_DIR"),
+    )
 
 
 def print_header(title: str) -> None:

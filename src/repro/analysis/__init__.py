@@ -18,8 +18,12 @@ from repro.analysis.harness import EvaluationHarness, WorkloadEvaluation
 from repro.analysis.inspect import WorkloadProfile, inspect_workload
 from repro.analysis.phases import Phase, PhaseAnalysis, detect_phases
 from repro.analysis.persistence import (
+    NullRunCache,
+    RunCache,
+    RunKey,
     load_selection,
     read_selection,
+    resolve_run_cache,
     save_selection,
 )
 from repro.analysis.plotting import ascii_timeseries, render_ipc_series
@@ -44,9 +48,12 @@ __all__ = [
     "EvaluationHarness",
     "IPCSeries",
     "MethodAggregate",
+    "NullRunCache",
     "Phase",
     "PhaseAnalysis",
     "RelativeAccuracy",
+    "RunCache",
+    "RunKey",
     "Table3Row",
     "Table4Row",
     "WorkloadEvaluation",
@@ -72,6 +79,7 @@ __all__ = [
     "read_selection",
     "render_ipc_series",
     "render_report",
+    "resolve_run_cache",
     "save_selection",
     "sweep_architectures",
     "speedup",

@@ -5,19 +5,47 @@ on the same underlying runs (silicon truth per GPU, PKA characterization
 on Volta, full/PKS/PKA/1B/TBPoint simulation).  The harness runs each of
 those at most once per workload per GPU and caches the results, so the
 whole benchmark suite costs one corpus sweep.
+
+Two optional layers extend the in-memory memoization:
+
+* an **on-disk run cache** (:class:`~repro.analysis.persistence.RunCache`)
+  shared by every process that points at the same directory — a repeated
+  benchmark sweep, a CLI session, a worker pool — keyed by a content
+  digest of everything a cell depends on;
+* an **execution backend** (:mod:`repro.sim.parallel`): per-kernel
+  simulation inside each cell fans out through it, and
+  :meth:`EvaluationHarness.evaluate_cells` dispatches whole independent
+  workload × method × GPU cells across worker processes with a
+  deterministic reduce.
+
+Both layers are bit-exact: a cache hit or a parallel run returns exactly
+what a cold serial run would have computed.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.analysis.persistence import (
+    NullRunCache,
+    RunCache,
+    RunKey,
+    fingerprint,
+    launches_digest,
+    resolve_run_cache,
+    run_digest,
+)
 from repro.baselines.first_n import run_first_n_instructions
 from repro.baselines.tbpoint import TBPointSelection, select_tbpoint, simulate_tbpoint
 from repro.core.config import PKAConfig
 from repro.core.pka import KernelSelection, PrincipalKernelAnalysis
-from repro.gpu.architectures import GENERATIONS, GPUConfig, VOLTA_V100
+from repro.errors import ReproError
+from repro.gpu.architectures import GENERATIONS, GPUConfig, VOLTA_V100, get_gpu
 from repro.mlkit import ClusteringCapacityError
 from repro.profiling.detailed import DetailedProfiler
+from repro.sim.parallel import ExecutionBackend, resolve_backend
 from repro.sim.silicon import SiliconExecutor
 from repro.sim.simulator import ModelErrorConfig, Simulator
 from repro.sim.stats import AppRunResult
@@ -25,12 +53,28 @@ from repro.workloads.spec import WorkloadSpec, get_workload, iter_workloads
 
 __all__ = ["WorkloadEvaluation", "EvaluationHarness"]
 
+#: Methods evaluate_cells understands, and whether they take a GPU.
+_CELL_METHODS = (
+    "silicon",
+    "pks_silicon",
+    "selection",
+    "full_sim",
+    "pks_sim",
+    "pka_sim",
+    "pka_sim_faithful",
+    "first_1b",
+    "tbpoint_sim",
+)
+
 
 @dataclass
 class WorkloadEvaluation:
     """Lazy bundle of every run for one workload.
 
-    All accessors compute on first use and memoize.  Methods that do not
+    All accessors compute on first use and memoize under a typed
+    :class:`~repro.analysis.persistence.RunKey`; the same key addresses
+    the harness's on-disk cache, so the in-memory and persistent layers
+    can never hold different results for one cell.  Methods that do not
     apply (full simulation of MLPerf, TBPoint beyond its capacity,
     silicon runs on GPUs the workload does not fit) return None.
     """
@@ -38,7 +82,8 @@ class WorkloadEvaluation:
     spec: WorkloadSpec
     harness: "EvaluationHarness"
     _launches: dict[str, list] = field(default_factory=dict)
-    _cache: dict[str, object] = field(default_factory=dict)
+    _launch_digests: dict[str, str] = field(default_factory=dict)
+    _cache: dict[RunKey, object] = field(default_factory=dict)
 
     # -- building blocks ------------------------------------------------
 
@@ -47,81 +92,106 @@ class WorkloadEvaluation:
             self._launches[generation] = self.spec.build(generation)
         return self._launches[generation]
 
+    def launch_digest(self, generation: str = "volta") -> str:
+        """Memoized content digest of one generation's launch list."""
+        if generation not in self._launch_digests:
+            self._launch_digests[generation] = launches_digest(
+                self.launches(generation)
+            )
+        return self._launch_digests[generation]
+
     def runs_on(self, gpu: GPUConfig) -> bool:
         if not self.spec.fits_on(gpu):
             return False
         return f"no_{gpu.generation}" not in self.spec.quirks
 
+    def _memoized_run(
+        self,
+        key: RunKey,
+        gpu: GPUConfig | None,
+        generations: tuple[str, ...],
+        compute: Callable[[], AppRunResult | None],
+    ) -> AppRunResult | None:
+        """Memory -> disk -> compute, storing the result in both layers.
+
+        ``None`` results (the workload cannot run this cell) are
+        memoized in memory only: they are trivial to re-derive and must
+        not occupy the persistent store.
+        """
+        if key in self._cache:
+            return self._cache[key]  # type: ignore[return-value]
+        digest = self.harness._cell_digest(self, key, gpu, generations)
+        result = self.harness.run_cache.get_run(digest)
+        if result is None:
+            result = compute()
+            if result is not None:
+                self.harness.run_cache.put_run(digest, result)
+        self._cache[key] = result
+        return result
+
     # -- silicon --------------------------------------------------------
 
     def silicon(self, generation: str = "volta") -> AppRunResult | None:
         """Full-application silicon truth on one GPU generation."""
-        key = f"silicon/{generation}"
-        if key not in self._cache:
-            gpu = GENERATIONS[generation]
-            if not self.runs_on(gpu):
-                self._cache[key] = None
-            else:
-                executor = self.harness.silicon(gpu)
-                self._cache[key] = executor.run(
-                    self.spec.name, self.launches(generation)
-                )
-        return self._cache[key]  # type: ignore[return-value]
+        return self.silicon_on(GENERATIONS[generation])
 
     def silicon_on(self, gpu: GPUConfig) -> AppRunResult | None:
         """Silicon truth on an arbitrary GPU config (e.g. half-SM V100)."""
-        key = f"silicon_on/{gpu.name}"
-        if key not in self._cache:
+        key = RunKey("silicon", gpu.name)
+
+        def compute() -> AppRunResult | None:
             if not self.runs_on(gpu):
-                self._cache[key] = None
-            else:
-                executor = self.harness.silicon(gpu)
-                self._cache[key] = executor.run(
-                    self.spec.name, self.launches(gpu.generation)
-                )
-        return self._cache[key]  # type: ignore[return-value]
+                return None
+            executor = self.harness.silicon(gpu)
+            return executor.run(self.spec.name, self.launches(gpu.generation))
+
+        return self._memoized_run(key, gpu, (gpu.generation,), compute)
 
     # -- characterization (always on Volta, per the paper) ---------------
 
     def selection(self) -> KernelSelection:
-        key = "selection"
-        if key not in self._cache:
-            self._cache[key] = self.harness.pka.characterize(
+        key = RunKey("selection")
+        if key in self._cache:
+            return self._cache[key]  # type: ignore[return-value]
+        digest = self.harness._cell_digest(self, key, None, ("volta",))
+        selection = self.harness.run_cache.get_selection(digest)
+        if selection is None:
+            selection = self.harness.pka.characterize(
                 self.spec.name,
                 self.launches("volta"),
                 self.harness.silicon(VOLTA_V100),
                 scale=self.spec.scale,
             )
-        return self._cache[key]  # type: ignore[return-value]
+            self.harness.run_cache.put_selection(digest, selection)
+        self._cache[key] = selection
+        return selection
 
     def pks_silicon(self, generation: str = "volta") -> AppRunResult | None:
         """PKS priced on one generation's silicon (Volta-selected kernels)."""
-        key = f"pks_silicon/{generation}"
-        if key not in self._cache:
-            gpu = GENERATIONS[generation]
+        gpu = GENERATIONS[generation]
+        key = RunKey("pks_silicon", gpu.name)
+
+        def compute() -> AppRunResult | None:
             if not self.runs_on(gpu):
-                self._cache[key] = None
-            else:
-                executor = self.harness.silicon(gpu)
-                self._cache[key] = self.harness.pka.project_silicon(
-                    self.selection(), executor
-                )
-        return self._cache[key]  # type: ignore[return-value]
+                return None
+            executor = self.harness.silicon(gpu)
+            return self.harness.pka.project_silicon(self.selection(), executor)
+
+        return self._memoized_run(key, gpu, ("volta", generation), compute)
 
     # -- simulation -----------------------------------------------------
 
     def full_sim(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
         gpu = gpu if gpu is not None else VOLTA_V100
-        key = f"full_sim/{gpu.name}"
-        if key not in self._cache:
+        key = RunKey("full_sim", gpu.name)
+
+        def compute() -> AppRunResult | None:
             if not self.spec.completable or not self.runs_on(gpu):
-                self._cache[key] = None
-            else:
-                simulator = self.harness.simulator(gpu)
-                self._cache[key] = simulator.run_full(
-                    self.spec.name, self.launches(gpu.generation)
-                )
-        return self._cache[key]  # type: ignore[return-value]
+                return None
+            simulator = self.harness.simulator(gpu)
+            return simulator.run_full(self.spec.name, self.launches(gpu.generation))
+
+        return self._memoized_run(key, gpu, (gpu.generation,), compute)
 
     def pks_sim(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
         return self._sampled_sim("pks_sim", use_pkp=False, gpu=gpu)
@@ -136,50 +206,53 @@ class WorkloadEvaluation:
         *sampling* error — the decomposition behind the paper's claim
         that PKA's error stays "close to the baseline simulator".
         """
-        key = "pka_sim_faithful"
-        if key not in self._cache:
+        key = RunKey("pka_sim_faithful", VOLTA_V100.name)
+
+        def compute() -> AppRunResult | None:
             if "sim_kernel_mismatch" in self.spec.quirks:
-                self._cache[key] = None
-            else:
-                simulator = self.harness.faithful_simulator(VOLTA_V100)
-                self._cache[key] = self.harness.pka.simulate(
-                    self.selection(), simulator, use_pkp=True
-                )
-        return self._cache[key]  # type: ignore[return-value]
+                return None
+            simulator = self.harness.faithful_simulator(VOLTA_V100)
+            return self.harness.pka.simulate(
+                self.selection(), simulator, use_pkp=True
+            )
+
+        return self._memoized_run(key, VOLTA_V100, ("volta",), compute)
 
     def _sampled_sim(
         self, label: str, use_pkp: bool, gpu: GPUConfig | None
     ) -> AppRunResult | None:
         gpu = gpu if gpu is not None else VOLTA_V100
-        key = f"{label}/{gpu.name}"
-        if key not in self._cache:
+        key = RunKey(label, gpu.name)
+
+        def compute() -> AppRunResult | None:
             if "sim_kernel_mismatch" in self.spec.quirks or not self.runs_on(gpu):
-                self._cache[key] = None
-            else:
-                simulator = self.harness.simulator(gpu)
-                self._cache[key] = self.harness.pka.simulate(
-                    self.selection(), simulator, use_pkp=use_pkp
-                )
-        return self._cache[key]  # type: ignore[return-value]
+                return None
+            simulator = self.harness.simulator(gpu)
+            return self.harness.pka.simulate(
+                self.selection(), simulator, use_pkp=use_pkp
+            )
+
+        return self._memoized_run(key, gpu, ("volta", gpu.generation), compute)
 
     def first_1b(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
         gpu = gpu if gpu is not None else VOLTA_V100
-        key = f"first_1b/{gpu.name}"
-        if key not in self._cache:
+        key = RunKey("first_1b", gpu.name)
+
+        def compute() -> AppRunResult | None:
             if not self.runs_on(gpu):
-                self._cache[key] = None
-            else:
-                simulator = self.harness.simulator(gpu)
-                self._cache[key] = run_first_n_instructions(
-                    self.spec.name,
-                    self.launches(gpu.generation),
-                    simulator,
-                    instruction_budget=self.harness.instruction_budget,
-                )
-        return self._cache[key]  # type: ignore[return-value]
+                return None
+            simulator = self.harness.simulator(gpu)
+            return run_first_n_instructions(
+                self.spec.name,
+                self.launches(gpu.generation),
+                simulator,
+                instruction_budget=self.harness.instruction_budget,
+            )
+
+        return self._memoized_run(key, gpu, (gpu.generation,), compute)
 
     def tbpoint_selection(self) -> TBPointSelection | None:
-        key = "tbpoint_selection"
+        key = RunKey("tbpoint_selection")
         if key not in self._cache:
             if not self.spec.completable:
                 self._cache[key] = None
@@ -196,17 +269,65 @@ class WorkloadEvaluation:
 
     def tbpoint_sim(self, gpu: GPUConfig | None = None) -> AppRunResult | None:
         gpu = gpu if gpu is not None else VOLTA_V100
-        key = f"tbpoint_sim/{gpu.name}"
-        if key not in self._cache:
+        key = RunKey("tbpoint_sim", gpu.name)
+
+        def compute() -> AppRunResult | None:
             selection = self.tbpoint_selection()
             if selection is None or not self.runs_on(gpu):
-                self._cache[key] = None
-            else:
-                simulator = self.harness.simulator(gpu)
-                self._cache[key] = simulate_tbpoint(
-                    selection, self.launches(gpu.generation), simulator
-                )
-        return self._cache[key]  # type: ignore[return-value]
+                return None
+            simulator = self.harness.simulator(gpu)
+            return simulate_tbpoint(
+                selection, self.launches(gpu.generation), simulator
+            )
+
+        return self._memoized_run(key, gpu, ("volta", gpu.generation), compute)
+
+    # -- cell dispatch ---------------------------------------------------
+
+    def compute_cell(self, method: str, gpu: GPUConfig | str | None = None):
+        """Run one named cell — the unit :meth:`EvaluationHarness.evaluate_cells`
+        fans out across worker processes."""
+        if isinstance(gpu, str):
+            gpu = get_gpu(gpu)
+        if method == "silicon":
+            return self.silicon_on(gpu if gpu is not None else VOLTA_V100)
+        if method == "pks_silicon":
+            return self.pks_silicon((gpu or VOLTA_V100).generation)
+        if method == "selection":
+            return self.selection()
+        if method == "full_sim":
+            return self.full_sim(gpu)
+        if method == "pks_sim":
+            return self.pks_sim(gpu)
+        if method == "pka_sim":
+            return self.pka_sim(gpu)
+        if method == "pka_sim_faithful":
+            return self.pka_sim_faithful()
+        if method == "first_1b":
+            return self.first_1b(gpu)
+        if method == "tbpoint_sim":
+            return self.tbpoint_sim(gpu)
+        raise ReproError(
+            f"unknown cell method {method!r}; choose one of {_CELL_METHODS}"
+        )
+
+    def cell_key(self, method: str, gpu: GPUConfig | str | None = None) -> RunKey:
+        """The typed key under which :meth:`compute_cell` memoizes."""
+        if isinstance(gpu, str):
+            gpu = get_gpu(gpu)
+        if method == "selection":
+            return RunKey("selection")
+        if method == "tbpoint_selection":
+            return RunKey("tbpoint_selection")
+        if method == "pka_sim_faithful":
+            return RunKey("pka_sim_faithful", VOLTA_V100.name)
+        if method == "pks_silicon":
+            return RunKey("pks_silicon", GENERATIONS[(gpu or VOLTA_V100).generation].name)
+        if method not in _CELL_METHODS:
+            raise ReproError(
+                f"unknown cell method {method!r}; choose one of {_CELL_METHODS}"
+            )
+        return RunKey(method, (gpu if gpu is not None else VOLTA_V100).name)
 
 
 class EvaluationHarness:
@@ -217,6 +338,10 @@ class EvaluationHarness:
         config: PKAConfig | None = None,
         model_error: ModelErrorConfig | None = None,
         instruction_budget: float = 6e7,
+        *,
+        backend: ExecutionBackend | str | int | None = None,
+        run_cache: RunCache | NullRunCache | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         # The default instruction budget is the paper's 1-billion-
         # instruction practice scaled by the same ~7x factor as the
@@ -224,18 +349,25 @@ class EvaluationHarness:
         self.pka = PrincipalKernelAnalysis(config)
         self.model_error = model_error if model_error is not None else ModelErrorConfig()
         self.instruction_budget = instruction_budget
+        self.backend = resolve_backend(backend)
+        if run_cache is None:
+            run_cache = resolve_run_cache(cache_dir)
+        self.run_cache = run_cache
         self._silicon: dict[str, SiliconExecutor] = {}
         self._simulators: dict[str, Simulator] = {}
         self._evaluations: dict[str, WorkloadEvaluation] = {}
+        self._context_fingerprint: str | None = None
 
     def silicon(self, gpu: GPUConfig) -> SiliconExecutor:
         if gpu.name not in self._silicon:
-            self._silicon[gpu.name] = SiliconExecutor(gpu)
+            self._silicon[gpu.name] = SiliconExecutor(gpu, backend=self.backend)
         return self._silicon[gpu.name]
 
     def simulator(self, gpu: GPUConfig) -> Simulator:
         if gpu.name not in self._simulators:
-            self._simulators[gpu.name] = Simulator(gpu, model_error=self.model_error)
+            self._simulators[gpu.name] = Simulator(
+                gpu, model_error=self.model_error, backend=self.backend
+            )
         return self._simulators[gpu.name]
 
     def faithful_simulator(self, gpu: GPUConfig) -> Simulator:
@@ -243,7 +375,9 @@ class EvaluationHarness:
         key = f"{gpu.name}/faithful"
         if key not in self._simulators:
             self._simulators[key] = Simulator(
-                gpu, model_error=ModelErrorConfig(enabled=False)
+                gpu,
+                model_error=ModelErrorConfig(enabled=False),
+                backend=self.backend,
             )
         return self._simulators[key]
 
@@ -269,3 +403,108 @@ class EvaluationHarness:
             and not evaluation.spec.excluded
             and "sim_kernel_mismatch" not in evaluation.spec.quirks
         ]
+
+    # -- cache identity --------------------------------------------------
+
+    def context_fingerprint(self) -> str:
+        """Digest of everything cell results depend on besides the cell.
+
+        Changing any PKA/PKP/two-level knob, the model-error shape, the
+        instruction budget or the package version changes this value and
+        thereby invalidates every on-disk entry at once (conservative by
+        design: correctness over reuse).
+        """
+        if self._context_fingerprint is None:
+            self._context_fingerprint = fingerprint(
+                {
+                    "config": self.pka.config,
+                    "model_error": self.model_error,
+                    "instruction_budget": self.instruction_budget,
+                }
+            )
+        return self._context_fingerprint
+
+    def _cell_digest(
+        self,
+        evaluation: WorkloadEvaluation,
+        key: RunKey,
+        gpu: GPUConfig | None,
+        generations: tuple[str, ...],
+    ) -> str:
+        """On-disk content address of one evaluation cell."""
+        return run_digest(
+            key,
+            workload=evaluation.spec.name,
+            launch_digests={
+                generation: evaluation.launch_digest(generation)
+                for generation in sorted(set(generations))
+            },
+            gpu=gpu,
+            context=self.context_fingerprint(),
+        )
+
+    # -- parallel cell dispatch ------------------------------------------
+
+    def evaluate_cells(
+        self,
+        cells: Sequence[tuple[str, str, GPUConfig | str | None]],
+    ) -> list[AppRunResult | KernelSelection | None]:
+        """Compute independent (workload, method, gpu) cells, in order.
+
+        With a serial backend this is a plain loop.  With a process-pool
+        backend each cell runs in a worker (which keeps one harness per
+        configuration alive across cells) and the results come back in
+        submission order; every computed result is also stored into this
+        harness's in-memory memo tables, so subsequent accessor calls hit
+        immediately.  When an on-disk cache is configured, workers share
+        it, making the fan-out restartable and incremental.
+        """
+        normalized: list[tuple[str, str, GPUConfig | None]] = []
+        for workload, method, gpu in cells:
+            if isinstance(gpu, str):
+                gpu = get_gpu(gpu)
+            name = workload if isinstance(workload, str) else workload.name
+            normalized.append((name, method, gpu))
+        if self.backend.jobs == 1:
+            return [
+                self.evaluation(workload).compute_cell(method, gpu)
+                for workload, method, gpu in normalized
+            ]
+        cache_root = self.run_cache.root if isinstance(self.run_cache, RunCache) else None
+        payloads = [
+            (
+                self.pka.config,
+                self.model_error,
+                self.instruction_budget,
+                cache_root,
+                cell,
+            )
+            for cell in normalized
+        ]
+        results = self.backend.map_tasks(_evaluate_cell_task, payloads)
+        for (workload, method, gpu), result in zip(normalized, results):
+            evaluation = self.evaluation(workload)
+            evaluation._cache.setdefault(evaluation.cell_key(method, gpu), result)
+        return results
+
+
+# Per-process harness cache for cell workers: one harness per distinct
+# configuration, reused across every cell the worker receives.
+_WORKER_HARNESSES: dict[tuple, EvaluationHarness] = {}
+
+
+def _evaluate_cell_task(payload: tuple):
+    """Worker: compute one evaluation cell with a process-local harness."""
+    config, model_error, instruction_budget, cache_root, cell = payload
+    workload, method, gpu = cell
+    key = (config, model_error, instruction_budget, cache_root)
+    harness = _WORKER_HARNESSES.get(key)
+    if harness is None:
+        harness = EvaluationHarness(
+            config,
+            model_error,
+            instruction_budget,
+            cache_dir=cache_root,
+        )
+        _WORKER_HARNESSES[key] = harness
+    return harness.evaluation(workload).compute_cell(method, gpu)

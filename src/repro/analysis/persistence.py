@@ -1,4 +1,4 @@
-"""Persisting PKA selections (the artifact's ``.pkl`` outputs, as JSON).
+"""Persisting PKA results: selections and the content-addressed run cache.
 
 The paper's artifact emits, per workload, "pkl files containing the number
 of principal groups, the principal kernels associated with each group and
@@ -9,20 +9,55 @@ This module serializes a :class:`~repro.core.pka.KernelSelection` to a
 self-contained JSON document (embedding the representative launches in
 the .pkatrace record format) and restores it, so characterization and
 simulation can run in different processes, machines or sessions.
+
+On top of the hand-off format sits the **run cache**: a content-addressed
+on-disk store of :class:`~repro.sim.stats.AppRunResult` cells and
+selections, keyed by a digest of everything the result depends on (the
+workload's launch lists, the full GPU config, the PKA and model-error
+configs, and a code-version salt).  Every run in this reproduction is
+deterministic, so a cache hit is *exactly* the result a recompute would
+produce — repeated benchmark sweeps and cross-process fan-outs reuse
+prior work instead of re-simulating the corpus.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
+import os
+import tempfile
+from collections.abc import Iterable
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro import __version__
 from repro.core.pka import KernelSelection, SelectedGroup
 from repro.core.pks import KernelGroup, PKSResult
 from repro.errors import ReproError
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelLaunch
+from repro.sim.stats import AppRunResult, KernelRecord
 from repro.traces.format import _launch_from_record, _launch_record
 
-__all__ = ["SELECTION_FORMAT_VERSION", "dump_selection", "load_selection",
-           "save_selection", "read_selection"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "RUN_FORMAT_VERSION",
+    "SELECTION_FORMAT_VERSION",
+    "NullRunCache",
+    "RunCache",
+    "RunKey",
+    "dump_run",
+    "dump_selection",
+    "fingerprint",
+    "launches_digest",
+    "load_run",
+    "load_selection",
+    "read_selection",
+    "resolve_run_cache",
+    "run_digest",
+    "save_selection",
+]
 
 SELECTION_FORMAT_VERSION = 1
 
@@ -41,6 +76,7 @@ def dump_selection(selection: KernelSelection) -> str:
         "profiling_seconds": selection.profiling_seconds,
         "k": selection.pks.k,
         "projection_error": selection.pks.projection_error,
+        "sweep_errors": list(selection.pks.sweep_errors),
         "groups": [
             {
                 "group_id": group.group_id,
@@ -71,11 +107,11 @@ def load_selection(text: str) -> KernelSelection:
     """Restore a selection from its JSON document.
 
     The restored object carries everything simulation-side consumers need
-    (groups, weights, representatives, instruction totals).  The fitted
-    clustering artifacts (PCA basis, k-means centres) are
-    characterization-side state and are not round-tripped; the restored
-    ``pks`` summary exposes group structure and the recorded projection
-    error only.
+    (groups, weights, representatives, instruction totals, the K sweep's
+    projected errors).  The fitted clustering artifacts (PCA basis,
+    k-means centres) are characterization-side state and are not
+    round-tripped; the restored ``pks`` summary exposes group structure
+    and the recorded errors only.
     """
     try:
         document = json.loads(text)
@@ -115,7 +151,7 @@ def load_selection(text: str) -> KernelSelection:
             groups=tuple(pks_groups),
             labels=labels,
             projection_error=document["projection_error"],
-            sweep_errors=(),
+            sweep_errors=tuple(document.get("sweep_errors", ())),
             pipeline=None,  # type: ignore[arg-type]
             kmeans=None,  # type: ignore[arg-type]
         )
@@ -145,3 +181,303 @@ def save_selection(path: str | Path, selection: KernelSelection) -> Path:
 def read_selection(path: str | Path) -> KernelSelection:
     """Read a selection document from ``path``."""
     return load_selection(Path(path).read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Run documents: AppRunResult <-> JSON, exact round trip.
+# ---------------------------------------------------------------------------
+
+RUN_FORMAT_VERSION = 1
+
+#: Bump when a change alters what any cached run would contain without
+#: changing the package version (the digest salts on both).
+CACHE_SCHEMA_VERSION = 1
+
+
+def dump_run(result: AppRunResult) -> str:
+    """Serialize an application run to a JSON document.
+
+    The round trip is exact: JSON numbers are written with ``repr``
+    precision, so every float is restored bit-identically and a cached
+    run compares equal to the run that produced it.
+    """
+    document = {
+        "version": RUN_FORMAT_VERSION,
+        "workload": result.workload,
+        "method": result.method,
+        "gpu": dataclasses.asdict(result.gpu),
+        "total_cycles": result.total_cycles,
+        "total_instructions": result.total_instructions,
+        "total_dram_bytes": result.total_dram_bytes,
+        "simulated_cycles": result.simulated_cycles,
+        "kernel_records": [
+            dataclasses.asdict(record) for record in result.kernel_records
+        ],
+    }
+    return json.dumps(document, sort_keys=True)
+
+
+def load_run(text: str) -> AppRunResult:
+    """Restore an application run from its JSON document."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"not a run document: {exc}") from exc
+    if document.get("version") != RUN_FORMAT_VERSION:
+        raise ReproError(f"unsupported run version {document.get('version')!r}")
+    try:
+        return AppRunResult(
+            workload=document["workload"],
+            gpu=GPUConfig(**document["gpu"]),
+            method=document["method"],
+            total_cycles=document["total_cycles"],
+            total_instructions=document["total_instructions"],
+            total_dram_bytes=document["total_dram_bytes"],
+            simulated_cycles=document["simulated_cycles"],
+            kernel_records=tuple(
+                KernelRecord(**record) for record in document["kernel_records"]
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed run document: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Cache keys and digests.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Typed identity of one memoized evaluation cell.
+
+    ``method`` names the accessor ("silicon", "full_sim", "pka_sim", ...)
+    and ``gpu`` the :attr:`GPUConfig.name` it ran on (``None`` for
+    GPU-independent cells such as the characterization selection).  Both
+    the harness's in-memory memo tables and the on-disk cache derive
+    their identity from this one object, so the two layers cannot
+    disagree about what a cell is.
+    """
+
+    method: str
+    gpu: str | None = None
+
+    @property
+    def label(self) -> str:
+        return self.method if self.gpu is None else f"{self.method}/{self.gpu}"
+
+
+def _jsonable(value):
+    """Canonical JSON-compatible form of digest payload values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+def fingerprint(payload: object) -> str:
+    """SHA-256 over the canonical JSON rendering of ``payload``."""
+    text = json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def launches_digest(launches: Iterable[KernelLaunch]) -> str:
+    """Digest of a launch list's behavioural identity.
+
+    Covers, per launch, the spec signature (which already hashes every
+    behavioural field), the grid, the chronological id and the NVTX
+    annotations — everything any method's result can depend on.
+    """
+    hasher = hashlib.sha256()
+    for launch in launches:
+        row = (
+            f"{launch.launch_id}:{launch.spec.signature()}:"
+            f"{launch.grid_blocks}:{sorted(launch.nvtx.items())}\n"
+        )
+        hasher.update(row.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def run_digest(
+    key: RunKey,
+    *,
+    workload: str,
+    launch_digests: dict[str, str],
+    gpu: GPUConfig | None,
+    context: str,
+) -> str:
+    """Content address of one evaluation cell.
+
+    ``launch_digests`` maps each GPU generation whose launch list the
+    cell consumed to its :func:`launches_digest`; ``context`` is the
+    harness fingerprint (configs, model error, budgets, code version).
+    The full ``gpu`` config is hashed — not just its name — so two
+    configs that share a name but differ in any parameter never collide.
+    """
+    return fingerprint(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "key": {"method": key.method, "gpu": key.gpu},
+            "workload": workload,
+            "launches": launch_digests,
+            "gpu": gpu,
+            "context": context,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# The on-disk store.
+# ---------------------------------------------------------------------------
+
+
+class NullRunCache:
+    """Disabled cache: every lookup misses and writes are dropped."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def get_run(self, digest: str) -> AppRunResult | None:
+        return None
+
+    def put_run(self, digest: str, result: AppRunResult) -> None:
+        return None
+
+    def get_selection(self, digest: str) -> KernelSelection | None:
+        return None
+
+    def put_selection(self, digest: str, selection: KernelSelection) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullRunCache()"
+
+
+class RunCache:
+    """Content-addressed on-disk store of runs and selections.
+
+    Entries live at ``<root>/<digest[:2]>/<digest>.json`` and are written
+    atomically (temp file + rename), so concurrent processes sharing one
+    cache directory can only ever observe complete entries.  A corrupted
+    or truncated entry — a killed writer on a non-atomic filesystem, a
+    stray editor — is treated as a miss and deleted; the caller
+    recomputes and rewrites it.
+    """
+
+    enabled = True
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- generic entry plumbing -----------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _read(self, digest: str, kind: str):
+        path = self._path(digest)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if document.get("kind") != kind:
+                raise ReproError(
+                    f"cache entry {digest} has kind {document.get('kind')!r},"
+                    f" expected {kind!r}"
+                )
+            payload = document["payload"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            # Corrupted entry: drop it and fall back to recomputation.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def _write(self, digest: str, kind: str, payload) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps({"kind": kind, "payload": payload}, sort_keys=True)
+        handle, tmp_name = tempfile.mkstemp(
+            prefix=f".{digest[:8]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # -- typed entry points ----------------------------------------------
+
+    def get_run(self, digest: str) -> AppRunResult | None:
+        payload = self._read(digest, "app_run")
+        if payload is None:
+            return None
+        try:
+            return load_run(payload)
+        except ReproError:
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    def put_run(self, digest: str, result: AppRunResult) -> None:
+        self._write(digest, "app_run", dump_run(result))
+
+    def get_selection(self, digest: str) -> KernelSelection | None:
+        payload = self._read(digest, "selection")
+        if payload is None:
+            return None
+        try:
+            return load_selection(payload)
+        except ReproError:
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    def put_selection(self, digest: str, selection: KernelSelection) -> None:
+        self._write(digest, "selection", dump_selection(selection))
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"RunCache(root={str(self.root)!r})"
+
+
+def resolve_run_cache(
+    cache_dir: str | Path | None, *, enabled: bool = True
+) -> RunCache | NullRunCache:
+    """Build the run cache a harness should use.
+
+    ``enabled=False`` (the CLI's ``--no-cache``) always yields the null
+    cache; otherwise ``cache_dir`` selects the store location, with
+    ``None`` meaning caching stays off.
+    """
+    if not enabled or cache_dir is None:
+        return NullRunCache()
+    return RunCache(cache_dir)

@@ -28,6 +28,17 @@ Commands
     The selective-tracing plan implied by the PKS selection.
 ``pka report [--output FILE]``
     Render the whole evaluation as one markdown report.
+
+Every command accepts three execution flags (see ``docs/API.md``,
+"Parallel execution & caching"):
+
+``--jobs N``
+    Execution backend: ``serial`` (default), ``auto`` (one worker per
+    CPU) or a worker count.  Parallel runs are bit-identical to serial.
+``--cache-dir DIR``
+    Content-addressed on-disk run cache shared across invocations.
+``--no-cache``
+    Ignore ``--cache-dir`` for this invocation.
 """
 
 from __future__ import annotations
@@ -57,6 +68,16 @@ from repro.workloads import get_workload, iter_workloads
 __all__ = ["main"]
 
 
+def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
+    """Build the harness every command shares from the execution flags."""
+    return EvaluationHarness(
+        backend=getattr(args, "jobs", None),
+        cache_dir=(
+            None if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None)
+        ),
+    )
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print(f"{'workload':30s} {'suite':10s} {'launches':>9s} {'scale':>7s}")
     for spec in iter_workloads():
@@ -69,7 +90,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     evaluation = harness.evaluation(args.workload)
     selection = evaluation.selection()
     if getattr(args, "save", None):
@@ -94,7 +115,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     evaluation = harness.evaluation(args.workload)
     gpu = get_gpu(args.gpu)
     use_pkp = not args.no_pkp
@@ -127,7 +148,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.analysis import sweep_architectures
 
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     evaluation = harness.evaluation(args.workload)
     selection = evaluation.selection()
     projections = sweep_architectures(selection, pka=harness.pka)
@@ -147,7 +168,7 @@ def _cmd_project(args: argparse.Namespace) -> int:
 def _cmd_phases(args: argparse.Namespace) -> int:
     from repro.analysis.phases import detect_phases
 
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     evaluation = harness.evaluation(args.workload)
     launches = evaluation.launches("volta")
     analysis = detect_phases(args.workload, launches)
@@ -194,7 +215,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.workloads import get_workload as _get
 
     spec = _get(args.workload)
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     profile = inspect_workload(
         spec.name,
         harness.evaluation(spec.name).launches("volta"),
@@ -236,7 +257,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     evaluation = harness.evaluation(args.workload)
     truth = evaluation.silicon("volta")
     if truth is None:
@@ -267,7 +288,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_k(args: argparse.Namespace) -> int:
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     evaluation = harness.evaluation(args.workload)
     selection = evaluation.selection()
     print(f"K sweep for {args.workload} (target error "
@@ -281,7 +302,7 @@ def _cmd_sweep_k(args: argparse.Namespace) -> int:
 def _cmd_trace_plan(args: argparse.Namespace) -> int:
     from repro.traces import build_tracing_plan
 
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     evaluation = harness.evaluation(args.workload)
     plan = build_tracing_plan(evaluation.selection(), evaluation.launches("volta"))
     scale = evaluation.spec.scale
@@ -303,8 +324,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table3(_args: argparse.Namespace) -> int:
-    harness = EvaluationHarness()
+def _cmd_table3(args: argparse.Namespace) -> int:
+    harness = _harness_from_args(args)
     print(f"{'suite':10s} {'workload':30s} {'selected ids':24s} {'counts'}")
     for row in table3_pks_examples(harness):
         ids = ",".join(str(i) for i in row.selected_kernel_ids)
@@ -314,7 +335,7 @@ def _cmd_table3(_args: argparse.Namespace) -> int:
 
 
 def _cmd_table4(args: argparse.Namespace) -> int:
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
 
     def fmt(value, unit="") -> str:
         return "*" if value is None else f"{value:.1f}{unit}"
@@ -337,7 +358,7 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    harness = EvaluationHarness()
+    harness = _harness_from_args(args)
     number = args.number
     if number == 1:
         for landscape in figure1_time_landscape(harness):
@@ -393,10 +414,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the workload corpus")
+    # Execution flags shared by every command (parsed per-subcommand so
+    # they can appear after the command name, the way pytest flags do).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="execution backend: 'serial' (default), 'auto' or a worker count",
+    )
+    common.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk run cache shared across invocations",
+    )
+    common.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir for this invocation",
+    )
+
+    subparsers.add_parser(
+        "list", help="list the workload corpus", parents=[common]
+    )
 
     characterize = subparsers.add_parser(
-        "characterize", help="run PKA characterization on one workload"
+        "characterize",
+        help="run PKA characterization on one workload",
+        parents=[common],
     )
     characterize.add_argument("workload")
     characterize.add_argument(
@@ -404,26 +450,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     simulate = subparsers.add_parser(
-        "simulate", help="sampled simulation of one workload"
+        "simulate", help="sampled simulation of one workload", parents=[common]
     )
     simulate.add_argument("workload")
     simulate.add_argument("--no-pkp", action="store_true", help="PKS only")
     simulate.add_argument("--gpu", default="volta")
 
-    subparsers.add_parser("table3", help="regenerate Table 3")
-    table4 = subparsers.add_parser("table4", help="regenerate Table 4")
+    subparsers.add_parser("table3", help="regenerate Table 3", parents=[common])
+    table4 = subparsers.add_parser(
+        "table4", help="regenerate Table 4", parents=[common]
+    )
     table4.add_argument("--suite", default=None)
 
-    figure = subparsers.add_parser("figure", help="regenerate one figure")
+    figure = subparsers.add_parser(
+        "figure", help="regenerate one figure", parents=[common]
+    )
     figure.add_argument("number", type=int)
 
     compare = subparsers.add_parser(
-        "compare", help="all methods on one workload, side by side"
+        "compare",
+        help="all methods on one workload, side by side",
+        parents=[common],
     )
     compare.add_argument("workload")
 
     inspect = subparsers.add_parser(
-        "inspect", help="bottleneck/mix breakdown of one workload"
+        "inspect",
+        help="bottleneck/mix breakdown of one workload",
+        parents=[common],
     )
     inspect.add_argument("workload")
     inspect.add_argument(
@@ -433,30 +487,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     validate = subparsers.add_parser(
-        "validate", help="check the corpus's structural invariants"
+        "validate",
+        help="check the corpus's structural invariants",
+        parents=[common],
     )
     validate.add_argument("--suite", default=None)
 
     phases = subparsers.add_parser(
-        "phases", help="behavioural phase decomposition of one workload"
+        "phases",
+        help="behavioural phase decomposition of one workload",
+        parents=[common],
     )
     phases.add_argument("workload")
 
     project = subparsers.add_parser(
-        "project", help="price a selection on every known GPU"
+        "project",
+        help="price a selection on every known GPU",
+        parents=[common],
     )
     project.add_argument("workload")
 
-    sweep = subparsers.add_parser("sweep-k", help="show PKS's K sweep")
+    sweep = subparsers.add_parser(
+        "sweep-k", help="show PKS's K sweep", parents=[common]
+    )
     sweep.add_argument("workload")
 
     trace_plan = subparsers.add_parser(
-        "trace-plan", help="selective-tracing plan for one workload"
+        "trace-plan",
+        help="selective-tracing plan for one workload",
+        parents=[common],
     )
     trace_plan.add_argument("workload")
 
     report = subparsers.add_parser(
-        "report", help="render the full evaluation as markdown"
+        "report",
+        help="render the full evaluation as markdown",
+        parents=[common],
     )
     report.add_argument("--output", default="pka_report.md")
 

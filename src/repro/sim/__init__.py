@@ -15,6 +15,13 @@ from repro.sim.engine import (
 )
 from repro.sim.memory import SECTOR_BYTES, MemoryProfile, build_memory_profile
 from repro.sim.microsim import MicrosimConfig, MicrosimResult, SMMicrosimulator
+from repro.sim.parallel import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    auto_worker_count,
+    resolve_backend,
+)
 from repro.sim.perfmodel import (
     BLOCK_LATENCY_FLOOR,
     KERNEL_LAUNCH_OVERHEAD,
@@ -32,6 +39,7 @@ __all__ = [
     "CalibrationResult",
     "calibrate_model_error",
     "DEFAULT_WINDOW_CYCLES",
+    "ExecutionBackend",
     "KERNEL_LAUNCH_OVERHEAD",
     "KernelPerformance",
     "KernelRecord",
@@ -40,16 +48,20 @@ __all__ = [
     "MicrosimConfig",
     "MicrosimResult",
     "ModelErrorConfig",
+    "ProcessPoolBackend",
     "SMMicrosimulator",
     "SECTOR_BYTES",
+    "SerialBackend",
     "SiliconExecutor",
     "Simulator",
     "StopMonitor",
     "WindowSample",
     "analytic_kernel_cycles",
     "analyze_kernel",
+    "auto_worker_count",
     "block_durations",
     "build_memory_profile",
     "measure_mean_error",
+    "resolve_backend",
     "simulate_kernel",
 ]

@@ -1,0 +1,232 @@
+"""Parallel execution backends for the simulation substrate.
+
+The paper's pitch is tractability, and per-kernel simulation is
+embarrassingly parallel: every distinct (kernel spec, grid) pair is an
+independent, deterministic computation.  This module provides the
+execution backends the rest of the stack fans work out through:
+
+* :class:`SerialBackend` — in-process, in-order execution (the default);
+* :class:`ProcessPoolBackend` — a ``ProcessPoolExecutor`` fan-out with a
+  *deterministic reduce*: results always come back in submission order,
+  so callers accumulate them exactly as the serial path would and
+  parallel results are bit-identical to serial ones.
+
+Workers are plain module-level functions over picklable payloads
+(frozen dataclasses all the way down), with per-process caches so one
+worker builds its :class:`~repro.sim.simulator.Simulator` or
+:class:`~repro.sim.silicon.SiliconExecutor` once and reuses it across
+batches.
+
+Backends are specified as ``None``/"serial" (serial), "auto"/0 (process
+pool, one worker per CPU), an integer worker count, or a ready-made
+backend object; :func:`resolve_backend` normalizes all of these.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "auto_worker_count",
+    "chunked",
+    "resolve_backend",
+]
+
+
+def auto_worker_count() -> int:
+    """Worker count for ``jobs="auto"``: one per available CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can map a picklable task over items, in order."""
+
+    jobs: int
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every item; results in item order."""
+        ...
+
+
+class SerialBackend:
+    """In-process execution: the reference the pool must reproduce."""
+
+    jobs = 1
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Any]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend:
+    """Process-pool fan-out with a deterministic, order-preserving reduce.
+
+    Tasks are submitted in item order and results gathered in the same
+    order regardless of completion order, so any reduction the caller
+    performs over the returned list happens exactly as it would have
+    serially.  If several workers fail, the exception of the
+    *earliest-submitted* failing task is raised — again independent of
+    scheduling — and it carries the worker's original type and message.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError("jobs must be >= 1 (or None for auto)")
+        self.jobs = jobs if jobs is not None else auto_worker_count()
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Any]:
+        work = list(items)
+        if len(work) <= 1 or self.jobs == 1:
+            # Nothing to fan out; run inline (identical semantics, no
+            # pool startup cost).
+            return [fn(item) for item in work]
+        context = self._context()
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(work)), mp_context=context
+        ) as pool:
+            futures: list[Future] = [pool.submit(fn, item) for item in work]
+            return [future.result() for future in futures]
+
+    @staticmethod
+    def _context():
+        # Fork is the fast path and inherits loaded modules; fall back to
+        # the platform default where fork is unavailable (e.g. Windows).
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(jobs={self.jobs})"
+
+
+def resolve_backend(
+    spec: ExecutionBackend | str | int | None,
+) -> ExecutionBackend:
+    """Normalize a backend specification into a backend object.
+
+    Accepts ``None``/""/"serial"/1 (serial), "auto"/0 (process pool with
+    one worker per CPU), a positive integer worker count (as int or
+    numeric string), or an object already implementing the backend
+    protocol.
+    """
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, (SerialBackend, ProcessPoolBackend)):
+        return spec
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in ("", "serial"):
+            return SerialBackend()
+        if text in ("auto", "process", "process-pool"):
+            return ProcessPoolBackend()
+        try:
+            spec = int(text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"unknown backend spec {text!r}; use 'serial', 'auto' or a "
+                "worker count"
+            ) from exc
+    if isinstance(spec, int):
+        if spec < 0:
+            raise ConfigurationError("worker count must be >= 0")
+        if spec == 0:
+            return ProcessPoolBackend()
+        if spec == 1:
+            return SerialBackend()
+        return ProcessPoolBackend(spec)
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    raise ConfigurationError(f"cannot interpret backend spec {spec!r}")
+
+
+def chunked(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, even chunks."""
+    if n_chunks < 1:
+        raise ConfigurationError("n_chunks must be >= 1")
+    items = list(items)
+    if not items:
+        return []
+    n_chunks = min(n_chunks, len(items))
+    base, extra = divmod(len(items), n_chunks)
+    chunks: list[list[Any]] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Worker tasks.  Module-level so they pickle by reference; each keeps a
+# per-process cache so one worker builds its executor once.
+# ---------------------------------------------------------------------------
+
+_WORKER_SIMULATORS: dict[tuple, Any] = {}
+_WORKER_SILICON: dict[Any, Any] = {}
+
+#: Batches submitted per worker — small enough to amortize dispatch,
+#: large enough to balance uneven kernels across the pool.
+CHUNKS_PER_WORKER = 4
+
+
+def simulate_batch_task(payload: tuple) -> list:
+    """Worker: fully simulate a batch of launches on one simulator.
+
+    ``payload`` is ``(gpu, model_error, window_cycles, launches)``; the
+    simulator is built once per (config, process) and reused.
+    """
+    gpu, model_error, window_cycles, launches = payload
+    key = (gpu, model_error, window_cycles)
+    simulator = _WORKER_SIMULATORS.get(key)
+    if simulator is None:
+        from repro.sim.simulator import Simulator
+
+        simulator = Simulator(
+            gpu, model_error=model_error, window_cycles=window_cycles
+        )
+        _WORKER_SIMULATORS[key] = simulator
+    return [simulator.run_kernel(launch) for launch in launches]
+
+
+def silicon_batch_task(payload: tuple) -> list[tuple]:
+    """Worker: price a batch of launches on one silicon model.
+
+    Returns ``(signature, grid_blocks, cycles, dram_bytes_per_block)``
+    tuples — exactly the entries the parent's memo tables hold.
+    """
+    gpu, launches = payload
+    executor = _WORKER_SILICON.get(gpu)
+    if executor is None:
+        from repro.sim.silicon import SiliconExecutor
+
+        executor = SiliconExecutor(gpu)
+        _WORKER_SILICON[gpu] = executor
+    rows = []
+    for launch in launches:
+        rows.append(
+            (
+                launch.spec.signature(),
+                launch.grid_blocks,
+                executor.kernel_cycles(launch),
+                executor.kernel_dram_bytes_per_block(launch),
+            )
+        )
+    return rows

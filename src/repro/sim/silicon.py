@@ -5,6 +5,10 @@ come from :func:`repro.sim.perfmodel.analytic_kernel_cycles`, memoized on
 (kernel signature, grid, GPU) because scaled workloads launch the same few
 specs millions of times.  The silicon model is deterministic: the paper's
 "error versus silicon" metrics need a stable reference.
+
+With a parallel backend, distinct kernels are priced across worker
+processes before the (order-preserving) accumulation loop runs, so
+parallel results are bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -14,6 +18,13 @@ from collections.abc import Iterable
 from repro.gpu.architectures import GPUConfig
 from repro.gpu.kernels import KernelLaunch
 from repro.sim.memory import build_memory_profile
+from repro.sim.parallel import (
+    CHUNKS_PER_WORKER,
+    ExecutionBackend,
+    chunked,
+    resolve_backend,
+    silicon_batch_task,
+)
 from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD, analytic_kernel_cycles
 from repro.sim.stats import AppRunResult, KernelRecord
 
@@ -23,8 +34,14 @@ __all__ = ["SiliconExecutor"]
 class SiliconExecutor:
     """Executes workloads "on silicon" (analytically) for one GPU."""
 
-    def __init__(self, gpu: GPUConfig) -> None:
+    def __init__(
+        self,
+        gpu: GPUConfig,
+        *,
+        backend: ExecutionBackend | str | int | None = None,
+    ) -> None:
         self.gpu = gpu
+        self.backend = resolve_backend(backend)
         self._cycle_cache: dict[tuple[int, int], float] = {}
         self._traffic_cache: dict[int, float] = {}
 
@@ -37,14 +54,18 @@ class SiliconExecutor:
             self._cycle_cache[key] = cached
         return cached
 
-    def kernel_dram_bytes(self, launch: KernelLaunch) -> float:
-        """Ground-truth DRAM traffic for one launch, memoized."""
+    def kernel_dram_bytes_per_block(self, launch: KernelLaunch) -> float:
+        """Ground-truth DRAM traffic per thread block, memoized."""
         signature = launch.spec.signature()
         per_block = self._traffic_cache.get(signature)
         if per_block is None:
             per_block = build_memory_profile(launch.spec, self.gpu).dram_bytes_per_block
             self._traffic_cache[signature] = per_block
-        return per_block * launch.grid_blocks
+        return per_block
+
+    def kernel_dram_bytes(self, launch: KernelLaunch) -> float:
+        """Ground-truth DRAM traffic for one launch, memoized."""
+        return self.kernel_dram_bytes_per_block(launch) * launch.grid_blocks
 
     def run(
         self,
@@ -58,6 +79,9 @@ class SiliconExecutor:
         ``simulated_cycles`` is zero — silicon pays no simulation cost;
         real time comes from :attr:`AppRunResult.silicon_seconds`.
         """
+        launches = list(launches)
+        if self.backend.jobs > 1:
+            self._prefetch_parallel(launches)
         total_cycles = 0.0
         total_insts = 0.0
         total_bytes = 0.0
@@ -90,3 +114,21 @@ class SiliconExecutor:
             simulated_cycles=0.0,
             kernel_records=tuple(records),
         )
+
+    def _prefetch_parallel(self, launches: list[KernelLaunch]) -> None:
+        """Price distinct, not-yet-memoized kernels across the backend."""
+        pending: dict[tuple[int, int], KernelLaunch] = {}
+        for launch in launches:
+            key = (launch.spec.signature(), launch.grid_blocks)
+            if key not in self._cycle_cache and key not in pending:
+                pending[key] = launch
+        if len(pending) < 2:
+            return
+        batches = chunked(
+            list(pending.values()), self.backend.jobs * CHUNKS_PER_WORKER
+        )
+        payloads = [(self.gpu, tuple(batch)) for batch in batches]
+        for rows in self.backend.map_tasks(silicon_batch_task, payloads):
+            for signature, grid_blocks, cycles, per_block in rows:
+                self._cycle_cache[(signature, grid_blocks)] = cycles
+                self._traffic_cache[signature] = per_block

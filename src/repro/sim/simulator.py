@@ -30,6 +30,13 @@ from repro.sim.engine import (
     WindowSample,
     simulate_kernel,
 )
+from repro.sim.parallel import (
+    CHUNKS_PER_WORKER,
+    ExecutionBackend,
+    chunked,
+    resolve_backend,
+    simulate_batch_task,
+)
 from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
 from repro.sim.stats import AppRunResult, KernelRecord
 
@@ -101,10 +108,12 @@ class Simulator:
         *,
         model_error: ModelErrorConfig | None = None,
         window_cycles: float = DEFAULT_WINDOW_CYCLES,
+        backend: ExecutionBackend | str | int | None = None,
     ) -> None:
         self.gpu = gpu
         self.model_error = model_error if model_error is not None else ModelErrorConfig()
         self.window_cycles = window_cycles
+        self.backend = resolve_backend(backend)
         self._bias_cache: dict[int, float] = {}
         self._full_run_cache: dict[tuple[int, int], KernelSimResult] = {}
 
@@ -179,7 +188,17 @@ class Simulator:
         — the way practitioners abandon full runs that would take months.
         Launches beyond the budget are *not* simulated and do not
         contribute; the result then under-reports the application.
+
+        With a parallel backend, distinct kernels are simulated across
+        worker processes first and the accumulation below then runs over
+        the prefetched results in launch order — bit-identical to the
+        serial path.  A simulation budget forces the serial path: which
+        launches fall inside the budget depends on the results of the
+        ones before them.
         """
+        launches = list(launches)
+        if self.backend.jobs > 1 and max_simulated_cycles is None:
+            self._prefetch_parallel(launches)
         total_cycles = 0.0
         total_insts = 0.0
         total_bytes = 0.0
@@ -214,3 +233,30 @@ class Simulator:
             simulated_cycles=simulated,
             kernel_records=tuple(records),
         )
+
+    def _prefetch_parallel(self, launches: list[KernelLaunch]) -> None:
+        """Fan distinct, not-yet-memoized kernels out across the backend.
+
+        Per-kernel simulation is a pure function of (spec, grid, GPU,
+        model error), so workers compute exactly what the serial path
+        would have and the results land in the same memo table the
+        serial accumulation reads.
+        """
+        pending: dict[tuple[int, int], KernelLaunch] = {}
+        for launch in launches:
+            key = (launch.spec.signature(), launch.grid_blocks)
+            if key not in self._full_run_cache and key not in pending:
+                pending[key] = launch
+        if len(pending) < 2:
+            return
+        batches = chunked(
+            list(pending.values()), self.backend.jobs * CHUNKS_PER_WORKER
+        )
+        payloads = [
+            (self.gpu, self.model_error, self.window_cycles, tuple(batch))
+            for batch in batches
+        ]
+        for results in self.backend.map_tasks(simulate_batch_task, payloads):
+            for result in results:
+                key = (result.launch.spec.signature(), result.launch.grid_blocks)
+                self._full_run_cache[key] = result

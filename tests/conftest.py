@@ -7,6 +7,8 @@ computed once.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.harness import EvaluationHarness
@@ -112,5 +114,14 @@ def faithful_simulator() -> Simulator:
 
 @pytest.fixture(scope="session")
 def harness() -> EvaluationHarness:
-    """A shared harness so expensive corpus runs are computed once."""
-    return EvaluationHarness()
+    """A shared harness so expensive corpus runs are computed once.
+
+    ``PKA_JOBS`` ("serial", "auto" or a worker count) and
+    ``PKA_CACHE_DIR`` select the execution backend and on-disk run
+    cache, so CI can run the same suite on both backends and assert
+    they agree.
+    """
+    return EvaluationHarness(
+        backend=os.environ.get("PKA_JOBS"),
+        cache_dir=os.environ.get("PKA_CACHE_DIR"),
+    )

@@ -1,0 +1,267 @@
+"""The parallel execution backend: bit-identical to serial, by construction.
+
+The process pool's deterministic reduce (results gathered in submission
+order, accumulated by the unchanged serial loop) is what lets every other
+layer offer ``backend="auto"`` without a correctness caveat; these tests
+pin that property over random seeded workloads, worker-count sweeps and
+failure paths.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec, VOLTA_V100
+from repro.sim import SiliconExecutor, Simulator
+from repro.sim.parallel import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    auto_worker_count,
+    chunked,
+    resolve_backend,
+)
+
+WORKER_SWEEP = sorted({1, 2, auto_worker_count()})
+
+
+def _doubler(item: int) -> int:
+    return item * 2
+
+
+def _explode(item: int) -> int:
+    if item % 3 == 0:
+        raise ValueError(f"boom {item}")
+    return item * 2
+
+
+# -- resolve_backend ---------------------------------------------------------
+
+
+def test_resolve_defaults_to_serial():
+    for spec in (None, "", "serial", 1, "1"):
+        assert isinstance(resolve_backend(spec), SerialBackend)
+
+
+def test_resolve_auto_uses_cpu_count():
+    for spec in ("auto", "process", "process-pool", 0):
+        backend = resolve_backend(spec)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == auto_worker_count()
+
+
+def test_resolve_worker_counts():
+    assert resolve_backend(3).jobs == 3
+    assert resolve_backend("4").jobs == 4
+    assert isinstance(resolve_backend("4"), ProcessPoolBackend)
+
+
+def test_resolve_passes_instances_through():
+    backend = ProcessPoolBackend(2)
+    assert resolve_backend(backend) is backend
+    serial = SerialBackend()
+    assert resolve_backend(serial) is serial
+
+
+def test_resolve_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        resolve_backend("turbo")
+    with pytest.raises(ConfigurationError):
+        resolve_backend(-1)
+    with pytest.raises(ConfigurationError):
+        resolve_backend(3.5)  # type: ignore[arg-type]
+
+
+def test_backends_satisfy_protocol():
+    assert isinstance(SerialBackend(), ExecutionBackend)
+    assert isinstance(ProcessPoolBackend(2), ExecutionBackend)
+
+
+# -- chunked -----------------------------------------------------------------
+
+
+@given(st.lists(st.integers(), max_size=50), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_chunked_partitions_in_order(items, n_chunks):
+    chunks = chunked(items, n_chunks)
+    assert [x for chunk in chunks for x in chunk] == items
+    assert len(chunks) <= n_chunks
+    if items:
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(sizes)
+
+
+# -- map_tasks ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", WORKER_SWEEP)
+def test_map_tasks_preserves_order(jobs):
+    items = list(range(23))
+    backend = resolve_backend(jobs)
+    assert backend.map_tasks(_doubler, items) == [x * 2 for x in items]
+
+
+def test_map_tasks_empty_and_singleton():
+    backend = ProcessPoolBackend(2)
+    assert backend.map_tasks(_doubler, []) == []
+    assert backend.map_tasks(_doubler, [21]) == [42]
+
+
+def test_worker_exception_propagates_with_type_and_message():
+    backend = ProcessPoolBackend(2)
+    with pytest.raises(ValueError, match="boom 3"):
+        backend.map_tasks(_explode, [1, 2, 3, 4])
+
+
+def test_earliest_failure_wins_regardless_of_scheduling():
+    """With several failing tasks the earliest-submitted one is reported,
+    so the error a user sees does not depend on pool scheduling."""
+    backend = ProcessPoolBackend(2)
+    for _ in range(3):
+        with pytest.raises(ValueError, match="boom 3"):
+            backend.map_tasks(_explode, [1, 3, 6, 9, 12])
+
+
+def test_serial_backend_raises_inline():
+    with pytest.raises(ValueError, match="boom 3"):
+        SerialBackend().map_tasks(_explode, [3, 1])
+
+
+# -- parallel == serial on simulated workloads -------------------------------
+
+
+@st.composite
+def seeded_launches(draw):
+    """A short seeded workload: few distinct kernels, repeated launches."""
+    n_specs = draw(st.integers(1, 4))
+    specs = []
+    for index in range(n_specs):
+        mix = InstructionMix(
+            fp_ops=draw(st.floats(1.0, 2e3)),
+            int_ops=draw(st.floats(0.0, 500.0)),
+            global_loads=draw(st.floats(0.0, 80.0)),
+            global_stores=draw(st.floats(0.0, 40.0)),
+            shared_loads=draw(st.floats(0.0, 200.0)),
+            control_ops=draw(st.floats(0.1, 50.0)),
+        )
+        specs.append(
+            KernelSpec(
+                name=f"prop_kernel_{index}",
+                threads_per_block=draw(st.sampled_from([64, 128, 256, 512])),
+                mix=mix,
+                l2_locality=draw(st.floats(0.0, 1.0)),
+                working_set_bytes=draw(st.floats(1e4, 1e9)),
+                duration_cv=draw(st.floats(0.0, 0.5)),
+                divergence_efficiency=draw(st.floats(0.3, 1.0)),
+            )
+        )
+    launches = []
+    for launch_id in range(draw(st.integers(1, 10))):
+        spec = draw(st.sampled_from(specs))
+        launches.append(
+            KernelLaunch(
+                spec=spec,
+                grid_blocks=draw(st.sampled_from([80, 160, 1_000, 4_000])),
+                launch_id=launch_id,
+            )
+        )
+    return launches
+
+
+@given(seeded_launches())
+@settings(max_examples=10, deadline=None)
+def test_parallel_full_sim_equals_serial(launches):
+    serial = Simulator(VOLTA_V100).run_full("prop_app", launches, keep_records=True)
+    pooled = Simulator(VOLTA_V100, backend=ProcessPoolBackend(2)).run_full(
+        "prop_app", launches, keep_records=True
+    )
+    assert pooled == serial  # dataclass equality: exact floats, all fields
+
+
+@given(seeded_launches())
+@settings(max_examples=10, deadline=None)
+def test_parallel_silicon_equals_serial(launches):
+    serial = SiliconExecutor(VOLTA_V100).run("prop_app", launches, keep_records=True)
+    pooled = SiliconExecutor(
+        VOLTA_V100, backend=ProcessPoolBackend(2)
+    ).run("prop_app", launches, keep_records=True)
+    assert pooled == serial
+
+
+@pytest.mark.parametrize("jobs", WORKER_SWEEP)
+def test_worker_sweep_on_corpus_workload(jobs):
+    """Every worker count produces the same AppRunResult on a real
+    corpus workload (distinct kernels, repeated launches, NVTX tags)."""
+    from repro.workloads import get_workload
+
+    launches = get_workload("fdtd2d").build("volta")
+    reference = Simulator(VOLTA_V100).run_full("fdtd2d", launches)
+    candidate = Simulator(VOLTA_V100, backend=jobs).run_full("fdtd2d", launches)
+    assert candidate == reference
+
+
+def test_budgeted_run_forces_serial_path():
+    """A simulation budget depends on prior results, so the parallel
+    prefetch must not run (and results must still match serial)."""
+    from repro.workloads import get_workload
+
+    launches = get_workload("fdtd2d").build("volta")
+    serial = Simulator(VOLTA_V100).run_full(
+        "fdtd2d", launches, max_simulated_cycles=1e5
+    )
+    pooled = Simulator(VOLTA_V100, backend=ProcessPoolBackend(2)).run_full(
+        "fdtd2d", launches, max_simulated_cycles=1e5
+    )
+    assert pooled == serial
+
+
+def test_prefetch_fills_the_same_memo_table():
+    """Parallel prefetch lands in ``_full_run_cache`` exactly where the
+    serial path would have put each result."""
+    from repro.workloads import get_workload
+
+    launches = get_workload("cutcp").build("volta")
+    serial_sim = Simulator(VOLTA_V100)
+    serial_sim.run_full("cutcp", launches)
+    pooled_sim = Simulator(VOLTA_V100, backend=ProcessPoolBackend(2))
+    pooled_sim.run_full("cutcp", launches)
+    assert pooled_sim._full_run_cache.keys() == serial_sim._full_run_cache.keys()
+    for key, result in serial_sim._full_run_cache.items():
+        assert pooled_sim._full_run_cache[key] == result
+
+
+# -- harness cell dispatch ---------------------------------------------------
+
+
+def test_evaluate_cells_parallel_equals_serial():
+    from repro.analysis import EvaluationHarness
+
+    cells = [
+        ("fdtd2d", "silicon", None),
+        ("fdtd2d", "pka_sim", None),
+        ("cutcp", "silicon", "turing"),
+    ]
+    serial = EvaluationHarness().evaluate_cells(cells)
+    pooled = EvaluationHarness(backend=ProcessPoolBackend(2)).evaluate_cells(cells)
+    assert pooled == serial
+    assert all(result is not None for result in serial)
+
+
+def test_evaluate_cells_populates_local_memo():
+    from repro.analysis import EvaluationHarness
+
+    harness = EvaluationHarness(backend=ProcessPoolBackend(2))
+    (run,) = harness.evaluate_cells([("fdtd2d", "pka_sim", None)])
+    # Subsequent accessor calls must hit the in-memory memo, not recompute.
+    assert harness.evaluation("fdtd2d").pka_sim() is run
+
+
+def test_auto_worker_count_positive():
+    assert auto_worker_count() >= 1
+    assert auto_worker_count() >= (os.cpu_count() or 1)

@@ -1,0 +1,64 @@
+"""Determinism regression: the whole PKA pipeline, twice, must agree.
+
+The paper's methodology is only auditable if re-running it reproduces
+the same selections and projections; the parallel backend and the
+on-disk cache both lean on that same property (any nondeterminism would
+show up as cache entries that disagree with recomputation or parallel
+runs that disagree with serial ones).  These tests run the full pipeline
+— characterization, clustering, projection — in fresh harnesses and
+assert exact equality of everything downstream consumers read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import EvaluationHarness
+from repro.sim.parallel import ProcessPoolBackend
+
+WORKLOADS = ("fdtd2d", "cutcp", "histo")
+
+
+def _pipeline_artifacts(harness: EvaluationHarness, workload: str):
+    evaluation = harness.evaluation(workload)
+    selection = evaluation.selection()
+    return {
+        "selected_launch_ids": selection.selected_launch_ids,
+        "labels": np.asarray(selection.pks.labels).tolist(),
+        "member_ids": [g.member_launch_ids for g in selection.pks.groups],
+        "weights": [g.weight for g in selection.groups],
+        "k": selection.pks.k,
+        "sweep_errors": selection.pks.sweep_errors,
+        "pka_cycles": evaluation.pka_sim().total_cycles,
+        "pks_cycles": evaluation.pks_sim().total_cycles,
+        "silicon_cycles": evaluation.silicon().total_cycles,
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_pipeline_is_deterministic_across_runs(workload):
+    """Fresh harness, same inputs: identical selections, cluster
+    assignments and projected cycles — exact, not approximate."""
+    first = _pipeline_artifacts(EvaluationHarness(), workload)
+    second = _pipeline_artifacts(EvaluationHarness(), workload)
+    assert first == second
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_pipeline_matches_across_backends(workload):
+    """Serial and process-pool harnesses produce the same artifacts."""
+    serial = _pipeline_artifacts(EvaluationHarness(), workload)
+    pooled = _pipeline_artifacts(
+        EvaluationHarness(backend=ProcessPoolBackend(2)), workload
+    )
+    assert serial == pooled
+
+
+def test_full_runs_are_deterministic():
+    """Full AppRunResults — every field, every kernel record — agree
+    between two independent harnesses."""
+    first = EvaluationHarness().evaluation("fdtd2d")
+    second = EvaluationHarness().evaluation("fdtd2d")
+    for method in ("silicon", "full_sim", "pka_sim", "first_1b"):
+        assert getattr(first, method)() == getattr(second, method)(), method
