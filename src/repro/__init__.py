@@ -37,10 +37,15 @@ from repro.core import (
 from repro.errors import (
     ConfigurationError,
     ConvergenceError,
+    FaultInjectedError,
     NotFittedError,
     ProfilingError,
     ReproError,
+    RetryExhaustedError,
     SimulationError,
+    TaskFailureError,
+    TaskTimeoutError,
+    WorkerCrashError,
     WorkloadError,
 )
 from repro.gpu import (
@@ -72,6 +77,7 @@ __all__ = [
     "AppRunResult",
     "ConfigurationError",
     "ConvergenceError",
+    "FaultInjectedError",
     "GPUConfig",
     "IPCStabilityMonitor",
     "InstructionMix",
@@ -87,12 +93,16 @@ __all__ = [
     "PrincipalKernelAnalysis",
     "ProfilingError",
     "ReproError",
+    "RetryExhaustedError",
     "SiliconExecutor",
     "SimulationError",
     "Simulator",
     "TURING_RTX2060",
+    "TaskFailureError",
+    "TaskTimeoutError",
     "TwoLevelConfig",
     "VOLTA_V100",
+    "WorkerCrashError",
     "WorkloadError",
     "__version__",
     "compute_occupancy",

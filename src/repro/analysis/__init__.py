@@ -14,10 +14,11 @@ from repro.analysis.figures import (
     figure9_volta_over_turing,
     figure10_half_sms,
 )
-from repro.analysis.harness import EvaluationHarness, WorkloadEvaluation
+from repro.analysis.harness import CellFailure, EvaluationHarness, WorkloadEvaluation
 from repro.analysis.inspect import WorkloadProfile, inspect_workload
 from repro.analysis.phases import Phase, PhaseAnalysis, detect_phases
 from repro.analysis.persistence import (
+    CacheDegradedWarning,
     NullRunCache,
     RunCache,
     RunKey,
@@ -45,6 +46,8 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "CacheDegradedWarning",
+    "CellFailure",
     "EvaluationHarness",
     "IPCSeries",
     "MethodAggregate",

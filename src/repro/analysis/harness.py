@@ -24,6 +24,7 @@ what a cold serial run would have computed.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,17 +42,24 @@ from repro.baselines.first_n import run_first_n_instructions
 from repro.baselines.tbpoint import TBPointSelection, select_tbpoint, simulate_tbpoint
 from repro.core.config import PKAConfig
 from repro.core.pka import KernelSelection, PrincipalKernelAnalysis
-from repro.errors import ReproError
+from repro.errors import ReproError, TaskFailureError
 from repro.gpu.architectures import GENERATIONS, GPUConfig, VOLTA_V100, get_gpu
 from repro.mlkit import ClusteringCapacityError
 from repro.profiling.detailed import DetailedProfiler
-from repro.sim.parallel import ExecutionBackend, resolve_backend
+from repro.sim.faults import FaultPlan
+from repro.sim.parallel import (
+    ExecutionBackend,
+    FaultPolicy,
+    TaskFailure,
+    _run_tasks_inline,
+    resolve_backend,
+)
 from repro.sim.silicon import SiliconExecutor
 from repro.sim.simulator import ModelErrorConfig, Simulator
 from repro.sim.stats import AppRunResult
 from repro.workloads.spec import WorkloadSpec, get_workload, iter_workloads
 
-__all__ = ["WorkloadEvaluation", "EvaluationHarness"]
+__all__ = ["CellFailure", "WorkloadEvaluation", "EvaluationHarness"]
 
 #: Methods evaluate_cells understands, and whether they take a GPU.
 _CELL_METHODS = (
@@ -65,6 +73,56 @@ _CELL_METHODS = (
     "first_1b",
     "tbpoint_sim",
 )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one evaluation cell that could not be computed.
+
+    Returned by :meth:`EvaluationHarness.evaluate_cells` (and
+    :meth:`WorkloadEvaluation.compute_cell` with ``strict=False``) in
+    place of the cell's result, so one poison cell no longer aborts — or
+    discards — an entire workload × method × GPU sweep.  ``kind`` is the
+    runtime's classification (``"exception"``, ``"timeout"`` or
+    ``"crash"``); ``error_type``/``message`` describe the last
+    underlying error; ``attempts`` counts how many tries the
+    :class:`~repro.sim.parallel.FaultPolicy` allowed before quarantine.
+    """
+
+    workload: str
+    method: str
+    gpu: str | None
+    kind: str
+    error_type: str
+    message: str
+    attempts: int = 1
+
+    @property
+    def label(self) -> str:
+        return cell_label(self.workload, self.method, self.gpu)
+
+    def to_error(self) -> TaskFailureError:
+        """The typed exception equivalent (what ``strict`` mode raises)."""
+        return TaskFailure(
+            index=-1,
+            label=self.label,
+            kind=self.kind,
+            error_type=self.error_type,
+            message=self.message,
+            attempts=self.attempts,
+        ).to_error()
+
+    def to_record(self) -> dict:
+        """A JSON-ready manifest row."""
+        record = dataclasses.asdict(self)
+        record["label"] = self.label
+        return record
+
+
+def cell_label(workload: str, method: str, gpu: GPUConfig | str | None) -> str:
+    """Human-readable identity of one sweep cell, used in manifests."""
+    name = gpu.name if isinstance(gpu, GPUConfig) else gpu
+    return f"{workload}:{method}" + (f"@{name}" if name else "")
 
 
 @dataclass
@@ -284,11 +342,44 @@ class WorkloadEvaluation:
 
     # -- cell dispatch ---------------------------------------------------
 
-    def compute_cell(self, method: str, gpu: GPUConfig | str | None = None):
+    def compute_cell(
+        self,
+        method: str,
+        gpu: GPUConfig | str | None = None,
+        *,
+        strict: bool = True,
+    ):
         """Run one named cell — the unit :meth:`EvaluationHarness.evaluate_cells`
-        fans out across worker processes."""
+        fans out across worker processes.
+
+        With ``strict=False`` a failing computation returns a
+        :class:`CellFailure` record instead of raising, so callers
+        iterating many cells keep their completed work.  An unknown
+        ``method`` always raises: that is a caller bug, not a fault.
+        """
         if isinstance(gpu, str):
             gpu = get_gpu(gpu)
+        if method not in _CELL_METHODS:
+            raise ReproError(
+                f"unknown cell method {method!r}; choose one of {_CELL_METHODS}"
+            )
+        if strict:
+            return self._dispatch_cell(method, gpu)
+        try:
+            return self._dispatch_cell(method, gpu)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            return CellFailure(
+                workload=self.spec.name,
+                method=method,
+                gpu=gpu.name if gpu is not None else None,
+                kind="exception",
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+
+    def _dispatch_cell(self, method: str, gpu: GPUConfig | None):
         if method == "silicon":
             return self.silicon_on(gpu if gpu is not None else VOLTA_V100)
         if method == "pks_silicon":
@@ -342,6 +433,8 @@ class EvaluationHarness:
         backend: ExecutionBackend | str | int | None = None,
         run_cache: RunCache | NullRunCache | None = None,
         cache_dir: str | Path | None = None,
+        fault_policy: FaultPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         # The default instruction budget is the paper's 1-billion-
         # instruction practice scaled by the same ~7x factor as the
@@ -353,6 +446,11 @@ class EvaluationHarness:
         if run_cache is None:
             run_cache = resolve_run_cache(cache_dir)
         self.run_cache = run_cache
+        self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
+        self.fault_plan = fault_plan
+        #: Manifest of the most recent ``evaluate_cells`` sweep (also
+        #: persisted under ``<cache>/manifests/`` when a cache is set).
+        self.last_manifest: dict | None = None
         self._silicon: dict[str, SiliconExecutor] = {}
         self._simulators: dict[str, Simulator] = {}
         self._evaluations: dict[str, WorkloadEvaluation] = {}
@@ -448,7 +546,11 @@ class EvaluationHarness:
     def evaluate_cells(
         self,
         cells: Sequence[tuple[str, str, GPUConfig | str | None]],
-    ) -> list[AppRunResult | KernelSelection | None]:
+        *,
+        strict: bool = False,
+        fault_policy: FaultPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> list[AppRunResult | KernelSelection | CellFailure | None]:
         """Compute independent (workload, method, gpu) cells, in order.
 
         With a serial backend this is a plain loop.  With a process-pool
@@ -457,35 +559,122 @@ class EvaluationHarness:
         submission order; every computed result is also stored into this
         harness's in-memory memo tables, so subsequent accessor calls hit
         immediately.  When an on-disk cache is configured, workers share
-        it, making the fan-out restartable and incremental.
+        it, making the fan-out restartable and incremental: completed
+        cells are checkpointed as they finish, and a killed or faulted
+        sweep re-run against the same cache recomputes only what is
+        missing.
+
+        Execution is **fault-tolerant by default**: every cell runs
+        under the harness's :class:`~repro.sim.parallel.FaultPolicy`
+        (retries with deterministic backoff, optional timeout, dead
+        workers isolated and their surviving cells recomputed), and a
+        cell that still fails is returned as a :class:`CellFailure`
+        in its slot instead of aborting the sweep.  ``strict=True``
+        restores fail-fast: the first failure is raised as its typed
+        :class:`~repro.errors.TaskFailureError` — after the sweep
+        manifest has been recorded, so completed work is never lost.
+
+        Every sweep writes a manifest (quarantined cells, failure causes,
+        completed cells) to ``last_manifest`` and, when a cache is
+        configured, to ``<cache>/manifests/<sweep_id>.json``.
         """
+        policy = fault_policy if fault_policy is not None else self.fault_policy
+        plan = fault_plan if fault_plan is not None else self.fault_plan
         normalized: list[tuple[str, str, GPUConfig | None]] = []
         for workload, method, gpu in cells:
             if isinstance(gpu, str):
                 gpu = get_gpu(gpu)
             name = workload if isinstance(workload, str) else workload.name
             normalized.append((name, method, gpu))
+        labels = [cell_label(w, m, g) for w, m, g in normalized]
         if self.backend.jobs == 1:
-            return [
-                self.evaluation(workload).compute_cell(method, gpu)
-                for workload, method, gpu in normalized
-            ]
-        cache_root = self.run_cache.root if isinstance(self.run_cache, RunCache) else None
-        payloads = [
-            (
-                self.pka.config,
-                self.model_error,
-                self.instruction_budget,
-                cache_root,
-                cell,
+
+            def compute(cell):
+                workload, method, gpu = cell
+                return self.evaluation(workload).compute_cell(method, gpu)
+
+            outcomes = _run_tasks_inline(
+                compute, normalized, policy, labels, plan, strict=False
             )
-            for cell in normalized
-        ]
-        results = self.backend.map_tasks(_evaluate_cell_task, payloads)
-        for (workload, method, gpu), result in zip(normalized, results):
-            evaluation = self.evaluation(workload)
-            evaluation._cache.setdefault(evaluation.cell_key(method, gpu), result)
+        else:
+            cache_root = (
+                self.run_cache.root if isinstance(self.run_cache, RunCache) else None
+            )
+            payloads = [
+                (
+                    self.pka.config,
+                    self.model_error,
+                    self.instruction_budget,
+                    cache_root,
+                    cell,
+                )
+                for cell in normalized
+            ]
+            run_tasks = getattr(self.backend, "run_tasks", None)
+            if run_tasks is None:
+                outcomes = _run_tasks_inline(
+                    _evaluate_cell_task, payloads, policy, labels, plan, strict=False
+                )
+            else:
+                outcomes = run_tasks(
+                    _evaluate_cell_task,
+                    payloads,
+                    policy=policy,
+                    labels=labels,
+                    fault_plan=plan,
+                )
+        results: list = []
+        failures: list[CellFailure] = []
+        first_failed = None
+        for (workload, method, gpu), outcome in zip(normalized, outcomes):
+            if outcome.ok:
+                evaluation = self.evaluation(workload)
+                evaluation._cache.setdefault(
+                    evaluation.cell_key(method, gpu), outcome.value
+                )
+                results.append(outcome.value)
+                continue
+            failure = CellFailure(
+                workload=workload,
+                method=method,
+                gpu=gpu.name if gpu is not None else None,
+                kind=outcome.failure.kind,
+                error_type=outcome.failure.error_type,
+                message=outcome.failure.message,
+                attempts=outcome.failure.attempts,
+            )
+            failures.append(failure)
+            results.append(failure)
+            if first_failed is None:
+                first_failed = outcome
+        self._record_manifest(labels, results, failures)
+        if strict and first_failed is not None:
+            if first_failed.exception is not None:
+                raise first_failed.failure.to_error() from first_failed.exception
+            raise first_failed.failure.to_error()
         return results
+
+    def _record_manifest(
+        self,
+        labels: list[str],
+        results: list,
+        failures: list[CellFailure],
+    ) -> None:
+        """Persist which cells of a sweep completed and which were quarantined."""
+        sweep_id = fingerprint(
+            {"cells": labels, "context": self.context_fingerprint()}
+        )
+        failed_labels = {failure.label for failure in failures}
+        manifest = {
+            "sweep_id": sweep_id,
+            "total_cells": len(labels),
+            "cells": labels,
+            "completed": [label for label in labels if label not in failed_labels],
+            "quarantined": sorted(failed_labels),
+            "failures": [failure.to_record() for failure in failures],
+        }
+        self.last_manifest = manifest
+        self.run_cache.put_manifest(sweep_id, manifest)
 
 
 # Per-process harness cache for cell workers: one harness per distinct

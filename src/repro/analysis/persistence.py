@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,6 +45,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "RUN_FORMAT_VERSION",
     "SELECTION_FORMAT_VERSION",
+    "CacheDegradedWarning",
     "NullRunCache",
     "RunCache",
     "RunKey",
@@ -337,6 +339,10 @@ def run_digest(
 # ---------------------------------------------------------------------------
 
 
+class CacheDegradedWarning(UserWarning):
+    """The on-disk run cache lost its directory and fell back to memory."""
+
+
 class NullRunCache:
     """Disabled cache: every lookup misses and writes are dropped."""
 
@@ -359,6 +365,12 @@ class NullRunCache:
     def put_selection(self, digest: str, selection: KernelSelection) -> None:
         return None
 
+    def get_manifest(self, sweep_id: str) -> dict | None:
+        return None
+
+    def put_manifest(self, sweep_id: str, document: dict) -> None:
+        return None
+
     def __repr__(self) -> str:
         return "NullRunCache()"
 
@@ -372,16 +384,40 @@ class RunCache:
     or truncated entry — a killed writer on a non-atomic filesystem, a
     stray editor — is treated as a miss and deleted; the caller
     recomputes and rewrites it.
+
+    A cache that cannot *write* — read-only directory, full disk,
+    vanished mount — must not abort the sweep that was trying to
+    checkpoint into it.  The first failed write emits one
+    :class:`CacheDegradedWarning` and flips the store into **degraded
+    mode**: entries land in an in-process dictionary instead, reads
+    check that overlay before disk, and the sweep carries on with plain
+    memoization semantics.  Sweep manifests (quarantine records written
+    by ``evaluate_cells``) share the same fallback.
     """
 
     enabled = True
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.degraded = False
+        self._memory: dict[str, dict] = {}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            self._degrade(exc)
+
+    def _degrade(self, exc: OSError) -> None:
+        if not self.degraded:
+            self.degraded = True
+            warnings.warn(
+                f"run cache at {self.root} is not writable ({exc}); "
+                "falling back to in-memory caching for this process",
+                CacheDegradedWarning,
+                stacklevel=4,
+            )
 
     # -- generic entry plumbing -----------------------------------------
 
@@ -389,6 +425,13 @@ class RunCache:
         return self.root / digest[:2] / f"{digest}.json"
 
     def _read(self, digest: str, kind: str):
+        overlay = self._memory.get(digest)
+        if overlay is not None:
+            if overlay.get("kind") != kind:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return overlay["payload"]
         path = self._path(digest)
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
@@ -413,22 +456,34 @@ class RunCache:
         return payload
 
     def _write(self, digest: str, kind: str, payload) -> None:
+        document = {"kind": kind, "payload": payload}
+        if self.degraded:
+            self._memory[digest] = document
+            self.writes += 1
+            return
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps({"kind": kind, "payload": payload}, sort_keys=True)
-        handle, tmp_name = tempfile.mkstemp(
-            prefix=f".{digest[:8]}.", suffix=".tmp", dir=path.parent
-        )
+        text = json.dumps(document, sort_keys=True)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=f".{digest[:8]}.", suffix=".tmp", dir=path.parent
+            )
+        except OSError as exc:
+            self._degrade(exc)
+            self._memory[digest] = document
+            self.writes += 1
+            return
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as stream:
                 stream.write(text)
             os.replace(tmp_name, path)
-        except OSError:
+        except OSError as exc:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
+            self._degrade(exc)
+            self._memory[digest] = document
         self.writes += 1
 
     # -- typed entry points ----------------------------------------------
@@ -461,9 +516,63 @@ class RunCache:
     def put_selection(self, digest: str, selection: KernelSelection) -> None:
         self._write(digest, "selection", dump_selection(selection))
 
+    # -- sweep manifests --------------------------------------------------
+
+    def _manifest_path(self, sweep_id: str) -> Path:
+        return self.root / "manifests" / f"{sweep_id}.json"
+
+    def get_manifest(self, sweep_id: str) -> dict | None:
+        """The last recorded manifest of one sweep, or None."""
+        overlay = self._memory.get(f"manifest:{sweep_id}")
+        if overlay is not None:
+            return overlay["payload"]
+        try:
+            document = json.loads(
+                self._manifest_path(sweep_id).read_text(encoding="utf-8")
+            )
+            if document.get("kind") != "sweep_manifest":
+                return None
+            return document["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put_manifest(self, sweep_id: str, document: dict) -> None:
+        """Record a sweep's completion/quarantine state, atomically."""
+        if self.degraded:
+            self._memory[f"manifest:{sweep_id}"] = {
+                "kind": "sweep_manifest",
+                "payload": document,
+            }
+            return
+        path = self._manifest_path(sweep_id)
+        text = json.dumps(
+            {"kind": "sweep_manifest", "payload": document}, sort_keys=True, indent=2
+        )
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=f".{sweep_id[:8]}.", suffix=".tmp", dir=path.parent
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(tmp_name, path)
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self._degrade(exc)
+            self._memory[f"manifest:{sweep_id}"] = {
+                "kind": "sweep_manifest",
+                "payload": document,
+            }
+
     def entry_count(self) -> int:
-        """Number of entries currently on disk."""
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        """Number of run/selection entries currently on disk (manifests
+        live under ``manifests/`` and are not counted)."""
+        return sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.json"))
 
     def __repr__(self) -> str:
         return f"RunCache(root={str(self.root)!r})"

@@ -28,9 +28,12 @@ Commands
     The selective-tracing plan implied by the PKS selection.
 ``pka report [--output FILE]``
     Render the whole evaluation as one markdown report.
+``pka sweep [--suite S] [--methods M,...] [--gpus G,...]``
+    Fault-tolerant workload x method x GPU sweep with partial results,
+    a quarantine manifest, and cache-based resume.
 
-Every command accepts three execution flags (see ``docs/API.md``,
-"Parallel execution & caching"):
+Every command accepts the execution flags (see ``docs/API.md``,
+"Parallel execution & caching" and "Fault tolerance & resume"):
 
 ``--jobs N``
     Execution backend: ``serial`` (default), ``auto`` (one worker per
@@ -39,6 +42,21 @@ Every command accepts three execution flags (see ``docs/API.md``,
     Content-addressed on-disk run cache shared across invocations.
 ``--no-cache``
     Ignore ``--cache-dir`` for this invocation.
+``--retries N`` / ``--task-timeout SECONDS``
+    Fault policy for sweep cells: retry budget per cell (default 2)
+    and wall-clock timeout per attempt (default: none).
+``--strict``
+    Fail fast on the first cell failure instead of returning partial
+    results.
+``--inject-faults PLAN``
+    Chaos testing: deterministically inject failures at chosen cell
+    indices, e.g. ``exception@3,crash@7x99,hang@11`` (``xN`` poisons
+    the first N attempts; ``xP`` is persistent).
+
+Interrupting a sweep (Ctrl-C) is safe: completed cells are already
+checkpointed in the run cache, a resume hint is printed, and the
+process exits with status 130.  Re-running the same command with the
+same ``--cache-dir`` recomputes only the missing cells.
 """
 
 from __future__ import annotations
@@ -47,6 +65,7 @@ import argparse
 import sys
 
 from repro.analysis import (
+    CellFailure,
     EvaluationHarness,
     abs_pct_error,
     figure1_time_landscape,
@@ -62,19 +81,37 @@ from repro.analysis import (
     table3_pks_examples,
     table4_rows,
 )
+from repro.errors import TaskFailureError
 from repro.gpu import get_gpu
+from repro.sim.faults import FaultPlan
+from repro.sim.parallel import FaultPolicy
 from repro.workloads import get_workload, iter_workloads
 
 __all__ = ["main"]
 
+#: Exit codes beyond 0/1: partial sweep completion and interruption.
+EXIT_PARTIAL = 3
+EXIT_INTERRUPTED = 130
+
 
 def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
     """Build the harness every command shares from the execution flags."""
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "task_timeout", None)
+    policy = None
+    if retries is not None or timeout is not None:
+        policy = FaultPolicy(
+            max_retries=retries if retries is not None else 2,
+            timeout_seconds=timeout,
+        )
+    plan_text = getattr(args, "inject_faults", None)
     return EvaluationHarness(
         backend=getattr(args, "jobs", None),
         cache_dir=(
             None if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None)
         ),
+        fault_policy=policy,
+        fault_plan=FaultPlan.parse(plan_text) if plan_text else None,
     )
 
 
@@ -324,6 +361,61 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Fault-tolerant corpus sweep: every cell, partial results, manifest."""
+    harness = _harness_from_args(args)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    gpus = [g.strip() for g in args.gpus.split(",") if g.strip()] or [None]
+    cells = [
+        (spec.name, method, gpu)
+        for spec in iter_workloads(args.suite)
+        for method in methods
+        for gpu in gpus
+    ]
+    try:
+        results = harness.evaluate_cells(cells, strict=args.strict)
+    except TaskFailureError as exc:
+        # --strict: fail fast, but completed cells are already
+        # checkpointed and the manifest recorded before the raise.
+        print(f"sweep failed (strict): {exc}", file=sys.stderr)
+        return 1
+    completed = failed = skipped = 0
+    for (workload, method, gpu), result in zip(cells, results):
+        label = f"{workload}:{method}" + (f"@{gpu}" if gpu else "")
+        if isinstance(result, CellFailure):
+            failed += 1
+            print(
+                f"  FAIL {label:44s} {result.kind}: {result.error_type}: "
+                f"{result.message} ({result.attempts} attempts)"
+            )
+        elif result is None:
+            skipped += 1
+        else:
+            completed += 1
+    manifest = harness.last_manifest
+    print(
+        f"sweep: {len(cells)} cells — {completed} completed, "
+        f"{skipped} not applicable, {failed} failed"
+    )
+    if manifest is not None:
+        print(f"sweep id: {manifest['sweep_id'][:16]}")
+        if harness.run_cache.enabled:
+            print(
+                f"manifest: {harness.run_cache.root / 'manifests'}/"
+                f"{manifest['sweep_id']}.json"
+            )
+    if failed:
+        if harness.run_cache.enabled:
+            print(
+                "resume: re-run this command with the same --cache-dir; "
+                "completed cells load from cache, only failed cells recompute"
+            )
+        else:
+            print("tip: pass --cache-dir DIR to make this sweep resumable")
+        return EXIT_PARTIAL
+    return 0
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     harness = _harness_from_args(args)
     print(f"{'suite':10s} {'workload':30s} {'selected ids':24s} {'counts'}")
@@ -434,6 +526,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore --cache-dir for this invocation",
     )
+    common.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault policy: retries per failing cell (default 2)",
+    )
+    common.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fault policy: wall-clock timeout per cell attempt",
+    )
+    common.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast on the first cell failure instead of quarantining it",
+    )
+    common.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="chaos testing: e.g. 'exception@3,crash@7x99,hang@11'",
+    )
 
     subparsers.add_parser(
         "list", help="list the workload corpus", parents=[common]
@@ -526,6 +643,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", default="pka_report.md")
 
+    sweep_cmd = subparsers.add_parser(
+        "sweep",
+        help="fault-tolerant workload x method x GPU sweep with resume",
+        parents=[common],
+    )
+    sweep_cmd.add_argument("--suite", default=None)
+    sweep_cmd.add_argument(
+        "--methods",
+        default="silicon,pka_sim",
+        help="comma-separated cell methods (default: silicon,pka_sim)",
+    )
+    sweep_cmd.add_argument(
+        "--gpus",
+        default="volta",
+        help="comma-separated GPU generations (default: volta)",
+    )
+
     return parser
 
 
@@ -546,11 +680,30 @@ def main(argv: list[str] | None = None) -> int:
         "sweep-k": _cmd_sweep_k,
         "trace-plan": _cmd_trace_plan,
         "report": _cmd_report,
+        "sweep": _cmd_sweep,
     }
     # get_workload raises WorkloadError with a clear message for typos.
     if getattr(args, "workload", None) is not None:
         get_workload(args.workload)
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Completed cells were checkpointed into the run cache as they
+        # finished, so nothing computed so far is lost.
+        print("\ninterrupted", file=sys.stderr)
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir and not getattr(args, "no_cache", False):
+            print(
+                f"resume: re-run the same command with --cache-dir {cache_dir}; "
+                "completed cells load from cache, only missing cells recompute",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "tip: pass --cache-dir DIR to make interrupted runs resumable",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

@@ -33,3 +33,46 @@ class SimulationError(ReproError):
 
 class ProfilingError(ReproError):
     """A profiler was asked for data it cannot provide."""
+
+
+class TaskFailureError(ReproError):
+    """A unit of backend work failed in a way the runtime classified.
+
+    Carries the failing task's identity so a sweep-level caller can
+    quarantine exactly the right cell.  Subclasses distinguish *how*
+    the task failed (timeout, dead worker, exhausted retries); the
+    original cause, when one exists, rides along as ``__cause__``.
+
+    Only ``message`` participates in pickling (``self.args``), so these
+    exceptions survive the trip back from a worker process; the task
+    identity attributes are parent-side annotations.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_index: int | None = None,
+        task_label: str | None = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.task_label = task_label
+        self.attempts = attempts
+
+
+class TaskTimeoutError(TaskFailureError):
+    """A task exceeded its :class:`~repro.sim.parallel.FaultPolicy` timeout."""
+
+
+class WorkerCrashError(TaskFailureError):
+    """A worker process died (segfault, ``os._exit``, OOM kill) mid-task."""
+
+
+class RetryExhaustedError(TaskFailureError):
+    """A task kept failing after every retry its policy allowed."""
+
+
+class FaultInjectedError(ReproError):
+    """An exception deliberately raised by the fault-injection harness."""

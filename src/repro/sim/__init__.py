@@ -13,12 +13,16 @@ from repro.sim.engine import (
     block_durations,
     simulate_kernel,
 )
+from repro.sim.faults import FaultPlan, InjectedFault
 from repro.sim.memory import SECTOR_BYTES, MemoryProfile, build_memory_profile
 from repro.sim.microsim import MicrosimConfig, MicrosimResult, SMMicrosimulator
 from repro.sim.parallel import (
     ExecutionBackend,
+    FaultPolicy,
     ProcessPoolBackend,
     SerialBackend,
+    TaskFailure,
+    TaskOutcome,
     auto_worker_count,
     resolve_backend,
 )
@@ -40,6 +44,9 @@ __all__ = [
     "calibrate_model_error",
     "DEFAULT_WINDOW_CYCLES",
     "ExecutionBackend",
+    "FaultPlan",
+    "FaultPolicy",
+    "InjectedFault",
     "KERNEL_LAUNCH_OVERHEAD",
     "KernelPerformance",
     "KernelRecord",
@@ -55,6 +62,8 @@ __all__ = [
     "SiliconExecutor",
     "Simulator",
     "StopMonitor",
+    "TaskFailure",
+    "TaskOutcome",
     "WindowSample",
     "analytic_kernel_cycles",
     "analyze_kernel",

@@ -1,0 +1,227 @@
+"""Deterministic fault injection for the execution backends.
+
+Month-scale sweeps die in ways unit tests of happy paths never exercise:
+a malformed kernel raises, a worker process is OOM-killed, a task hangs
+past any reasonable deadline.  This module provides a *seeded, replayable*
+way to manufacture exactly those failures at chosen task indices, so the
+recovery machinery in :mod:`repro.sim.parallel` and
+:mod:`repro.analysis.harness` is proven by tests rather than trusted.
+
+A :class:`FaultPlan` is a frozen set of :class:`InjectedFault` records,
+each naming a task index, a fault ``kind`` and how many attempts it
+poisons:
+
+* ``"exception"`` — raise :class:`~repro.errors.FaultInjectedError`
+  before the task body runs;
+* ``"hang"`` — sleep past the policy timeout, then return normally
+  (the backend must detect and kill it);
+* ``"crash"`` — ``os._exit`` the worker process mid-task (only in a
+  real pool worker; in-process execution simulates the crash by raising
+  :class:`~repro.errors.WorkerCrashError`, since exiting would take the
+  caller down with it).
+
+``attempts=1`` (the default) makes a fault *transient*: the first
+attempt fails, a retry succeeds.  A large ``attempts`` makes it
+*persistent*: the task is poison and must be quarantined.
+
+Plans come from three places: explicit construction in tests,
+:meth:`FaultPlan.seeded` (a deterministic pseudo-random plan for
+property tests), and :meth:`FaultPlan.parse` (the CLI's
+``--inject-faults "exception@3,crash@7x99,hang@11"`` chaos flag).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, FaultInjectedError, WorkerCrashError
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "FAULT_KINDS",
+    "PERSISTENT",
+    "FaultPlan",
+    "InjectedFault",
+    "run_with_fault",
+]
+
+FAULT_KINDS = ("exception", "hang", "crash")
+
+#: ``attempts`` value that outlives any sane retry budget: the fault is
+#: permanent and the task must be quarantined.
+PERSISTENT = 1_000_000
+
+#: Hang duration when neither the fault nor the policy pins one down.
+DEFAULT_HANG_SECONDS = 0.25
+
+#: Worker exit status used by injected crashes (distinctive in core CI logs).
+CRASH_EXIT_CODE = 73
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One manufactured failure: which task, how, and for how many attempts."""
+
+    task_index: int
+    kind: str
+    attempts: int = 1
+    hang_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; choose one of {FAULT_KINDS}"
+            )
+        if self.task_index < 0:
+            raise ConfigurationError("fault task_index must be >= 0")
+        if self.attempts < 1:
+            raise ConfigurationError("fault attempts must be >= 1")
+
+    @property
+    def persistent(self) -> bool:
+        return self.attempts >= PERSISTENT
+
+    def spec(self) -> str:
+        """The ``kind@index[xattempts]`` form :meth:`FaultPlan.parse` reads."""
+        suffix = "" if self.attempts == 1 else f"x{self.attempts}"
+        return f"{self.kind}@{self.task_index}{suffix}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, replayable set of faults keyed by task index."""
+
+    faults: tuple[InjectedFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for fault in self.faults:
+            if fault.task_index in seen:
+                raise ConfigurationError(
+                    f"duplicate fault for task index {fault.task_index}"
+                )
+            seen.add(fault.task_index)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def fault_for(self, task_index: int) -> InjectedFault | None:
+        for fault in self.faults:
+            if fault.task_index == task_index:
+                return fault
+        return None
+
+    def resolved(
+        self, task_index: int, default_hang_seconds: float
+    ) -> InjectedFault | None:
+        """The fault for one task, with hang duration made concrete."""
+        fault = self.fault_for(task_index)
+        if fault is None or fault.kind != "hang" or fault.hang_seconds is not None:
+            return fault
+        return dataclasses.replace(fault, hang_seconds=default_hang_seconds)
+
+    def spec(self) -> str:
+        return ",".join(fault.spec() for fault in self.faults)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``"exception@3,crash@7x99,hang@11"`` into a plan.
+
+        Each entry is ``kind@index`` with an optional ``xN`` suffix for
+        the number of poisoned attempts (``xP`` for persistent).
+        """
+        faults = []
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            try:
+                kind, _, position = entry.partition("@")
+                index_text, _, attempts_text = position.partition("x")
+                attempts = 1
+                if attempts_text:
+                    attempts = (
+                        PERSISTENT
+                        if attempts_text.lower() == "p"
+                        else int(attempts_text)
+                    )
+                faults.append(
+                    InjectedFault(
+                        task_index=int(index_text), kind=kind, attempts=attempts
+                    )
+                )
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"cannot parse fault spec {entry!r}; expected "
+                    "kind@index[xattempts], e.g. 'crash@7x99'"
+                ) from exc
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_tasks: int,
+        *,
+        n_faults: int | None = None,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        persistent_fraction: float = 0.5,
+    ) -> "FaultPlan":
+        """A deterministic pseudo-random plan over ``n_tasks`` task slots.
+
+        The same ``(seed, n_tasks, ...)`` always yields the same plan, so
+        property tests can replay any failing chaos scenario exactly.
+        """
+        if n_tasks <= 0:
+            return cls()
+        rng = random.Random(seed)
+        count = n_faults if n_faults is not None else rng.randint(1, max(1, n_tasks // 4))
+        count = min(count, n_tasks)
+        indices = rng.sample(range(n_tasks), count)
+        faults = tuple(
+            InjectedFault(
+                task_index=index,
+                kind=rng.choice(list(kinds)),
+                attempts=PERSISTENT if rng.random() < persistent_fraction else 1,
+            )
+            for index in sorted(indices)
+        )
+        return cls(faults=faults)
+
+
+def _fire(fault: InjectedFault, *, in_worker: bool) -> None:
+    """Carry out one fault, as destructively as the setting allows."""
+    if fault.kind == "exception":
+        raise FaultInjectedError(
+            f"injected exception at task {fault.task_index}"
+        )
+    if fault.kind == "hang":
+        time.sleep(
+            fault.hang_seconds if fault.hang_seconds is not None else DEFAULT_HANG_SECONDS
+        )
+        return
+    # "crash": only a real pool worker may take the process down.
+    if in_worker:
+        os._exit(CRASH_EXIT_CODE)
+    raise WorkerCrashError(
+        f"injected worker crash at task {fault.task_index} (simulated in-process)",
+        task_index=fault.task_index,
+    )
+
+
+def run_with_fault(payload: tuple):
+    """Execute one task under fault injection.  Module-level: pickles by
+    reference, so process-pool backends submit it directly.
+
+    ``payload`` is ``(fn, item, fault, attempt, in_worker)``; the fault
+    fires only while ``attempt <= fault.attempts``, which is what makes
+    transient faults recoverable and persistent ones quarantinable.
+    """
+    fn, item, fault, attempt, in_worker = payload
+    if fault is not None and attempt <= fault.attempts:
+        _fire(fault, in_worker=in_worker)
+    return fn(item)

@@ -4,18 +4,23 @@ What these tests pin down: an entry read back from disk compares *equal*
 to the result that produced it (exact float round trip), the digest moves
 whenever anything a result depends on moves (GPU config, PKA config,
 launch lists, code/schema version), corruption degrades to recomputation
-rather than a crash, and ``--no-cache`` really bypasses the store.
+rather than a crash, ``--no-cache`` really bypasses the store, and a
+cache that *loses its disk* mid-sweep degrades to in-memory caching with
+one warning instead of aborting the work it was checkpointing.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import warnings
 
 import pytest
 
 from repro.analysis import EvaluationHarness
 from repro.analysis.persistence import (
+    CacheDegradedWarning,
     NullRunCache,
     RunCache,
     RunKey,
@@ -215,6 +220,122 @@ def test_no_cache_bypasses_the_store(tmp_path):
 
     # The default harness (no cache_dir) also never touches disk.
     assert isinstance(EvaluationHarness().run_cache, NullRunCache)
+
+
+# -- degraded mode: cache-write failure falls back to memory -----------------
+
+
+def _broken_replace(monkeypatch):
+    """Make every atomic rename fail, as a full disk or yanked mount would.
+
+    The suite runs as root in CI containers, where read-only permission
+    bits do not bite; failing the rename syscall is the reliable way to
+    manufacture an unwritable store.
+    """
+
+    def fail(src, dst):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(os, "replace", fail)
+
+
+def test_write_failure_degrades_with_single_warning(tmp_path, monkeypatch):
+    cache = RunCache(tmp_path)
+    _broken_replace(monkeypatch)
+    result = _volta_run()
+    digest = _digest_for(VOLTA_V100)
+    with pytest.warns(CacheDegradedWarning, match="falling back to in-memory"):
+        cache.put_run(digest, result)
+    assert cache.degraded
+    assert cache.writes == 1
+    # Subsequent failed writes stay silent: one warning per process.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cache.put_run(_digest_for(TURING_RTX2060), result)
+    assert cache.writes == 2
+    # Nothing landed on disk, and no temp files leaked.
+    assert cache.entry_count() == 0
+    assert list(tmp_path.glob("**/*.tmp")) == []
+
+
+def test_degraded_reads_hit_the_memory_overlay(tmp_path, monkeypatch):
+    cache = RunCache(tmp_path)
+    _broken_replace(monkeypatch)
+    result = _volta_run()
+    digest = _digest_for(VOLTA_V100)
+    with pytest.warns(CacheDegradedWarning):
+        cache.put_run(digest, result)
+    assert cache.get_run(digest) == result  # served from memory, bit-exact
+    assert cache.hits == 1
+    # Kind checking still applies in the overlay.
+    assert cache.get_selection(digest) is None
+
+
+def test_unwritable_root_degrades_at_construction(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("a file where the cache root should be", encoding="utf-8")
+    with pytest.warns(CacheDegradedWarning):
+        cache = RunCache(blocker / "cache")
+    assert cache.degraded
+    result = _volta_run()
+    digest = _digest_for(VOLTA_V100)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no second warning
+        cache.put_run(digest, result)
+    assert cache.get_run(digest) == result
+
+
+def test_sweep_continues_through_cache_degradation(tmp_path, monkeypatch):
+    """evaluate_cells keeps computing — and keeps its results — when the
+    cache it checkpoints into loses its disk mid-sweep."""
+    harness = EvaluationHarness(cache_dir=tmp_path)
+    _broken_replace(monkeypatch)
+    cells = [(WORKLOAD, "silicon", None), ("cutcp", "silicon", None)]
+    with pytest.warns(CacheDegradedWarning):
+        results = harness.evaluate_cells(cells)
+    assert all(result is not None for result in results)
+    assert harness.run_cache.degraded
+    assert harness.last_manifest is not None
+    assert harness.last_manifest["quarantined"] == []
+    # The manifest fell back to the overlay alongside the entries.
+    sweep_id = harness.last_manifest["sweep_id"]
+    assert harness.run_cache.get_manifest(sweep_id) == harness.last_manifest
+    assert results == EvaluationHarness().evaluate_cells(cells)  # still bit-exact
+
+
+# -- sweep manifests ---------------------------------------------------------
+
+
+def test_manifest_round_trips(tmp_path):
+    cache = RunCache(tmp_path)
+    document = {"sweep_id": "abc123", "total_cells": 2, "quarantined": []}
+    assert cache.get_manifest("abc123") is None
+    cache.put_manifest("abc123", document)
+    assert cache.get_manifest("abc123") == document
+    # A fresh instance reads it from disk.
+    assert RunCache(tmp_path).get_manifest("abc123") == document
+    assert (tmp_path / "manifests" / "abc123.json").exists()
+
+
+def test_manifests_do_not_count_as_entries(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put_manifest("abc123", {"sweep_id": "abc123"})
+    assert cache.entry_count() == 0
+    cache.put_run(_digest_for(VOLTA_V100), _volta_run())
+    assert cache.entry_count() == 1
+
+
+def test_corrupt_manifest_reads_as_missing(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.put_manifest("abc123", {"sweep_id": "abc123"})
+    (tmp_path / "manifests" / "abc123.json").write_text("{broken", encoding="utf-8")
+    assert cache.get_manifest("abc123") is None
+
+
+def test_null_cache_swallows_manifests():
+    null = NullRunCache()
+    null.put_manifest("abc123", {"sweep_id": "abc123"})
+    assert null.get_manifest("abc123") is None
 
 
 def test_cli_no_cache_flag_selects_null_cache(tmp_path):

@@ -15,11 +15,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TaskTimeoutError, WorkerCrashError
 from repro.gpu import InstructionMix, KernelLaunch, KernelSpec, VOLTA_V100
 from repro.sim import SiliconExecutor, Simulator
 from repro.sim.parallel import (
     ExecutionBackend,
+    FaultPolicy,
     ProcessPoolBackend,
     SerialBackend,
     auto_worker_count,
@@ -131,6 +132,59 @@ def test_earliest_failure_wins_regardless_of_scheduling():
 def test_serial_backend_raises_inline():
     with pytest.raises(ValueError, match="boom 3"):
         SerialBackend().map_tasks(_explode, [3, 1])
+
+
+# -- typed errors at the backend boundary ------------------------------------
+
+
+def _exit_on_7(item: int) -> int:
+    if item == 7:
+        os._exit(73)
+    return item * 2
+
+
+def _sleep_on_2(item: int) -> int:
+    if item == 2:
+        import time
+
+        time.sleep(5.0)
+    return item * 2
+
+
+@pytest.mark.faults
+def test_dead_worker_surfaces_as_crash_error_naming_the_task():
+    """A worker taken down mid-task must not leak the stdlib's
+    BrokenProcessPool: ``map_tasks`` re-raises it as WorkerCrashError
+    carrying the identity of the task that killed the pool."""
+    backend = ProcessPoolBackend(2)
+    with pytest.raises(WorkerCrashError) as info:
+        backend.map_tasks(_exit_on_7, [1, 3, 7, 9, 11, 13])
+    assert info.value.task_index == 2  # position of item 7
+    assert "task 2" in str(info.value)
+
+
+@pytest.mark.faults
+def test_hung_worker_surfaces_as_timeout_error():
+    backend = ProcessPoolBackend(2)
+    policy = FaultPolicy(max_retries=0, timeout_seconds=0.3)
+    with pytest.raises(TaskTimeoutError) as info:
+        backend.run_tasks(_sleep_on_2, [0, 1, 2, 3], policy=policy, strict=True)
+    assert info.value.task_index == 2
+
+
+@pytest.mark.faults
+def test_run_tasks_partial_results_keep_completed_work():
+    """Non-strict ``run_tasks`` returns structured failures in-slot and
+    every other task's value — nothing completed is discarded."""
+    backend = ProcessPoolBackend(2)
+    outcomes = backend.run_tasks(_explode, [1, 3, 4, 6, 8])
+    assert [o.ok for o in outcomes] == [True, False, True, False, True]
+    assert [o.value for o in outcomes if o.ok] == [2, 8, 16]
+    for outcome in outcomes:
+        if not outcome.ok:
+            assert outcome.failure.kind == "exception"
+            assert outcome.failure.error_type == "ValueError"
+            assert "boom" in outcome.failure.message
 
 
 # -- parallel == serial on simulated workloads -------------------------------

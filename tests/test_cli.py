@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+import repro.cli as cli
+from repro.cli import EXIT_INTERRUPTED, EXIT_PARTIAL, build_parser, main
 from repro.errors import WorkloadError
 
 
@@ -20,6 +21,24 @@ class TestParser:
         assert args.workload == "histo"
         assert args.no_pkp
         assert args.gpu == "turing"
+
+    def test_fault_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--suite", "parboil",
+                "--methods", "silicon",
+                "--gpus", "volta,turing",
+                "--retries", "1",
+                "--task-timeout", "2.5",
+                "--strict",
+                "--inject-faults", "exception@3,crash@7xP",
+            ]
+        )
+        assert args.retries == 1
+        assert args.task_timeout == 2.5
+        assert args.strict
+        assert args.inject_faults == "exception@3,crash@7xP"
 
 
 class TestCommands:
@@ -77,6 +96,73 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "K= 1" in out
         assert "<- chosen" in out
+
+
+SWEEP = ["sweep", "--suite", "parboil", "--methods", "silicon", "--gpus", "volta"]
+
+
+class TestSweepCommand:
+    def test_clean_sweep(self, capsys):
+        assert main(SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 8 cells" in out
+        assert "0 failed" in out
+        assert "sweep id:" in out
+
+    def test_injected_fault_yields_partial_exit(self, capsys):
+        code = main(SWEEP + ["--inject-faults", "exception@1xP", "--retries", "1"])
+        assert code == EXIT_PARTIAL
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "FaultInjectedError" in out
+        assert "2 attempts" in out
+        assert "1 failed" in out
+        assert "tip: pass --cache-dir" in out  # no cache: resume not possible
+
+    def test_faulted_sweep_resumes_from_cache(self, tmp_path, capsys):
+        code = main(
+            SWEEP
+            + [
+                "--cache-dir", str(tmp_path),
+                "--inject-faults", "crash@0xP",
+                "--retries", "0",
+            ]
+        )
+        assert code == EXIT_PARTIAL
+        out = capsys.readouterr().out
+        assert "resume: re-run this command with the same --cache-dir" in out
+        assert "manifest:" in out
+        assert len(list(tmp_path.glob("manifests/*.json"))) == 1
+        # Second invocation, no faults: loads the 7 completed cells from
+        # cache, recomputes only the quarantined one, exits clean.
+        assert main(SWEEP + ["--cache-dir", str(tmp_path)]) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_strict_fails_fast_with_clean_exit(self, capsys):
+        code = main(
+            SWEEP + ["--strict", "--inject-faults", "exception@0xP", "--retries", "0"]
+        )
+        assert code == 1
+        assert "sweep failed (strict)" in capsys.readouterr().err
+
+
+class TestInterrupt:
+    def test_interrupt_exits_130_with_tip(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli, "_cmd_list", lambda args: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        assert main(["list"]) == EXIT_INTERRUPTED
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "tip: pass --cache-dir" in err
+
+    def test_interrupt_prints_resume_hint_when_cached(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.setattr(
+            cli, "_cmd_list", lambda args: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        assert main(["list", "--cache-dir", str(tmp_path)]) == EXIT_INTERRUPTED
+        err = capsys.readouterr().err
+        assert f"--cache-dir {tmp_path}" in err
 
     def test_trace_plan(self, capsys):
         assert main(["trace-plan", "gauss_208"]) == 0

@@ -14,8 +14,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import EvaluationHarness
-from repro.sim.parallel import ProcessPoolBackend
+from repro.analysis import CellFailure, EvaluationHarness
+from repro.sim.faults import FaultPlan
+from repro.sim.parallel import FaultPolicy, ProcessPoolBackend
 
 WORKLOADS = ("fdtd2d", "cutcp", "histo")
 
@@ -62,3 +63,45 @@ def test_full_runs_are_deterministic():
     second = EvaluationHarness().evaluation("fdtd2d")
     for method in ("silicon", "full_sim", "pka_sim", "first_1b"):
         assert getattr(first, method)() == getattr(second, method)(), method
+
+
+# -- determinism under injected faults ---------------------------------------
+
+FAULT_CELLS = [
+    (workload, "silicon", generation)
+    for workload in WORKLOADS
+    for generation in ("volta", "turing", "ampere")
+]
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_faulted_then_resumed_sweep_matches_unfaulted_serial(seed, tmp_path):
+    """Property: under any seeded fault plan, a faulted sweep produces
+    results equal to an unfaulted serial sweep on every non-quarantined
+    cell, quarantines exactly the persistent faults, and — resumed from
+    its checkpoint cache — converges to the unfaulted sweep entirely."""
+    clean = EvaluationHarness().evaluate_cells(FAULT_CELLS)
+    assert all(result is not None for result in clean)
+
+    plan = FaultPlan.seeded(seed, len(FAULT_CELLS), kinds=("exception", "crash"))
+    policy = FaultPolicy(max_retries=1, backoff_base_seconds=0.0)
+    faulted = EvaluationHarness(cache_dir=tmp_path, fault_policy=policy)
+    results = faulted.evaluate_cells(FAULT_CELLS, fault_plan=plan)
+
+    quarantined = {
+        index
+        for index, result in enumerate(results)
+        if isinstance(result, CellFailure)
+    }
+    # Transient faults (one poisoned attempt, retry budget 1) recover;
+    # persistent faults and nothing else are quarantined.
+    assert quarantined == {
+        fault.task_index for fault in plan.faults if fault.persistent
+    }
+    for index, (result, reference) in enumerate(zip(results, clean)):
+        if index not in quarantined:
+            assert result == reference  # bit-identical, not approximate
+
+    resumed = EvaluationHarness(cache_dir=tmp_path).evaluate_cells(FAULT_CELLS)
+    assert resumed == clean
