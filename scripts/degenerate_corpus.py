@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Generate a degenerate trace corpus for input-validation CI.
+
+Writes three ``.pkatrace`` files into the target directory:
+
+``single_kernel.pkatrace``
+    A one-launch app (exercises K=1 clustering and the constant-matrix
+    feature path downstream).  Structurally clean: must validate OK.
+``constant_counters.pkatrace``
+    Many launches of one identical kernel, so every derived counter
+    column is constant (zero variance).  Also structurally clean.
+``nan_counters.pkatrace``
+    An app whose instruction-mix counts contain NaN — the poison that
+    sails through range checks (NaN fails every comparison) and must be
+    caught by the validation layer: ``pka validate --traces`` exits 1 on
+    it in strict mode and 0 with ``--lenient``.
+
+Usage: ``python scripts/degenerate_corpus.py OUTPUT_DIR``
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.gpu.kernels import InstructionMix, KernelLaunch, KernelSpec
+from repro.traces import write_trace
+
+
+def _spec(name: str, mix: InstructionMix) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        threads_per_block=128,
+        regs_per_thread=32,
+        shared_mem_per_block=0,
+        mix=mix,
+    )
+
+
+def build_corpus(directory: str | Path) -> list[Path]:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    clean_mix = InstructionMix(
+        int_ops=40.0, fp_ops=60.0, global_loads=20.0, global_stores=10.0
+    )
+    # NaN passes InstructionMix's range checks vacuously, which is the
+    # whole point: only the validation layer can see it.
+    nan_mix = InstructionMix(int_ops=5.0, fp_ops=float("nan"), global_loads=20.0)
+
+    written = []
+    written.append(
+        write_trace(
+            directory / "single_kernel.pkatrace",
+            "single_kernel",
+            [KernelLaunch(spec=_spec("only", clean_mix), grid_blocks=64, launch_id=0)],
+        )
+    )
+    written.append(
+        write_trace(
+            directory / "constant_counters.pkatrace",
+            "constant_counters",
+            [
+                KernelLaunch(
+                    spec=_spec("same", clean_mix), grid_blocks=64, launch_id=i
+                )
+                for i in range(12)
+            ],
+        )
+    )
+    written.append(
+        write_trace(
+            directory / "nan_counters.pkatrace",
+            "nan_counters",
+            [
+                KernelLaunch(
+                    spec=_spec("poisoned", nan_mix), grid_blocks=64, launch_id=i
+                )
+                for i in range(4)
+            ],
+        )
+    )
+    return written
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in build_corpus(argv[1]):
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

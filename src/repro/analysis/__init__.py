@@ -31,6 +31,8 @@ from repro.analysis.plotting import ascii_timeseries, render_ipc_series
 from repro.analysis.report import render_report, write_report
 from repro.analysis.sweeps import ArchitectureProjection, sweep_architectures
 from repro.analysis.metrics import (
+    ABS_PCT_ERROR_CAP,
+    MetricDiagnosticWarning,
     abs_pct_error,
     format_duration,
     geomean,
@@ -46,8 +48,10 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "ABS_PCT_ERROR_CAP",
     "CacheDegradedWarning",
     "CellFailure",
+    "MetricDiagnosticWarning",
     "EvaluationHarness",
     "IPCSeries",
     "MethodAggregate",

@@ -42,7 +42,8 @@ from repro.baselines.first_n import run_first_n_instructions
 from repro.baselines.tbpoint import TBPointSelection, select_tbpoint, simulate_tbpoint
 from repro.core.config import PKAConfig
 from repro.core.pka import KernelSelection, PrincipalKernelAnalysis
-from repro.errors import ReproError, TaskFailureError
+from repro.core.validation import resolve_mode
+from repro.errors import InputValidationError, ReproError, TaskFailureError
 from repro.gpu.architectures import GENERATIONS, GPUConfig, VOLTA_V100, get_gpu
 from repro.mlkit import ClusteringCapacityError
 from repro.profiling.detailed import DetailedProfiler
@@ -370,11 +371,16 @@ class WorkloadEvaluation:
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:
+            kind = (
+                "invalid_input"
+                if isinstance(exc, InputValidationError)
+                else "exception"
+            )
             return CellFailure(
                 workload=self.spec.name,
                 method=method,
                 gpu=gpu.name if gpu is not None else None,
-                kind="exception",
+                kind=kind,
                 error_type=type(exc).__name__,
                 message=str(exc),
             )
@@ -435,11 +441,15 @@ class EvaluationHarness:
         cache_dir: str | Path | None = None,
         fault_policy: FaultPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        validation_mode: str = "strict",
     ) -> None:
         # The default instruction budget is the paper's 1-billion-
         # instruction practice scaled by the same ~7x factor as the
         # synthetic workloads' durations (DESIGN.md §4).
-        self.pka = PrincipalKernelAnalysis(config)
+        self.validation_mode = resolve_mode(validation_mode)
+        self.pka = PrincipalKernelAnalysis(
+            config, validation_mode=self.validation_mode
+        )
         self.model_error = model_error if model_error is not None else ModelErrorConfig()
         self.instruction_budget = instruction_budget
         self.backend = resolve_backend(backend)
@@ -518,6 +528,10 @@ class EvaluationHarness:
                     "config": self.pka.config,
                     "model_error": self.model_error,
                     "instruction_budget": self.instruction_budget,
+                    # Lenient sanitization can legitimately change what a
+                    # poisoned workload computes, so the two modes must
+                    # never share cache entries.
+                    "validation_mode": self.validation_mode,
                 }
             )
         return self._context_fingerprint
@@ -606,6 +620,7 @@ class EvaluationHarness:
                     self.model_error,
                     self.instruction_budget,
                     cache_root,
+                    self.validation_mode,
                     cell,
                 )
                 for cell in normalized
@@ -634,11 +649,17 @@ class EvaluationHarness:
                 )
                 results.append(outcome.value)
                 continue
+            kind = outcome.failure.kind
+            if kind == "exception" and outcome.failure.error_type in (
+                "InputValidationError",
+                "NonFiniteInputError",
+            ):
+                kind = "invalid_input"
             failure = CellFailure(
                 workload=workload,
                 method=method,
                 gpu=gpu.name if gpu is not None else None,
-                kind=outcome.failure.kind,
+                kind=kind,
                 error_type=outcome.failure.error_type,
                 message=outcome.failure.message,
                 attempts=outcome.failure.attempts,
@@ -672,6 +693,11 @@ class EvaluationHarness:
             "completed": [label for label in labels if label not in failed_labels],
             "quarantined": sorted(failed_labels),
             "failures": [failure.to_record() for failure in failures],
+            # Cache-side integrity events observed by *this process* so
+            # far: entries moved to <cache>/quarantine/ plus refused
+            # schema stamps (workers record their own in their caches).
+            "cache_quarantined": list(self.run_cache.quarantine_log),
+            "cache_schema_mismatches": self.run_cache.schema_mismatches,
         }
         self.last_manifest = manifest
         self.run_cache.put_manifest(sweep_id, manifest)
@@ -684,9 +710,9 @@ _WORKER_HARNESSES: dict[tuple, EvaluationHarness] = {}
 
 def _evaluate_cell_task(payload: tuple):
     """Worker: compute one evaluation cell with a process-local harness."""
-    config, model_error, instruction_budget, cache_root, cell = payload
+    config, model_error, instruction_budget, cache_root, mode, cell = payload
     workload, method, gpu = cell
-    key = (config, model_error, instruction_budget, cache_root)
+    key = (config, model_error, instruction_budget, cache_root, mode)
     harness = _WORKER_HARNESSES.get(key)
     if harness is None:
         harness = EvaluationHarness(
@@ -694,6 +720,7 @@ def _evaluate_cell_task(payload: tuple):
             model_error,
             instruction_budget,
             cache_dir=cache_root,
+            validation_mode=mode,
         )
         _WORKER_HARNESSES[key] = harness
     return harness.evaluation(workload).compute_cell(method, gpu)

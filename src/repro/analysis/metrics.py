@@ -8,11 +8,15 @@ studies.
 
 from __future__ import annotations
 
+import math
+import warnings
 from collections.abc import Iterable
 
 import numpy as np
 
 __all__ = [
+    "MetricDiagnosticWarning",
+    "ABS_PCT_ERROR_CAP",
     "abs_pct_error",
     "geomean",
     "mean",
@@ -22,10 +26,44 @@ __all__ = [
 ]
 
 
+class MetricDiagnosticWarning(UserWarning):
+    """A metric received degenerate inputs and returned a capped value."""
+
+
+#: Error reported when the reference is zero (or an input is non-finite)
+#: but the estimate is not: the symmetric-MAPE ceiling.  A defined, finite
+#: cap keeps downstream means/tables meaningful where ``inf`` would poison
+#: every aggregate it touched.
+ABS_PCT_ERROR_CAP = 200.0
+
+
 def abs_pct_error(estimate: float, reference: float) -> float:
-    """Absolute percentage error of ``estimate`` versus ``reference``."""
+    """Absolute percentage error of ``estimate`` versus ``reference``.
+
+    A zero-cycle (or otherwise zero) reference makes the ratio undefined;
+    instead of returning ``inf`` — which would silently poison any mean or
+    geomean built on top — this returns the symmetric-MAPE cap
+    :data:`ABS_PCT_ERROR_CAP` and emits a :class:`MetricDiagnosticWarning`.
+    Non-finite inputs get the same treatment.
+    """
+    if not (math.isfinite(estimate) and math.isfinite(reference)):
+        warnings.warn(
+            f"abs_pct_error got non-finite input (estimate={estimate!r}, "
+            f"reference={reference!r}); returning the {ABS_PCT_ERROR_CAP}% cap",
+            MetricDiagnosticWarning,
+            stacklevel=2,
+        )
+        return ABS_PCT_ERROR_CAP
     if reference == 0:
-        return 0.0 if estimate == 0 else float("inf")
+        if estimate == 0:
+            return 0.0
+        warnings.warn(
+            f"abs_pct_error against a zero reference (estimate={estimate!r}); "
+            f"returning the {ABS_PCT_ERROR_CAP}% cap instead of inf",
+            MetricDiagnosticWarning,
+            stacklevel=2,
+        )
+        return ABS_PCT_ERROR_CAP
     return abs(estimate - reference) / abs(reference) * 100.0
 
 

@@ -192,8 +192,11 @@ def read_selection(path: str | Path) -> KernelSelection:
 RUN_FORMAT_VERSION = 1
 
 #: Bump when a change alters what any cached run would contain without
-#: changing the package version (the digest salts on both).
-CACHE_SCHEMA_VERSION = 1
+#: changing the package version (the digest salts on both).  Version 2
+#: added the per-entry integrity envelope (schema stamp + payload
+#: checksum); pre-PR-3 entries live at version-1 digests and are simply
+#: never looked up again.
+CACHE_SCHEMA_VERSION = 2
 
 
 def dump_run(result: AppRunResult) -> str:
@@ -352,6 +355,9 @@ class NullRunCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
+        self.schema_mismatches = 0
+        self.quarantine_log: list[dict] = []
 
     def get_run(self, digest: str) -> AppRunResult | None:
         return None
@@ -380,10 +386,15 @@ class RunCache:
 
     Entries live at ``<root>/<digest[:2]>/<digest>.json`` and are written
     atomically (temp file + rename), so concurrent processes sharing one
-    cache directory can only ever observe complete entries.  A corrupted
-    or truncated entry — a killed writer on a non-atomic filesystem, a
-    stray editor — is treated as a miss and deleted; the caller
-    recomputes and rewrites it.
+    cache directory can only ever observe complete entries.  Every entry
+    carries an integrity envelope — a schema-version stamp plus a sha256
+    checksum of its payload — that is verified on read.  A corrupted or
+    truncated entry — a killed writer on a non-atomic filesystem, a
+    stray editor, bit rot — is treated as a miss and **quarantined**
+    (moved to ``<root>/quarantine/`` and recorded in
+    :attr:`quarantine_log`); the caller recomputes and rewrites it.  An
+    entry stamped with a different schema version is refused and simply
+    recomputed.
 
     A cache that cannot *write* — read-only directory, full disk,
     vanished mount — must not abort the sweep that was trying to
@@ -402,6 +413,12 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
+        self.schema_mismatches = 0
+        #: One ``{"digest", "reason"}`` record per quarantined entry, in
+        #: discovery order; ``evaluate_cells`` copies these into the sweep
+        #: manifest so operators can see what bit-rotted.
+        self.quarantine_log: list[dict] = []
         self.degraded = False
         self._memory: dict[str, dict] = {}
         try:
@@ -424,6 +441,40 @@ class RunCache:
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
+    def _quarantine_path(self, digest: str) -> Path:
+        return self.root / "quarantine" / f"{digest}.json"
+
+    def quarantine_entry(self, digest: str, reason: str) -> None:
+        """Move a bad entry aside (never delete evidence) and record why.
+
+        Quarantined files land under ``<root>/quarantine/`` so an operator
+        can inspect what bit-rotted; the caller treats the lookup as a
+        miss and recomputes.
+        """
+        path = self._path(digest)
+        destination = self._quarantine_path(digest)
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            # Quarantine is best-effort; fall back to removal so the bad
+            # entry can at least never be served again.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+        self.quarantine_log.append({"digest": digest, "reason": reason})
+
+    @staticmethod
+    def _payload_checksum(payload) -> str:
+        text = (
+            payload
+            if isinstance(payload, str)
+            else json.dumps(payload, sort_keys=True)
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
     def _read(self, digest: str, kind: str):
         overlay = self._memory.get(digest)
         if overlay is not None:
@@ -435,28 +486,48 @@ class RunCache:
         path = self._path(digest)
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
-            if document.get("kind") != kind:
-                raise ReproError(
-                    f"cache entry {digest} has kind {document.get('kind')!r},"
-                    f" expected {kind!r}"
-                )
-            payload = document["payload"]
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError, ReproError):
-            # Corrupted entry: drop it and fall back to recomputation.
+        except (OSError, ValueError):
+            # Unreadable or not even JSON: a truncated writer or bit rot.
             self.misses += 1
+            self.quarantine_entry(digest, "undecodable entry document")
+            return None
+        if document.get("schema") != CACHE_SCHEMA_VERSION:
+            # A different schema is not corruption — it is an entry some
+            # other code version wrote under a colliding digest.  Refuse
+            # it and recompute (the rewrite lands at this digest).
+            self.misses += 1
+            self.schema_mismatches += 1
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
+        if document.get("kind") != kind:
+            self.misses += 1
+            self.quarantine_entry(
+                digest,
+                f"kind {document.get('kind')!r} where {kind!r} was expected",
+            )
+            return None
+        payload = document.get("payload")
+        checksum = document.get("sha256")
+        if payload is None or checksum != self._payload_checksum(payload):
+            self.misses += 1
+            self.quarantine_entry(digest, "payload checksum mismatch")
+            return None
         self.hits += 1
         return payload
 
     def _write(self, digest: str, kind: str, payload) -> None:
-        document = {"kind": kind, "payload": payload}
+        document = {
+            "kind": kind,
+            "schema": CACHE_SCHEMA_VERSION,
+            "payload": payload,
+            "sha256": self._payload_checksum(payload),
+        }
         if self.degraded:
             self._memory[digest] = document
             self.writes += 1
@@ -495,8 +566,12 @@ class RunCache:
         try:
             return load_run(payload)
         except ReproError:
+            # Checksum matched but the document does not deserialize: the
+            # *writer* was broken, not the disk.  Still quarantine it.
             self.hits -= 1
             self.misses += 1
+            self._memory.pop(digest, None)
+            self.quarantine_entry(digest, "run payload failed to deserialize")
             return None
 
     def put_run(self, digest: str, result: AppRunResult) -> None:
@@ -511,6 +586,10 @@ class RunCache:
         except ReproError:
             self.hits -= 1
             self.misses += 1
+            self._memory.pop(digest, None)
+            self.quarantine_entry(
+                digest, "selection payload failed to deserialize"
+            )
             return None
 
     def put_selection(self, digest: str, selection: KernelSelection) -> None:

@@ -20,8 +20,10 @@ Commands
     Behavioural phase decomposition of the launch sequence.
 ``pka project <workload>``
     Price the Volta selection on every known GPU.
-``pka validate [--suite S]``
-    Check the corpus's structural invariants.
+``pka validate [--suite S] [--traces DIR]``
+    Check the corpus's structural invariants, or validate ``.pkatrace``
+    files under a directory (strict exits 1 on findings; ``--lenient``
+    reports repairs and exits 0).
 ``pka sweep-k <workload>``
     PKS's K sweep: projected error per K until the 5% target.
 ``pka trace-plan <workload>``
@@ -52,6 +54,10 @@ Every command accepts the execution flags (see ``docs/API.md``,
     Chaos testing: deterministically inject failures at chosen cell
     indices, e.g. ``exception@3,crash@7x99,hang@11`` (``xN`` poisons
     the first N attempts; ``xP`` is persistent).
+``--lenient``
+    Lenient validation: degenerate inputs (NaN/inf spec or counter
+    fields) are sanitized with recorded diagnostics instead of raising
+    ``InputValidationError``.
 
 Interrupting a sweep (Ctrl-C) is safe: completed cells are already
 checkpointed in the run cache, a resume hint is printed, and the
@@ -112,6 +118,9 @@ def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
         ),
         fault_policy=policy,
         fault_plan=FaultPlan.parse(plan_text) if plan_text else None,
+        validation_mode=(
+            "lenient" if getattr(args, "lenient", False) else "strict"
+        ),
     )
 
 
@@ -235,6 +244,9 @@ def _cmd_phases(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    lenient = getattr(args, "lenient", False)
+    if getattr(args, "traces", None):
+        return _validate_traces(args.traces, lenient)
     from repro.workloads import validate_corpus
 
     report = validate_corpus(args.suite)
@@ -244,7 +256,55 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return 0
     for issue in report.issues:
         print(f"  {issue.workload}: [{issue.check}] {issue.detail}")
-    return 1
+    # Lenient callers want the diagnostics but not a failing exit unless
+    # something is unrecoverable; every corpus issue is reportable.
+    return 0 if lenient else 1
+
+
+def _validate_traces(directory: str, lenient: bool) -> int:
+    """Validate every .pkatrace file under ``directory``.
+
+    Strict (the default) exits 1 when any file carries error-severity
+    issues; ``--lenient`` reports what would be repaired and exits 0.
+    """
+    from pathlib import Path
+
+    from repro.core.validation import launch_issues, sanitize_launches
+    from repro.errors import WorkloadError
+    from repro.traces import read_trace
+
+    paths = sorted(Path(directory).glob("*.pkatrace"))
+    if not paths:
+        print(f"no .pkatrace files under {directory}")
+        return 1
+    total_errors = 0
+    for path in paths:
+        try:
+            workload, launches = read_trace(path)
+        except (OSError, WorkloadError, ValueError) as exc:
+            print(f"{path.name}: unreadable: {exc}")
+            total_errors += 1
+            continue
+        source = workload or path.stem
+        issues = launch_issues(source, launches)
+        errors = [issue for issue in issues if issue.severity == "error"]
+        if not issues:
+            print(f"{path.name}: OK ({len(launches)} launches)")
+            continue
+        total_errors += len(errors)
+        for issue in issues:
+            print(f"  {path.name}: [{issue.check}] {issue.detail}")
+        if lenient and errors:
+            _, repairs = sanitize_launches(source, launches, "lenient")
+            print(
+                f"{path.name}: lenient mode would repair "
+                f"{len(repairs)} field(s)"
+            )
+    if total_errors:
+        print(f"{total_errors} validation error(s) across {len(paths)} trace file(s)")
+        return 0 if lenient else 1
+    print(f"all {len(paths)} trace file(s) OK")
+    return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -551,6 +611,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN",
         help="chaos testing: e.g. 'exception@3,crash@7x99,hang@11'",
     )
+    common.add_argument(
+        "--lenient",
+        action="store_true",
+        help="lenient validation: sanitize degenerate inputs and record "
+        "diagnostics instead of raising InputValidationError",
+    )
 
     subparsers.add_parser(
         "list", help="list the workload corpus", parents=[common]
@@ -605,10 +671,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = subparsers.add_parser(
         "validate",
-        help="check the corpus's structural invariants",
+        help="check the corpus's structural invariants (or trace files)",
         parents=[common],
     )
     validate.add_argument("--suite", default=None)
+    validate.add_argument(
+        "--traces",
+        default=None,
+        metavar="DIR",
+        help="validate .pkatrace files in DIR instead of the built-in corpus",
+    )
 
     phases = subparsers.add_parser(
         "phases",

@@ -12,9 +12,27 @@ from repro.core.pkp import (
 )
 from repro.core.pks import KernelGroup, PKSResult, run_pks
 from repro.core.two_level import TwoLevelResult, run_two_level
+from repro.core.validation import (
+    VALIDATION_MODES,
+    ValidationIssue,
+    ValidationReport,
+    resolve_mode,
+    sanitize_counter_matrix,
+    sanitize_launches,
+    sanitize_profiles,
+    validate_gpu_config,
+)
 
 __all__ = [
     "FeaturePipeline",
+    "VALIDATION_MODES",
+    "ValidationIssue",
+    "ValidationReport",
+    "resolve_mode",
+    "sanitize_counter_matrix",
+    "sanitize_launches",
+    "sanitize_profiles",
+    "validate_gpu_config",
     "IPCStabilityMonitor",
     "KernelGroup",
     "KernelSelection",

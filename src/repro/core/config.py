@@ -9,9 +9,18 @@ and exists for the ablation benchmarks.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+
+
+def _require_finite(owner: str, **values: float) -> None:
+    """NaN fails every comparison, so range checks pass vacuously on a
+    poisoned config; reject non-finite floats explicitly."""
+    for name, value in values.items():
+        if not math.isfinite(value):
+            raise ConfigurationError(f"{owner}.{name} must be finite, got {value!r}")
 
 __all__ = ["PKSConfig", "PKPConfig", "TwoLevelConfig", "PKAConfig"]
 
@@ -55,6 +64,9 @@ class PKSConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        _require_finite(
+            "PKSConfig", target_error=self.target_error, pca_variance=self.pca_variance
+        )
         if not 0.0 < self.target_error < 1.0:
             raise ConfigurationError("target_error must be in (0, 1)")
         if self.k_min < 1 or self.k_max < self.k_min:
@@ -100,6 +112,12 @@ class PKPConfig:
     consecutive_windows: int = 3
 
     def __post_init__(self) -> None:
+        _require_finite(
+            "PKPConfig",
+            stability_threshold=self.stability_threshold,
+            rolling_window_cycles=self.rolling_window_cycles,
+            window_cycles=self.window_cycles,
+        )
         if self.stability_threshold <= 0:
             raise ConfigurationError("stability_threshold must be positive")
         if self.window_cycles <= 0:
@@ -144,6 +162,11 @@ class TwoLevelConfig:
     validation_fraction: float = 0.25
 
     def __post_init__(self) -> None:
+        _require_finite(
+            "TwoLevelConfig",
+            tractable_profiling_seconds=self.tractable_profiling_seconds,
+            validation_fraction=self.validation_fraction,
+        )
         if self.tractable_profiling_seconds <= 0:
             raise ConfigurationError("tractable_profiling_seconds must be positive")
         if self.detailed_limit < 2:

@@ -14,11 +14,18 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.validation import ValidationIssue
 from repro.errors import NotFittedError
 from repro.mlkit import PCA, StandardScaler, log_compress
-from repro.profiling.detailed import DetailedProfile
+from repro.profiling.detailed import FEATURE_NAMES, DetailedProfile
 
 __all__ = ["FeaturePipeline", "profile_feature_matrix"]
+
+
+def _feature_name(index: int) -> str:
+    if 0 <= index < len(FEATURE_NAMES):
+        return FEATURE_NAMES[index]
+    return f"col{index}"
 
 
 def profile_feature_matrix(profiles: Sequence[DetailedProfile]) -> np.ndarray:
@@ -29,16 +36,60 @@ def profile_feature_matrix(profiles: Sequence[DetailedProfile]) -> np.ndarray:
 
 
 class FeaturePipeline:
-    """log1p -> StandardScaler -> PCA, with a scikit-learn-style API."""
+    """log1p -> drop constant columns -> StandardScaler -> PCA.
+
+    Zero-variance (constant) counter columns carry no clustering signal
+    and, in the all-constant extreme, degenerate the PCA basis; the fitted
+    pipeline drops them (``dropped_feature_indices_``) and records one
+    warning-severity :class:`ValidationIssue` per dropped counter in
+    ``diagnostics``.  When *every* column is constant (e.g. a
+    single-kernel app) all columns are kept so PCA still yields its
+    one-component degenerate basis.
+    """
 
     def __init__(self, pca_variance: float = 0.95) -> None:
         self.scaler = StandardScaler()
         self.pca = PCA(n_components=pca_variance)
+        self.dropped_feature_indices_: tuple[int, ...] = ()
+        self.diagnostics: tuple[ValidationIssue, ...] = ()
+        self._keep: np.ndarray | None = None
         self._fitted = False
 
     def fit(self, counters: np.ndarray) -> "FeaturePipeline":
         compressed = log_compress(counters)
-        standardized = self.scaler.fit_transform(compressed)
+        keep = compressed.std(axis=0) > 0.0
+        if not np.any(keep):
+            keep = np.ones(compressed.shape[1], dtype=bool)
+            dropped: tuple[int, ...] = ()
+            diagnostics: list[ValidationIssue] = []
+            # A single profile is trivially constant; only warn when several
+            # profiles genuinely carry no distinguishing signal.
+            if compressed.shape[0] > 1:
+                diagnostics = [
+                    ValidationIssue(
+                        "feature_pipeline",
+                        "constant_feature_matrix",
+                        "every counter column is constant; clustering has no "
+                        "signal and PCA keeps a single degenerate component",
+                        severity="warning",
+                    )
+                ]
+        else:
+            dropped = tuple(int(i) for i in np.flatnonzero(~keep))
+            diagnostics = [
+                ValidationIssue(
+                    "feature_pipeline",
+                    "zero_variance_feature",
+                    f"counter {_feature_name(index)} is constant across all "
+                    "profiles; dropped from the clustering space",
+                    severity="warning",
+                )
+                for index in dropped
+            ]
+        self._keep = keep
+        self.dropped_feature_indices_ = dropped
+        self.diagnostics = tuple(diagnostics)
+        standardized = self.scaler.fit_transform(compressed[:, keep])
         self.pca.fit(standardized)
         self._fitted = True
         return self
@@ -46,7 +97,8 @@ class FeaturePipeline:
     def transform(self, counters: np.ndarray) -> np.ndarray:
         if not self._fitted:
             raise NotFittedError("FeaturePipeline.transform called before fit")
-        compressed = log_compress(counters)
+        assert self._keep is not None
+        compressed = log_compress(counters)[:, self._keep]
         return self.pca.transform(self.scaler.transform(compressed))
 
     def fit_transform(self, counters: np.ndarray) -> np.ndarray:

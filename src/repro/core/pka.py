@@ -22,12 +22,13 @@
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import PKAConfig
 from repro.core.pkp import project_result, run_pkp
 from repro.core.pks import PKSResult, run_pks
 from repro.core.two_level import run_two_level
+from repro.core.validation import ValidationIssue, resolve_mode, sanitize_launches
 from repro.errors import ReproError
 from repro.gpu.kernels import KernelLaunch
 from repro.profiling.detailed import DetailedProfiler
@@ -74,6 +75,9 @@ class KernelSelection:
     classifier_name: str
     classifier_accuracy: float
     profiling_seconds: float
+    #: Validation/sanitization provenance collected during characterization
+    #: (empty for clean inputs; not persisted by the run cache).
+    diagnostics: tuple[ValidationIssue, ...] = field(default_factory=tuple)
 
     @property
     def selected_count(self) -> int:
@@ -93,8 +97,14 @@ class KernelSelection:
 class PrincipalKernelAnalysis:
     """The automated PKA methodology (characterize -> select -> project)."""
 
-    def __init__(self, config: PKAConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: PKAConfig | None = None,
+        *,
+        validation_mode: str = "strict",
+    ) -> None:
         self.config = config if config is not None else PKAConfig()
+        self.validation_mode = resolve_mode(validation_mode)
 
     # ------------------------------------------------------------------
     # Phase 1: characterization on silicon.
@@ -116,6 +126,13 @@ class PrincipalKernelAnalysis:
         """
         if not launches:
             raise ReproError("cannot characterize an empty workload")
+        # Ingestion boundary: reject (strict) or repair (lenient) launches
+        # whose spec/mix fields are non-finite before anything profiles or
+        # simulates them.  The profiler-counter boundary inside run_pks is
+        # a second line of defence for counters that go bad independently.
+        launches, diagnostics = sanitize_launches(
+            workload_name, launches, self.validation_mode
+        )
         detailed_profiler = DetailedProfiler(silicon)
         light_profiler = LightweightProfiler(silicon)
         by_id = {launch.launch_id: launch for launch in launches}
@@ -125,7 +142,7 @@ class PrincipalKernelAnalysis:
 
         if full_cost <= budget:
             profiles = detailed_profiler.profile(launches)
-            pks = run_pks(profiles, self.config.pks)
+            pks = run_pks(profiles, self.config.pks, mode=self.validation_mode)
             weights = {group.group_id: group.weight for group in pks.groups}
             return self._make_selection(
                 workload_name,
@@ -138,6 +155,7 @@ class PrincipalKernelAnalysis:
                 classifier_name="none",
                 classifier_accuracy=1.0,
                 profiling_seconds=full_cost,
+                diagnostics=tuple(diagnostics) + pks.diagnostics,
             )
 
         # Two-level: detailed head, lightweight everything, learned map.
@@ -151,6 +169,7 @@ class PrincipalKernelAnalysis:
             light_all[head_count:],
             pks_config=self.config.pks,
             config=self.config.two_level,
+            mode=self.validation_mode,
         )
         profiling_seconds = (
             detailed_profiler.profiling_seconds(head)
@@ -167,6 +186,7 @@ class PrincipalKernelAnalysis:
             classifier_name=two_level.classifier_name,
             classifier_accuracy=two_level.classifier_accuracy,
             profiling_seconds=profiling_seconds,
+            diagnostics=tuple(diagnostics) + two_level.pks.diagnostics,
         )
 
     def _make_selection(

@@ -72,9 +72,10 @@ class IPCStabilityMonitor:
             return None
         values = np.asarray(self._window)
         mean = float(values.mean())
-        if mean <= 0.0:
+        if not np.isfinite(mean) or mean <= 0.0:
             return None
-        return float(values.std() / mean)
+        spread = float(values.std() / mean)
+        return spread if np.isfinite(spread) else None
 
     def observe(self, sample: WindowSample) -> bool:
         """Ingest one window sample; True stops the simulation.
@@ -87,6 +88,12 @@ class IPCStabilityMonitor:
         double-digit jitter effectively never do, which is why the paper
         sees PKP gains concentrated in the regular, long-running apps.
         """
+        if not np.isfinite(sample.ipc):
+            # A poisoned window sample must never end the simulation early;
+            # treat it as maximal instability and restart the streak.
+            self._window.clear()
+            self._quiet_streak = 0
+            return False
         self._window.append(sample.ipc)
         spread = self.relative_std()
         if spread is None or spread >= self.config.stability_threshold / 10.0:
@@ -213,6 +220,11 @@ def project_result(
             if result.warp_instructions > 0
             else 1.0
         )
+    if not np.isfinite(scale) or scale <= 0.0:
+        # A non-finite or non-positive ratio means the denominators were
+        # degenerate; projecting by anything other than identity would
+        # fabricate cycles.
+        scale = 1.0
     return PKPProjection(
         result=result,
         projected_cycles=result.cycles * scale,

@@ -11,13 +11,14 @@ paper's choice, which also minimizes tracing cost.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import PKSConfig
 from repro.core.features import FeaturePipeline, profile_feature_matrix
-from repro.errors import ReproError
+from repro.core.validation import ValidationIssue, resolve_mode, sanitize_profiles
+from repro.errors import InputValidationError, ReproError
 from repro.mlkit import KMeans
 from repro.profiling.detailed import DetailedProfile
 
@@ -62,6 +63,7 @@ class PKSResult:
     sweep_errors: tuple[float, ...]
     pipeline: FeaturePipeline
     kmeans: KMeans
+    diagnostics: tuple[ValidationIssue, ...] = field(default_factory=tuple)
 
     @property
     def selected_launch_ids(self) -> tuple[int, ...]:
@@ -97,32 +99,61 @@ class PKSResult:
 def run_pks(
     profiles: Sequence[DetailedProfile],
     config: PKSConfig | None = None,
+    *,
+    mode: str = "strict",
 ) -> PKSResult:
     """Run Principal Kernel Selection over detailed profiles.
 
     The profiles must be in chronological launch order (as profilers
     emit them); "first chronological" representative selection relies on
     it.
+
+    ``mode`` controls the counter-ingestion boundary: ``"strict"`` raises
+    :class:`~repro.errors.InputValidationError` on non-finite counters or
+    cycle readings, ``"lenient"`` imputes them and records the repairs in
+    the result's ``diagnostics``.  Should the K sweep itself degenerate
+    (numerical failure inside PCA/k-means), PKS falls back to a single
+    all-kernels group — a valid, conservative selection — rather than
+    returning garbage labels.
     """
     config = config if config is not None else PKSConfig()
+    mode = resolve_mode(mode)
     if not profiles:
         raise ReproError("PKS requires at least one detailed profile")
 
+    profiles, diagnostics = sanitize_profiles("pks", profiles, mode)
     counters = profile_feature_matrix(profiles)
     pipeline = FeaturePipeline(pca_variance=config.pca_variance)
     reduced = pipeline.fit_transform(counters)
+    diagnostics = list(diagnostics) + list(pipeline.diagnostics)
     cycles = np.asarray([profile.cycles for profile in profiles])
     actual_total = float(cycles.sum())
     rng = np.random.default_rng(config.seed)
     k_ceiling = min(config.k_max, len(profiles))
 
-    if config.k_policy == "silhouette":
-        k, labels, kmeans, sweep_errors = _sweep_by_silhouette(
-            reduced, cycles, actual_total, config, rng, k_ceiling
+    try:
+        if config.k_policy == "silhouette":
+            k, labels, kmeans, sweep_errors = _sweep_by_silhouette(
+                reduced, cycles, actual_total, config, rng, k_ceiling
+            )
+        else:
+            k, labels, kmeans, sweep_errors = _sweep_by_error(
+                reduced, cycles, actual_total, config, rng, k_ceiling
+            )
+    except InputValidationError:
+        raise
+    except (ValueError, FloatingPointError, np.linalg.LinAlgError) as exc:
+        k, labels, kmeans, sweep_errors = _single_cluster_fallback(
+            reduced, config
         )
-    else:
-        k, labels, kmeans, sweep_errors = _sweep_by_error(
-            reduced, cycles, actual_total, config, rng, k_ceiling
+        diagnostics.append(
+            ValidationIssue(
+                "pks",
+                "clustering_fallback",
+                f"K sweep degenerated ({exc!r}); fell back to a single "
+                "all-kernels group",
+                severity="warning",
+            )
         )
     groups = _build_groups(labels, profiles, reduced, kmeans, config, rng)
     projected = sum(group.representative_cycles * group.weight for group in groups)
@@ -136,7 +167,17 @@ def run_pks(
         sweep_errors=tuple(sweep_errors),
         pipeline=pipeline,
         kmeans=kmeans,
+        diagnostics=tuple(diagnostics),
     )
+
+
+def _single_cluster_fallback(
+    reduced: np.ndarray, config: PKSConfig
+) -> tuple[int, np.ndarray, KMeans, tuple[float, ...]]:
+    """A guaranteed-valid K=1 clustering for degenerate feature spaces."""
+    kmeans = KMeans(n_clusters=1, seed=config.seed)
+    labels = kmeans.fit_predict(reduced)
+    return 1, labels, kmeans, ()
 
 
 def _sweep_by_error(

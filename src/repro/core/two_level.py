@@ -85,6 +85,7 @@ def run_two_level(
     *,
     pks_config: PKSConfig | None = None,
     config: TwoLevelConfig | None = None,
+    mode: str = "strict",
 ) -> TwoLevelResult:
     """Run two-level profiling.
 
@@ -97,6 +98,8 @@ def run_two_level(
         classifier's labelled training data.
     lightweight_tail:
         Lightweight records of the remaining kernels to be mapped.
+    mode:
+        Validation mode threaded into PKS ("strict" or "lenient").
     """
     config = config if config is not None else TwoLevelConfig()
     if len(detailed_profiles) != len(lightweight_head):
@@ -104,7 +107,7 @@ def run_two_level(
             "detailed head and lightweight head must describe the same kernels"
         )
 
-    pks = run_pks(detailed_profiles, pks_config)
+    pks = run_pks(detailed_profiles, pks_config, mode=mode)
     labels = pks.labels
 
     weights: dict[int, int] = {group.group_id: 0 for group in pks.groups}
@@ -121,14 +124,38 @@ def run_two_level(
             lightweight_count=0,
         )
 
+    if len(pks.groups) == 1:
+        # A single group needs no learned mapping: every tail kernel
+        # belongs to it by construction, and training a classifier on a
+        # one-class problem is ill-posed for some of the models.
+        only_group = pks.groups[0].group_id
+        weights[only_group] += len(lightweight_tail)
+        return TwoLevelResult(
+            pks=pks,
+            group_weights=weights,
+            classifier_name="single_group",
+            classifier_accuracy=1.0,
+            detailed_count=len(detailed_profiles),
+            lightweight_count=len(lightweight_tail),
+        )
+
     features_head = light_feature_matrix(lightweight_head)
     features_tail = light_feature_matrix(lightweight_tail)
     scaler = StandardScaler()
     features_head = scaler.fit_transform(features_head)
     features_tail = scaler.transform(features_tail)
 
-    name, accuracy, model = _select_classifier(features_head, labels, config)
-    predictions = model.predict(features_tail)
+    try:
+        name, accuracy, model = _select_classifier(features_head, labels, config)
+        predictions = model.predict(features_tail)
+    except (ValueError, FloatingPointError, np.linalg.LinAlgError):
+        # Classifier training degenerated; fall back to the majority
+        # detailed-phase group — conservative, and never a crash.
+        counts = np.bincount(labels.astype(np.intp))
+        majority = int(np.argmax(counts))
+        name = "majority_fallback"
+        accuracy = float(counts[majority]) / float(len(labels))
+        predictions = np.full(len(lightweight_tail), majority, dtype=np.intp)
     for label in predictions:
         weights[int(label)] = weights.get(int(label), 0) + 1
 

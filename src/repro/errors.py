@@ -27,6 +27,30 @@ class WorkloadError(ReproError):
     """A workload specification is malformed or references unknown data."""
 
 
+class InputValidationError(ReproError, ValueError):
+    """Input rejected at an ingestion boundary under strict validation.
+
+    Carries the structured :class:`~repro.core.validation.ValidationIssue`
+    diagnostics that triggered the rejection, so callers (and the sweep
+    harness) can report *which* field of *which* record was bad instead of
+    a bare message.  Also a :class:`ValueError` so pre-existing callers
+    that guarded ingestion with ``except ValueError`` keep working.
+    """
+
+    def __init__(self, message: str, issues: tuple = ()) -> None:
+        super().__init__(message)
+        self.issues = tuple(issues)
+
+
+class NonFiniteInputError(InputValidationError):
+    """A numeric array handed to an estimator contains NaN or infinity.
+
+    Raised by the mlkit estimators (kmeans, minibatch-kmeans, hierarchical,
+    PCA, scaler) instead of letting non-finite values propagate through
+    distance computations and produce garbage clusters.
+    """
+
+
 class SimulationError(ReproError):
     """The simulator was driven into an invalid state."""
 

@@ -9,6 +9,7 @@ from the public datasheets of the respective cards.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
@@ -77,6 +78,19 @@ class GPUConfig:
     sim_cycles_per_second: float
 
     def __post_init__(self) -> None:
+        # NaN fails every comparison, so the range checks below would pass
+        # vacuously on a poisoned config; reject non-finite floats first.
+        for field_name in (
+            "issue_rate_per_sm",
+            "tensor_speedup",
+            "core_clock_ghz",
+            "dram_bandwidth_gbps",
+            "dram_capacity_gb",
+            "sim_cycles_per_second",
+        ):
+            value = getattr(self, field_name)
+            if not math.isfinite(value):
+                raise ConfigurationError(f"{field_name} must be finite, got {value!r}")
         if self.num_sms < 1:
             raise ConfigurationError("num_sms must be >= 1")
         if self.warp_size < 1:

@@ -1,0 +1,27 @@
+"""Shared input checks for the mlkit estimators.
+
+NaN poisons every distance computation silently (NaN comparisons are all
+false, so argmin/argmax return arbitrary indices) and infinities turn
+inertia and variance into garbage, so every estimator rejects non-finite
+input up front with a named error instead of producing wrong clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NonFiniteInputError
+
+__all__ = ["require_finite"]
+
+
+def require_finite(points: np.ndarray, estimator: str) -> np.ndarray:
+    """Return ``points`` as float64, raising if any entry is NaN/inf."""
+    points = np.asarray(points, dtype=np.float64)
+    if not np.isfinite(points).all():
+        bad = int(np.count_nonzero(~np.isfinite(points)))
+        raise NonFiniteInputError(
+            f"{estimator} received {bad} non-finite value(s); "
+            "sanitize the input (see repro.core.validation) before fitting"
+        )
+    return points

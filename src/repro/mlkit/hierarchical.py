@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import NotFittedError, ReproError
+from repro.mlkit._checks import require_finite
 
 __all__ = ["AgglomerativeClustering", "ClusteringCapacityError", "MergeTree"]
 
@@ -86,7 +87,7 @@ def build_merge_tree(
     Runs in O(n^2) amortized time using cached per-row minima over the
     (condensed, in-place updated) distance matrix.
     """
-    points = np.asarray(points, dtype=np.float64)
+    points = require_finite(points, "build_merge_tree")
     if points.ndim != 2:
         raise ValueError("expected a 2-D matrix")
     if linkage not in _LINKAGES:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotFittedError
+from repro.mlkit._checks import require_finite
 
 __all__ = ["KMeans"]
 
@@ -31,6 +32,11 @@ class KMeans:
         Relative centroid-movement tolerance for convergence.
     seed:
         Seed for the restart RNG; fixed by default so PKS is reproducible.
+    clamp_k:
+        When true, ``fit`` on fewer samples than clusters clamps the
+        effective cluster count to ``n_samples`` (recorded in
+        ``n_clusters_``) instead of raising — the degenerate-data-safe
+        behaviour PKS wants for single-kernel apps.
     """
 
     def __init__(
@@ -40,6 +46,7 @@ class KMeans:
         max_iter: int = 300,
         tol: float = 1e-6,
         seed: int = 0,
+        clamp_k: bool = False,
     ) -> None:
         if n_clusters < 1:
             raise ValueError("n_clusters must be >= 1")
@@ -50,20 +57,28 @@ class KMeans:
         self.max_iter = max_iter
         self.tol = tol
         self.seed = seed
+        self.clamp_k = clamp_k
         self.cluster_centers_: np.ndarray | None = None
         self.labels_: np.ndarray | None = None
         self.inertia_: float | None = None
         self.n_iter_: int = 0
+        self.n_clusters_: int = n_clusters
 
     def fit(self, points: np.ndarray) -> "KMeans":
-        points = np.asarray(points, dtype=np.float64)
+        points = require_finite(points, "KMeans.fit")
         if points.ndim != 2:
             raise ValueError("KMeans expects a 2-D matrix")
         n_samples = points.shape[0]
+        if n_samples < 1:
+            raise ValueError("KMeans needs at least one sample")
         if n_samples < self.n_clusters:
-            raise ValueError(
-                f"n_samples={n_samples} is smaller than n_clusters={self.n_clusters}"
-            )
+            if not self.clamp_k:
+                raise ValueError(
+                    f"n_samples={n_samples} is smaller than n_clusters={self.n_clusters}"
+                )
+            self.n_clusters_ = n_samples
+        else:
+            self.n_clusters_ = self.n_clusters
 
         rng = np.random.default_rng(self.seed)
         best_inertia = np.inf
@@ -85,7 +100,7 @@ class KMeans:
     def predict(self, points: np.ndarray) -> np.ndarray:
         if self.cluster_centers_ is None:
             raise NotFittedError("KMeans.predict called before fit")
-        points = np.asarray(points, dtype=np.float64)
+        points = require_finite(points, "KMeans.predict")
         return _nearest_center(points, self.cluster_centers_)[0]
 
     def _single_run(
@@ -97,7 +112,7 @@ class KMeans:
         for n_iter in range(1, self.max_iter + 1):
             labels, distances = _nearest_center(points, centers)
             new_centers = centers.copy()
-            for cluster in range(self.n_clusters):
+            for cluster in range(self.n_clusters_):
                 members = points[labels == cluster]
                 if len(members) > 0:
                     new_centers[cluster] = members.mean(axis=0)
@@ -118,11 +133,11 @@ class KMeans:
         self, points: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         n_samples = points.shape[0]
-        centers = np.empty((self.n_clusters, points.shape[1]), dtype=np.float64)
+        centers = np.empty((self.n_clusters_, points.shape[1]), dtype=np.float64)
         first = int(rng.integers(n_samples))
         centers[0] = points[first]
         closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
-        for i in range(1, self.n_clusters):
+        for i in range(1, self.n_clusters_):
             total = closest_sq.sum()
             if total <= 0.0:
                 # All remaining points coincide with an existing centre.

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotFittedError
+from repro.mlkit._checks import require_finite
 from repro.mlkit.kmeans import _nearest_center
 
 __all__ = ["MiniBatchKMeans"]
@@ -36,6 +37,10 @@ class MiniBatchKMeans:
         wins (mini-batch runs are cheap enough to afford a few).
     seed:
         Sampling/init RNG seed.
+    clamp_k:
+        When true, fitting fewer samples than clusters clamps the
+        effective cluster count to ``n_samples`` (in ``n_clusters_``)
+        instead of raising.
     """
 
     def __init__(
@@ -45,6 +50,7 @@ class MiniBatchKMeans:
         n_batches: int | None = None,
         n_init: int = 3,
         seed: int = 0,
+        clamp_k: bool = False,
     ) -> None:
         if n_clusters < 1:
             raise ValueError("n_clusters must be >= 1")
@@ -59,19 +65,27 @@ class MiniBatchKMeans:
         self.n_batches = n_batches
         self.n_init = n_init
         self.seed = seed
+        self.clamp_k = clamp_k
         self.cluster_centers_: np.ndarray | None = None
         self.labels_: np.ndarray | None = None
         self.inertia_: float | None = None
+        self.n_clusters_: int = n_clusters
 
     def fit(self, points: np.ndarray) -> "MiniBatchKMeans":
-        points = np.asarray(points, dtype=np.float64)
+        points = require_finite(points, "MiniBatchKMeans.fit")
         if points.ndim != 2:
             raise ValueError("expected a 2-D matrix")
         n_samples = points.shape[0]
+        if n_samples < 1:
+            raise ValueError("MiniBatchKMeans needs at least one sample")
         if n_samples < self.n_clusters:
-            raise ValueError(
-                f"n_samples={n_samples} below n_clusters={self.n_clusters}"
-            )
+            if not self.clamp_k:
+                raise ValueError(
+                    f"n_samples={n_samples} below n_clusters={self.n_clusters}"
+                )
+            self.n_clusters_ = n_samples
+        else:
+            self.n_clusters_ = self.n_clusters
         rng = np.random.default_rng(self.seed)
         validation = points[
             rng.integers(0, n_samples, size=min(n_samples, 8_192))
@@ -88,10 +102,33 @@ class MiniBatchKMeans:
                 best_centers = centers
 
         assert best_centers is not None
+        best_centers, labels, distances = self._reseed_empty_clusters(
+            points, best_centers
+        )
         self.cluster_centers_ = best_centers
-        self.labels_, distances = _nearest_center(points, best_centers)
+        self.labels_ = labels
         self.inertia_ = float(distances.sum())
         return self
+
+    def _reseed_empty_clusters(
+        self, points: np.ndarray, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Re-seed centres that captured no points at the farthest point.
+
+        A mini-batch run can leave a centre stranded (it only moves when a
+        batch sample lands in its cell), producing fewer effective groups
+        than requested; the standard fix — the same one full-batch Lloyd
+        uses during iteration — is to move each empty centre to the point
+        farthest from its assignment.
+        """
+        labels, distances = _nearest_center(points, centers)
+        for cluster in range(centers.shape[0]):
+            if np.any(labels == cluster):
+                continue
+            centers = centers.copy()
+            centers[cluster] = points[int(np.argmax(distances))]
+            labels, distances = _nearest_center(points, centers)
+        return centers, labels, distances
 
     def _single_run(
         self, points: np.ndarray, rng: np.random.Generator
@@ -102,12 +139,12 @@ class MiniBatchKMeans:
         seed_pool = points[
             rng.choice(
                 n_samples,
-                size=min(n_samples, 200 * self.n_clusters),
+                size=min(n_samples, 200 * self.n_clusters_),
                 replace=False,
             )
         ]
         centers = self._kmeans_plus_plus(seed_pool, rng)
-        counts = np.zeros(self.n_clusters, dtype=np.int64)
+        counts = np.zeros(self.n_clusters_, dtype=np.int64)
 
         n_batches = self.n_batches
         if n_batches is None:
@@ -116,7 +153,7 @@ class MiniBatchKMeans:
         for _ in range(n_batches):
             batch = points[rng.integers(0, n_samples, size=self.batch_size)]
             labels, _ = _nearest_center(batch, centers)
-            for cluster in range(self.n_clusters):
+            for cluster in range(self.n_clusters_):
                 members = batch[labels == cluster]
                 if len(members) == 0:
                     continue
@@ -134,17 +171,17 @@ class MiniBatchKMeans:
     def predict(self, points: np.ndarray) -> np.ndarray:
         if self.cluster_centers_ is None:
             raise NotFittedError("MiniBatchKMeans.predict called before fit")
-        points = np.asarray(points, dtype=np.float64)
+        points = require_finite(points, "MiniBatchKMeans.predict")
         return _nearest_center(points, self.cluster_centers_)[0]
 
     def _kmeans_plus_plus(
         self, points: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         n_samples = points.shape[0]
-        centers = np.empty((self.n_clusters, points.shape[1]), dtype=np.float64)
+        centers = np.empty((self.n_clusters_, points.shape[1]), dtype=np.float64)
         centers[0] = points[int(rng.integers(n_samples))]
         closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
-        for index in range(1, self.n_clusters):
+        for index in range(1, self.n_clusters_):
             total = closest_sq.sum()
             if total <= 0.0:
                 centers[index:] = centers[0]

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotFittedError
+from repro.mlkit._checks import require_finite
 
 __all__ = ["PCA"]
 
@@ -50,7 +51,7 @@ class PCA:
         return self.components_.shape[0]
 
     def fit(self, features: np.ndarray) -> "PCA":
-        features = np.asarray(features, dtype=np.float64)
+        features = require_finite(features, "PCA.fit")
         if features.ndim != 2:
             raise ValueError("PCA expects a 2-D matrix")
         n_samples, n_features = features.shape

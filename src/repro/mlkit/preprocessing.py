@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import NotFittedError
+from repro.errors import NonFiniteInputError, NotFittedError
+from repro.mlkit._checks import require_finite
 
 __all__ = ["StandardScaler", "log_compress"]
 
@@ -27,6 +28,11 @@ def log_compress(features: np.ndarray) -> np.ndarray:
     uniform transform keeps the pipeline simple.
     """
     features = np.asarray(features, dtype=np.float64)
+    if not np.isfinite(features).all():
+        raise NonFiniteInputError(
+            "log_compress received non-finite counters; sanitize the input "
+            "(see repro.core.validation) before preprocessing"
+        )
     if np.any(features < 0):
         raise ValueError("feature counters must be non-negative")
     return np.log1p(features)
@@ -47,7 +53,7 @@ class StandardScaler:
         self.scale_: np.ndarray | None = None
 
     def fit(self, features: np.ndarray) -> "StandardScaler":
-        features = _as_2d(features)
+        features = require_finite(_as_2d(features), "StandardScaler.fit")
         self.mean_ = features.mean(axis=0)
         std = features.std(axis=0)
         std[std == 0.0] = 1.0

@@ -103,8 +103,18 @@ def dumps_trace(workload_name: str, launches: Sequence[KernelLaunch]) -> str:
     return buffer.getvalue()
 
 
-def loads_trace(text: str) -> tuple[str, list[KernelLaunch]]:
-    """Parse a .pkatrace document; returns (workload_name, launches)."""
+def loads_trace(
+    text: str, *, mode: str | None = None
+) -> tuple[str, list[KernelLaunch]]:
+    """Parse a .pkatrace document; returns (workload_name, launches).
+
+    ``mode`` optionally validates the parsed launches at this ingestion
+    boundary (see :mod:`repro.core.validation`): ``"strict"`` raises
+    :class:`~repro.errors.InputValidationError` on non-finite spec/mix
+    fields, ``"lenient"`` repairs them in place (schema defaults) and
+    returns the sanitized launches.  ``None`` (the default) preserves the
+    raw records bit-for-bit, as a tracer round-trip requires.
+    """
     lines = text.splitlines()
     if not lines or not lines[0].startswith(_HEADER_PREFIX):
         raise WorkloadError("not a pkatrace document (missing header)")
@@ -124,7 +134,12 @@ def loads_trace(text: str) -> tuple[str, list[KernelLaunch]]:
         raise WorkloadError(
             f"trace declares {declared} launches but contains {len(launches)}"
         )
-    return header.get("workload", ""), launches
+    workload = header.get("workload", "")
+    if mode is not None:
+        from repro.core.validation import sanitize_launches
+
+        launches, _ = sanitize_launches(workload or "trace", launches, mode)
+    return workload, launches
 
 
 def write_trace(
@@ -136,6 +151,11 @@ def write_trace(
     return path
 
 
-def read_trace(path: str | Path) -> tuple[str, list[KernelLaunch]]:
-    """Read a .pkatrace file; returns (workload_name, launches)."""
-    return loads_trace(Path(path).read_text(encoding="utf-8"))
+def read_trace(
+    path: str | Path, *, mode: str | None = None
+) -> tuple[str, list[KernelLaunch]]:
+    """Read a .pkatrace file; returns (workload_name, launches).
+
+    ``mode`` is the optional validation mode, as in :func:`loads_trace`.
+    """
+    return loads_trace(Path(path).read_text(encoding="utf-8"), mode=mode)

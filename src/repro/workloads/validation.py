@@ -3,45 +3,25 @@
 The suite generators are plain code; a typo there silently skews every
 downstream experiment.  ``validate_corpus`` checks each workload against
 the invariants the rest of the library assumes — chronological launch
-ids, bounded grids, buildable determinism, scale sanity, quirk/metadata
-coherence — and returns structured diagnostics instead of crashing, so
-both the test suite and the ``pka`` CLI can report them.
+ids, bounded grids, launch-field finiteness, buildable determinism,
+scale sanity, quirk/metadata coherence — and returns structured
+diagnostics instead of crashing, so both the test suite and the ``pka``
+CLI can report them.
+
+The issue/report types are the shared ones from
+:mod:`repro.core.validation`, so corpus findings compose with ingestion
+diagnostics from PKS/PKA (one vocabulary, one report shape).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from repro.core.validation import ValidationIssue, ValidationReport, launch_issues
 from repro.workloads.spec import WorkloadSpec, iter_workloads
 
 __all__ = ["ValidationIssue", "ValidationReport", "validate_workload", "validate_corpus"]
 
 _MAX_GRID_BLOCKS = 60_000
 _MAX_LAUNCHES = 120_000
-
-
-@dataclass(frozen=True)
-class ValidationIssue:
-    """One violated invariant in one workload."""
-
-    workload: str
-    check: str
-    detail: str
-
-
-@dataclass(frozen=True)
-class ValidationReport:
-    """Aggregate outcome of validating a set of workloads."""
-
-    workloads_checked: int
-    issues: tuple[ValidationIssue, ...] = field(default_factory=tuple)
-
-    @property
-    def ok(self) -> bool:
-        return not self.issues
-
-    def issues_for(self, workload: str) -> list[ValidationIssue]:
-        return [issue for issue in self.issues if issue.workload == workload]
 
 
 def validate_workload(spec: WorkloadSpec) -> list[ValidationIssue]:
@@ -81,6 +61,10 @@ def validate_workload(spec: WorkloadSpec) -> list[ValidationIssue]:
             f"launches {oversized[:5]} exceed {_MAX_GRID_BLOCKS} blocks",
         )
 
+    # Shared ingestion checks: every spec/mix field must be finite.  A
+    # NaN here would sail through the simulator's arithmetic unnoticed.
+    issues.extend(launch_issues(spec.name, launches))
+
     rebuilt = spec.build()
     if len(rebuilt) != len(launches) or any(
         a.spec.signature() != b.spec.signature() or a.grid_blocks != b.grid_blocks
@@ -119,4 +103,4 @@ def validate_corpus(suite: str | None = None) -> ValidationReport:
     for spec in iter_workloads(suite):
         count += 1
         issues.extend(validate_workload(spec))
-    return ValidationReport(workloads_checked=count, issues=tuple(issues))
+    return ValidationReport(checked=count, issues=tuple(issues))

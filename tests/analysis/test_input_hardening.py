@@ -1,0 +1,267 @@
+"""End-to-end input-hardening acceptance tests (the PR's chaos scenario).
+
+A 20-app sweep containing a NaN-counter app, a single-kernel app and a
+hand-corrupted cache entry must:
+
+* complete in **lenient** mode with per-app diagnostics and bit-identical
+  results for the unaffected apps versus a clean run;
+* surface the poisoned app as a typed failure in **strict** mode;
+* quarantine the corrupted cache entry (moved aside, recorded in the
+  sweep manifest) and recompute it — no crash, no silently wrong number.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import CellFailure, EvaluationHarness
+from repro.errors import InputValidationError
+from repro.gpu import InstructionMix, KernelLaunch, KernelSpec
+from repro.workloads import spec as workloads_spec
+from repro.workloads.spec import WorkloadSpec, register
+
+SUITE = "hardening_chaos"
+N_APPS = 20
+NAN_APP = f"{SUITE}_nan"
+SINGLE_APP = f"{SUITE}_single"
+
+
+def _mix(fp_ops: float = 90.0) -> InstructionMix:
+    return InstructionMix(
+        fp_ops=fp_ops, int_ops=45.0, global_loads=12.0, global_stores=6.0
+    )
+
+
+def _spec(name: str, mix: InstructionMix, threads: int = 128) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        threads_per_block=threads,
+        regs_per_thread=32,
+        shared_mem_per_block=0,
+        mix=mix,
+    )
+
+
+def _clean_builder(variant: int):
+    def build() -> list[KernelLaunch]:
+        launches = []
+        for i in range(6):
+            # Two alternating kernel shapes so PKS has real structure.
+            mix = _mix(60.0 + 30.0 * (i % 2) + variant)
+            launches.append(
+                KernelLaunch(
+                    spec=_spec(f"k{i % 2}", mix, threads=128),
+                    grid_blocks=48 + 16 * (i % 2),
+                    launch_id=i,
+                )
+            )
+        return launches
+
+    return build
+
+
+def _nan_builder() -> list[KernelLaunch]:
+    # NaN counts pass InstructionMix construction (NaN fails every range
+    # comparison), so only the validation layer can catch this app.
+    launches = _clean_builder(0)()
+    poisoned = _spec("poisoned", InstructionMix(fp_ops=float("nan"), int_ops=5.0))
+    launches[3] = KernelLaunch(spec=poisoned, grid_blocks=48, launch_id=3)
+    return launches
+
+
+def _single_builder() -> list[KernelLaunch]:
+    return [KernelLaunch(spec=_spec("only", _mix()), grid_blocks=64, launch_id=0)]
+
+
+@pytest.fixture()
+def chaos_corpus():
+    """Register the 20-app chaos corpus; unregister on teardown."""
+    names = []
+    try:
+        for index in range(N_APPS - 2):
+            name = f"{SUITE}_clean{index:02d}"
+            register(
+                WorkloadSpec(name=name, suite=SUITE, builder=_clean_builder(index))
+            )
+            names.append(name)
+        register(WorkloadSpec(name=NAN_APP, suite=SUITE, builder=_nan_builder))
+        names.append(NAN_APP)
+        register(WorkloadSpec(name=SINGLE_APP, suite=SUITE, builder=_single_builder))
+        names.append(SINGLE_APP)
+        yield names
+    finally:
+        for name in names:
+            workloads_spec._REGISTRY.pop(name, None)
+
+
+def _cells(names):
+    return [(name, "pka_sim", None) for name in names]
+
+
+class TestLenientChaosSweep:
+    def test_lenient_sweep_completes_with_diagnostics(self, chaos_corpus, tmp_path):
+        harness = EvaluationHarness(
+            validation_mode="lenient", cache_dir=tmp_path / "cache"
+        )
+        results = harness.evaluate_cells(_cells(chaos_corpus))
+        assert len(results) == N_APPS
+        assert not any(isinstance(result, CellFailure) for result in results)
+        assert all(np.isfinite(result.total_cycles) for result in results)
+
+        # The poisoned app carries per-app provenance diagnostics...
+        poisoned_selection = harness.evaluation(NAN_APP).selection()
+        assert poisoned_selection.diagnostics
+        assert all(
+            issue.severity == "warning" for issue in poisoned_selection.diagnostics
+        )
+        assert any(
+            "non-finite" in issue.detail for issue in poisoned_selection.diagnostics
+        )
+        # ...and clean apps carry no *sanitization* notes (feature-space
+        # advisories like zero-variance counters are fine).
+        clean_selection = harness.evaluation(chaos_corpus[0]).selection()
+        assert not any(
+            issue.check.startswith("sanitized")
+            for issue in clean_selection.diagnostics
+        )
+
+    def test_single_kernel_app_selects_its_only_kernel(self, chaos_corpus):
+        harness = EvaluationHarness(validation_mode="lenient")
+        selection = harness.evaluation(SINGLE_APP).selection()
+        assert selection.pks.k == 1
+        assert selection.selected_launch_ids == (0,)
+        result = harness.evaluation(SINGLE_APP).pka_sim()
+        assert result is not None and np.isfinite(result.total_cycles)
+
+    def test_unaffected_apps_are_bit_identical_to_a_clean_run(self, chaos_corpus):
+        chaos = EvaluationHarness(validation_mode="lenient")
+        chaos_results = chaos.evaluate_cells(_cells(chaos_corpus))
+        clean_names = [
+            name for name in chaos_corpus if name not in (NAN_APP,)
+        ]
+        reference = EvaluationHarness()  # strict, no poison in sight
+        for name, result in zip(chaos_corpus, chaos_results):
+            if name == NAN_APP:
+                continue
+            expected = reference.evaluation(name).pka_sim()
+            assert result.total_cycles == expected.total_cycles, name
+            assert result.total_dram_bytes == expected.total_dram_bytes, name
+        assert len(clean_names) == N_APPS - 1
+
+
+class TestStrictChaosSweep:
+    def test_strict_surfaces_poisoned_app_as_typed_failure(self, chaos_corpus):
+        harness = EvaluationHarness(validation_mode="strict")
+        results = harness.evaluate_cells(_cells(chaos_corpus))
+        by_name = dict(zip(chaos_corpus, results))
+        failure = by_name[NAN_APP]
+        assert isinstance(failure, CellFailure)
+        assert failure.error_type == "InputValidationError"
+        assert failure.kind == "invalid_input"
+        # Every other app still completed.
+        others = [r for name, r in by_name.items() if name != NAN_APP]
+        assert not any(isinstance(r, CellFailure) for r in others)
+        # The manifest records the quarantined cell.
+        assert harness.last_manifest is not None
+        assert any(
+            NAN_APP in label for label in harness.last_manifest["quarantined"]
+        )
+
+    def test_strict_characterize_raises_the_typed_error(self, chaos_corpus):
+        harness = EvaluationHarness(validation_mode="strict")
+        with pytest.raises(InputValidationError):
+            harness.evaluation(NAN_APP).selection()
+
+
+class TestCorruptedCacheEntry:
+    def _first_entry(self, cache_root):
+        # Pick a *run* entry: warm re-sweeps hit runs directly and only
+        # read selections after a run miss, so a corrupted selection
+        # would never be touched.
+        entries = sorted(cache_root.glob("[0-9a-f][0-9a-f]/*.json"))
+        runs = [
+            path
+            for path in entries
+            if json.loads(path.read_text(encoding="utf-8")).get("kind")
+            == "app_run"
+        ]
+        assert runs
+        return runs[0]
+
+    def test_corrupt_entry_is_quarantined_and_recomputed(
+        self, chaos_corpus, tmp_path
+    ):
+        cache_root = tmp_path / "cache"
+        names = chaos_corpus[:4]
+        warm = EvaluationHarness(validation_mode="lenient", cache_dir=cache_root)
+        originals = warm.evaluate_cells(_cells(names))
+
+        # Hand-corrupt one on-disk entry (flip the payload).
+        victim = self._first_entry(cache_root)
+        document = json.loads(victim.read_text(encoding="utf-8"))
+        document["payload"] = document["payload"][:-1]
+        victim.write_text(json.dumps(document), encoding="utf-8")
+
+        fresh = EvaluationHarness(validation_mode="lenient", cache_dir=cache_root)
+        recomputed = fresh.evaluate_cells(_cells(names))
+
+        # No crash, the bad entry was moved aside and recorded...
+        assert fresh.run_cache.quarantined == 1
+        assert (cache_root / "quarantine").exists()
+        assert fresh.run_cache.quarantine_log[0]["reason"] == (
+            "payload checksum mismatch"
+        )
+        assert fresh.last_manifest["cache_quarantined"] == list(
+            fresh.run_cache.quarantine_log
+        )
+        # ...the entry was rewritten whole at its digest...
+        assert json.loads(victim.read_text(encoding="utf-8"))["sha256"]
+        # ...and every result is bit-identical to the pre-corruption run.
+        for name, before, after in zip(names, originals, recomputed):
+            assert before.total_cycles == after.total_cycles, name
+
+    def test_schema_mismatch_refuses_and_recomputes(self, chaos_corpus, tmp_path):
+        cache_root = tmp_path / "cache"
+        names = chaos_corpus[:2]
+        warm = EvaluationHarness(validation_mode="lenient", cache_dir=cache_root)
+        originals = warm.evaluate_cells(_cells(names))
+
+        victim = self._first_entry(cache_root)
+        document = json.loads(victim.read_text(encoding="utf-8"))
+        document["schema"] = 999
+        victim.write_text(json.dumps(document), encoding="utf-8")
+
+        fresh = EvaluationHarness(validation_mode="lenient", cache_dir=cache_root)
+        recomputed = fresh.evaluate_cells(_cells(names))
+        assert fresh.run_cache.schema_mismatches == 1
+        assert fresh.run_cache.quarantined == 0  # refused, not corrupt
+        for before, after in zip(originals, recomputed):
+            assert before.total_cycles == after.total_cycles
+
+    def test_quarantine_excluded_from_entry_count(self, chaos_corpus, tmp_path):
+        cache_root = tmp_path / "cache"
+        harness = EvaluationHarness(validation_mode="lenient", cache_dir=cache_root)
+        harness.evaluate_cells(_cells(chaos_corpus[:3]))
+        count_before = harness.run_cache.entry_count()
+
+        victim = self._first_entry(cache_root)
+        victim.write_text("not json at all", encoding="utf-8")
+        fresh = EvaluationHarness(validation_mode="lenient", cache_dir=cache_root)
+        fresh.evaluate_cells(_cells(chaos_corpus[:3]))
+        assert fresh.run_cache.quarantined == 1
+        # Quarantined files do not count as entries; the recompute
+        # restored the slot.
+        assert fresh.run_cache.entry_count() == count_before
+
+
+class TestValidationModeCacheIsolation:
+    def test_modes_never_share_cache_entries(self, chaos_corpus, tmp_path):
+        cache_root = tmp_path / "cache"
+        lenient = EvaluationHarness(
+            validation_mode="lenient", cache_dir=cache_root
+        )
+        strict = EvaluationHarness(validation_mode="strict", cache_dir=cache_root)
+        assert lenient.context_fingerprint() != strict.context_fingerprint()

@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import abs_pct_error, format_duration, geomean, mae, mean, speedup
+from repro.analysis.metrics import ABS_PCT_ERROR_CAP, MetricDiagnosticWarning
 
 
 class TestAbsPctError:
@@ -21,7 +22,14 @@ class TestAbsPctError:
 
     def test_zero_reference(self):
         assert abs_pct_error(0.0, 0.0) == 0.0
-        assert math.isinf(abs_pct_error(1.0, 0.0))
+        with pytest.warns(MetricDiagnosticWarning):
+            assert abs_pct_error(1.0, 0.0) == ABS_PCT_ERROR_CAP
+
+    def test_non_finite_inputs_are_capped(self):
+        with pytest.warns(MetricDiagnosticWarning):
+            assert abs_pct_error(float("nan"), 10.0) == ABS_PCT_ERROR_CAP
+        with pytest.warns(MetricDiagnosticWarning):
+            assert abs_pct_error(1.0, float("inf")) == ABS_PCT_ERROR_CAP
 
     @given(st.floats(0.1, 1e6), st.floats(0.1, 1e6))
     @settings(max_examples=50, deadline=None)

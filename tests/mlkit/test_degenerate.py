@@ -1,0 +1,185 @@
+"""Degenerate-input behaviour of every mlkit estimator.
+
+Property-style coverage of the hardening contract: NaN/inf inputs are
+rejected with a named error, k > n_samples clamps (opt-in) or raises,
+empty clusters re-seed, constant features survive, and — crucially —
+none of this changes results on clean inputs (locked in by the golden
+suites elsewhere).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NonFiniteInputError
+from repro.mlkit import (
+    KMeans,
+    MiniBatchKMeans,
+    PCA,
+    StandardScaler,
+)
+from repro.mlkit.hierarchical import build_merge_tree
+from repro.mlkit.preprocessing import log_compress
+
+
+def _blobs(n: int = 30, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    centers = np.asarray([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+    return np.concatenate(
+        [center + rng.normal(0, 0.5, size=(n // 3, 2)) for center in centers]
+    )
+
+
+def _poison(points: np.ndarray, value: float) -> np.ndarray:
+    poisoned = points.copy()
+    poisoned[len(poisoned) // 2, 0] = value
+    return poisoned
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+class TestNonFiniteRejection:
+    def test_kmeans_fit_rejects(self, bad):
+        with pytest.raises(NonFiniteInputError, match="KMeans.fit"):
+            KMeans(n_clusters=2, seed=0).fit(_poison(_blobs(), bad))
+
+    def test_minibatch_fit_rejects(self, bad):
+        with pytest.raises(NonFiniteInputError, match="MiniBatchKMeans.fit"):
+            MiniBatchKMeans(n_clusters=2, seed=0).fit(_poison(_blobs(), bad))
+
+    def test_pca_fit_rejects(self, bad):
+        with pytest.raises(NonFiniteInputError, match="PCA.fit"):
+            PCA(n_components=2).fit(_poison(_blobs(), bad))
+
+    def test_scaler_fit_rejects(self, bad):
+        with pytest.raises(NonFiniteInputError, match="StandardScaler.fit"):
+            StandardScaler().fit(_poison(_blobs(), bad))
+
+    def test_merge_tree_rejects(self, bad):
+        with pytest.raises(NonFiniteInputError, match="build_merge_tree"):
+            build_merge_tree(_poison(_blobs(9), bad))
+
+    def test_log_compress_rejects(self, bad):
+        with pytest.raises(NonFiniteInputError):
+            log_compress(_poison(np.abs(_blobs()), bad))
+
+    def test_kmeans_predict_rejects(self, bad):
+        model = KMeans(n_clusters=2, seed=0).fit(_blobs())
+        with pytest.raises(NonFiniteInputError):
+            model.predict(_poison(_blobs(), bad))
+
+
+class TestErrorTypeContract:
+    def test_named_error_is_a_value_error(self):
+        # Pre-hardening callers caught ValueError; the named error must
+        # still satisfy them.
+        assert issubclass(NonFiniteInputError, ValueError)
+
+    def test_message_counts_bad_values(self):
+        points = _blobs()
+        points[0, 0] = float("nan")
+        points[1, 1] = float("inf")
+        with pytest.raises(NonFiniteInputError, match="2 non-finite"):
+            KMeans(n_clusters=2, seed=0).fit(points)
+
+
+class TestKGreaterThanN:
+    def test_kmeans_raises_by_default(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            KMeans(n_clusters=5, seed=0).fit(np.ones((3, 2)))
+
+    def test_kmeans_clamps_when_asked(self):
+        points = np.asarray([[0.0, 0.0], [5.0, 5.0], [9.0, 9.0]])
+        model = KMeans(n_clusters=5, seed=0, clamp_k=True).fit(points)
+        assert model.n_clusters_ == 3
+        assert model.cluster_centers_.shape[0] == 3
+        assert len(set(model.labels_.tolist())) == 3
+
+    def test_minibatch_raises_by_default(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            MiniBatchKMeans(n_clusters=5, seed=0).fit(np.ones((3, 2)))
+
+    def test_minibatch_clamps_when_asked(self):
+        points = np.asarray([[0.0, 0.0], [5.0, 5.0], [9.0, 9.0]])
+        model = MiniBatchKMeans(n_clusters=5, seed=0, clamp_k=True).fit(points)
+        assert model.n_clusters_ == 3
+        assert model.cluster_centers_.shape[0] == 3
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_clamped_k_never_exceeds_samples(self, n_samples):
+        rng = np.random.default_rng(n_samples)
+        points = rng.normal(size=(n_samples, 3))
+        model = KMeans(n_clusters=8, seed=0, clamp_k=True).fit(points)
+        assert model.n_clusters_ == n_samples
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=1, seed=0).fit(np.empty((0, 2)))
+
+
+class TestEmptyClusters:
+    def test_minibatch_reseeds_empty_clusters(self):
+        # Two tight far-apart blobs plus k=4: minibatch sampling reliably
+        # starves some centers; every cluster must still end non-empty.
+        rng = np.random.default_rng(3)
+        points = np.concatenate(
+            [
+                rng.normal(0.0, 0.01, size=(40, 2)),
+                rng.normal(100.0, 0.01, size=(40, 2)),
+            ]
+        )
+        model = MiniBatchKMeans(n_clusters=4, seed=1, batch_size=8).fit(points)
+        labels, counts = np.unique(model.labels_, return_counts=True)
+        assert len(labels) == 4
+        assert counts.min() >= 1
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_no_empty_clusters_across_seeds(self, seed):
+        points = _blobs(30, seed=seed)
+        model = MiniBatchKMeans(n_clusters=3, seed=seed, batch_size=10).fit(points)
+        assert len(np.unique(model.labels_)) == 3
+
+
+class TestConstantFeatures:
+    def test_kmeans_survives_constant_matrix(self):
+        points = np.full((10, 3), 7.0)
+        model = KMeans(n_clusters=1, seed=0).fit(points)
+        assert np.allclose(model.cluster_centers_[0], 7.0)
+
+    def test_pca_survives_constant_columns(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 3))
+        points[:, 1] = 4.2  # zero-variance column
+        transformed = PCA(n_components=2).fit_transform(points)
+        assert np.isfinite(transformed).all()
+
+    def test_feature_pipeline_drops_zero_variance_columns(self):
+        from repro.core.features import FeaturePipeline
+
+        rng = np.random.default_rng(0)
+        counters = np.abs(rng.normal(size=(12, 5))) + 1.0
+        counters[:, 2] = 3.0  # constant counter
+        pipeline = FeaturePipeline(pca_variance=0.95)
+        reduced = pipeline.fit_transform(counters)
+        assert np.isfinite(reduced).all()
+        assert 2 in pipeline.dropped_feature_indices_
+        assert any(
+            issue.check == "zero_variance_feature" for issue in pipeline.diagnostics
+        )
+
+    def test_feature_pipeline_all_constant_matrix(self):
+        from repro.core.features import FeaturePipeline
+
+        counters = np.full((8, 4), 2.0)
+        pipeline = FeaturePipeline(pca_variance=0.95)
+        reduced = pipeline.fit_transform(counters)
+        assert reduced.shape[0] == 8
+        assert np.isfinite(reduced).all()
+        assert any(
+            issue.check == "constant_feature_matrix"
+            for issue in pipeline.diagnostics
+        )
