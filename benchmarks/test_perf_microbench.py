@@ -189,3 +189,69 @@ def test_parallel_prefetch_is_identical_at_scale(jobs):
     serial = Simulator(VOLTA_V100).run_full("distinct", launches)
     pooled = Simulator(VOLTA_V100, backend=jobs).run_full("distinct", launches)
     assert pooled == serial
+
+
+# ---------------------------------------------------------------------------
+# Observability overhead.
+# ---------------------------------------------------------------------------
+
+
+def test_tracing_disabled_overhead_under_5pct(record_property):
+    """Disabled tracing must cost < 5% of a real simulation's wall time.
+
+    A/B wall-clock comparisons of full runs are too noisy for CI, so this
+    bounds the overhead analytically: measure the *disabled* per-call cost
+    of ``obs_span``/``obs_count`` directly, count how many instrumentation
+    call sites one full simulation actually passes through (``records`` on
+    an enabled tracer), and require their product to stay under 5% of the
+    disabled-mode wall time.
+    """
+    from repro import obs
+    from repro.obs import obs_count, obs_span
+    from repro.workloads import get_workload
+
+    # 1. Disabled per-call cost of both entry points.
+    obs.reset()
+    calls = 200_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with obs_span("bench.span", kernels=1):
+            pass
+    span_cost = (time.perf_counter() - t0) / calls
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        obs_count("bench.counter")
+    count_cost = (time.perf_counter() - t0) / calls
+    per_call = max(span_cost, count_cost)
+
+    launches = get_workload(_BACKEND_WORKLOAD).build("volta")
+
+    # 2. Wall time of one full simulation with tracing disabled.
+    t0 = time.perf_counter()
+    disabled = Simulator(VOLTA_V100).run_full(_BACKEND_WORKLOAD, launches)
+    disabled_seconds = time.perf_counter() - t0
+
+    # 3. Instrumentation call sites the same simulation passes through.
+    obs.enable()
+    try:
+        enabled = Simulator(VOLTA_V100).run_full(_BACKEND_WORKLOAD, launches)
+        records = obs.get_tracer().records
+    finally:
+        obs.reset()
+    assert enabled == disabled  # telemetry must never change results
+    assert records > 0
+
+    overhead_seconds = records * per_call
+    ratio = overhead_seconds / max(disabled_seconds, 1e-9)
+    record_property("disabled_per_call_ns", round(per_call * 1e9, 1))
+    record_property("instrumented_records", records)
+    record_property("overhead_ratio", round(ratio, 5))
+    print(
+        f"\ntracing overhead: {per_call * 1e9:.0f} ns/call disabled, "
+        f"{records} call sites in one full sim, "
+        f"{overhead_seconds * 1e3:.2f} ms bound vs {disabled_seconds:.3f} s "
+        f"({ratio * 100:.3f}%)"
+    )
+    assert ratio < 0.05, (
+        f"disabled-mode tracing overhead bound {ratio * 100:.2f}% exceeds 5%"
+    )

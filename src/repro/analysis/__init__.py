@@ -37,6 +37,7 @@ from repro.analysis.metrics import (
     format_duration,
     geomean,
     mae,
+    mape,
     mean,
     speedup,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "inspect_workload",
     "load_selection",
     "mae",
+    "mape",
     "mean",
     "read_selection",
     "render_ipc_series",

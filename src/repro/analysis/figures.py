@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.harness import EvaluationHarness, WorkloadEvaluation
-from repro.analysis.metrics import abs_pct_error, geomean, mae, speedup
+from repro.analysis.metrics import abs_pct_error, geomean, mape, speedup
 from repro.core.config import PKPConfig
 from repro.core.pkp import make_monitor
 from repro.gpu.architectures import TURING_RTX2060, VOLTA_V100, volta_v100_half_sms
@@ -305,8 +305,10 @@ class RelativeAccuracy:
 
     @property
     def pka_only_mae(self) -> float:
-        """MAE of PKA's speedup prediction on the PKA-only workloads."""
-        return mae(self.pka_only_pka, self.pka_only_silicon)
+        """Mean absolute percentage error of PKA's speedup prediction on
+        the PKA-only workloads (the quantity the paper's figures label
+        "MAE")."""
+        return mape(self.pka_only_pka, self.pka_only_silicon)
 
     @property
     def geomeans(self) -> dict[str, float]:
@@ -320,9 +322,9 @@ class RelativeAccuracy:
     @property
     def mae_wrt_silicon(self) -> dict[str, float]:
         return {
-            "full_sim": mae(self.full_sim, self.silicon),
-            "first1b": mae(self.first1b, self.silicon),
-            "pka": mae(self.pka, self.silicon),
+            "full_sim": mape(self.full_sim, self.silicon),
+            "first1b": mape(self.first1b, self.silicon),
+            "pka": mape(self.pka, self.silicon),
         }
 
 
@@ -345,7 +347,7 @@ def figure9_volta_over_turing(harness: EvaluationHarness) -> RelativeAccuracy:
         if ratios is None:
             continue
         names.append(evaluation.spec.name)
-        for store, value in zip((sil, full, oneb, pka), ratios):
+        for store, value in zip((sil, full, oneb, pka), ratios, strict=True):
             store.append(value)
     return RelativeAccuracy(
         workloads=tuple(names),
@@ -372,7 +374,7 @@ def figure10_half_sms(harness: EvaluationHarness) -> RelativeAccuracy:
         if ratios is None:
             continue
         names.append(evaluation.spec.name)
-        for store, value in zip((sil, full, oneb, pka), ratios):
+        for store, value in zip((sil, full, oneb, pka), ratios, strict=True):
             store.append(value)
 
     only_names, only_sil, only_pka = [], [], []

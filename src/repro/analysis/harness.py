@@ -46,6 +46,7 @@ from repro.core.validation import resolve_mode
 from repro.errors import InputValidationError, ReproError, TaskFailureError
 from repro.gpu.architectures import GENERATIONS, GPUConfig, VOLTA_V100, get_gpu
 from repro.mlkit import ClusteringCapacityError
+from repro.obs import get_tracer, obs_count, obs_span
 from repro.profiling.detailed import DetailedProfiler
 from repro.sim.faults import FaultPlan
 from repro.sim.parallel import (
@@ -178,13 +179,20 @@ class WorkloadEvaluation:
         not occupy the persistent store.
         """
         if key in self._cache:
+            obs_count("harness.memo_hits")
             return self._cache[key]  # type: ignore[return-value]
-        digest = self.harness._cell_digest(self, key, gpu, generations)
-        result = self.harness.run_cache.get_run(digest)
-        if result is None:
-            result = compute()
-            if result is not None:
-                self.harness.run_cache.put_run(digest, result)
+        with obs_span(
+            "harness.cell", cell=cell_label(self.spec.name, key.method, key.gpu)
+        ) as span:
+            digest = self.harness._cell_digest(self, key, gpu, generations)
+            result = self.harness.run_cache.get_run(digest)
+            if result is None:
+                span.set(source="computed")
+                result = compute()
+                if result is not None:
+                    self.harness.run_cache.put_run(digest, result)
+            else:
+                span.set(source="disk_cache")
         self._cache[key] = result
         return result
 
@@ -211,17 +219,24 @@ class WorkloadEvaluation:
     def selection(self) -> KernelSelection:
         key = RunKey("selection")
         if key in self._cache:
+            obs_count("harness.memo_hits")
             return self._cache[key]  # type: ignore[return-value]
-        digest = self.harness._cell_digest(self, key, None, ("volta",))
-        selection = self.harness.run_cache.get_selection(digest)
-        if selection is None:
-            selection = self.harness.pka.characterize(
-                self.spec.name,
-                self.launches("volta"),
-                self.harness.silicon(VOLTA_V100),
-                scale=self.spec.scale,
-            )
-            self.harness.run_cache.put_selection(digest, selection)
+        with obs_span(
+            "harness.cell", cell=cell_label(self.spec.name, "selection", None)
+        ) as span:
+            digest = self.harness._cell_digest(self, key, None, ("volta",))
+            selection = self.harness.run_cache.get_selection(digest)
+            if selection is None:
+                span.set(source="computed")
+                selection = self.harness.pka.characterize(
+                    self.spec.name,
+                    self.launches("volta"),
+                    self.harness.silicon(VOLTA_V100),
+                    scale=self.spec.scale,
+                )
+                self.harness.run_cache.put_selection(digest, selection)
+            else:
+                span.set(source="disk_cache")
         self._cache[key] = selection
         return selection
 
@@ -601,47 +616,59 @@ class EvaluationHarness:
             name = workload if isinstance(workload, str) else workload.name
             normalized.append((name, method, gpu))
         labels = [cell_label(w, m, g) for w, m, g in normalized]
-        if self.backend.jobs == 1:
+        with obs_span(
+            "harness.evaluate_cells", cells=len(labels), jobs=self.backend.jobs
+        ):
+            if self.backend.jobs == 1:
 
-            def compute(cell):
-                workload, method, gpu = cell
-                return self.evaluation(workload).compute_cell(method, gpu)
+                def compute(cell):
+                    workload, method, gpu = cell
+                    return self.evaluation(workload).compute_cell(method, gpu)
 
-            outcomes = _run_tasks_inline(
-                compute, normalized, policy, labels, plan, strict=False
-            )
-        else:
-            cache_root = (
-                self.run_cache.root if isinstance(self.run_cache, RunCache) else None
-            )
-            payloads = [
-                (
-                    self.pka.config,
-                    self.model_error,
-                    self.instruction_budget,
-                    cache_root,
-                    self.validation_mode,
-                    cell,
-                )
-                for cell in normalized
-            ]
-            run_tasks = getattr(self.backend, "run_tasks", None)
-            if run_tasks is None:
                 outcomes = _run_tasks_inline(
-                    _evaluate_cell_task, payloads, policy, labels, plan, strict=False
+                    compute, normalized, policy, labels, plan, strict=False
                 )
             else:
-                outcomes = run_tasks(
-                    _evaluate_cell_task,
-                    payloads,
-                    policy=policy,
-                    labels=labels,
-                    fault_plan=plan,
+                cache_root = (
+                    self.run_cache.root
+                    if isinstance(self.run_cache, RunCache)
+                    else None
                 )
+                payloads = [
+                    (
+                        self.pka.config,
+                        self.model_error,
+                        self.instruction_budget,
+                        cache_root,
+                        self.validation_mode,
+                        cell,
+                    )
+                    for cell in normalized
+                ]
+                run_tasks = getattr(self.backend, "run_tasks", None)
+                if run_tasks is None:
+                    outcomes = _run_tasks_inline(
+                        _evaluate_cell_task,
+                        payloads,
+                        policy,
+                        labels,
+                        plan,
+                        strict=False,
+                    )
+                else:
+                    outcomes = run_tasks(
+                        _evaluate_cell_task,
+                        payloads,
+                        policy=policy,
+                        labels=labels,
+                        fault_plan=plan,
+                    )
         results: list = []
         failures: list[CellFailure] = []
         first_failed = None
-        for (workload, method, gpu), outcome in zip(normalized, outcomes):
+        # strict=True: a backend returning a truncated outcome list would
+        # silently drop trailing cells from results and the manifest.
+        for (workload, method, gpu), outcome in zip(normalized, outcomes, strict=True):
             if outcome.ok:
                 evaluation = self.evaluation(workload)
                 evaluation._cache.setdefault(
@@ -668,6 +695,16 @@ class EvaluationHarness:
             results.append(failure)
             if first_failed is None:
                 first_failed = outcome
+        obs_count("harness.cells", len(labels))
+        if failures:
+            obs_count("harness.cell_failures", len(failures))
+        skipped = sum(1 for result in results if result is None)
+        if skipped:
+            obs_count("harness.cells_skipped", skipped)
+        obs_count(
+            "harness.cells_completed",
+            len(results) - len(failures) - skipped,
+        )
         self._record_manifest(labels, results, failures)
         if strict and first_failed is not None:
             if first_failed.exception is not None:
@@ -699,6 +736,13 @@ class EvaluationHarness:
             "cache_quarantined": list(self.run_cache.quarantine_log),
             "cache_schema_mismatches": self.run_cache.schema_mismatches,
         }
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Snapshot the counters so the run summary written next to a
+            # --trace-out file can be reconciled against the manifest.
+            manifest["observability"] = {
+                "counters": dict(sorted(tracer.counters.items()))
+            }
         self.last_manifest = manifest
         self.run_cache.put_manifest(sweep_id, manifest)
 

@@ -2,8 +2,8 @@
 
 The paper reports absolute percentage cycle/IPC error versus silicon,
 speedups as ratios of (simulated or executed) time, geometric means over
-workloads, and mean absolute error (MAE) for the relative-accuracy case
-studies.
+workloads, and mean absolute percentage error for the relative-accuracy
+case studies (which the paper's figures label "MAE").
 """
 
 from __future__ import annotations
@@ -14,6 +14,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.obs import obs_count
+
 __all__ = [
     "MetricDiagnosticWarning",
     "ABS_PCT_ERROR_CAP",
@@ -21,6 +23,7 @@ __all__ = [
     "geomean",
     "mean",
     "mae",
+    "mape",
     "speedup",
     "format_duration",
 ]
@@ -68,19 +71,41 @@ def abs_pct_error(estimate: float, reference: float) -> float:
 
 
 def speedup(reference_cost: float, method_cost: float) -> float:
-    """How many times cheaper ``method_cost`` is than ``reference_cost``."""
+    """How many times cheaper ``method_cost`` is than ``reference_cost``.
+
+    A non-positive method cost makes the ratio undefined; this returns
+    ``inf`` but — because :func:`geomean`'s finite filter would then drop
+    the cell *silently*, skewing aggregates — it also emits a
+    :class:`MetricDiagnosticWarning` (the same contract as
+    :func:`abs_pct_error`) and bumps the ``metrics.nonpositive_cost_cells``
+    counter so the drop shows up in the run summary.
+    """
     if method_cost <= 0:
+        warnings.warn(
+            f"speedup against a non-positive method cost ({method_cost!r}); "
+            "returning inf, which geomean will drop from aggregates",
+            MetricDiagnosticWarning,
+            stacklevel=2,
+        )
+        obs_count("metrics.nonpositive_cost_cells")
         return float("inf")
     return reference_cost / method_cost
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean, ignoring non-positive/non-finite entries."""
+    """Geometric mean, ignoring non-positive/non-finite entries.
+
+    Dropped entries are tallied on the ``metrics.geomean_dropped`` counter
+    so runs that silently lose cells are visible in the run summary.
+    """
     array = np.asarray(list(values), dtype=np.float64)
-    array = array[np.isfinite(array) & (array > 0)]
-    if array.size == 0:
+    kept = array[np.isfinite(array) & (array > 0)]
+    dropped = int(array.size - kept.size)
+    if dropped:
+        obs_count("metrics.geomean_dropped", dropped)
+    if kept.size == 0:
         return 0.0
-    return float(np.exp(np.log(array).mean()))
+    return float(np.exp(np.log(kept).mean()))
 
 
 def mean(values: Iterable[float]) -> float:
@@ -92,12 +117,41 @@ def mean(values: Iterable[float]) -> float:
     return float(array.mean())
 
 
-def mae(estimates: Iterable[float], references: Iterable[float]) -> float:
-    """Mean absolute percentage error between paired sequences."""
-    pairs = list(zip(list(estimates), list(references)))
-    if not pairs:
+def mape(estimates: Iterable[float], references: Iterable[float]) -> float:
+    """Mean absolute percentage error between paired sequences.
+
+    The sequences must be the same length — a silent ``zip`` truncation
+    here would quietly average over a subset of the cells, so a mismatch
+    raises :class:`ValueError` instead.
+    """
+    estimate_list = list(estimates)
+    reference_list = list(references)
+    if len(estimate_list) != len(reference_list):
+        raise ValueError(
+            f"mape requires paired sequences of equal length: got "
+            f"{len(estimate_list)} estimates vs {len(reference_list)} references"
+        )
+    if not estimate_list:
         return 0.0
-    return mean(abs_pct_error(estimate, ref) for estimate, ref in pairs)
+    return mean(
+        abs_pct_error(estimate, ref)
+        for estimate, ref in zip(estimate_list, reference_list, strict=True)
+    )
+
+
+def mae(estimates: Iterable[float], references: Iterable[float]) -> float:
+    """Deprecated alias of :func:`mape`.
+
+    Historically misnamed: despite "mean absolute error" it always computed
+    the mean absolute *percentage* error. Use :func:`mape`.
+    """
+    warnings.warn(
+        "repro.analysis.metrics.mae is deprecated: it computes the mean "
+        "absolute *percentage* error; call mape instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return mape(estimates, references)
 
 
 _UNITS = [
@@ -115,13 +169,28 @@ _UNITS = [
 ]
 
 
+#: Abbreviated units are never pluralized ("14 h", not "14 hs").
+_ABBREVIATED_UNITS = frozenset({"h", "min", "s", "ms", "us"})
+
+
 def format_duration(seconds: float) -> str:
-    """Human-scale duration ("3.2 centuries", "14 h", "820 us")."""
+    """Human-scale duration ("3.2 centuries", "14 h", "820 us").
+
+    Spelled-out units pluralize whenever the rendered value is not exactly
+    1 ("1.5 weeks", "1.0 week"); abbreviated units never do.
+    """
     if seconds <= 0:
         return "0 s"
     for unit, size in _UNITS:
         if seconds >= size:
-            value = seconds / size
-            plural = "s" if unit not in ("h", "min", "s", "ms", "us") and value >= 2 else ""
-            return f"{value:.1f} {unit}{plural}"
+            rendered = f"{seconds / size:.1f}"
+            if unit in _ABBREVIATED_UNITS or rendered == "1.0":
+                word = unit
+            elif unit.endswith("y") and unit[-2] not in "aeiou":
+                # consonant + y pluralizes to -ies ("centuries", not
+                # "centurys"); vowel + y just takes an s ("days").
+                word = f"{unit[:-1]}ies"
+            else:
+                word = f"{unit}s"
+            return f"{rendered} {word}"
     return f"{seconds:.2g} s"

@@ -38,6 +38,7 @@ from repro.core.pks import KernelGroup, PKSResult
 from repro.errors import ReproError
 from repro.gpu.architectures import GPUConfig
 from repro.gpu.kernels import KernelLaunch
+from repro.obs import obs_count
 from repro.sim.stats import AppRunResult, KernelRecord
 from repro.traces.format import _launch_from_record, _launch_record
 
@@ -438,6 +439,21 @@ class RunCache:
 
     # -- generic entry plumbing -----------------------------------------
 
+    # Every hit/miss/write/quarantine goes through one of these helpers so
+    # the instance tallies and the tracer counters can never disagree.
+
+    def _note_hit(self, n: int = 1) -> None:
+        self.hits += n
+        obs_count("cache.hits", n)
+
+    def _note_miss(self) -> None:
+        self.misses += 1
+        obs_count("cache.misses")
+
+    def _note_write(self) -> None:
+        self.writes += 1
+        obs_count("cache.writes")
+
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
@@ -464,6 +480,7 @@ class RunCache:
             except OSError:
                 pass
         self.quarantined += 1
+        obs_count("cache.quarantined")
         self.quarantine_log.append({"digest": digest, "reason": reason})
 
     @staticmethod
@@ -479,34 +496,35 @@ class RunCache:
         overlay = self._memory.get(digest)
         if overlay is not None:
             if overlay.get("kind") != kind:
-                self.misses += 1
+                self._note_miss()
                 return None
-            self.hits += 1
+            self._note_hit()
             return overlay["payload"]
         path = self._path(digest)
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
-            self.misses += 1
+            self._note_miss()
             return None
         except (OSError, ValueError):
             # Unreadable or not even JSON: a truncated writer or bit rot.
-            self.misses += 1
+            self._note_miss()
             self.quarantine_entry(digest, "undecodable entry document")
             return None
         if document.get("schema") != CACHE_SCHEMA_VERSION:
             # A different schema is not corruption — it is an entry some
             # other code version wrote under a colliding digest.  Refuse
             # it and recompute (the rewrite lands at this digest).
-            self.misses += 1
+            self._note_miss()
             self.schema_mismatches += 1
+            obs_count("cache.schema_mismatches")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         if document.get("kind") != kind:
-            self.misses += 1
+            self._note_miss()
             self.quarantine_entry(
                 digest,
                 f"kind {document.get('kind')!r} where {kind!r} was expected",
@@ -515,10 +533,10 @@ class RunCache:
         payload = document.get("payload")
         checksum = document.get("sha256")
         if payload is None or checksum != self._payload_checksum(payload):
-            self.misses += 1
+            self._note_miss()
             self.quarantine_entry(digest, "payload checksum mismatch")
             return None
-        self.hits += 1
+        self._note_hit()
         return payload
 
     def _write(self, digest: str, kind: str, payload) -> None:
@@ -530,7 +548,7 @@ class RunCache:
         }
         if self.degraded:
             self._memory[digest] = document
-            self.writes += 1
+            self._note_write()
             return
         path = self._path(digest)
         text = json.dumps(document, sort_keys=True)
@@ -542,7 +560,7 @@ class RunCache:
         except OSError as exc:
             self._degrade(exc)
             self._memory[digest] = document
-            self.writes += 1
+            self._note_write()
             return
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as stream:
@@ -555,7 +573,7 @@ class RunCache:
                 pass
             self._degrade(exc)
             self._memory[digest] = document
-        self.writes += 1
+        self._note_write()
 
     # -- typed entry points ----------------------------------------------
 
@@ -568,8 +586,8 @@ class RunCache:
         except ReproError:
             # Checksum matched but the document does not deserialize: the
             # *writer* was broken, not the disk.  Still quarantine it.
-            self.hits -= 1
-            self.misses += 1
+            self._note_hit(-1)
+            self._note_miss()
             self._memory.pop(digest, None)
             self.quarantine_entry(digest, "run payload failed to deserialize")
             return None
@@ -584,8 +602,8 @@ class RunCache:
         try:
             return load_selection(payload)
         except ReproError:
-            self.hits -= 1
-            self.misses += 1
+            self._note_hit(-1)
+            self._note_miss()
             self._memory.pop(digest, None)
             self.quarantine_entry(
                 digest, "selection payload failed to deserialize"

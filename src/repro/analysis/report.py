@@ -140,8 +140,63 @@ def _section_case_studies(harness: EvaluationHarness, out: io.StringIO) -> None:
     out.write("\n")
 
 
+def _section_sweep_health(harness: EvaluationHarness, out: io.StringIO) -> None:
+    """Mark failed/quarantined sweep cells so the report states its own gaps.
+
+    Reads :attr:`EvaluationHarness.last_manifest`, written by
+    ``evaluate_cells``; a report rendered without a prior sweep has no
+    manifest and the section is omitted entirely.
+    """
+    manifest = getattr(harness, "last_manifest", None)
+    if not manifest:
+        return
+    total = manifest.get("total_cells", 0)
+    quarantined = manifest.get("quarantined", [])
+    out.write("## Sweep health\n\n")
+    if not quarantined:
+        out.write(f"All {total} sweep cells completed.\n\n")
+        return
+    out.write(
+        f"{len(quarantined)} of {total} sweep cells **failed** and were "
+        "quarantined; figures and tables below are computed from the "
+        "completed cells only.\n\n"
+    )
+    out.write("| failed cell | kind | error |\n|---|---|---|\n")
+    failures = {
+        record.get("label"): record for record in manifest.get("failures", [])
+    }
+    for label in quarantined:
+        record = failures.get(label, {})
+        kind = record.get("kind", "?")
+        message = str(record.get("message", "")).replace("|", "\\|")
+        out.write(f"| {label} | {kind} | {record.get('error_type', '?')}: {message} |\n")
+    out.write("\n")
+
+
+def _guarded(title: str, section, harness: EvaluationHarness, out: io.StringIO) -> None:
+    """Render one section; on any failure emit a marker instead of raising.
+
+    A sweep with failed cells can leave figure aggregations without the
+    runs they need; the report must still render the sections that *can*
+    be computed and say plainly which ones could not.
+    """
+    try:
+        section(harness, out)
+    except Exception as exc:  # noqa: BLE001 — the whole point is containment
+        out.write(f"## {title}\n\n")
+        out.write(
+            f"*Section could not be rendered: {type(exc).__name__}: {exc}*\n\n"
+        )
+
+
 def render_report(harness: EvaluationHarness | None = None) -> str:
-    """Render the full evaluation as a markdown document."""
+    """Render the full evaluation as a markdown document.
+
+    Never raises on a degraded sweep: sections whose inputs are missing
+    (e.g. because cells failed and were quarantined) render as an explicit
+    "could not be rendered" marker, and a sweep-health section lists the
+    failed cells.
+    """
     harness = harness if harness is not None else EvaluationHarness()
     out = io.StringIO()
     out.write("# Principal Kernel Analysis — evaluation report\n\n")
@@ -150,11 +205,27 @@ def render_report(harness: EvaluationHarness | None = None) -> str:
         "(see DESIGN.md for substitutions, EXPERIMENTS.md for "
         "paper-vs-measured commentary).\n\n"
     )
-    _section_figure1(harness, out)
-    _section_table3(harness, out)
-    _section_figures78(harness, out)
-    _section_case_studies(harness, out)
-    _section_table4(harness, out)
+    _guarded("Sweep health", _section_sweep_health, harness, out)
+    _guarded(
+        "Figure 1 — time landscape (selected workloads)",
+        _section_figure1,
+        harness,
+        out,
+    )
+    _guarded("Table 3 — PKS output examples", _section_table3, harness, out)
+    _guarded(
+        "Figures 7 & 8 — sampled simulation vs prior work",
+        _section_figures78,
+        harness,
+        out,
+    )
+    _guarded(
+        "Figures 9 & 10 — relative accuracy case studies",
+        _section_case_studies,
+        harness,
+        out,
+    )
+    _guarded("Table 4 — per-workload results", _section_table4, harness, out)
     return out.getvalue()
 
 

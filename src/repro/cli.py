@@ -58,6 +58,13 @@ Every command accepts the execution flags (see ``docs/API.md``,
     Lenient validation: degenerate inputs (NaN/inf spec or counter
     fields) are sanitized with recorded diagnostics instead of raising
     ``InputValidationError``.
+``--trace`` / ``--trace-out FILE``
+    Structured tracing (see docs/API.md, "Observability & tracing"):
+    ``--trace`` prints a span/counter summary table after the command;
+    ``--trace-out trace.json`` additionally writes a Chrome-trace event
+    file (open in Perfetto / ``chrome://tracing``) plus a JSON run
+    summary at ``trace.summary.json``.  ``--trace-out`` implies
+    ``--trace``.
 
 Interrupting a sweep (Ctrl-C) is safe: completed cells are already
 checkpointed in the run cache, a resume hint is printed, and the
@@ -111,7 +118,7 @@ def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
             timeout_seconds=timeout,
         )
     plan_text = getattr(args, "inject_faults", None)
-    return EvaluationHarness(
+    harness = EvaluationHarness(
         backend=getattr(args, "jobs", None),
         cache_dir=(
             None if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None)
@@ -122,6 +129,10 @@ def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
             "lenient" if getattr(args, "lenient", False) else "strict"
         ),
     )
+    # Remember the harness so --trace-out can embed the sweep manifest
+    # into the run summary after the handler returns.
+    args._harness = harness
+    return harness
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -440,7 +451,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep failed (strict): {exc}", file=sys.stderr)
         return 1
     completed = failed = skipped = 0
-    for (workload, method, gpu), result in zip(cells, results):
+    # strict=True: a truncated result list would silently drop trailing
+    # cells from the tally; a mismatch is a harness bug and must raise.
+    for (workload, method, gpu), result in zip(cells, results, strict=True):
         label = f"{workload}:{method}" + (f"@{gpu}" if gpu else "")
         if isinstance(result, CellFailure):
             failed += 1
@@ -617,6 +630,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="lenient validation: sanitize degenerate inputs and record "
         "diagnostics instead of raising InputValidationError",
     )
+    common.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable structured tracing and print a span/counter summary",
+    )
+    common.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome-trace event file to FILE and a JSON run "
+        "summary next to it (implies --trace)",
+    )
 
     subparsers.add_parser(
         "list", help="list the workload corpus", parents=[common]
@@ -735,6 +760,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit_trace(args: argparse.Namespace, trace_out: str | None) -> None:
+    """Print the span/counter summary and write --trace-out artifacts."""
+    from repro import obs
+
+    tracer = obs.get_tracer()
+    print()
+    print(obs.summary_table(tracer))
+    if trace_out is None:
+        return
+    trace_path = obs.write_chrome_trace(trace_out, tracer)
+    harness = getattr(args, "_harness", None)
+    manifest = harness.last_manifest if harness is not None else None
+    summary_path = obs.write_run_summary(
+        obs.run_summary_path(trace_out), tracer, manifest=manifest
+    )
+    print(f"trace written to {trace_path}")
+    print(f"run summary written to {summary_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -757,8 +801,17 @@ def main(argv: list[str] | None = None) -> int:
     # get_workload raises WorkloadError with a clear message for typos.
     if getattr(args, "workload", None) is not None:
         get_workload(args.workload)
+    trace_out = getattr(args, "trace_out", None)
+    tracing = bool(getattr(args, "trace", False)) or trace_out is not None
+    if tracing:
+        from repro import obs
+
+        obs.enable()
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
+        if tracing:
+            _emit_trace(args, trace_out)
+        return code
     except KeyboardInterrupt:
         # Completed cells were checkpointed into the run cache as they
         # finished, so nothing computed so far is lost.
@@ -776,6 +829,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
         return EXIT_INTERRUPTED
+    finally:
+        if tracing:
+            # main() is also called in-process (tests); don't leak an
+            # enabled tracer into the caller.
+            from repro import obs
+
+            obs.reset()
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.core.two_level import run_two_level
 from repro.core.validation import ValidationIssue, resolve_mode, sanitize_launches
 from repro.errors import ReproError
 from repro.gpu.kernels import KernelLaunch
+from repro.obs import obs_count, obs_span
 from repro.profiling.detailed import DetailedProfiler
 from repro.profiling.lightweight import LightweightProfiler
 from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
@@ -124,6 +125,21 @@ class PrincipalKernelAnalysis:
         tractability decision is made against the cost of profiling the
         *paper-sized* application (scale times more kernels).
         """
+        with obs_span(
+            "pka.characterize", workload=workload_name, launches=len(launches)
+        ):
+            return self._characterize(
+                workload_name, launches, silicon, scale=scale
+            )
+
+    def _characterize(
+        self,
+        workload_name: str,
+        launches: Sequence[KernelLaunch],
+        silicon: SiliconExecutor,
+        *,
+        scale: float,
+    ) -> KernelSelection:
         if not launches:
             raise ReproError("cannot characterize an empty workload")
         # Ingestion boundary: reject (strict) or repair (lenient) launches
@@ -234,29 +250,44 @@ class PrincipalKernelAnalysis:
         is also cut short at IPC stability; without it this is PKS-only
         sampled simulation.
         """
-        total_cycles = KERNEL_LAUNCH_OVERHEAD * selection.total_launches
-        total_bytes = 0.0
-        simulated = 0.0
-        records = []
-        for group in selection.groups:
-            if use_pkp:
-                projection = run_pkp(simulator, group.representative, self.config.pkp)
-            else:
-                projection = project_result(simulator.run_kernel(group.representative))
-            total_cycles += projection.projected_cycles * group.weight
-            total_bytes += projection.projected_dram_bytes * group.weight
-            simulated += projection.simulated_cycles
-            records.append(
-                KernelRecord(
-                    launch_id=group.representative.launch_id,
-                    name=group.representative.spec.name,
-                    cycles=projection.projected_cycles * group.weight,
-                    instructions=projection.projected_instructions * group.weight,
-                    dram_bytes=projection.projected_dram_bytes * group.weight,
-                    simulated_cycles=projection.simulated_cycles,
-                    projected=True,
+        with obs_span(
+            "pka.simulate",
+            workload=selection.workload,
+            groups=len(selection.groups),
+            use_pkp=use_pkp,
+        ):
+            total_cycles = KERNEL_LAUNCH_OVERHEAD * selection.total_launches
+            total_bytes = 0.0
+            simulated = 0.0
+            records = []
+            for group in selection.groups:
+                if use_pkp:
+                    projection = run_pkp(
+                        simulator, group.representative, self.config.pkp
+                    )
+                else:
+                    projection = project_result(
+                        simulator.run_kernel(group.representative)
+                    )
+                total_cycles += projection.projected_cycles * group.weight
+                total_bytes += projection.projected_dram_bytes * group.weight
+                simulated += projection.simulated_cycles
+                records.append(
+                    KernelRecord(
+                        launch_id=group.representative.launch_id,
+                        name=group.representative.spec.name,
+                        cycles=projection.projected_cycles * group.weight,
+                        instructions=projection.projected_instructions
+                        * group.weight,
+                        dram_bytes=projection.projected_dram_bytes * group.weight,
+                        simulated_cycles=projection.simulated_cycles,
+                        projected=True,
+                    )
                 )
-            )
+            # The tractability story in one pair of counters: cycles the
+            # simulator actually paid for versus cycles projected from them.
+            obs_count("pka.simulated_cycles", simulated)
+            obs_count("pka.projected_cycles", total_cycles)
         return AppRunResult(
             workload=selection.workload,
             gpu=simulator.gpu,

@@ -25,6 +25,7 @@ from repro.errors import SimulationError
 from repro.gpu.architectures import GPUConfig
 from repro.gpu.kernels import KernelLaunch
 from repro.gpu.occupancy import compute_occupancy
+from repro.obs import obs_count, obs_span
 from repro.sim.engine import KernelSimResult, WindowSample
 from repro.sim.simulator import Simulator
 
@@ -60,6 +61,10 @@ class IPCStabilityMonitor:
         self._quiet_streak = 0
         self.stable_at_cycle: float | None = None
         self.stop_cycle: float | None = None
+        #: Window samples ingested; a plain int (not a tracer counter) so
+        #: the per-window hot path stays untouched — run_pkp reports the
+        #: total once per kernel.
+        self.windows_observed = 0
 
     @property
     def wave_rule_active(self) -> bool:
@@ -88,6 +93,7 @@ class IPCStabilityMonitor:
         double-digit jitter effectively never do, which is why the paper
         sees PKP gains concentrated in the regular, long-running apps.
         """
+        self.windows_observed += 1
         if not np.isfinite(sample.ipc):
             # A poisoned window sample must never end the simulation early;
             # treat it as maximal instability and restart the streak.
@@ -245,13 +251,22 @@ def run_pkp(
     """Simulate one launch under PKP and project its totals."""
     config = config if config is not None else PKPConfig()
     monitor = make_monitor(launch, simulator.gpu, config)
-    result = simulator.run_kernel(
-        launch,
-        monitor=monitor,
-        collect_series=collect_series,
-        window_cycles=config.window_cycles,
-    )
-    return project_result(result, relative_std_at_stop=monitor.relative_std())
+    with obs_span("pkp.kernel", kernel=launch.spec.name) as span:
+        result = simulator.run_kernel(
+            launch,
+            monitor=monitor,
+            collect_series=collect_series,
+            window_cycles=config.window_cycles,
+        )
+        projection = project_result(
+            result, relative_std_at_stop=monitor.relative_std()
+        )
+        span.set(stopped_early=projection.stopped_early)
+    obs_count("pkp.kernels")
+    obs_count("pkp.windows_observed", monitor.windows_observed)
+    if projection.stopped_early:
+        obs_count("pkp.stopped_early")
+    return projection
 
 
 def make_monitor(

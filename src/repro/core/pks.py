@@ -20,6 +20,7 @@ from repro.core.features import FeaturePipeline, profile_feature_matrix
 from repro.core.validation import ValidationIssue, resolve_mode, sanitize_profiles
 from repro.errors import InputValidationError, ReproError
 from repro.mlkit import KMeans
+from repro.obs import obs_count, obs_span
 from repro.profiling.detailed import DetailedProfile
 
 __all__ = ["KernelGroup", "PKSResult", "run_pks"]
@@ -121,43 +122,49 @@ def run_pks(
     if not profiles:
         raise ReproError("PKS requires at least one detailed profile")
 
-    profiles, diagnostics = sanitize_profiles("pks", profiles, mode)
-    counters = profile_feature_matrix(profiles)
-    pipeline = FeaturePipeline(pca_variance=config.pca_variance)
-    reduced = pipeline.fit_transform(counters)
-    diagnostics = list(diagnostics) + list(pipeline.diagnostics)
-    cycles = np.asarray([profile.cycles for profile in profiles])
-    actual_total = float(cycles.sum())
-    rng = np.random.default_rng(config.seed)
-    k_ceiling = min(config.k_max, len(profiles))
+    with obs_span("pks.cluster", kernels=len(profiles)) as span:
+        profiles, diagnostics = sanitize_profiles("pks", profiles, mode)
+        counters = profile_feature_matrix(profiles)
+        pipeline = FeaturePipeline(pca_variance=config.pca_variance)
+        reduced = pipeline.fit_transform(counters)
+        diagnostics = list(diagnostics) + list(pipeline.diagnostics)
+        cycles = np.asarray([profile.cycles for profile in profiles])
+        actual_total = float(cycles.sum())
+        rng = np.random.default_rng(config.seed)
+        k_ceiling = min(config.k_max, len(profiles))
 
-    try:
-        if config.k_policy == "silhouette":
-            k, labels, kmeans, sweep_errors = _sweep_by_silhouette(
-                reduced, cycles, actual_total, config, rng, k_ceiling
+        try:
+            if config.k_policy == "silhouette":
+                k, labels, kmeans, sweep_errors = _sweep_by_silhouette(
+                    reduced, cycles, actual_total, config, rng, k_ceiling
+                )
+            else:
+                k, labels, kmeans, sweep_errors = _sweep_by_error(
+                    reduced, cycles, actual_total, config, rng, k_ceiling
+                )
+        except InputValidationError:
+            raise
+        except (ValueError, FloatingPointError, np.linalg.LinAlgError) as exc:
+            k, labels, kmeans, sweep_errors = _single_cluster_fallback(
+                reduced, config
             )
-        else:
-            k, labels, kmeans, sweep_errors = _sweep_by_error(
-                reduced, cycles, actual_total, config, rng, k_ceiling
+            obs_count("pks.fallbacks")
+            diagnostics.append(
+                ValidationIssue(
+                    "pks",
+                    "clustering_fallback",
+                    f"K sweep degenerated ({exc!r}); fell back to a single "
+                    "all-kernels group",
+                    severity="warning",
+                )
             )
-    except InputValidationError:
-        raise
-    except (ValueError, FloatingPointError, np.linalg.LinAlgError) as exc:
-        k, labels, kmeans, sweep_errors = _single_cluster_fallback(
-            reduced, config
+        groups = _build_groups(labels, profiles, reduced, kmeans, config, rng)
+        projected = sum(
+            group.representative_cycles * group.weight for group in groups
         )
-        diagnostics.append(
-            ValidationIssue(
-                "pks",
-                "clustering_fallback",
-                f"K sweep degenerated ({exc!r}); fell back to a single "
-                "all-kernels group",
-                severity="warning",
-            )
-        )
-    groups = _build_groups(labels, profiles, reduced, kmeans, config, rng)
-    projected = sum(group.representative_cycles * group.weight for group in groups)
-    error = abs(projected - actual_total) / actual_total if actual_total else 0.0
+        error = abs(projected - actual_total) / actual_total if actual_total else 0.0
+        span.set(k=k)
+    obs_count("pks.runs")
 
     return PKSResult(
         k=k,

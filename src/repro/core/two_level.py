@@ -20,6 +20,7 @@ from repro.core.config import PKSConfig, TwoLevelConfig
 from repro.core.pks import PKSResult, run_pks
 from repro.errors import ReproError
 from repro.mlkit import GaussianNB, MLPClassifier, SGDClassifier, StandardScaler
+from repro.obs import obs_span
 from repro.profiling.detailed import DetailedProfile
 from repro.profiling.lightweight import LightweightProfile, light_feature_matrix
 
@@ -101,6 +102,30 @@ def run_two_level(
     mode:
         Validation mode threaded into PKS ("strict" or "lenient").
     """
+    with obs_span(
+        "pka.two_level",
+        detailed=len(detailed_profiles),
+        tail=len(lightweight_tail),
+    ):
+        return _run_two_level(
+            detailed_profiles,
+            lightweight_head,
+            lightweight_tail,
+            pks_config=pks_config,
+            config=config,
+            mode=mode,
+        )
+
+
+def _run_two_level(
+    detailed_profiles: Sequence[DetailedProfile],
+    lightweight_head: Sequence[LightweightProfile],
+    lightweight_tail: Sequence[LightweightProfile],
+    *,
+    pks_config: PKSConfig | None,
+    config: TwoLevelConfig | None,
+    mode: str,
+) -> TwoLevelResult:
     config = config if config is not None else TwoLevelConfig()
     if len(detailed_profiles) != len(lightweight_head):
         raise ReproError(

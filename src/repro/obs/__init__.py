@@ -1,0 +1,50 @@
+"""repro.obs: lightweight structured tracing and run metrics.
+
+Spans + counters with near-zero overhead when disabled, an isolated
+capture mode for pool workers, and exporters for the CLI (`--trace`
+summary table, `--trace-out` Chrome-trace + JSON run summary).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    run_summary,
+    run_summary_path,
+    summary_table,
+    write_chrome_trace,
+    write_run_summary,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    ObsSnapshot,
+    SpanRecord,
+    Tracer,
+    capture_tracer,
+    disable,
+    enable,
+    get_tracer,
+    obs_count,
+    obs_span,
+    reset,
+    set_tracer,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "ObsSnapshot",
+    "SpanRecord",
+    "Tracer",
+    "capture_tracer",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "get_tracer",
+    "obs_count",
+    "obs_span",
+    "reset",
+    "run_summary",
+    "run_summary_path",
+    "set_tracer",
+    "summary_table",
+    "write_chrome_trace",
+    "write_run_summary",
+]

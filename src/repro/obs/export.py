@@ -1,0 +1,160 @@
+"""Exporters for the tracing subsystem.
+
+Three consumers, three formats:
+
+* ``summary_table`` — a human-readable `pka stats`-style table printed by
+  the CLI under ``--trace``;
+* ``run_summary`` / ``write_run_summary`` — a JSON document written next to
+  the Chrome trace (and mirrored into the sweep manifest) whose counter
+  totals reconcile with the manifest;
+* ``chrome_trace`` / ``write_chrome_trace`` — a Chrome-trace (Perfetto /
+  ``chrome://tracing``) event file for ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "run_summary",
+    "run_summary_path",
+    "summary_table",
+    "write_chrome_trace",
+    "write_run_summary",
+]
+
+RUN_SUMMARY_VERSION = 1
+
+
+def _format_us(us: float) -> str:
+    """Render a microsecond duration with a readable unit."""
+    if us >= 1_000_000.0:
+        return f"{us / 1_000_000.0:.2f} s"
+    if us >= 1_000.0:
+        return f"{us / 1_000.0:.2f} ms"
+    return f"{us:.0f} us"
+
+
+def summary_table(tracer: Tracer) -> str:
+    """Human-readable summary of spans and counters, widest column wins."""
+    lines: List[str] = []
+    stats = tracer.span_stats()
+    if stats:
+        name_width = max(len("span"), *(len(name) for name in stats))
+        lines.append(
+            f"{'span':<{name_width}}  {'count':>8}  {'total':>10}  {'mean':>10}"
+        )
+        for name in sorted(stats, key=lambda n: -stats[n]["total_us"]):
+            entry = stats[name]
+            lines.append(
+                f"{name:<{name_width}}  {int(entry['count']):>8}  "
+                f"{_format_us(entry['total_us']):>10}  {_format_us(entry['mean_us']):>10}"
+            )
+    if tracer.counters:
+        if lines:
+            lines.append("")
+        name_width = max(len("counter"), *(len(name) for name in tracer.counters))
+        lines.append(f"{'counter':<{name_width}}  {'value':>14}")
+        for name in sorted(tracer.counters):
+            value = tracer.counters[name]
+            rendered = f"{int(value)}" if value == int(value) else f"{value:.3f}"
+            lines.append(f"{name:<{name_width}}  {rendered:>14}")
+    if not lines:
+        return "(no spans or counters recorded)"
+    return "\n".join(lines)
+
+
+def run_summary(
+    tracer: Tracer, manifest: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build the JSON-ready run summary document.
+
+    When the sweep manifest is supplied its identifying fields are embedded
+    so the counter totals can be reconciled against the manifest without
+    joining files by hand.
+    """
+    stats = tracer.span_stats()
+    document: Dict[str, Any] = {
+        "version": RUN_SUMMARY_VERSION,
+        "counters": dict(sorted(tracer.counters.items())),
+        "spans": {
+            name: {
+                "count": int(entry["count"]),
+                "total_seconds": entry["total_us"] / 1e6,
+                "mean_seconds": entry["mean_us"] / 1e6,
+            }
+            for name, entry in sorted(stats.items())
+        },
+    }
+    if manifest is not None:
+        document["sweep"] = {
+            "sweep_id": manifest.get("sweep_id"),
+            "total_cells": manifest.get("total_cells"),
+            "completed": len(manifest.get("completed", [])),
+            "quarantined": len(manifest.get("quarantined", [])),
+        }
+    return document
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Build a Chrome-trace ("Trace Event Format") document.
+
+    Spans become complete ("X") events; counters travel in ``otherData``
+    so viewers that ignore it still render the timeline.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in tracer.events:
+        event: Dict[str, Any] = {
+            "name": record.name,
+            "cat": "pka",
+            "ph": "X",
+            "ts": record.start_us,
+            "dur": record.duration_us,
+            "pid": record.pid,
+            "tid": record.tid,
+        }
+        if record.args:
+            event["args"] = dict(record.args)
+        events.append(event)
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": dict(sorted(tracer.counters.items()))},
+    }
+
+
+def run_summary_path(trace_out: Union[str, Path]) -> Path:
+    """Where the run summary lands for a given ``--trace-out`` path.
+
+    ``trace.json`` -> ``trace.summary.json`` in the same directory.
+    """
+    path = Path(trace_out)
+    return path.with_name(f"{path.stem}.summary.json")
+
+
+def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Serialize the Chrome trace to ``path``; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace(tracer), indent=2), encoding="utf-8")
+    return target
+
+
+def write_run_summary(
+    path: Union[str, Path],
+    tracer: Tracer,
+    manifest: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Serialize the run summary to ``path``; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(run_summary(tracer, manifest=manifest), indent=2), encoding="utf-8"
+    )
+    return target

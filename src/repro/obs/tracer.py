@@ -1,0 +1,271 @@
+"""Structured tracing and run metrics.
+
+A deliberately tiny, dependency-free subsystem: nestable spans backed by
+the monotonic clock, named counters, and an enabled flag that keeps the
+disabled-mode cost to a single attribute check per call site.  The active
+tracer is a module-level singleton so hot paths can do
+
+    from repro.obs import obs_count, obs_span
+
+    with obs_span("pks.cluster", kernels=len(profiles)):
+        ...
+    obs_count("cache.hits")
+
+without threading a tracer object through every constructor.  Worker
+processes capture into an isolated tracer (``capture_tracer``) and ship an
+``ObsSnapshot`` back to the parent, which merges it into its own timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Tuple
+
+__all__ = [
+    "ObsSnapshot",
+    "SpanRecord",
+    "Tracer",
+    "capture_tracer",
+    "disable",
+    "enable",
+    "get_tracer",
+    "obs_count",
+    "obs_span",
+    "reset",
+    "set_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: a named interval on the monotonic timeline."""
+
+    name: str
+    start_us: float
+    duration_us: float
+    pid: int
+    tid: int
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """Picklable capture of a tracer's state, for shipping across processes."""
+
+    events: Tuple[SpanRecord, ...]
+    counters: Mapping[str, float]
+
+    def __bool__(self) -> bool:
+        return bool(self.events) or bool(self.counters)
+
+
+def _now_us() -> float:
+    """Monotonic timestamp in microseconds.
+
+    ``perf_counter_ns`` is CLOCK_MONOTONIC-backed on Linux, so timestamps
+    taken in forked workers share the parent's timebase and merge into one
+    coherent Chrome-trace timeline.
+    """
+    return time.perf_counter_ns() / 1_000.0
+
+
+class _NullSpan:
+    """The span handed out while tracing is disabled: every method a no-op.
+
+    A single cached instance keeps the disabled path allocation-free.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; records itself on the owning tracer at ``__exit__``.
+
+    Spans are recorded even when the body raises, so a trace of a failed
+    run still shows where the time went.
+    """
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = _now_us()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        end = _now_us()
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                start_us=self._start,
+                duration_us=end - self._start,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                args=self.args,
+            )
+        )
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span while it is open."""
+        self.args.update(attrs)
+
+
+class Tracer:
+    """Collects spans and counters; near-free when ``enabled`` is False."""
+
+    __slots__ = ("enabled", "events", "counters", "records", "_lock")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        #: total spans + counter updates recorded; the benchmark overhead
+        #: model multiplies this by the measured disabled per-call cost.
+        self.records = 0
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; returns a context manager (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the named counter (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+            self.records += 1
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.events.append(record)
+            self.records += 1
+
+    # -- aggregation -------------------------------------------------------
+
+    def snapshot(self) -> ObsSnapshot:
+        """Freeze the current state into a picklable snapshot."""
+        with self._lock:
+            return ObsSnapshot(events=tuple(self.events), counters=dict(self.counters))
+
+    def merge(self, snapshot: ObsSnapshot) -> None:
+        """Fold a shipped snapshot (e.g. from a pool worker) into this tracer."""
+        if not snapshot:
+            return
+        with self._lock:
+            self.events.extend(snapshot.events)
+            for name, value in snapshot.counters.items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            self.records += len(snapshot.events) + len(snapshot.counters)
+
+    def span_stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate events by span name: count / total / mean microseconds."""
+        stats: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            events = list(self.events)
+        for event in events:
+            entry = stats.setdefault(event.name, {"count": 0.0, "total_us": 0.0})
+            entry["count"] += 1.0
+            entry["total_us"] += event.duration_us
+        for entry in stats.values():
+            entry["mean_us"] = entry["total_us"] / entry["count"]
+        return stats
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+            self.counters.clear()
+            self.records = 0
+
+
+# -- module-level singleton ------------------------------------------------
+
+_ACTIVE = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the active tracer and return it."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def enable() -> Tracer:
+    """Turn tracing on (keeps any already-recorded state)."""
+    _ACTIVE.enabled = True
+    return _ACTIVE
+
+
+def disable() -> Tracer:
+    """Turn tracing off; recorded state stays readable."""
+    _ACTIVE.enabled = False
+    return _ACTIVE
+
+
+def reset() -> Tracer:
+    """Replace the active tracer with a fresh disabled one."""
+    return set_tracer(Tracer(enabled=False))
+
+
+def obs_span(name: str, **attrs: Any):
+    """Open a span on the active tracer (cached no-op when disabled)."""
+    tracer = _ACTIVE
+    if not tracer.enabled:
+        return NULL_SPAN
+    return _Span(tracer, name, attrs)
+
+
+def obs_count(name: str, value: float = 1.0) -> None:
+    """Bump a counter on the active tracer (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer.enabled:
+        tracer.count(name, value)
+
+
+@contextmanager
+def capture_tracer() -> Iterator[Tracer]:
+    """Route all recording into a fresh enabled tracer for the duration.
+
+    Used by pool workers to capture a task's spans/counters in isolation so
+    the snapshot shipped back to the parent contains exactly that task's
+    telemetry, regardless of what the inherited (forked) tracer held.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    tracer = Tracer(enabled=True)
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

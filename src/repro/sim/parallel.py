@@ -55,6 +55,7 @@ from repro.errors import (
     TaskTimeoutError,
     WorkerCrashError,
 )
+from repro.obs import ObsSnapshot, capture_tracer, get_tracer, obs_count, obs_span
 from repro.sim.faults import DEFAULT_HANG_SECONDS, FaultPlan, run_with_fault
 
 __all__ = [
@@ -196,6 +197,11 @@ class TaskOutcome:
     exception: BaseException | None = field(
         default=None, compare=False, repr=False
     )
+    #: Worker-side spans/counters captured while the task ran (pool
+    #: backend with tracing enabled only).  Excluded from equality:
+    #: telemetry must never break the bit-identical serial == parallel
+    #: comparison.
+    obs: ObsSnapshot | None = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -271,6 +277,27 @@ def _final_failure(
     )
 
 
+def _observed_pool_task(payload: tuple) -> tuple[Any, ObsSnapshot | None]:
+    """Worker: run one fault-wrapped task, optionally capturing telemetry.
+
+    ``payload`` is ``((fn, item, fault, attempt, True), label, capture)``.
+    With ``capture`` set (the parent's tracer was enabled at submission),
+    the task runs under an isolated tracer and its spans/counters are
+    shipped back alongside the value; the parent merges them into its own
+    timeline and attaches them to the :class:`TaskOutcome`.  The inner
+    payload is exactly what :func:`~repro.sim.faults.run_with_fault`
+    expects, so fault-injection semantics are untouched.
+    """
+    inner, label, capture = payload
+    if not capture:
+        return run_with_fault(inner), None
+    attempt = inner[3]
+    with capture_tracer() as tracer:
+        with tracer.span("task", label=label, attempt=attempt, worker=os.getpid()):
+            value = run_with_fault(inner)
+        return value, tracer.snapshot()
+
+
 def _run_tasks_inline(
     fn: Callable[[Any], Any],
     work: Sequence[Any],
@@ -299,7 +326,8 @@ def _run_tasks_inline(
         while True:
             started = time.monotonic()
             try:
-                value = run_with_fault((fn, item, fault, state.attempt, False))
+                with obs_span("task", label=state.label, attempt=state.attempt):
+                    value = run_with_fault((fn, item, fault, state.attempt, False))
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:
@@ -317,7 +345,9 @@ def _run_tasks_inline(
             if state.attempt < policy.max_attempts:
                 time.sleep(policy.backoff_seconds(index, state.attempt))
                 state.attempt += 1
+                obs_count("tasks.retries")
                 continue
+            obs_count("tasks.quarantined")
             state.outcome = TaskOutcome(
                 index,
                 state.label,
@@ -450,10 +480,13 @@ class ProcessPoolBackend:
             else:
                 batch, pending = pending, []
             statuses = self._run_round(fn, batch, policy, fault_plan)
-            for state, (status, payload) in zip(batch, statuses):
+            for state, (status, payload) in zip(batch, statuses, strict=True):
                 if status == "ok":
+                    value, shipped = payload
+                    if shipped is not None:
+                        get_tracer().merge(shipped)
                     state.outcome = TaskOutcome(
-                        state.index, state.label, value=payload
+                        state.index, state.label, value=value, obs=shipped
                     )
                     continue
                 if status == "suspect":
@@ -468,8 +501,10 @@ class ProcessPoolBackend:
                 if state.attempt < policy.max_attempts:
                     time.sleep(policy.backoff_seconds(state.index, state.attempt))
                     state.attempt += 1
+                    obs_count("tasks.retries")
                     pending.append(state)
                     continue
+                obs_count("tasks.quarantined")
                 state.outcome = TaskOutcome(
                     state.index,
                     state.label,
@@ -519,6 +554,7 @@ class ProcessPoolBackend:
         results: dict[int, tuple[str, Any]] = {}
         futures: dict[Future, _TaskState] = {}
         timed_out: set[Future] = set()
+        capture = get_tracer().enabled
         try:
             for state in states:
                 fault = (
@@ -527,7 +563,12 @@ class ProcessPoolBackend:
                     else None
                 )
                 future = pool.submit(
-                    run_with_fault, (fn, state.item, fault, state.attempt, True)
+                    _observed_pool_task,
+                    (
+                        (fn, state.item, fault, state.attempt, True),
+                        state.label,
+                        capture,
+                    ),
                 )
                 futures[future] = state
             timeout = policy.timeout_seconds

@@ -17,6 +17,7 @@ from collections.abc import Iterable
 
 from repro.gpu.architectures import GPUConfig
 from repro.gpu.kernels import KernelLaunch
+from repro.obs import obs_count, obs_span
 from repro.sim.memory import build_memory_profile
 from repro.sim.parallel import (
     CHUNKS_PER_WORKER,
@@ -80,30 +81,37 @@ class SiliconExecutor:
         real time comes from :attr:`AppRunResult.silicon_seconds`.
         """
         launches = list(launches)
-        if self.backend.jobs > 1:
-            self._prefetch_parallel(launches)
-        total_cycles = 0.0
-        total_insts = 0.0
-        total_bytes = 0.0
-        records: list[KernelRecord] = []
-        for launch in launches:
-            cycles = self.kernel_cycles(launch)
-            insts = launch.warp_instructions
-            dram = self.kernel_dram_bytes(launch)
-            total_cycles += cycles + KERNEL_LAUNCH_OVERHEAD
-            total_insts += insts
-            total_bytes += dram
-            if keep_records:
-                records.append(
-                    KernelRecord(
-                        launch_id=launch.launch_id,
-                        name=launch.spec.name,
-                        cycles=cycles,
-                        instructions=insts,
-                        dram_bytes=dram,
-                        simulated_cycles=0.0,
+        with obs_span(
+            "silicon.run",
+            workload=workload_name,
+            gpu=self.gpu.name,
+            launches=len(launches),
+        ):
+            if self.backend.jobs > 1:
+                self._prefetch_parallel(launches)
+            total_cycles = 0.0
+            total_insts = 0.0
+            total_bytes = 0.0
+            records: list[KernelRecord] = []
+            for launch in launches:
+                cycles = self.kernel_cycles(launch)
+                insts = launch.warp_instructions
+                dram = self.kernel_dram_bytes(launch)
+                total_cycles += cycles + KERNEL_LAUNCH_OVERHEAD
+                total_insts += insts
+                total_bytes += dram
+                if keep_records:
+                    records.append(
+                        KernelRecord(
+                            launch_id=launch.launch_id,
+                            name=launch.spec.name,
+                            cycles=cycles,
+                            instructions=insts,
+                            dram_bytes=dram,
+                            simulated_cycles=0.0,
+                        )
                     )
-                )
+            obs_count("silicon.kernels", len(launches))
         return AppRunResult(
             workload=workload_name,
             gpu=self.gpu,

@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.gpu.architectures import GPUConfig
 from repro.gpu.kernels import KernelLaunch
+from repro.obs import obs_count, obs_span
 from repro.sim.engine import (
     DEFAULT_WINDOW_CYCLES,
     KernelSimResult,
@@ -161,7 +162,9 @@ class Simulator:
         if plain:
             cached = self._full_run_cache.get(key)
             if cached is not None:
+                obs_count("sim.kernel_memo_hits")
                 return cached
+        obs_count("sim.kernels_simulated")
         result = simulate_kernel(
             launch,
             self.gpu,
@@ -197,32 +200,42 @@ class Simulator:
         ones before them.
         """
         launches = list(launches)
-        if self.backend.jobs > 1 and max_simulated_cycles is None:
-            self._prefetch_parallel(launches)
-        total_cycles = 0.0
-        total_insts = 0.0
-        total_bytes = 0.0
-        simulated = 0.0
-        records: list[KernelRecord] = []
-        for launch in launches:
-            if max_simulated_cycles is not None and simulated >= max_simulated_cycles:
-                break
-            result = self.run_kernel(launch)
-            total_cycles += result.cycles + KERNEL_LAUNCH_OVERHEAD
-            total_insts += result.warp_instructions
-            total_bytes += result.dram_bytes
-            simulated += result.cycles
-            if keep_records:
-                records.append(
-                    KernelRecord(
-                        launch_id=launch.launch_id,
-                        name=launch.spec.name,
-                        cycles=result.cycles,
-                        instructions=result.warp_instructions,
-                        dram_bytes=result.dram_bytes,
-                        simulated_cycles=result.cycles,
+        with obs_span(
+            "sim.run_full",
+            workload=workload_name,
+            gpu=self.gpu.name,
+            launches=len(launches),
+        ):
+            if self.backend.jobs > 1 and max_simulated_cycles is None:
+                self._prefetch_parallel(launches)
+            total_cycles = 0.0
+            total_insts = 0.0
+            total_bytes = 0.0
+            simulated = 0.0
+            records: list[KernelRecord] = []
+            for launch in launches:
+                if (
+                    max_simulated_cycles is not None
+                    and simulated >= max_simulated_cycles
+                ):
+                    break
+                result = self.run_kernel(launch)
+                total_cycles += result.cycles + KERNEL_LAUNCH_OVERHEAD
+                total_insts += result.warp_instructions
+                total_bytes += result.dram_bytes
+                simulated += result.cycles
+                if keep_records:
+                    records.append(
+                        KernelRecord(
+                            launch_id=launch.launch_id,
+                            name=launch.spec.name,
+                            cycles=result.cycles,
+                            instructions=result.warp_instructions,
+                            dram_bytes=result.dram_bytes,
+                            simulated_cycles=result.cycles,
+                        )
                     )
-                )
+            obs_count("sim.simulated_cycles", simulated)
         return AppRunResult(
             workload=workload_name,
             gpu=self.gpu,
@@ -249,14 +262,18 @@ class Simulator:
                 pending[key] = launch
         if len(pending) < 2:
             return
-        batches = chunked(
-            list(pending.values()), self.backend.jobs * CHUNKS_PER_WORKER
-        )
-        payloads = [
-            (self.gpu, self.model_error, self.window_cycles, tuple(batch))
-            for batch in batches
-        ]
-        for results in self.backend.map_tasks(simulate_batch_task, payloads):
-            for result in results:
-                key = (result.launch.spec.signature(), result.launch.grid_blocks)
-                self._full_run_cache[key] = result
+        with obs_span("sim.prefetch", distinct_kernels=len(pending)):
+            batches = chunked(
+                list(pending.values()), self.backend.jobs * CHUNKS_PER_WORKER
+            )
+            payloads = [
+                (self.gpu, self.model_error, self.window_cycles, tuple(batch))
+                for batch in batches
+            ]
+            for results in self.backend.map_tasks(simulate_batch_task, payloads):
+                for result in results:
+                    key = (
+                        result.launch.spec.signature(),
+                        result.launch.grid_blocks,
+                    )
+                    self._full_run_cache[key] = result

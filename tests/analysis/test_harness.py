@@ -114,3 +114,26 @@ class TestMethodOrderings:
             assert (
                 abs_pct_error(projected.total_cycles, truth.total_cycles) < 6.0
             ), name
+
+
+class TestTruncatedBackendRejected:
+    def test_truncated_outcome_list_raises(self):
+        """A backend returning fewer outcomes than cells must raise, not
+        silently drop trailing cells from results and the manifest."""
+        from repro.analysis import EvaluationHarness
+        from repro.sim.parallel import TaskOutcome
+
+        class TruncatingBackend:
+            jobs = 2
+
+            def run_tasks(self, fn, payloads, **kwargs):
+                return [
+                    TaskOutcome(index=0, label="only", value=fn(payloads[0]))
+                ]
+
+        harness = EvaluationHarness()
+        harness.backend = TruncatingBackend()
+        with pytest.raises(ValueError, match="argument 2 is shorter"):
+            harness.evaluate_cells(
+                [("fdtd2d", "silicon", None), ("cutcp", "silicon", None)]
+            )

@@ -8,7 +8,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import abs_pct_error, format_duration, geomean, mae, mean, speedup
+from repro.analysis import (
+    abs_pct_error,
+    format_duration,
+    geomean,
+    mae,
+    mape,
+    mean,
+    speedup,
+)
 from repro.analysis.metrics import ABS_PCT_ERROR_CAP, MetricDiagnosticWarning
 
 
@@ -41,8 +49,25 @@ class TestSpeedup:
     def test_basic(self):
         assert speedup(100.0, 25.0) == pytest.approx(4.0)
 
-    def test_zero_cost_is_infinite(self):
-        assert math.isinf(speedup(10.0, 0.0))
+    def test_zero_cost_is_infinite_and_warns(self):
+        with pytest.warns(MetricDiagnosticWarning):
+            assert math.isinf(speedup(10.0, 0.0))
+
+    def test_negative_cost_warns(self):
+        with pytest.warns(MetricDiagnosticWarning):
+            assert math.isinf(speedup(10.0, -1.0))
+
+    def test_nonpositive_cost_is_counted(self):
+        from repro import obs
+
+        obs.enable()
+        try:
+            with pytest.warns(MetricDiagnosticWarning):
+                speedup(10.0, 0.0)
+            counters = obs.get_tracer().counters
+            assert counters.get("metrics.nonpositive_cost_cells") == 1.0
+        finally:
+            obs.reset()
 
 
 class TestGeomean:
@@ -65,18 +90,31 @@ class TestGeomean:
         assert min(values) - 1e-9 <= result <= max(values) + 1e-9
 
 
-class TestMeanAndMae:
+class TestMeanAndMape:
     def test_mean(self):
         assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
 
     def test_mean_skips_nan(self):
         assert mean([1.0, float("nan"), 3.0]) == pytest.approx(2.0)
 
-    def test_mae(self):
-        assert mae([1.1, 0.9], [1.0, 1.0]) == pytest.approx(10.0)
+    def test_mape(self):
+        assert mape([1.1, 0.9], [1.0, 1.0]) == pytest.approx(10.0)
 
-    def test_mae_empty(self):
-        assert mae([], []) == 0.0
+    def test_mape_empty(self):
+        assert mape([], []) == 0.0
+
+    def test_mape_accepts_generators(self):
+        assert mape(iter([2.0]), iter([1.0])) == pytest.approx(100.0)
+
+    def test_mape_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            mape([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="1 estimates vs 2 references"):
+            mape([1.0], [1.0, 2.0])
+
+    def test_mae_is_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="mape instead"):
+            assert mae([1.1, 0.9], [1.0, 1.0]) == pytest.approx(10.0)
 
 
 class TestFormatDuration:
@@ -91,7 +129,7 @@ class TestFormatDuration:
             (200_000.0, "day"),
             (5e6, "month"),
             (8e7, "year"),
-            (4e9, "century"),
+            (4e9, "centur"),
         ],
     )
     def test_unit_selection(self, seconds, expected_unit):
@@ -99,3 +137,33 @@ class TestFormatDuration:
 
     def test_zero(self):
         assert format_duration(0.0) == "0 s"
+
+    _WEEK = 7 * 24 * 3600.0
+    _DAY = 24 * 3600.0
+    _YEAR = 365.25 * 24 * 3600.0
+
+    @pytest.mark.parametrize(
+        "seconds, expected",
+        [
+            # Exactly one of a spelled-out unit stays singular.
+            (_WEEK, "1.0 week"),
+            (_DAY, "1.0 day"),
+            (_YEAR, "1.0 year"),
+            # Anything else pluralizes — including 1.5 ("1.5 week" bug).
+            (1.5 * _WEEK, "1.5 weeks"),
+            (2.0 * _DAY, "2.0 days"),
+            (0.5 * _YEAR, "6.0 months"),
+            (25 * _YEAR, "2.5 decades"),
+            # "-y" units pluralize to "-ies", never "centurys".
+            (130 * _YEAR, "1.3 centuries"),
+            (100 * _YEAR, "1.0 century"),
+            # Abbreviated units are never pluralized.
+            (14 * 3600.0, "14.0 h"),
+            (120.0, "2.0 min"),
+            (30.0, "30.0 s"),
+            (5e-3, "5.0 ms"),
+            (5e-6, "5.0 us"),
+        ],
+    )
+    def test_pluralization(self, seconds, expected):
+        assert format_duration(seconds) == expected

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.analysis import render_report, write_report
+from repro.analysis import EvaluationHarness, render_report, write_report
+from repro.sim.faults import FaultPlan
 
 
 class TestRenderReport:
@@ -41,3 +42,55 @@ class TestRenderReport:
         path = write_report(tmp_path / "report.md", harness)
         assert path.exists()
         assert path.read_text(encoding="utf-8").startswith("# Principal Kernel")
+
+    def test_clean_sweep_health_section(self, harness):
+        harness.evaluate_cells([("fdtd2d", "silicon", None)])
+        report = render_report(harness)
+        assert "## Sweep health" in report
+        assert "sweep cells completed" in report
+
+
+class TestDegradedSweeps:
+    """Reports over sweeps with failed cells render, mark them, never raise."""
+
+    CELLS = [
+        ("fdtd2d", "silicon", None),
+        ("cutcp", "silicon", None),
+    ]
+
+    def _degraded_harness(self) -> EvaluationHarness:
+        """A harness whose second cell failed and was quarantined."""
+        harness = EvaluationHarness()
+        results = harness.evaluate_cells(
+            self.CELLS, fault_plan=FaultPlan.parse("exception@1xP")
+        )
+        assert results[1] is not None  # CellFailure, not a dropped slot
+        return harness
+
+    def test_failed_cells_marked_in_sweep_health(self):
+        report = render_report(self._degraded_harness())
+        assert "## Sweep health" in report
+        assert "1 of 2 sweep cells **failed**" in report
+        assert "| cutcp:silicon |" in report
+        # The failure's classification makes it into the table.
+        assert "exception" in report
+
+    def test_write_report_on_degraded_sweep(self, tmp_path):
+        path = write_report(tmp_path / "report.md", self._degraded_harness())
+        assert "cutcp:silicon" in path.read_text(encoding="utf-8")
+
+    def test_render_never_raises_when_sections_blow_up(self):
+        """Even a harness whose accessors all explode yields a document."""
+
+        class ExplodingHarness:
+            last_manifest = None
+
+            def __getattr__(self, name):
+                raise RuntimeError("section input unavailable")
+
+        report = render_report(ExplodingHarness())
+        assert report.startswith("# Principal Kernel Analysis")
+        assert report.count("Section could not be rendered") >= 4
+        # Every named section still appears as a heading.
+        for heading in ("## Figure 1", "## Table 3", "## Table 4"):
+            assert heading in report

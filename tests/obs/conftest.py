@@ -1,0 +1,14 @@
+"""Keep the module-level tracer singleton isolated between obs tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    obs.reset()
+    yield
+    obs.reset()

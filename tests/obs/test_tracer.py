@@ -1,0 +1,217 @@
+"""Unit tests for the tracing core: spans, counters, capture, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_SPAN,
+    ObsSnapshot,
+    Tracer,
+    capture_tracer,
+    chrome_trace,
+    get_tracer,
+    obs_count,
+    obs_span,
+    run_summary,
+    run_summary_path,
+    summary_table,
+    write_chrome_trace,
+    write_run_summary,
+)
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_the_cached_null_span(self):
+        assert obs_span("anything", key="value") is NULL_SPAN
+        assert get_tracer().span("anything") is NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        with obs_span("outer"):
+            obs_count("some.counter", 5)
+        tracer = get_tracer()
+        assert tracer.events == []
+        assert tracer.counters == {}
+        assert tracer.records == 0
+
+    def test_null_span_set_is_a_noop(self):
+        with obs_span("x") as span:
+            span.set(a=1)  # must not raise
+
+
+class TestEnabledMode:
+    def test_span_records_on_exit(self):
+        obs.enable()
+        with obs_span("pks.cluster", kernels=3):
+            pass
+        (event,) = get_tracer().events
+        assert event.name == "pks.cluster"
+        assert event.args == {"kernels": 3}
+        assert event.duration_us >= 0.0
+
+    def test_nested_spans_record_inner_first(self):
+        obs.enable()
+        with obs_span("outer"):
+            with obs_span("inner"):
+                pass
+        names = [event.name for event in get_tracer().events]
+        assert names == ["inner", "outer"]
+        inner, outer = get_tracer().events
+        assert outer.start_us <= inner.start_us
+        assert outer.start_us + outer.duration_us >= inner.start_us + inner.duration_us
+
+    def test_span_set_attaches_attributes(self):
+        obs.enable()
+        with obs_span("s", a=1) as span:
+            span.set(b=2)
+        (event,) = get_tracer().events
+        assert event.args == {"a": 1, "b": 2}
+
+    def test_span_records_even_when_body_raises(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs_span("failing"):
+                raise RuntimeError("boom")
+        assert [event.name for event in get_tracer().events] == ["failing"]
+
+    def test_counters_accumulate(self):
+        obs.enable()
+        obs_count("cache.hits")
+        obs_count("cache.hits")
+        obs_count("sim.simulated_cycles", 1500.0)
+        counters = get_tracer().counters
+        assert counters["cache.hits"] == 2.0
+        assert counters["sim.simulated_cycles"] == 1500.0
+
+    def test_records_counts_spans_and_counter_updates(self):
+        obs.enable()
+        with obs_span("a"):
+            pass
+        obs_count("c")
+        obs_count("c")
+        assert get_tracer().records == 3
+
+    def test_enable_disable_toggle_preserves_state(self):
+        obs.enable()
+        obs_count("kept")
+        obs.disable()
+        obs_count("dropped")
+        assert get_tracer().counters == {"kept": 1.0}
+        obs.enable()
+        assert get_tracer().counters == {"kept": 1.0}
+
+
+class TestCaptureAndMerge:
+    def test_capture_tracer_isolates_and_restores(self):
+        obs.enable()
+        parent = get_tracer()
+        obs_count("parent.counter")
+        with capture_tracer() as captured:
+            obs_count("child.counter")
+            assert get_tracer() is captured
+        assert get_tracer() is parent
+        assert "child.counter" not in parent.counters
+        assert captured.counters == {"child.counter": 1.0}
+
+    def test_snapshot_roundtrips_through_pickle(self):
+        import pickle
+
+        with capture_tracer() as captured:
+            with obs_span("task", label="cell"):
+                obs_count("sim.kernels_simulated", 4)
+            snapshot = captured.snapshot()
+        restored = pickle.loads(pickle.dumps(snapshot))
+        assert restored == snapshot
+        assert restored.events[0].name == "task"
+        assert restored.counters == {"sim.kernels_simulated": 4.0}
+
+    def test_merge_folds_events_and_counters(self):
+        obs.enable()
+        obs_count("shared", 1)
+        with capture_tracer() as captured:
+            with obs_span("worker.span"):
+                pass
+            obs_count("shared", 2)
+            snapshot = captured.snapshot()
+        get_tracer().merge(snapshot)
+        assert get_tracer().counters["shared"] == 3.0
+        assert [event.name for event in get_tracer().events] == ["worker.span"]
+
+    def test_merge_empty_snapshot_is_a_noop(self):
+        obs.enable()
+        get_tracer().merge(ObsSnapshot(events=(), counters={}))
+        assert get_tracer().records == 0
+
+
+class TestExporters:
+    def _populated_tracer(self) -> Tracer:
+        tracer = Tracer(enabled=True)
+        with tracer.span("harness.cell", cell="fdtd2d:silicon"):
+            pass
+        with tracer.span("harness.cell", cell="fdtd2d:pka_sim"):
+            pass
+        tracer.count("cache.hits", 3)
+        tracer.count("cache.misses", 1)
+        return tracer
+
+    def test_summary_table_lists_spans_and_counters(self):
+        table = summary_table(self._populated_tracer())
+        assert "harness.cell" in table
+        assert "cache.hits" in table
+        assert "2" in table  # span count column
+
+    def test_summary_table_empty(self):
+        assert "no spans" in summary_table(Tracer(enabled=True))
+
+    def test_chrome_trace_is_well_formed(self):
+        document = chrome_trace(self._populated_tracer())
+        assert json.loads(json.dumps(document)) == document
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        starts = [event["ts"] for event in events]
+        assert starts == sorted(starts)
+        assert document["otherData"]["counters"]["cache.hits"] == 3.0
+
+    def test_run_summary_structure(self):
+        document = run_summary(self._populated_tracer())
+        assert document["version"] == 1
+        assert document["counters"] == {"cache.hits": 3.0, "cache.misses": 1.0}
+        cell = document["spans"]["harness.cell"]
+        assert cell["count"] == 2
+        assert cell["total_seconds"] >= cell["mean_seconds"] >= 0.0
+
+    def test_run_summary_embeds_manifest(self):
+        manifest = {
+            "sweep_id": "abc123",
+            "total_cells": 4,
+            "completed": ["a", "b", "c"],
+            "quarantined": ["d"],
+        }
+        document = run_summary(self._populated_tracer(), manifest=manifest)
+        assert document["sweep"] == {
+            "sweep_id": "abc123",
+            "total_cells": 4,
+            "completed": 3,
+            "quarantined": 1,
+        }
+
+    def test_run_summary_path(self):
+        assert run_summary_path("out/trace.json").name == "trace.summary.json"
+        assert run_summary_path("trace.json").name == "trace.summary.json"
+
+    def test_writers_create_parents_and_valid_json(self, tmp_path):
+        tracer = self._populated_tracer()
+        trace_path = write_chrome_trace(tmp_path / "deep" / "trace.json", tracer)
+        summary_path = write_run_summary(
+            run_summary_path(trace_path), tracer, manifest=None
+        )
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+        assert {event["name"] for event in trace["traceEvents"]} == {"harness.cell"}
+        assert summary["counters"]["cache.misses"] == 1.0

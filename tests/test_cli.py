@@ -206,3 +206,93 @@ class TestInterrupt:
         from repro.analysis.persistence import read_selection
 
         assert read_selection(output).workload == "histo"
+
+
+class TestTracing:
+    def test_trace_prints_summary_and_resets(self, capsys):
+        from repro.obs import get_tracer
+
+        assert main(["characterize", "histo", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out
+        assert "pks.cluster" in out
+        assert "counter" in out
+        # main() must not leak an enabled tracer into the caller.
+        assert not get_tracer().enabled
+
+    def test_no_trace_flag_records_nothing(self, capsys):
+        from repro.obs import get_tracer
+
+        assert main(["characterize", "histo"]) == 0
+        assert get_tracer().events == []
+        assert get_tracer().counters == {}
+
+    def test_sweep_trace_out_artifacts_reconcile(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        cache_dir = tmp_path / "cache"
+        code = main(
+            SWEEP
+            + ["--cache-dir", str(cache_dir), "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace_path}" in out
+        assert "run summary written to" in out
+
+        # Chrome trace: well-formed complete events on one timeline.
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = trace["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid"}
+        names = {event["name"] for event in events}
+        assert "harness.evaluate_cells" in names
+        assert "harness.cell" in names
+        assert "silicon.run" in names
+
+        # Run summary: counters reconcile with the sweep manifest.
+        summary_path = tmp_path / "trace.summary.json"
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+        counters = summary["counters"]
+        sweep = summary["sweep"]
+        assert sweep["total_cells"] == 8
+        assert counters["harness.cells"] == sweep["total_cells"]
+        assert counters["harness.cells_completed"] == sweep["completed"]
+        assert counters.get("harness.cell_failures", 0) == sweep["quarantined"]
+        assert counters["silicon.kernels"] > 0
+        assert counters["cache.writes"] >= 8
+
+        manifest_path = (
+            cache_dir / "manifests" / f"{sweep['sweep_id']}.json"
+        )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert manifest["kind"] == "sweep_manifest"
+        manifest = manifest["payload"]
+        assert manifest["total_cells"] == sweep["total_cells"]
+        embedded = manifest["observability"]["counters"]
+        assert embedded["harness.cells"] == counters["harness.cells"]
+
+    def test_trace_out_implies_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert main(["simulate", "gauss_208", "--trace-out", str(trace_path)]) == 0
+        assert trace_path.exists()
+        out = capsys.readouterr().out
+        assert "pka.simulate" in out  # summary table was printed
+
+
+class TestSweepTruncationGuard:
+    def test_truncated_results_raise_not_drop(self, monkeypatch):
+        """A result list shorter than the cell list is a harness bug; the
+        sweep tally must raise instead of silently dropping cells."""
+        from repro.analysis import EvaluationHarness
+
+        monkeypatch.setattr(
+            EvaluationHarness,
+            "evaluate_cells",
+            lambda self, cells, **kwargs: list(cells)[:-1] and [None],
+        )
+        with pytest.raises(ValueError, match="shorter"):
+            main(SWEEP)
