@@ -53,6 +53,7 @@ from repro.sim.parallel import (
     ExecutionBackend,
     FaultPolicy,
     TaskFailure,
+    TaskOutcome,
     _run_tasks_inline,
     resolve_backend,
 )
@@ -454,6 +455,7 @@ class EvaluationHarness:
         backend: ExecutionBackend | str | int | None = None,
         run_cache: RunCache | NullRunCache | None = None,
         cache_dir: str | Path | None = None,
+        cache_max_bytes: int | None = None,
         fault_policy: FaultPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         validation_mode: str = "strict",
@@ -469,7 +471,7 @@ class EvaluationHarness:
         self.instruction_budget = instruction_budget
         self.backend = resolve_backend(backend)
         if run_cache is None:
-            run_cache = resolve_run_cache(cache_dir)
+            run_cache = resolve_run_cache(cache_dir, max_bytes=cache_max_bytes)
         self.run_cache = run_cache
         self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
         self.fault_plan = fault_plan
@@ -570,6 +572,38 @@ class EvaluationHarness:
             context=self.context_fingerprint(),
         )
 
+    def cell_digest_for(
+        self, workload: str, method: str, gpu: GPUConfig | str | None = None
+    ) -> str:
+        """The on-disk content address of one named evaluation cell.
+
+        Produces exactly the digest the cell's accessor memoizes under,
+        so external layers (the serving scheduler's submission-time
+        cache probe, the dedup key for single-flight) address the
+        :class:`~repro.analysis.persistence.RunCache` without recomputing
+        anything — at most the workload's launch lists are built once to
+        derive their digests, then memoized on the evaluation.
+        """
+        evaluation = self.evaluation(workload)
+        if isinstance(gpu, str):
+            gpu = get_gpu(gpu)
+        key = evaluation.cell_key(method, gpu)  # validates the method
+        if method == "selection":
+            gpu_cfg: GPUConfig | None = None
+            generations: tuple[str, ...] = ("volta",)
+        elif method == "pka_sim_faithful":
+            gpu_cfg, generations = VOLTA_V100, ("volta",)
+        elif method == "pks_silicon":
+            gpu_cfg = GENERATIONS[(gpu or VOLTA_V100).generation]
+            generations = ("volta", gpu_cfg.generation)
+        elif method in ("silicon", "full_sim", "first_1b"):
+            gpu_cfg = gpu if gpu is not None else VOLTA_V100
+            generations = (gpu_cfg.generation,)
+        else:  # pks_sim / pka_sim / tbpoint_sim: Volta selection + target
+            gpu_cfg = gpu if gpu is not None else VOLTA_V100
+            generations = ("volta", gpu_cfg.generation)
+        return self._cell_digest(evaluation, key, gpu_cfg, generations)
+
     # -- parallel cell dispatch ------------------------------------------
 
     def evaluate_cells(
@@ -579,6 +613,7 @@ class EvaluationHarness:
         strict: bool = False,
         fault_policy: FaultPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        progress: Callable[[TaskOutcome], None] | None = None,
     ) -> list[AppRunResult | KernelSelection | CellFailure | None]:
         """Compute independent (workload, method, gpu) cells, in order.
 
@@ -606,6 +641,14 @@ class EvaluationHarness:
         Every sweep writes a manifest (quarantined cells, failure causes,
         completed cells) to ``last_manifest`` and, when a cache is
         configured, to ``<cache>/manifests/<sweep_id>.json``.
+
+        ``progress`` is a **job-granular** completion hook: it receives
+        each cell's :class:`~repro.sim.parallel.TaskOutcome` as soon as
+        the runtime decides it (per task inline, per round on the pool),
+        before the sweep finishes.  The serving scheduler uses it to
+        complete jobs without waiting for the whole batch.  It is called
+        from the dispatching thread; callbacks must be fast and must not
+        raise.
         """
         policy = fault_policy if fault_policy is not None else self.fault_policy
         plan = fault_plan if fault_plan is not None else self.fault_plan
@@ -626,7 +669,7 @@ class EvaluationHarness:
                     return self.evaluation(workload).compute_cell(method, gpu)
 
                 outcomes = _run_tasks_inline(
-                    compute, normalized, policy, labels, plan, strict=False
+                    compute, normalized, policy, labels, plan, False, progress
                 )
             else:
                 cache_root = (
@@ -653,7 +696,8 @@ class EvaluationHarness:
                         policy,
                         labels,
                         plan,
-                        strict=False,
+                        False,
+                        progress,
                     )
                 else:
                     outcomes = run_tasks(
@@ -662,6 +706,7 @@ class EvaluationHarness:
                         policy=policy,
                         labels=labels,
                         fault_plan=plan,
+                        on_outcome=progress,
                     )
         results: list = []
         failures: list[CellFailure] = []

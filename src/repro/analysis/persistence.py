@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -358,6 +359,8 @@ class NullRunCache:
         self.writes = 0
         self.quarantined = 0
         self.schema_mismatches = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
         self.quarantine_log: list[dict] = []
 
     def get_run(self, digest: str) -> AppRunResult | None:
@@ -405,23 +408,47 @@ class RunCache:
     check that overlay before disk, and the sweep carries on with plain
     memoization semantics.  Sweep manifests (quarantine records written
     by ``evaluate_cells``) share the same fallback.
+
+    **Concurrency.**  Any number of processes and threads may share one
+    cache directory.  Entry and manifest writes are atomic renames of
+    fully-written temp files in the destination directory, so a reader
+    can only ever observe a complete document or no document — never a
+    torn one.  Concurrent writers of one digest are idempotent (the
+    content address guarantees they carry identical payloads; last
+    rename wins).  An entry deleted underneath a reader — by eviction or
+    quarantine in another process — is a plain miss.  Instance tallies
+    are guarded by a lock so multi-threaded callers (the serving layer)
+    reconcile exactly.
+
+    **Bounded size.**  With ``max_bytes`` set the store evicts
+    least-recently-used entries after each write until the run/selection
+    entries fit the budget.  Recency is the entry file's mtime, which a
+    read hit refreshes; manifests and quarantined files are not counted
+    and never evicted.  The entry just written is never evicted, so a
+    single oversized result still caches.
     """
 
     enabled = True
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ReproError("max_bytes must be positive or None")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
         self.schema_mismatches = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
         #: One ``{"digest", "reason"}`` record per quarantined entry, in
         #: discovery order; ``evaluate_cells`` copies these into the sweep
         #: manifest so operators can see what bit-rotted.
         self.quarantine_log: list[dict] = []
         self.degraded = False
         self._memory: dict[str, dict] = {}
+        self._tally_lock = threading.Lock()
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -443,15 +470,18 @@ class RunCache:
     # the instance tallies and the tracer counters can never disagree.
 
     def _note_hit(self, n: int = 1) -> None:
-        self.hits += n
+        with self._tally_lock:
+            self.hits += n
         obs_count("cache.hits", n)
 
     def _note_miss(self) -> None:
-        self.misses += 1
+        with self._tally_lock:
+            self.misses += 1
         obs_count("cache.misses")
 
     def _note_write(self) -> None:
-        self.writes += 1
+        with self._tally_lock:
+            self.writes += 1
         obs_count("cache.writes")
 
     def _path(self, digest: str) -> Path:
@@ -479,9 +509,10 @@ class RunCache:
                 path.unlink()
             except OSError:
                 pass
-        self.quarantined += 1
+        with self._tally_lock:
+            self.quarantined += 1
+            self.quarantine_log.append({"digest": digest, "reason": reason})
         obs_count("cache.quarantined")
-        self.quarantine_log.append({"digest": digest, "reason": reason})
 
     @staticmethod
     def _payload_checksum(payload) -> str:
@@ -516,7 +547,8 @@ class RunCache:
             # other code version wrote under a colliding digest.  Refuse
             # it and recompute (the rewrite lands at this digest).
             self._note_miss()
-            self.schema_mismatches += 1
+            with self._tally_lock:
+                self.schema_mismatches += 1
             obs_count("cache.schema_mismatches")
             try:
                 path.unlink()
@@ -536,6 +568,12 @@ class RunCache:
             self._note_miss()
             self.quarantine_entry(digest, "payload checksum mismatch")
             return None
+        if self.max_bytes is not None:
+            try:
+                # Refresh recency so a hot entry survives LRU eviction.
+                os.utime(path)
+            except OSError:
+                pass
         self._note_hit()
         return payload
 
@@ -573,7 +611,67 @@ class RunCache:
                 pass
             self._degrade(exc)
             self._memory[digest] = document
+        else:
+            if self.max_bytes is not None:
+                self._maybe_evict(protect=digest)
         self._note_write()
+
+    # -- size accounting and LRU eviction ---------------------------------
+
+    def _entry_files(self) -> list[Path]:
+        """Every run/selection entry on disk (manifests and quarantine
+        live in their own subdirectories and are neither counted nor
+        evicted)."""
+        return list(self.root.glob("[0-9a-f][0-9a-f]/*.json"))
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by run/selection entries on disk."""
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # evicted/quarantined by a concurrent process
+        return total
+
+    def _maybe_evict(self, protect: str | None = None) -> None:
+        """Drop least-recently-used entries until the budget is met.
+
+        Runs after each successful disk write, so the store's footprint
+        only ever overshoots ``max_bytes`` by one entry.  Recency is the
+        file mtime (refreshed on every read hit); the just-written
+        ``protect`` digest is exempt so an entry larger than the whole
+        budget still caches.  Losing a race with a concurrent evictor is
+        harmless: the unlink misses and the entry is simply gone.
+        """
+        entries = []
+        total = 0
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        protected = None if protect is None else f"{protect}.json"
+        for _mtime, name, path, size in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if name == protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                total -= size  # already gone; stop double-counting it
+                continue
+            total -= size
+            with self._tally_lock:
+                self.evictions += 1
+                self.evicted_bytes += size
+            obs_count("cache.evictions")
+            obs_count("cache.evicted_bytes", size)
 
     # -- typed entry points ----------------------------------------------
 
@@ -676,14 +774,18 @@ class RunCache:
 
 
 def resolve_run_cache(
-    cache_dir: str | Path | None, *, enabled: bool = True
+    cache_dir: str | Path | None,
+    *,
+    enabled: bool = True,
+    max_bytes: int | None = None,
 ) -> RunCache | NullRunCache:
     """Build the run cache a harness should use.
 
     ``enabled=False`` (the CLI's ``--no-cache``) always yields the null
     cache; otherwise ``cache_dir`` selects the store location, with
-    ``None`` meaning caching stays off.
+    ``None`` meaning caching stays off.  ``max_bytes`` (the CLI's
+    ``--cache-max-bytes``) bounds the store with LRU eviction.
     """
     if not enabled or cache_dir is None:
         return NullRunCache()
-    return RunCache(cache_dir)
+    return RunCache(cache_dir, max_bytes=max_bytes)

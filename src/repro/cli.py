@@ -33,6 +33,21 @@ Commands
 ``pka sweep [--suite S] [--methods M,...] [--gpus G,...]``
     Fault-tolerant workload x method x GPU sweep with partial results,
     a quarantine manifest, and cache-based resume.
+``pka serve [--port P] [--max-queue N] [--drain-timeout S]``
+    Run the evaluation service (see ``docs/API.md``, "Service mode"):
+    a JSON HTTP job API over the harness with single-flight dedup,
+    batching, cache-aware fast paths and graceful drain on
+    SIGTERM/SIGINT.
+``pka submit <workload> <method> [--gpu G] [--port P]``
+    Submit one job to a running service and wait for its result.
+``pka loadgen [--jobs N] [--duplicate-ratio R] [--report FILE]``
+    Drive a running service with a seeded, replayable load plan.
+
+Exit codes are uniform across every command: 0 success, 1 error
+(bad input, unreachable service, strict-mode failure), 3 partial
+completion (some cells/jobs failed or were lost), 130 interrupted.
+``pka serve`` treats SIGINT like SIGTERM — a *requested* graceful
+shutdown, exiting 0 after a clean drain (3 if the drain timed out).
 
 Every command accepts the execution flags (see ``docs/API.md``,
 "Parallel execution & caching" and "Fault tolerance & resume"):
@@ -94,7 +109,7 @@ from repro.analysis import (
     table3_pks_examples,
     table4_rows,
 )
-from repro.errors import TaskFailureError
+from repro.errors import ReproError, TaskFailureError
 from repro.gpu import get_gpu
 from repro.sim.faults import FaultPlan
 from repro.sim.parallel import FaultPolicy
@@ -123,6 +138,7 @@ def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
         cache_dir=(
             None if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None)
         ),
+        cache_max_bytes=getattr(args, "cache_max_bytes", None),
         fault_policy=policy,
         fault_plan=FaultPlan.parse(plan_text) if plan_text else None,
         validation_mode=(
@@ -489,6 +505,169 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the evaluation service until SIGTERM/SIGINT, then drain.
+
+    Both signals trigger the same graceful shutdown: stop accepting
+    jobs (``/readyz`` flips to 503), finish everything accepted, write
+    the drain manifest into the run cache, exit 0.  A drain that times
+    out with jobs unfinished exits EXIT_PARTIAL instead.
+    """
+    import signal
+    import threading
+
+    from repro.service import PKAService
+
+    harness = _harness_from_args(args)
+    try:
+        service = PKAService(
+            harness,
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            batch_max=args.batch_max,
+            drain_timeout=args.drain_timeout,
+        )
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    service.start()
+    print(f"pka service listening on http://{service.host}:{service.port}")
+    print(f"service id: {service.service_id}", flush=True)
+    stop.wait()
+    print("draining: refusing new jobs, finishing accepted work", flush=True)
+    manifest, clean = service.drain()
+    total = sum(manifest["states"].values())
+    print(
+        f"drained {total} job(s) {manifest['states']}; "
+        f"manifest {manifest['service_id']}; clean={clean}",
+        flush=True,
+    )
+    return 0 if clean else EXIT_PARTIAL
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running service and (by default) wait on it."""
+    from repro.service import JobRequest, ServiceClient
+
+    client = ServiceClient(args.host, args.port, timeout=min(args.timeout, 30.0))
+    request = JobRequest(
+        workload=args.workload,
+        method=args.method,
+        gpu=args.gpu,
+        client=args.client,
+        priority=args.priority,
+        fault=args.fault,
+    )
+    document = client.submit(request)
+    attached = "" if document.get("created", True) else " (attached to existing job)"
+    print(f"job {document['job_id']}: {document['state']}{attached}")
+    if args.no_wait:
+        return 0
+    final = client.wait(document["job_id"], timeout=args.timeout)
+    latency = final.get("latency_ms")
+    detail = (
+        f" (source={final.get('source')}, latency={latency:.1f}ms)"
+        if latency is not None
+        else ""
+    )
+    print(f"job {final['job_id']}: {final['state']}{detail}")
+    if final["state"] != "done":
+        if final.get("error"):
+            error = final["error"]
+            print(
+                f"  {error.get('error_type', 'error')}: "
+                f"{error.get('message', '')}",
+                file=sys.stderr,
+            )
+        return 1
+    result = client.result(final["job_id"])
+    if result["result_kind"] == "app_run":
+        payload = result["result"]
+        print(f"  total cycles: {payload['total_cycles']:.6g}")
+        print(f"  instructions: {payload['total_instructions']:.6g}")
+    elif result["result_kind"] == "selection":
+        payload = result["result"]
+        print(f"  groups (K): {payload['k']}")
+        print(f"  launches:   {payload['total_launches']}")
+    else:
+        print(f"  result: {result['result_kind']}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running service with seeded load and report what happened."""
+    import json as _json
+
+    from repro.service import LoadConfig, ServiceClient, run_load
+
+    client = ServiceClient(args.host, args.port, timeout=min(args.timeout, 30.0))
+    try:
+        config = LoadConfig(
+            jobs=args.jobs,
+            mode=args.mode,
+            rate=args.rate,
+            concurrency=args.concurrency,
+            duplicate_ratio=args.duplicate_ratio,
+            seed=args.seed,
+            workloads=(
+                tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+                if args.workloads
+                else None
+            ),
+            methods=tuple(
+                m.strip() for m in args.methods.split(",") if m.strip()
+            ),
+            fault=args.fault,
+            timeout=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"bad load configuration: {exc}", file=sys.stderr)
+        return 1
+    if not client.ready():
+        print(
+            f"service at {client.base_url} is not ready", file=sys.stderr
+        )
+        return 1
+    report = run_load(client, config)
+    document = report.to_document()
+    print(
+        f"submitted {report.submitted}  accepted {report.accepted}  "
+        f"deduplicated {report.deduplicated}  rejected {report.rejected}"
+    )
+    print(
+        f"completed {report.completed}  failed {report.failed}  "
+        f"cancelled {report.cancelled}  errors {report.errors}"
+    )
+    latency = document["latency_ms"]
+    if latency["p50"] is not None:
+        tail = f"p50 {latency['p50']:.1f}ms  p95 {latency['p95']:.1f}ms"
+    else:
+        tail = "(no latency samples)"
+    print(
+        f"wall {report.wall_seconds:.2f}s  "
+        f"throughput {report.throughput:.1f} jobs/s  {tail}"
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as stream:
+            _json.dump(document, stream, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    clean = (
+        report.rejected == 0
+        and report.errors == 0
+        and report.failed == 0
+        and report.completed == report.accepted
+    )
+    return 0 if clean else EXIT_PARTIAL
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     harness = _harness_from_args(args)
     print(f"{'suite':10s} {'workload':30s} {'selected ids':24s} {'counts'}")
@@ -598,6 +777,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="ignore --cache-dir for this invocation",
+    )
+    common.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound the run cache: least-recently-used entries are "
+        "evicted once on-disk size exceeds BYTES",
     )
     common.add_argument(
         "--retries",
@@ -757,6 +944,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated GPU generations (default: volta)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the evaluation service (JSON HTTP API over the harness)",
+        parents=[common],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8471,
+        help="listen port (0 binds an ephemeral port; default 8471)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="queue depth bound; beyond it submissions get HTTP 429",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        metavar="N",
+        help="max jobs coalesced into one backend fan-out",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-shutdown budget for finishing accepted jobs",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit one job to a running service and wait for the result",
+    )
+    submit.add_argument("workload")
+    submit.add_argument("method")
+    submit.add_argument("--gpu", default=None)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8471)
+    submit.add_argument("--client", default="cli")
+    submit.add_argument("--priority", type=int, default=1)
+    submit.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="chaos passthrough: inject 'exception'/'hang'/'crash' "
+        "(append xN or xP for persistent) into this job's execution",
+    )
+    submit.add_argument("--timeout", type=float, default=120.0)
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit and exit without polling for the terminal state",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a running service with seeded open/closed-loop load",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8471)
+    loadgen.add_argument(
+        "--jobs", type=int, default=20, help="number of submissions"
+    )
+    loadgen.add_argument("--mode", choices=("open", "closed"), default="open")
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="open loop: submissions per second",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, help="closed loop: worker count"
+    )
+    loadgen.add_argument(
+        "--duplicate-ratio",
+        type=float,
+        default=0.0,
+        help="fraction of submissions repeating an earlier request verbatim",
+    )
+    loadgen.add_argument("--seed", type=int, default=20260807)
+    loadgen.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload pool (default: the whole corpus)",
+    )
+    loadgen.add_argument(
+        "--methods",
+        default="silicon",
+        help="comma-separated method pool (default: silicon)",
+    )
+    loadgen.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="attach this fault spec to one submission (and its duplicates)",
+    )
+    loadgen.add_argument("--timeout", type=float, default=120.0)
+    loadgen.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON load report to FILE",
+    )
+
     return parser
 
 
@@ -797,10 +1093,10 @@ def main(argv: list[str] | None = None) -> int:
         "trace-plan": _cmd_trace_plan,
         "report": _cmd_report,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "loadgen": _cmd_loadgen,
     }
-    # get_workload raises WorkloadError with a clear message for typos.
-    if getattr(args, "workload", None) is not None:
-        get_workload(args.workload)
     trace_out = getattr(args, "trace_out", None)
     tracing = bool(getattr(args, "trace", False)) or trace_out is not None
     if tracing:
@@ -808,6 +1104,9 @@ def main(argv: list[str] | None = None) -> int:
 
         obs.enable()
     try:
+        # get_workload raises WorkloadError with a clear message for typos.
+        if getattr(args, "workload", None) is not None:
+            get_workload(args.workload)
         code = handlers[args.command](args)
         if tracing:
             _emit_trace(args, trace_out)
@@ -829,6 +1128,12 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
         return EXIT_INTERRUPTED
+    except ReproError as exc:
+        # Typed domain errors (unknown workload/GPU, bad config, an
+        # unreachable service, ...) are user-facing: message + exit 1,
+        # never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if tracing:
             # main() is also called in-process (tests); don't leak an

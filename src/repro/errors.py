@@ -100,3 +100,53 @@ class RetryExhaustedError(TaskFailureError):
 
 class FaultInjectedError(ReproError):
     """An exception deliberately raised by the fault-injection harness."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the evaluation service runtime.
+
+    Everything the serving subsystem (:mod:`repro.service`) raises derives
+    from this class, so embedding callers can fence off service faults
+    from library faults with one ``except`` clause.  Each subclass maps
+    onto one HTTP status the server returns, keeping the in-process and
+    over-the-wire taxonomies identical.
+    """
+
+
+class InvalidJobRequestError(ServiceError, ValueError):
+    """A job submission is malformed (unknown workload/method/GPU, bad
+    field types).  Maps to HTTP 400."""
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at its bounded depth; the submission was refused.
+
+    This is the service's backpressure signal (HTTP 429): the client
+    should back off and retry rather than the server buffering without
+    bound.  ``depth``/``max_depth`` describe the queue at refusal time.
+    """
+
+    def __init__(self, message: str, *, depth: int = 0, max_depth: int = 0) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining for shutdown and accepts no new jobs.
+
+    Maps to HTTP 503 — the same signal ``GET /readyz`` gives a load
+    balancer, so clients and infrastructure see one consistent story.
+    """
+
+
+class JobNotFoundError(ServiceError, KeyError):
+    """No job with the requested id exists on this server (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message
+        return self.args[0] if self.args else ""
+
+
+class JobNotFinishedError(ServiceError):
+    """A result was requested for a job that has not reached a terminal
+    state yet (HTTP 409); poll ``GET /v1/jobs/<id>`` until it does."""

@@ -9,6 +9,7 @@ from repro.obs.export import (
     chrome_trace,
     run_summary,
     run_summary_path,
+    span_percentiles,
     summary_table,
     write_chrome_trace,
     write_run_summary,
@@ -22,6 +23,7 @@ from repro.obs.tracer import (
     disable,
     enable,
     get_tracer,
+    now_us,
     obs_count,
     obs_span,
     reset,
@@ -38,12 +40,14 @@ __all__ = [
     "disable",
     "enable",
     "get_tracer",
+    "now_us",
     "obs_count",
     "obs_span",
     "reset",
     "run_summary",
     "run_summary_path",
     "set_tracer",
+    "span_percentiles",
     "summary_table",
     "write_chrome_trace",
     "write_run_summary",

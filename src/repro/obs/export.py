@@ -23,6 +23,7 @@ __all__ = [
     "chrome_trace",
     "run_summary",
     "run_summary_path",
+    "span_percentiles",
     "summary_table",
     "write_chrome_trace",
     "write_run_summary",
@@ -98,6 +99,41 @@ def run_summary(
             "completed": len(manifest.get("completed", [])),
             "quarantined": len(manifest.get("quarantined", [])),
         }
+    return document
+
+
+def span_percentiles(
+    tracer: Tracer,
+    name: str,
+    percentiles: tuple = (50.0, 95.0),
+    where: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Latency percentiles of one span name, from the recorded events.
+
+    ``where`` optionally filters on each span's args mapping (a callable
+    ``args -> bool``), so one span name can be sliced by attribute —
+    e.g. service jobs by result source.  Percentiles use the
+    nearest-rank method over millisecond durations; an empty selection
+    yields ``count == 0`` and ``None`` percentiles so callers can emit
+    the document unconditionally.
+    """
+    with tracer._lock:
+        events = list(tracer.events)
+    durations_ms = sorted(
+        record.duration_us / 1000.0
+        for record in events
+        if record.name == name and (where is None or where(record.args))
+    )
+    document: Dict[str, Any] = {"count": len(durations_ms)}
+    for percentile in percentiles:
+        label = f"p{percentile:g}_ms"
+        if not durations_ms:
+            document[label] = None
+            continue
+        rank = max(
+            0, min(len(durations_ms) - 1, int(-(-percentile * len(durations_ms) // 100)) - 1)
+        )
+        document[label] = durations_ms[rank]
     return document
 
 

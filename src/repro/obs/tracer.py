@@ -33,6 +33,7 @@ __all__ = [
     "disable",
     "enable",
     "get_tracer",
+    "now_us",
     "obs_count",
     "obs_span",
     "reset",
@@ -71,6 +72,12 @@ def _now_us() -> float:
     coherent Chrome-trace timeline.
     """
     return time.perf_counter_ns() / 1_000.0
+
+
+def now_us() -> float:
+    """The tracer's microsecond clock, for callers measuring their own
+    intervals to feed :meth:`Tracer.record_span`."""
+    return _now_us()
 
 
 class _NullSpan:
@@ -166,6 +173,35 @@ class Tracer:
         with self._lock:
             self.events.append(record)
             self.records += 1
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start_us: float,
+        duration_us: float,
+        **attrs: Any,
+    ) -> None:
+        """Record an already-measured interval as a completed span.
+
+        For lifecycles that cannot be expressed as a ``with`` block — a
+        job that is submitted on one thread and completed on another —
+        the owner measures the interval itself (``start_us`` on the
+        :func:`time.perf_counter_ns`-derived microsecond clock) and
+        records it here.  No-op while disabled, like every recorder.
+        """
+        if not self.enabled:
+            return
+        self._record(
+            SpanRecord(
+                name=name,
+                start_us=start_us,
+                duration_us=duration_us,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                args=attrs,
+            )
+        )
 
     # -- aggregation -------------------------------------------------------
 

@@ -1,0 +1,40 @@
+"""repro.service: a long-lived evaluation service over the harness.
+
+Turns the batch-oriented :class:`~repro.analysis.harness.
+EvaluationHarness` into an interactive job server: typed jobs with a
+small lifecycle, a bounded fair queue, a single-flight batching
+scheduler that exploits the content-addressed run cache, a stdlib JSON
+HTTP API, a polling client, and a seeded load generator.  Dependency-
+free, like everything else in the repo.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobRequest,
+    job_id_for,
+    parse_job_fault,
+)
+from repro.service.loadgen import LoadConfig, LoadReport, build_plan, run_load
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.server import PKAService
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobQueue",
+    "JobRecord",
+    "JobRequest",
+    "LoadConfig",
+    "LoadReport",
+    "PKAService",
+    "Scheduler",
+    "ServiceClient",
+    "build_plan",
+    "job_id_for",
+    "parse_job_fault",
+    "run_load",
+]

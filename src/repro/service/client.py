@@ -1,0 +1,144 @@
+"""Blocking client for the PKA evaluation service.
+
+Small on purpose: :mod:`urllib.request` plus the typed error taxonomy.
+The server's HTTP statuses map back to the exact exception types the
+scheduler raised in-process, so code written against
+:class:`~repro.service.scheduler.Scheduler` ports to the wire unchanged
+— a 429 *is* a :class:`~repro.errors.QueueFullError` with ``depth`` and
+``max_depth`` filled in, a 503 *is* a
+:class:`~repro.errors.ServiceDrainingError`, and so on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import (
+    InvalidJobRequestError,
+    JobNotFinishedError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceDrainingError,
+    ServiceError,
+)
+from repro.service.jobs import JobRequest
+
+__all__ = ["ServiceClient"]
+
+_ERROR_FOR_STATUS = {
+    400: InvalidJobRequestError,
+    404: JobNotFoundError,
+    409: JobNotFinishedError,
+    429: QueueFullError,
+    503: ServiceDrainingError,
+}
+
+
+class ServiceClient:
+    """Talks JSON to one :class:`~repro.service.server.PKAService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8471,
+        *,
+        timeout: float = 10.0,
+    ) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- wire plumbing ---------------------------------------------------
+
+    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._typed_error(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _typed_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            document = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            document = {}
+        message = document.get("message", f"HTTP {exc.code}")
+        cls = _ERROR_FOR_STATUS.get(exc.code)
+        if cls is QueueFullError:
+            return QueueFullError(
+                message,
+                depth=document.get("depth", 0),
+                max_depth=document.get("max_depth", 0),
+            )
+        if cls is not None:
+            return cls(message)
+        return ServiceError(f"HTTP {exc.code}: {message}")
+
+    # -- API -------------------------------------------------------------
+
+    def submit(self, request: JobRequest | dict) -> dict:
+        """POST the job; returns the job document (with ``created``)."""
+        body = request.to_document() if isinstance(request, JobRequest) else request
+        return self._call("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("DELETE", f"/v1/jobs/{job_id}")
+
+    def metrics(self) -> dict:
+        return self._call("GET", "/metricsz")
+
+    def healthy(self) -> bool:
+        try:
+            return self._call("GET", "/healthz").get("status") == "ok"
+        except ServiceError:
+            return False
+
+    def ready(self) -> bool:
+        try:
+            return self._call("GET", "/readyz").get("status") == "ready"
+        except ServiceError:
+            return False
+
+    def wait(self, job_id: str, *, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final job document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["state"] in ("done", "failed", "cancelled"):
+                return document
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {document['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def submit_and_wait(
+        self, request: JobRequest | dict, *, timeout: float = 60.0, poll: float = 0.05
+    ) -> dict:
+        """Submit, wait for a terminal state, and fetch the result."""
+        document = self.submit(request)
+        final = self.wait(document["job_id"], timeout=timeout, poll=poll)
+        if final["state"] == "done":
+            return self.result(final["job_id"])
+        return {"job": final, "result_kind": "none", "result": None}

@@ -1,0 +1,257 @@
+"""Seeded load generator for the evaluation service.
+
+Drives a :class:`~repro.service.client.ServiceClient` with a
+**deterministic** request plan — ``random.Random(seed)`` chooses cells
+and duplicate positions, so a failing run replays exactly — in either
+of two classic load shapes:
+
+* **open loop**: submissions arrive on a Poisson-ish schedule at
+  ``rate`` jobs/second regardless of how fast the service responds
+  (the honest way to find a saturation point);
+* **closed loop**: ``concurrency`` workers each submit, wait for the
+  terminal state, then submit the next (throughput self-limits to
+  service speed).
+
+``duplicate_ratio`` controls what fraction of submissions repeat an
+earlier request *verbatim* — the knob that exercises single-flight
+dedup and the warm-cache fast path.  An optional ``fault`` spec rides
+on one submission to prove fault injection flows end-to-end through
+the wire.
+
+The resulting :class:`LoadReport` carries client-observed counts and
+latency percentiles plus the server's final ``/metricsz`` snapshot, so
+CI can reconcile the two sides of the conversation.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobRequest, parse_job_fault
+from repro.workloads.spec import iter_workloads
+
+__all__ = ["LoadConfig", "LoadReport", "run_load"]
+
+TERMINAL = ("done", "failed", "cancelled")
+
+
+def _percentile(sorted_values: list[float], percentile: float) -> float | None:
+    """Nearest-rank percentile (matches repro.obs.span_percentiles)."""
+    if not sorted_values:
+        return None
+    rank = int(-(-percentile * len(sorted_values) // 100)) - 1
+    rank = max(0, min(len(sorted_values) - 1, rank))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run, fully determined by its fields (seed included)."""
+
+    jobs: int = 20
+    mode: str = "open"  # "open" | "closed"
+    rate: float = 50.0  # open loop: submissions per second
+    concurrency: int = 4  # closed loop: worker count
+    duplicate_ratio: float = 0.0
+    seed: int = 20260807
+    workloads: tuple[str, ...] | None = None
+    methods: tuple[str, ...] = ("silicon",)
+    gpus: tuple[str | None, ...] = (None,)
+    fault: str | None = None  # attached to exactly one submission
+    timeout: float = 120.0
+    poll: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.mode not in ("open", "closed"):
+            raise ValueError("mode must be 'open' or 'closed'")
+        if not 0.0 <= self.duplicate_ratio <= 1.0:
+            raise ValueError("duplicate_ratio must be within [0, 1]")
+        if self.fault is not None:
+            parse_job_fault(self.fault)
+
+
+@dataclass
+class LoadReport:
+    """What happened, from the client's side of the wire."""
+
+    config: LoadConfig
+    submitted: int = 0
+    accepted: int = 0
+    deduplicated: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    errors: int = 0
+    distinct_jobs: int = 0
+    wall_seconds: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    server_metrics: dict | None = None
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def to_document(self) -> dict:
+        latencies = sorted(self.latencies_ms)
+        return {
+            "config": {
+                "jobs": self.config.jobs,
+                "mode": self.config.mode,
+                "rate": self.config.rate,
+                "concurrency": self.config.concurrency,
+                "duplicate_ratio": self.config.duplicate_ratio,
+                "seed": self.config.seed,
+                "methods": list(self.config.methods),
+                "fault": self.config.fault,
+            },
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "deduplicated": self.deduplicated,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "distinct_jobs": self.distinct_jobs,
+            "wall_seconds": self.wall_seconds,
+            "throughput_jobs_per_s": self.throughput,
+            "latency_ms": {
+                "count": len(latencies),
+                "p50": _percentile(latencies, 50.0),
+                "p95": _percentile(latencies, 95.0),
+                "max": latencies[-1] if latencies else None,
+            },
+            "server_metrics": self.server_metrics,
+        }
+
+
+def build_plan(config: LoadConfig) -> list[JobRequest]:
+    """The deterministic submission plan: ``jobs`` requests in order.
+
+    A duplicate slot repeats an earlier request verbatim (same client,
+    same fault) so its job id — and therefore the dedup key — matches.
+    The fault spec, when present, rides on the first *fresh* request and
+    every duplicate of it.
+    """
+    rng = random.Random(config.seed)
+    if config.workloads is not None:
+        names = list(config.workloads)
+    else:
+        names = [spec.name for spec in iter_workloads()]
+    if not names:
+        raise ValueError("no workloads available to generate load against")
+    plan: list[JobRequest] = []
+    fresh: list[JobRequest] = []
+    for index in range(config.jobs):
+        if fresh and rng.random() < config.duplicate_ratio:
+            plan.append(rng.choice(fresh))
+            continue
+        request = JobRequest(
+            workload=rng.choice(names),
+            method=rng.choice(list(config.methods)),
+            gpu=rng.choice(list(config.gpus)),
+            client=f"loadgen-{index % max(1, config.concurrency)}",
+            fault=config.fault if not fresh else None,
+        )
+        plan.append(request)
+        fresh.append(request)
+    return plan
+
+
+def run_load(client: ServiceClient, config: LoadConfig) -> LoadReport:
+    """Execute the plan against a live service and report."""
+    plan = build_plan(config)
+    report = LoadReport(config=config)
+    report.distinct_jobs = len({id(request) for request in plan})
+    lock = threading.Lock()
+    job_ids: list[str] = []
+
+    def submit_one(request: JobRequest) -> str | None:
+        try:
+            document = client.submit(request)
+        except ServiceError:
+            with lock:
+                report.rejected += 1
+            return None
+        with lock:
+            report.accepted += 1
+            if not document.get("created", True):
+                report.deduplicated += 1
+            job_ids.append(document["job_id"])
+        return document["job_id"]
+
+    def await_one(job_id: str) -> None:
+        try:
+            final = client.wait(job_id, timeout=config.timeout, poll=config.poll)
+        except ServiceError:
+            with lock:
+                report.errors += 1
+            return
+        with lock:
+            if final["state"] == "done":
+                report.completed += 1
+            elif final["state"] == "failed":
+                report.failed += 1
+            else:
+                report.cancelled += 1
+            if final.get("latency_ms") is not None:
+                report.latencies_ms.append(final["latency_ms"])
+
+    started = time.monotonic()
+    if config.mode == "open":
+        interval = 1.0 / config.rate if config.rate > 0 else 0.0
+        for index, request in enumerate(plan):
+            target = started + index * interval
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            submit_one(request)
+            report.submitted += 1
+        # All submissions are in flight; wait on each outcome.
+        waiters = [
+            threading.Thread(target=await_one, args=(job_id,), daemon=True)
+            for job_id in list(job_ids)
+        ]
+        for thread in waiters:
+            thread.start()
+        for thread in waiters:
+            thread.join(timeout=config.timeout)
+    else:  # closed loop
+        cursor = {"next": 0}
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(plan):
+                        return
+                    cursor["next"] = index + 1
+                    report.submitted += 1
+                job_id = submit_one(plan[index])
+                if job_id is not None:
+                    await_one(job_id)
+
+        workers = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(max(1, config.concurrency))
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=config.timeout)
+    report.wall_seconds = time.monotonic() - started
+    try:
+        report.server_metrics = client.metrics()
+    except ServiceError:
+        report.server_metrics = None
+    return report

@@ -1,0 +1,389 @@
+"""The serving scheduler: dedup, batching, and job completion.
+
+Three serving-layer optimizations happen here, all invisible to the
+client beyond latency:
+
+* **Single-flight dedup.**  Job ids are deterministic functions of the
+  cell's content digest (:func:`~repro.service.jobs.job_id_for`), so a
+  second submission of an in-flight or finished cell returns the
+  *existing* record instead of scheduling twice.  Duplicate-heavy load
+  therefore fans out strictly fewer backend cells than it accepts jobs.
+
+* **Submission-time cache probe.**  Before queueing, the scheduler asks
+  the harness's :class:`~repro.analysis.persistence.RunCache` for the
+  cell by digest; a warm entry completes the job immediately (``source
+  = "cache"``) without ever touching the queue or backend — this is
+  what keeps cache-hit p95 latency in single-digit milliseconds.
+  Fault-carrying jobs skip the probe (and get salted ids): an injected
+  fault must actually reach the backend, not be satisfied from cache.
+
+* **Batching.**  The dispatcher lingers briefly to coalesce a burst of
+  submissions into one :meth:`~repro.analysis.harness.
+  EvaluationHarness.evaluate_cells` fan-out, amortizing pool dispatch
+  overhead.  Jobs still complete individually, as soon as their cell's
+  :class:`~repro.sim.parallel.TaskOutcome` is decided, via the
+  harness's job-granular ``progress`` hook.
+
+The scheduler owns the job registry: every record a client can observe
+lives in ``_jobs`` and is mutated only under ``_lock``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.harness import CellFailure, EvaluationHarness
+from repro.errors import (
+    JobNotFinishedError,
+    JobNotFoundError,
+    QueueFullError,
+    ReproError,
+    ServiceDrainingError,
+    ServiceError,
+)
+from repro.obs import get_tracer, now_us, obs_count, span_percentiles
+from repro.service.jobs import (
+    JobRecord,
+    JobRequest,
+    job_id_for,
+    parse_job_fault,
+)
+from repro.service.queue import JobQueue
+from repro.sim.faults import FaultPlan, InjectedFault
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Single-flight, batching job scheduler over an EvaluationHarness.
+
+    Construction does not start the dispatcher; call :meth:`start`.
+    (Tests exploit this: submissions to an unstarted scheduler stay
+    ``queued``, which is how cancellation and backpressure are pinned
+    down deterministically.)
+    """
+
+    def __init__(
+        self,
+        harness: EvaluationHarness,
+        *,
+        max_queue: int = 256,
+        batch_max: int = 32,
+        linger: float = 0.02,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.harness = harness
+        self.queue = JobQueue(max_depth=max_queue)
+        self.batch_max = batch_max
+        self.linger = linger
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._draining = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="pka-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop accepting work and wait for accepted jobs to finish.
+
+        Returns ``True`` when every accepted job reached a terminal
+        state within ``timeout`` (a *clean* drain).  On timeout, jobs
+        still queued are cancelled (they can no longer run) and the
+        drain reports unclean; jobs already running are left to finish
+        or die with the process.
+        """
+        self._draining = True
+        deadline = threading.Event()
+        step = 0.02
+        waited = 0.0
+        while waited < timeout:
+            if not self._pending_jobs():
+                break
+            deadline.wait(step)
+            waited += step
+        # Anything still queued after the deadline will never run.
+        for record in self.queue.drain_all():
+            self._complete(record, "cancelled")
+        clean = not self._pending_jobs()
+        self._stop.set()
+        self.queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return clean
+
+    def close(self) -> None:
+        """Immediate stop (no drain): cancel queued jobs, join the loop."""
+        self._draining = True
+        self._stop.set()
+        self.queue.close()
+        for record in self.queue.drain_all():
+            self._complete(record, "cancelled")
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def _pending_jobs(self) -> int:
+        with self._lock:
+            return sum(1 for record in self._jobs.values() if not record.terminal)
+
+    # -- client-facing operations ----------------------------------------
+
+    def submit(self, request: JobRequest) -> tuple[JobRecord, bool]:
+        """Accept one job; returns ``(record, created)``.
+
+        ``created=False`` means single-flight dedup matched an existing
+        job (queued, running, or already terminal) and the caller
+        attached to it.  Raises :class:`ServiceDrainingError` while
+        draining, :class:`InvalidJobRequestError` for requests naming
+        unknown workloads/methods/GPUs, and :class:`QueueFullError`
+        when backpressure applies.
+        """
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining and no longer accepts jobs"
+            )
+        try:
+            digest = self.harness.cell_digest_for(
+                request.workload, request.method, request.gpu
+            )
+        except ServiceError:
+            raise
+        except ReproError as exc:
+            # Unknown workload / method / GPU: the client's fault, not ours.
+            from repro.errors import InvalidJobRequestError
+
+            raise InvalidJobRequestError(str(exc)) from exc
+        job_id = job_id_for(digest, request.fault)
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                existing.dedup_hits += 1
+                obs_count("service.dedup_hits")
+                return existing, False
+            record = JobRecord(job_id=job_id, request=request, digest=digest)
+            self._jobs[job_id] = record
+        obs_count("service.jobs_submitted")
+        if request.fault is None and self._probe_cache(record, digest):
+            obs_count("service.cache_hits")
+            return record, True
+        try:
+            self.queue.put(record)
+        except QueueFullError:
+            with self._lock:
+                del self._jobs[job_id]
+            obs_count("service.jobs_rejected")
+            raise
+        return record, True
+
+    def _probe_cache(self, record: JobRecord, digest: str) -> bool:
+        """Complete the job from the on-disk cache if the cell is warm."""
+        if record.request.method == "selection":
+            cached = self.harness.run_cache.get_selection(digest)
+        else:
+            cached = self.harness.run_cache.get_run(digest)
+        if cached is None:
+            return False
+        self._complete(record, "done", result=cached, source="cache")
+        return True
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise JobNotFoundError(f"no such job: {job_id}")
+        return record
+
+    def result(self, job_id: str) -> JobRecord:
+        record = self.get(job_id)
+        if not record.terminal:
+            raise JobNotFinishedError(
+                f"job {job_id} is still {record.state}; poll until terminal"
+            )
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job.  Terminal jobs are a no-op; running jobs
+        cannot be recalled from the backend and raise."""
+        record = self.get(job_id)
+        with self._lock:
+            if record.terminal:
+                return record
+            if record.state == "queued":
+                plucked = self.queue.remove(job_id)
+                if plucked is not None:
+                    self._complete(record, "cancelled")
+                    return record
+            # Between take_batch and the running transition there is a
+            # sliver where the job is neither in the queue nor marked
+            # running; treat it like running — it is about to execute.
+        raise JobNotFinishedError(
+            f"job {job_id} is {record.state} and can no longer be cancelled"
+        )
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.queue.take_batch(
+                self.batch_max, linger=self.linger, timeout=0.1
+            )
+            if not batch:
+                continue
+            try:
+                self._run_batch(batch)
+            except Exception as exc:  # defensive: never kill the loop
+                for record in batch:
+                    if not record.terminal:
+                        self._complete(
+                            record,
+                            "failed",
+                            error={
+                                "kind": "scheduler",
+                                "error_type": type(exc).__name__,
+                                "message": str(exc),
+                            },
+                        )
+
+    def _run_batch(self, batch: list[JobRecord]) -> None:
+        with self._lock:
+            ready = []
+            for record in batch:
+                if record.state != "queued":
+                    continue  # cancelled in the take_batch window
+                record.state = "running"
+                ready.append(record)
+        if not ready:
+            return
+        cells = [
+            (r.request.workload, r.request.method, r.request.gpu) for r in ready
+        ]
+        faults = []
+        for index, record in enumerate(ready):
+            if record.request.fault is not None:
+                kind, attempts = parse_job_fault(record.request.fault)
+                faults.append(
+                    InjectedFault(task_index=index, kind=kind, attempts=attempts)
+                )
+        plan = FaultPlan(faults=tuple(faults)) if faults else None
+        obs_count("service.backend_fanouts")
+        obs_count("service.batch_cells", len(ready))
+
+        def progress(outcome) -> None:
+            # Job-granular completion: don't make job 1 wait for job 32.
+            if outcome.ok:
+                self._complete(
+                    ready[outcome.index],
+                    "done",
+                    result=outcome.value,
+                    source="computed",
+                )
+
+        results = self.harness.evaluate_cells(
+            cells, strict=False, fault_plan=plan, progress=progress
+        )
+        for record, result in zip(ready, results, strict=True):
+            if record.terminal:
+                continue
+            if isinstance(result, CellFailure):
+                self._complete(
+                    record,
+                    "failed",
+                    error=result.to_record(),
+                    attempts=result.attempts,
+                )
+            else:
+                self._complete(record, "done", result=result, source="computed")
+
+    def _complete(
+        self,
+        record: JobRecord,
+        state: str,
+        *,
+        result=None,
+        error: dict | None = None,
+        attempts: int | None = None,
+        source: str | None = None,
+    ) -> None:
+        with self._lock:
+            if record.terminal:
+                return
+            record.state = state
+            record.result = result
+            record.error = error
+            if attempts is not None:
+                record.attempts = attempts
+            if source is not None:
+                record.source = source
+            end_us = now_us()
+            record.latency_ms = (end_us - record.submitted_us) / 1000.0
+            get_tracer().record_span(
+                "service.job",
+                start_us=record.submitted_us,
+                duration_us=end_us - record.submitted_us,
+                job=record.job_id,
+                state=state,
+                source=record.source or "none",
+            )
+        obs_count(f"service.jobs_{state}")
+
+    # -- introspection ---------------------------------------------------
+
+    def metrics(self) -> dict:
+        """A JSON-ready snapshot for ``/metricsz`` and drain manifests."""
+        tracer = get_tracer()
+        with self._lock:
+            states: dict[str, int] = {}
+            for record in self._jobs.values():
+                states[record.state] = states.get(record.state, 0) + 1
+            total_jobs = len(self._jobs)
+        counters = {
+            name: value
+            for name, value in sorted(tracer.counters.items())
+            if name.startswith(("service.", "tasks.", "harness.", "cache.", "backend."))
+        }
+        cache = self.harness.run_cache
+        lookups = cache.hits + cache.misses
+        latency = {
+            "all": span_percentiles(tracer, "service.job"),
+            "cache": span_percentiles(
+                tracer, "service.job", where=lambda args: args.get("source") == "cache"
+            ),
+            "computed": span_percentiles(
+                tracer,
+                "service.job",
+                where=lambda args: args.get("source") == "computed",
+            ),
+        }
+        return {
+            "queue_depth": self.queue.depth,
+            "draining": self._draining,
+            "jobs": total_jobs,
+            "states": states,
+            "counters": counters,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "writes": cache.writes,
+                "evictions": cache.evictions,
+                "evicted_bytes": cache.evicted_bytes,
+                "hit_ratio": (cache.hits / lookups) if lookups else None,
+            },
+            "latency_ms": latency,
+        }

@@ -1,0 +1,296 @@
+"""Stdlib HTTP facade over the scheduler: the PKA evaluation service.
+
+JSON API (all bodies are ``application/json``):
+
+========  =======================  ==============================================
+Method    Path                     Meaning
+========  =======================  ==============================================
+POST      ``/v1/jobs``             Submit a job; 202 accepted (or 200 when dedup
+                                   / cache completed it already)
+GET       ``/v1/jobs/<id>``        Job record (state, latency, provenance)
+GET       ``/v1/jobs/<id>/result`` Terminal job's result payload (409 earlier)
+DELETE    ``/v1/jobs/<id>``        Cancel a queued job
+GET       ``/healthz``             Liveness (always 200 while the process runs)
+GET       ``/readyz``              Readiness (503 while draining)
+GET       ``/metricsz``            Counters, queue depth, cache hit ratio,
+                                   latency percentiles
+========  =======================  ==============================================
+
+Error mapping is type-driven: every :class:`~repro.errors.ServiceError`
+subclass carries an HTTP status (400 invalid request, 404 unknown job,
+409 not finished, 429 queue full, 503 draining); anything else is a 500
+with the exception type in the body.
+
+Built on :class:`http.server.ThreadingHTTPServer` — dependency-free by
+design, like the rest of the repo.  Request handling is thin: parse,
+call the scheduler, serialize; all serving policy lives in
+:mod:`repro.service.scheduler`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.analysis.harness import EvaluationHarness
+from repro.analysis.persistence import dump_run, dump_selection
+from repro.core.pka import KernelSelection
+from repro.errors import (
+    InvalidJobRequestError,
+    JobNotFinishedError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceDrainingError,
+    ServiceError,
+)
+from repro.obs import enable as obs_enable, get_tracer
+from repro.service.jobs import JobRecord, JobRequest
+from repro.service.scheduler import Scheduler
+from repro.sim.stats import AppRunResult
+
+__all__ = ["PKAService", "STATUS_FOR"]
+
+#: HTTP status per typed service error (matched in subclass order).
+STATUS_FOR = (
+    (InvalidJobRequestError, 400),
+    (JobNotFoundError, 404),
+    (JobNotFinishedError, 409),
+    (QueueFullError, 429),
+    (ServiceDrainingError, 503),
+)
+
+
+def _status_for(exc: ServiceError) -> int:
+    for cls, status in STATUS_FOR:
+        if isinstance(exc, cls):
+            return status
+    return 500
+
+
+def _result_document(record: JobRecord) -> dict:
+    """JSON-ready result payload for a terminal job."""
+    result = record.result
+    if isinstance(result, AppRunResult):
+        payload: object = json.loads(dump_run(result))
+        kind = "app_run"
+    elif isinstance(result, KernelSelection):
+        payload = json.loads(dump_selection(result))
+        kind = "selection"
+    elif result is None:
+        # Either a not-applicable cell (done, value None) or a
+        # failed/cancelled job with no value at all.
+        payload = None
+        kind = "none"
+    else:  # pragma: no cover - future result types serialize as repr
+        payload = repr(result)
+        kind = type(result).__name__
+    return {
+        "job": record.to_document(),
+        "result_kind": kind,
+        "result": payload,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service instance rides on the server object."""
+
+    server_version = "pka-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default stderr-per-request logging; the service keeps
+    # its own counters.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> "PKAService":
+        return self.server.pka_service  # type: ignore[attr-defined]
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: Exception) -> None:
+        if isinstance(exc, ServiceError):
+            status = _status_for(exc)
+        else:
+            status = 500
+        document = {"error": type(exc).__name__, "message": str(exc)}
+        if isinstance(exc, QueueFullError):
+            document["depth"] = exc.depth
+            document["max_depth"] = exc.max_depth
+        self._send_json(status, document)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise InvalidJobRequestError("request body required")
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidJobRequestError(f"body is not valid JSON: {exc}") from exc
+        return document
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif self.path == "/readyz":
+                if self.service.scheduler.draining:
+                    self._send_json(503, {"status": "draining"})
+                else:
+                    self._send_json(200, {"status": "ready"})
+            elif self.path == "/metricsz":
+                self._send_json(200, self.service.metrics())
+            elif self.path.startswith("/v1/jobs/") and self.path.endswith("/result"):
+                job_id = self.path[len("/v1/jobs/") : -len("/result")]
+                record = self.service.scheduler.result(job_id)
+                self._send_json(200, _result_document(record))
+            elif self.path.startswith("/v1/jobs/"):
+                job_id = self.path[len("/v1/jobs/") :]
+                record = self.service.scheduler.get(job_id)
+                self._send_json(200, record.to_document())
+            else:
+                self._send_json(404, {"error": "NotFound", "message": self.path})
+        except Exception as exc:  # typed errors -> typed statuses
+            self._send_error_json(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path != "/v1/jobs":
+                self._send_json(404, {"error": "NotFound", "message": self.path})
+                return
+            request = JobRequest.from_document(self._read_body())
+            record, created = self.service.scheduler.submit(request)
+            document = record.to_document()
+            document["created"] = created
+            self._send_json(202 if created and not record.terminal else 200, document)
+        except Exception as exc:
+            self._send_error_json(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            if not self.path.startswith("/v1/jobs/"):
+                self._send_json(404, {"error": "NotFound", "message": self.path})
+                return
+            job_id = self.path[len("/v1/jobs/") :]
+            record = self.service.scheduler.cancel(job_id)
+            self._send_json(200, record.to_document())
+        except Exception as exc:
+            self._send_error_json(exc)
+
+
+class PKAService:
+    """The evaluation service: scheduler + HTTP listener + drain logic.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  Use as a context manager in tests::
+
+        with PKAService(harness) as service:
+            client = ServiceClient(port=service.port)
+            ...
+    """
+
+    def __init__(
+        self,
+        harness: EvaluationHarness,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = 256,
+        batch_max: int = 32,
+        linger: float = 0.02,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        self.harness = harness
+        self.scheduler = Scheduler(
+            harness, max_queue=max_queue, batch_max=batch_max, linger=linger
+        )
+        self.drain_timeout = drain_timeout
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.pka_service = self  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._serve_thread: threading.Thread | None = None
+        self.started_at = time.time()
+        self.service_id = f"service-{os.getpid()}-{int(self.started_at)}"
+
+    def start(self, *, run_scheduler: bool = True) -> "PKAService":
+        """Start serving.  ``run_scheduler=False`` accepts jobs but never
+        dispatches them — tests use it to observe pre-dispatch states
+        (queued, cancelled, queue-full) deterministically."""
+        # Percentile latency and counter export need the tracer on.
+        obs_enable()
+        if run_scheduler:
+            self.scheduler.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="pka-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def metrics(self) -> dict:
+        document = self.scheduler.metrics()
+        document["service_id"] = self.service_id
+        document["uptime_seconds"] = time.time() - self.started_at
+        return document
+
+    def drain(self, timeout: float | None = None) -> tuple[dict, bool]:
+        """Graceful shutdown: refuse new work, finish accepted work.
+
+        Returns ``(manifest, clean)``.  The manifest — every accepted
+        job with its terminal state, plus the final counters — is
+        persisted to the run cache under the service id, so "zero jobs
+        lost" is auditable after the process is gone.
+        """
+        clean = self.scheduler.drain(
+            timeout if timeout is not None else self.drain_timeout
+        )
+        jobs = [record.to_document() for record in self.scheduler.jobs()]
+        states: dict[str, int] = {}
+        for job in jobs:
+            states[job["state"]] = states.get(job["state"], 0) + 1
+        manifest = {
+            "service_id": self.service_id,
+            "clean": clean,
+            "jobs": jobs,
+            "states": states,
+            "counters": {
+                name: value
+                for name, value in sorted(get_tracer().counters.items())
+                if name.startswith("service.")
+            },
+        }
+        self.harness.run_cache.put_manifest(self.service_id, manifest)
+        self.close()
+        return manifest, clean
+
+    def close(self) -> None:
+        """Stop serving immediately (no drain)."""
+        self.scheduler.close()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        backend_close = getattr(self.harness.backend, "close", None)
+        if backend_close is not None:
+            backend_close()
+
+    def __enter__(self) -> "PKAService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -305,6 +305,7 @@ def _run_tasks_inline(
     labels: Sequence[str] | None,
     fault_plan: FaultPlan | None,
     strict: bool,
+    on_outcome: Callable[[TaskOutcome], None] | None = None,
 ) -> list[TaskOutcome]:
     """The in-process fault-tolerant loop both backends share.
 
@@ -355,6 +356,8 @@ def _run_tasks_inline(
                 exception=last_exc,
             )
             break
+        if on_outcome is not None:
+            on_outcome(state.outcome)
         if strict and not state.outcome.ok:
             _raise_outcome(state.outcome)
         outcomes.append(state.outcome)
@@ -393,11 +396,21 @@ class SerialBackend:
         labels: Sequence[str] | None = None,
         fault_plan: FaultPlan | None = None,
         strict: bool = False,
+        on_outcome: Callable[[TaskOutcome], None] | None = None,
     ) -> list[TaskOutcome]:
-        """Fault-tolerant in-order execution; see :class:`FaultPolicy`."""
+        """Fault-tolerant in-order execution; see :class:`FaultPolicy`.
+
+        ``on_outcome`` is invoked once per task, as its outcome is
+        decided — the hook the serving layer uses to complete jobs at
+        task granularity instead of batch granularity.
+        """
         return _run_tasks_inline(
-            fn, list(items), policy or FAIL_FAST, labels, fault_plan, strict
+            fn, list(items), policy or FAIL_FAST, labels, fault_plan, strict,
+            on_outcome,
         )
+
+    def close(self) -> None:
+        """Nothing to release; present for backend-lifecycle symmetry."""
 
     def __repr__(self) -> str:
         return "SerialBackend()"
@@ -420,10 +433,43 @@ class ProcessPoolBackend:
     :class:`~repro.errors.TaskTimeoutError`.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(self, jobs: int | None = None, *, persistent: bool = False) -> None:
         if jobs is not None and jobs < 1:
             raise ConfigurationError("jobs must be >= 1 (or None for auto)")
         self.jobs = jobs if jobs is not None else auto_worker_count()
+        #: With ``persistent=True`` one executor (and its warm workers,
+        #: with their per-process simulator/harness caches) is kept alive
+        #: across ``run_tasks`` calls instead of being rebuilt per round —
+        #: what a long-lived server wants.  The pool is discarded and
+        #: lazily rebuilt after a worker crash or a timeout kill, since a
+        #: broken executor cannot be reused.  Call :meth:`close` when done.
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _acquire_pool(self, workers: int) -> tuple[ProcessPoolExecutor, bool]:
+        """The executor for one round, and whether it is round-scoped."""
+        if not self.persistent:
+            return (
+                ProcessPoolExecutor(
+                    max_workers=workers, mp_context=self._context()
+                ),
+                True,
+            )
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=self._context()
+            )
+            obs_count("backend.pool_starts")
+        return self._pool, False
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op in round-scoped mode)."""
+        self._discard_pool()
 
     def map_tasks(
         self, fn: Callable[[Any], Any], items: Iterable[Any]
@@ -449,6 +495,7 @@ class ProcessPoolBackend:
         labels: Sequence[str] | None = None,
         fault_plan: FaultPlan | None = None,
         strict: bool = False,
+        on_outcome: Callable[[TaskOutcome], None] | None = None,
     ) -> list[TaskOutcome]:
         """Fault-tolerant fan-out: retries, timeouts, crash isolation.
 
@@ -465,7 +512,9 @@ class ProcessPoolBackend:
         work = list(items)
         names = _labels_for(work, labels)
         if len(work) <= 1 or self.jobs == 1:
-            return _run_tasks_inline(fn, work, policy, names, fault_plan, strict)
+            return _run_tasks_inline(
+                fn, work, policy, names, fault_plan, strict, on_outcome
+            )
         states = [
             _TaskState(index, item, names[index])
             for index, item in enumerate(work)
@@ -488,6 +537,8 @@ class ProcessPoolBackend:
                     state.outcome = TaskOutcome(
                         state.index, state.label, value=value, obs=shipped
                     )
+                    if on_outcome is not None:
+                        on_outcome(state.outcome)
                     continue
                 if status == "suspect":
                     isolation.append(state)  # uncharged: maybe innocent
@@ -511,6 +562,8 @@ class ProcessPoolBackend:
                     failure=_final_failure(state, kind, exc),
                     exception=exc,
                 )
+                if on_outcome is not None:
+                    on_outcome(state.outcome)
         outcomes = sorted(
             (state.outcome for state in states), key=lambda o: o.index
         )
@@ -550,10 +603,11 @@ class ProcessPoolBackend:
         true deadline by at most one poll interval.
         """
         workers = min(self.jobs, len(states))
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=self._context())
+        pool, round_scoped = self._acquire_pool(workers)
         results: dict[int, tuple[str, Any]] = {}
         futures: dict[Future, _TaskState] = {}
         timed_out: set[Future] = set()
+        broken: list[_TaskState] = []
         capture = get_tracer().enabled
         try:
             for state in states:
@@ -592,7 +646,6 @@ class ProcessPoolBackend:
                 }
                 if timed_out:
                     break
-            broken: list[_TaskState] = []
             for future, state in futures.items():
                 if future in timed_out:
                     results[state.index] = ("timeout", None)
@@ -622,7 +675,13 @@ class ProcessPoolBackend:
                         process.terminate()
                     except OSError:
                         pass
-            pool.shutdown(wait=True, cancel_futures=True)
+            if round_scoped:
+                pool.shutdown(wait=True, cancel_futures=True)
+            elif timed_out or broken:
+                # A persistent pool that lost workers (crash) or had them
+                # terminated (hang) is unusable; discard it so the next
+                # round lazily builds a fresh one.
+                self._discard_pool()
         return [results[state.index] for state in states]
 
     @staticmethod
@@ -633,7 +692,8 @@ class ProcessPoolBackend:
         return multiprocessing.get_context("fork" if "fork" in methods else None)
 
     def __repr__(self) -> str:
-        return f"ProcessPoolBackend(jobs={self.jobs})"
+        suffix = ", persistent=True" if self.persistent else ""
+        return f"ProcessPoolBackend(jobs={self.jobs}{suffix})"
 
 
 def resolve_backend(

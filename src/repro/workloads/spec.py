@@ -12,6 +12,7 @@ kernel counts mismatch between profiling and tracing runs).
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
@@ -140,13 +141,15 @@ def workload_names(suite: str | None = None) -> list[str]:
 
 
 _LOADED = False
+_LOAD_LOCK = threading.Lock()
 
 
 def clear_registry() -> None:
     """Empty the registry (test isolation helper); it reloads on next use."""
     global _LOADED
-    _REGISTRY.clear()
-    _LOADED = False
+    with _LOAD_LOCK:
+        _REGISTRY.clear()
+        _LOADED = False
 
 
 def _ensure_loaded() -> None:
@@ -154,20 +157,26 @@ def _ensure_loaded() -> None:
 
     Each suite module exposes ``build_suite() -> list[WorkloadSpec]``;
     importing is deferred to avoid a circular import at package load.
+    Lock-guarded: the evaluation service hits first access from many
+    request threads at once, and a double load would register every
+    workload twice.
     """
     global _LOADED
     if _LOADED:
         return
-    from repro.workloads import (
-        cutlass,
-        deepbench,
-        mlperf,
-        parboil,
-        polybench,
-        rodinia,
-    )
+    with _LOAD_LOCK:
+        if _LOADED:
+            return
+        from repro.workloads import (
+            cutlass,
+            deepbench,
+            mlperf,
+            parboil,
+            polybench,
+            rodinia,
+        )
 
-    for module in (rodinia, parboil, polybench, cutlass, deepbench, mlperf):
-        for spec in module.build_suite():
-            register(spec)
-    _LOADED = True
+        for module in (rodinia, parboil, polybench, cutlass, deepbench, mlperf):
+            for spec in module.build_suite():
+                register(spec)
+        _LOADED = True

@@ -1,0 +1,202 @@
+"""Cross-process cache safety and bounded-size (LRU) eviction.
+
+The run cache's claim (docs/API.md, "Cache atomicity"): concurrent
+readers and writers across *processes* never observe torn entries —
+every read returns either nothing or an exact, checksum-verified value.
+These tests hammer one cache directory from several processes to hold
+the claim to account, then pin down the LRU eviction policy added for
+bounded deployments (the long-lived evaluation service).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.analysis.persistence import RunCache, dump_run, load_run
+from repro.errors import ReproError
+from repro.gpu import VOLTA_V100
+from repro.sim import Simulator
+from repro.workloads import get_workload
+
+WORKLOAD = "gauss_208"
+DIGESTS = [f"{index:02x}" + "ab" * 31 for index in range(8)]
+
+
+def _small_run():
+    launches = get_workload(WORKLOAD).build("volta")
+    return Simulator(VOLTA_V100).run_full(WORKLOAD, launches)
+
+
+def _hammer(payload: tuple) -> dict:
+    """One worker: interleave writes and reads of shared digests.
+
+    Module-level so it pickles into pool workers.  Returns observation
+    tallies; any torn read would surface as a quarantine or a value
+    mismatch in the parent's final sweep.
+    """
+    root, run_text, worker, rounds = payload
+    cache = RunCache(root)
+    result = load_run(run_text)
+    mismatches = 0
+    for round_index in range(rounds):
+        for index, digest in enumerate(DIGESTS):
+            if (worker + round_index + index) % 2 == 0:
+                cache.put_run(digest, result)
+            else:
+                seen = cache.get_run(digest)
+                if seen is not None and seen != result:
+                    mismatches += 1
+    return {
+        "worker": worker,
+        "mismatches": mismatches,
+        "quarantined": cache.quarantined,
+        "degraded": cache.degraded,
+    }
+
+
+class TestCrossProcessSafety:
+    def test_concurrent_writers_and_readers_never_tear(self, tmp_path):
+        run_text = dump_run(_small_run())
+        workers = 4
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            reports = list(
+                pool.map(
+                    _hammer,
+                    [(str(tmp_path), run_text, worker, 6) for worker in range(workers)],
+                )
+            )
+        for report in reports:
+            assert report["mismatches"] == 0, report
+            assert report["quarantined"] == 0, report
+            assert not report["degraded"], report
+        # Parent-side final audit: every digest holds the exact value,
+        # nothing was quarantined, no temp files leaked.
+        audit = RunCache(tmp_path)
+        expected = load_run(run_text)
+        for digest in DIGESTS:
+            assert audit.get_run(digest) == expected
+        assert audit.quarantined == 0
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_same_digest_writers_are_idempotent(self, tmp_path):
+        cache = RunCache(tmp_path)
+        result = _small_run()
+        for _ in range(5):
+            cache.put_run(DIGESTS[0], result)
+        assert cache.entry_count() == 1
+        assert cache.get_run(DIGESTS[0]) == result
+
+    def test_delete_under_reader_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        result = _small_run()
+        cache.put_run(DIGESTS[0], result)
+        # Simulate an eviction racing a reader: the entry disappears
+        # between existence check and open -> plain miss, not an error.
+        reader = RunCache(tmp_path)
+        for path in tmp_path.glob("[0-9a-f][0-9a-f]/*.json"):
+            path.unlink()
+        assert reader.get_run(DIGESTS[0]) is None
+
+
+class TestBoundedSize:
+    @pytest.fixture(autouse=True)
+    def _obs(self):
+        obs.reset()
+        obs.enable()
+        yield
+        obs.reset()
+
+    def _entry_size(self, tmp_path) -> int:
+        cache = RunCache(tmp_path / "probe")
+        cache.put_run(DIGESTS[0], _small_run())
+        (path,) = (tmp_path / "probe").glob("[0-9a-f][0-9a-f]/*.json")
+        return path.stat().st_size
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ReproError):
+            RunCache(tmp_path, max_bytes=0)
+        with pytest.raises(ReproError):
+            RunCache(tmp_path, max_bytes=-5)
+
+    def test_oldest_entry_evicted_first(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = RunCache(tmp_path / "c", max_bytes=2 * size + size // 2)
+        result = _small_run()
+        cache.put_run(DIGESTS[0], result)
+        cache.put_run(DIGESTS[1], result)
+        # Make the ages unambiguous regardless of filesystem resolution.
+        first = next((tmp_path / "c").glob(f"*/{DIGESTS[0]}.json"))
+        second = next((tmp_path / "c").glob(f"*/{DIGESTS[1]}.json"))
+        os.utime(first, ns=(1, 1))
+        os.utime(second, ns=(2, 2))
+        cache.put_run(DIGESTS[2], result)  # now over budget
+        assert cache.get_run(DIGESTS[0]) is None  # oldest: gone
+        assert cache.get_run(DIGESTS[1]) == result
+        assert cache.get_run(DIGESTS[2]) == result
+        assert cache.evictions == 1
+        assert cache.evicted_bytes == size
+        counters = obs.get_tracer().counters
+        assert counters["cache.evictions"] == 1
+        assert counters["cache.evicted_bytes"] == size
+
+    def test_read_hit_refreshes_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = RunCache(tmp_path / "c", max_bytes=2 * size + size // 2)
+        result = _small_run()
+        cache.put_run(DIGESTS[0], result)
+        cache.put_run(DIGESTS[1], result)
+        first = next((tmp_path / "c").glob(f"*/{DIGESTS[0]}.json"))
+        second = next((tmp_path / "c").glob(f"*/{DIGESTS[1]}.json"))
+        os.utime(first, ns=(1, 1))
+        os.utime(second, ns=(2, 2))
+        # Touch the notionally-oldest entry via a read hit: LRU must now
+        # prefer evicting DIGESTS[1] instead.
+        fresh = RunCache(tmp_path / "c", max_bytes=2 * size + size // 2)
+        assert fresh.get_run(DIGESTS[0]) == result
+        fresh.put_run(DIGESTS[2], result)
+        assert fresh.get_run(DIGESTS[0]) == result  # survived
+        assert fresh.get_run(DIGESTS[1]) is None  # evicted instead
+
+    def test_just_written_entry_is_never_evicted(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        # Budget below one entry: eviction pressure is permanent, but
+        # the entry just written must survive its own write.
+        cache = RunCache(tmp_path / "c", max_bytes=size // 2)
+        result = _small_run()
+        cache.put_run(DIGESTS[0], result)
+        assert cache.get_run(DIGESTS[0]) == result
+        cache.put_run(DIGESTS[1], result)
+        assert cache.get_run(DIGESTS[1]) == result  # newest survives
+        assert cache.get_run(DIGESTS[0]) is None  # older casualty
+        assert cache.evictions >= 1
+
+    def test_manifests_are_exempt_from_eviction(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = RunCache(tmp_path / "c", max_bytes=size // 2)
+        cache.put_manifest("sweep-x", {"total_cells": 1})
+        cache.put_run(DIGESTS[0], _small_run())
+        cache.put_run(DIGESTS[1], _small_run())
+        assert cache.get_manifest("sweep-x") == {"total_cells": 1}
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = RunCache(tmp_path, max_bytes=None)
+        result = _small_run()
+        for digest in DIGESTS:
+            cache.put_run(digest, result)
+        assert cache.evictions == 0
+        assert cache.entry_count() == len(DIGESTS)
+
+    def test_total_bytes_tracks_disk(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.total_bytes() == 0
+        cache.put_run(DIGESTS[0], _small_run())
+        on_disk = sum(
+            path.stat().st_size
+            for path in tmp_path.glob("[0-9a-f][0-9a-f]/*.json")
+        )
+        assert cache.total_bytes() == on_disk > 0

@@ -1,0 +1,121 @@
+"""Load generator tests: deterministic plans and report reconciliation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.analysis.harness import EvaluationHarness
+from repro.service import LoadConfig, PKAService, ServiceClient, build_plan, run_load
+from repro.service.jobs import job_id_for
+
+
+class TestPlan:
+    def test_same_seed_same_plan(self):
+        config = LoadConfig(jobs=30, duplicate_ratio=0.4, seed=5)
+        first = build_plan(config)
+        second = build_plan(config)
+        assert first == second
+        assert len(first) == 30
+
+    def test_different_seed_different_plan(self):
+        base = LoadConfig(jobs=30, duplicate_ratio=0.4, seed=5)
+        other = LoadConfig(jobs=30, duplicate_ratio=0.4, seed=6)
+        assert build_plan(base) != build_plan(other)
+
+    def test_duplicates_repeat_earlier_requests_verbatim(self):
+        config = LoadConfig(jobs=40, duplicate_ratio=0.5, seed=9)
+        plan = build_plan(config)
+        fresh = {id(request) for request in plan}
+        assert len(fresh) < len(plan)  # some slots are duplicates
+        # A duplicate is the same object, so its dedup key matches.
+        seen: dict[int, int] = {}
+        for request in plan:
+            seen[id(request)] = seen.get(id(request), 0) + 1
+        assert any(count > 1 for count in seen.values())
+
+    def test_zero_ratio_means_all_fresh(self):
+        plan = build_plan(LoadConfig(jobs=10, duplicate_ratio=0.0, seed=1))
+        assert len({id(request) for request in plan}) == 10
+
+    def test_fault_rides_on_first_fresh_request_only(self):
+        config = LoadConfig(
+            jobs=20, duplicate_ratio=0.3, seed=3, fault="exception"
+        )
+        plan = build_plan(config)
+        faulted = {id(r) for r in plan if r.fault is not None}
+        assert len(faulted) == 1  # one distinct request carries the fault
+        assert plan[0].fault == "exception"
+
+    def test_restricted_workload_pool(self):
+        config = LoadConfig(
+            jobs=12, seed=2, workloads=("gauss_208",), methods=("silicon",)
+        )
+        plan = build_plan(config)
+        assert {request.workload for request in plan} == {"gauss_208"}
+        # One cell + no fault: every submission shares one job id.
+        assert len({(r.workload, r.method, r.gpu) for r in plan}) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0},
+            {"mode": "sideways"},
+            {"duplicate_ratio": 1.5},
+            {"fault": "bogus"},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises((ValueError, Exception)):
+            LoadConfig(**kwargs)
+
+
+class TestRunLoad:
+    @pytest.fixture(autouse=True)
+    def _obs_reset(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_report_reconciles_with_server_metrics(self, tmp_path):
+        harness = EvaluationHarness(
+            backend="serial", cache_dir=tmp_path / "cache"
+        )
+        service = PKAService(harness, port=0, max_queue=64, batch_max=8)
+        service.start()
+        try:
+            client = ServiceClient(port=service.port, timeout=10.0)
+            config = LoadConfig(
+                jobs=10,
+                mode="closed",
+                concurrency=3,
+                duplicate_ratio=0.4,
+                seed=13,
+                workloads=("gauss_208", "histo"),
+                methods=("silicon",),
+                timeout=60.0,
+            )
+            report = run_load(client, config)
+            assert report.submitted == 10
+            assert report.accepted == 10
+            assert report.completed == 10
+            assert report.failed == 0
+            assert len(report.latencies_ms) == 10
+
+            counters = report.server_metrics["counters"]
+            # Client-side dedup tally and the server's registry agree:
+            # fresh submissions == jobs the server actually created.
+            assert (
+                counters["service.jobs_submitted"]
+                == report.accepted - report.deduplicated
+            )
+            assert counters.get("service.dedup_hits", 0) == report.deduplicated
+            assert counters["service.jobs_done"] == counters["service.jobs_submitted"]
+            document = report.to_document()
+            assert document["latency_ms"]["count"] == 10
+            assert document["latency_ms"]["p95"] >= document["latency_ms"]["p50"]
+            assert document["server_metrics"]["jobs"] == int(
+                counters["service.jobs_submitted"]
+            )
+        finally:
+            service.close()

@@ -1,0 +1,243 @@
+"""Scheduler tests: single-flight dedup, cache fast path, cancellation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis.harness import EvaluationHarness
+from repro.errors import (
+    InvalidJobRequestError,
+    JobNotFinishedError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceDrainingError,
+)
+from repro.service import JobRequest, Scheduler
+
+WORKLOAD = "gauss_208"
+
+
+@pytest.fixture(autouse=True)
+def _tracing():
+    """Scheduler metrics ride on repro.obs counters; reset around each test."""
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+
+
+@pytest.fixture
+def cached_harness(tmp_path) -> EvaluationHarness:
+    return EvaluationHarness(backend="serial", cache_dir=tmp_path / "cache")
+
+
+def _wait_terminal(record, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not record.terminal:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job {record.job_id} stuck in {record.state}")
+        time.sleep(0.01)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_submissions_one_fanout(self, cached_harness):
+        """Two racing identical submissions -> one backend fan-out, two
+        successful observers (the satellite acceptance check)."""
+        scheduler = Scheduler(cached_harness, batch_max=8)
+        request = JobRequest(workload=WORKLOAD, method="silicon")
+        records = []
+        barrier = threading.Barrier(2)
+
+        def submit() -> None:
+            barrier.wait()
+            record, _created = scheduler.submit(request)
+            records.append(record)
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(records) == 2
+        assert records[0] is records[1]  # same record: single flight
+        scheduler.start()
+        _wait_terminal(records[0])
+        scheduler.close()
+        assert records[0].state == "done"
+        assert records[0].result is not None
+        counters = obs.get_tracer().counters
+        assert counters["service.backend_fanouts"] == 1
+        assert counters["service.dedup_hits"] == 1
+        assert counters["service.jobs_submitted"] == 1
+        assert counters["service.jobs_done"] == 1
+
+    def test_resubmit_after_done_attaches_to_record(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        scheduler.start()
+        request = JobRequest(workload=WORKLOAD, method="silicon")
+        record, created = scheduler.submit(request)
+        assert created
+        _wait_terminal(record)
+        again, created_again = scheduler.submit(request)
+        scheduler.close()
+        assert again is record
+        assert not created_again
+        assert again.dedup_hits == 1
+
+    def test_faulted_twin_is_a_distinct_job(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        clean, _ = scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+        faulted, created = scheduler.submit(
+            JobRequest(workload=WORKLOAD, method="silicon", fault="exception")
+        )
+        scheduler.close()
+        assert created
+        assert faulted.job_id != clean.job_id
+
+
+class TestCacheFastPath:
+    def test_warm_cache_completes_without_queue_or_dispatch(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        warmup = EvaluationHarness(backend="serial", cache_dir=cache_dir)
+        warmup.evaluate_cells([(WORKLOAD, "silicon", None)])
+
+        served = EvaluationHarness(backend="serial", cache_dir=cache_dir)
+        scheduler = Scheduler(served)  # never started: nothing dispatches
+        record, created = scheduler.submit(
+            JobRequest(workload=WORKLOAD, method="silicon")
+        )
+        assert created
+        assert record.state == "done"
+        assert record.source == "cache"
+        assert record.result is not None
+        assert record.latency_ms is not None
+        assert scheduler.queue.depth == 0
+        counters = obs.get_tracer().counters
+        assert counters["service.cache_hits"] == 1
+        assert "service.backend_fanouts" not in counters
+
+    def test_faulted_job_skips_the_cache_probe(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        warmup = EvaluationHarness(backend="serial", cache_dir=cache_dir)
+        warmup.evaluate_cells([(WORKLOAD, "silicon", None)])
+
+        scheduler = Scheduler(
+            EvaluationHarness(backend="serial", cache_dir=cache_dir)
+        )
+        record, _ = scheduler.submit(
+            JobRequest(workload=WORKLOAD, method="silicon", fault="exception")
+        )
+        # The injection must reach the backend, not be satisfied from cache.
+        assert record.state == "queued"
+        assert scheduler.queue.depth == 1
+
+
+class TestValidationAndBackpressure:
+    def test_unknown_workload_rejected_typed(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        with pytest.raises(InvalidJobRequestError):
+            scheduler.submit(JobRequest(workload="not_a_workload", method="silicon"))
+
+    def test_unknown_method_rejected_typed(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        with pytest.raises(InvalidJobRequestError):
+            scheduler.submit(JobRequest(workload=WORKLOAD, method="astrology"))
+
+    def test_queue_full_rolls_back_registry(self, cached_harness):
+        scheduler = Scheduler(cached_harness, max_queue=1)
+        scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+        rejected = JobRequest(workload="histo", method="silicon")
+        with pytest.raises(QueueFullError):
+            scheduler.submit(rejected)
+        # The rejected job must not linger as a phantom dedup target.
+        assert len(scheduler.jobs()) == 1
+        with pytest.raises(QueueFullError):
+            scheduler.submit(rejected)
+
+    def test_draining_refuses_submissions(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        scheduler._draining = True
+        with pytest.raises(ServiceDrainingError):
+            scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, cached_harness):
+        scheduler = Scheduler(cached_harness)  # unstarted: stays queued
+        record, _ = scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+        cancelled = scheduler.cancel(record.job_id)
+        assert cancelled is record
+        assert record.state == "cancelled"
+        assert scheduler.queue.depth == 0
+        assert obs.get_tracer().counters["service.jobs_cancelled"] == 1
+
+    def test_cancel_is_idempotent_on_terminal(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        record, _ = scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+        scheduler.cancel(record.job_id)
+        assert scheduler.cancel(record.job_id).state == "cancelled"
+
+    def test_cancel_unknown_job(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        with pytest.raises(JobNotFoundError):
+            scheduler.cancel("j-missing")
+
+    def test_result_before_terminal_raises(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        record, _ = scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+        with pytest.raises(JobNotFinishedError):
+            scheduler.result(record.job_id)
+
+
+class TestFailures:
+    def test_persistent_fault_fails_the_job_not_the_service(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        scheduler.start()
+        bad, _ = scheduler.submit(
+            JobRequest(workload=WORKLOAD, method="silicon", fault="exceptionxP")
+        )
+        good, _ = scheduler.submit(JobRequest(workload="histo", method="silicon"))
+        _wait_terminal(bad)
+        _wait_terminal(good)
+        scheduler.close()
+        assert bad.state == "failed"
+        assert bad.error is not None
+        assert bad.error["error_type"] == "FaultInjectedError"
+        assert good.state == "done"
+
+    def test_transient_fault_retries_to_done(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        scheduler.start()
+        record, _ = scheduler.submit(
+            JobRequest(workload=WORKLOAD, method="silicon", fault="exception")
+        )
+        _wait_terminal(record)
+        scheduler.close()
+        assert record.state == "done"
+        assert obs.get_tracer().counters["tasks.retries"] >= 1
+
+
+class TestDrain:
+    def test_drain_completes_all_accepted_jobs(self, cached_harness):
+        scheduler = Scheduler(cached_harness, batch_max=4)
+        scheduler.start()
+        records = [
+            scheduler.submit(JobRequest(workload=w, method="silicon"))[0]
+            for w in ("gauss_208", "histo", "fdtd2d")
+        ]
+        clean = scheduler.drain(timeout=60.0)
+        assert clean
+        assert all(record.state == "done" for record in records)
+
+    def test_drain_timeout_cancels_queued_jobs(self, cached_harness):
+        scheduler = Scheduler(cached_harness)  # never started: job is stuck
+        record, _ = scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+        clean = scheduler.drain(timeout=0.05)
+        # The job was never lost: the drain converted it to a terminal
+        # answer (cancelled), so the manifest accounts for everything.
+        assert record.state == "cancelled"
+        assert clean

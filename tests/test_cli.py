@@ -6,7 +6,6 @@ import pytest
 
 import repro.cli as cli
 from repro.cli import EXIT_INTERRUPTED, EXIT_PARTIAL, build_parser, main
-from repro.errors import WorkloadError
 
 
 class TestParser:
@@ -73,9 +72,9 @@ class TestCommands:
         assert "gauss_208" in out
         assert "fdtd2d" in out
 
-    def test_unknown_workload(self):
-        with pytest.raises(WorkloadError):
-            main(["characterize", "not_a_workload"])
+    def test_unknown_workload(self, capsys):
+        assert main(["characterize", "not_a_workload"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
 
     def test_figure5(self, capsys):
         assert main(["figure", "5"]) == 0
@@ -281,6 +280,60 @@ class TestTracing:
         assert trace_path.exists()
         out = capsys.readouterr().out
         assert "pka.simulate" in out  # summary table was printed
+
+
+class TestExitCodeContract:
+    """Every verb maps outcomes to the same exit codes: 0 success,
+    1 error, 3 partial results, 130 interrupted (see the module
+    docstring in repro.cli).  Service verbs against an unreachable or
+    unbindable endpoint must fail with 1 like any other error — not
+    tracebacks, not bespoke codes."""
+
+    @pytest.mark.parametrize(
+        ("argv", "expected"),
+        [
+            pytest.param(["list"], 0, id="list-ok"),
+            pytest.param(["figure", "2"], 1, id="figure-unknown"),
+            pytest.param(
+                ["characterize", "not_a_workload"], 1, id="unknown-workload"
+            ),
+            pytest.param(
+                ["simulate", "not_a_workload"], 1, id="simulate-unknown"
+            ),
+            pytest.param(
+                ["submit", "histo", "silicon", "--port", "1", "--timeout", "2"],
+                1,
+                id="submit-unreachable",
+            ),
+            pytest.param(
+                ["loadgen", "--port", "1", "--jobs", "1"],
+                1,
+                id="loadgen-unreachable",
+            ),
+            pytest.param(
+                ["serve", "--host", "203.0.113.1", "--port", "0"],
+                1,
+                id="serve-unbindable",
+            ),
+            pytest.param(
+                SWEEP + ["--inject-faults", "exception@1xP", "--retries", "0"],
+                EXIT_PARTIAL,
+                id="sweep-partial",
+            ),
+        ],
+    )
+    def test_exit_codes(self, argv, expected, capsys):
+        assert main(argv) == expected
+        if expected == 1:
+            assert "Traceback" not in capsys.readouterr().err
+
+    @pytest.mark.parametrize("handler", ["_cmd_list", "_cmd_table3"])
+    def test_interrupt_is_130_for_every_verb(self, monkeypatch, handler):
+        verb = {"_cmd_list": "list", "_cmd_table3": "table3"}[handler]
+        monkeypatch.setattr(
+            cli, handler, lambda args: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        assert main([verb]) == EXIT_INTERRUPTED
 
 
 class TestSweepTruncationGuard:
