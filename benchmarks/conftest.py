@@ -17,11 +17,12 @@ from repro.analysis import EvaluationHarness
 
 @pytest.fixture(scope="session")
 def harness() -> EvaluationHarness:
-    """Session harness; ``PKA_JOBS`` / ``PKA_CACHE_DIR`` select the
-    execution backend and the on-disk run cache (a warm cache makes a
-    repeat benchmark sweep mostly disk reads)."""
+    """Session harness; ``PKA_JOBS`` / ``PKA_INTRA_JOBS`` / ``PKA_CACHE_DIR``
+    select the cell fan-out, the intra-run shard width and the on-disk run
+    cache (a warm cache makes a repeat benchmark sweep mostly disk reads)."""
     return EvaluationHarness(
         backend=os.environ.get("PKA_JOBS"),
+        intra_jobs=os.environ.get("PKA_INTRA_JOBS"),
         cache_dir=os.environ.get("PKA_CACHE_DIR"),
     )
 

@@ -70,7 +70,7 @@ from repro.sim import (
 )
 from repro.workloads import get_workload, iter_workloads, suite_names, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AMPERE_RTX3070",

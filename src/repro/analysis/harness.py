@@ -459,6 +459,7 @@ class EvaluationHarness:
         fault_policy: FaultPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         validation_mode: str = "strict",
+        intra_jobs: ExecutionBackend | str | int | None = None,
     ) -> None:
         # The default instruction budget is the paper's 1-billion-
         # instruction practice scaled by the same ~7x factor as the
@@ -470,6 +471,16 @@ class EvaluationHarness:
         self.model_error = model_error if model_error is not None else ModelErrorConfig()
         self.instruction_budget = instruction_budget
         self.backend = resolve_backend(backend)
+        # ``backend`` fans *cells* out; ``intra_jobs`` parallelizes
+        # *within* one cell's app run (kernel-stream prefetch and block
+        # sharding).  None inherits the cell backend, preserving the
+        # historical behavior where one pool served both roles.  This is
+        # a pure execution detail: results are bitwise identical either
+        # way, so it deliberately stays out of ``context_fingerprint``.
+        self.intra_jobs = intra_jobs
+        self._intra_backend = (
+            resolve_backend(intra_jobs) if intra_jobs is not None else self.backend
+        )
         if run_cache is None:
             run_cache = resolve_run_cache(cache_dir, max_bytes=cache_max_bytes)
         self.run_cache = run_cache
@@ -485,13 +496,15 @@ class EvaluationHarness:
 
     def silicon(self, gpu: GPUConfig) -> SiliconExecutor:
         if gpu.name not in self._silicon:
-            self._silicon[gpu.name] = SiliconExecutor(gpu, backend=self.backend)
+            self._silicon[gpu.name] = SiliconExecutor(
+                gpu, backend=self._intra_backend
+            )
         return self._silicon[gpu.name]
 
     def simulator(self, gpu: GPUConfig) -> Simulator:
         if gpu.name not in self._simulators:
             self._simulators[gpu.name] = Simulator(
-                gpu, model_error=self.model_error, backend=self.backend
+                gpu, model_error=self.model_error, backend=self._intra_backend
             )
         return self._simulators[gpu.name]
 
@@ -502,7 +515,7 @@ class EvaluationHarness:
             self._simulators[key] = Simulator(
                 gpu,
                 model_error=ModelErrorConfig(enabled=False),
-                backend=self.backend,
+                backend=self._intra_backend,
             )
         return self._simulators[key]
 
@@ -677,6 +690,15 @@ class EvaluationHarness:
                     if isinstance(self.run_cache, RunCache)
                     else None
                 )
+                # Only portable intra specs (str/int) cross the process
+                # boundary; a live backend object stays parent-side and
+                # workers fall back to serial intra execution — the
+                # results are bitwise identical either way.
+                intra_spec = (
+                    self.intra_jobs
+                    if isinstance(self.intra_jobs, (str, int))
+                    else None
+                )
                 payloads = [
                     (
                         self.pka.config,
@@ -684,6 +706,7 @@ class EvaluationHarness:
                         self.instruction_budget,
                         cache_root,
                         self.validation_mode,
+                        intra_spec,
                         cell,
                     )
                     for cell in normalized
@@ -799,9 +822,17 @@ _WORKER_HARNESSES: dict[tuple, EvaluationHarness] = {}
 
 def _evaluate_cell_task(payload: tuple):
     """Worker: compute one evaluation cell with a process-local harness."""
-    config, model_error, instruction_budget, cache_root, mode, cell = payload
+    (
+        config,
+        model_error,
+        instruction_budget,
+        cache_root,
+        mode,
+        intra_spec,
+        cell,
+    ) = payload
     workload, method, gpu = cell
-    key = (config, model_error, instruction_budget, cache_root, mode)
+    key = (config, model_error, instruction_budget, cache_root, mode, intra_spec)
     harness = _WORKER_HARNESSES.get(key)
     if harness is None:
         harness = EvaluationHarness(
@@ -810,6 +841,7 @@ def _evaluate_cell_task(payload: tuple):
             instruction_budget,
             cache_dir=cache_root,
             validation_mode=mode,
+            intra_jobs=intra_spec,
         )
         _WORKER_HARNESSES[key] = harness
     return harness.evaluation(workload).compute_cell(method, gpu)

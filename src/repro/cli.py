@@ -55,6 +55,10 @@ Every command accepts the execution flags (see ``docs/API.md``,
 ``--jobs N``
     Execution backend: ``serial`` (default), ``auto`` (one worker per
     CPU) or a worker count.  Parallel runs are bit-identical to serial.
+``--intra-jobs N``
+    Intra-run backend: shard one run's kernel stream and block ranges
+    across workers (default: inherit ``--jobs``).  A pure execution
+    detail — results and cache digests are identical for every setting.
 ``--cache-dir DIR``
     Content-addressed on-disk run cache shared across invocations.
 ``--no-cache``
@@ -135,6 +139,7 @@ def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
     plan_text = getattr(args, "inject_faults", None)
     harness = EvaluationHarness(
         backend=getattr(args, "jobs", None),
+        intra_jobs=getattr(args, "intra_jobs", None),
         cache_dir=(
             None if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None)
         ),
@@ -766,6 +771,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="execution backend: 'serial' (default), 'auto' or a worker count",
+    )
+    common.add_argument(
+        "--intra-jobs",
+        default=None,
+        metavar="N",
+        help="intra-run backend: shard one run's kernel stream and "
+        "block ranges across 'serial', 'auto' or N workers (default: "
+        "inherit --jobs); results are bit-identical for every setting",
     )
     common.add_argument(
         "--cache-dir",

@@ -160,7 +160,13 @@ class KernelSpec:
         Seeds everything stochastic about the kernel (block-duration
         variation, the simulator's per-kernel modeling bias) so results
         are reproducible and independent of launch order or GPU.
+
+        Memoized per instance: million-launch streams group launches by
+        signature, and a sha256 per launch would dominate that loop.
         """
+        cached = getattr(self, "_signature_memo", None)
+        if cached is not None:
+            return cached
         payload = "|".join(
             str(part)
             for part in (
@@ -181,7 +187,10 @@ class KernelSpec:
             )
         )
         digest = hashlib.sha256(payload.encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "little") >> 1
+        value = int.from_bytes(digest[:8], "little") >> 1
+        # Frozen dataclass: route the memo write around __setattr__.
+        object.__setattr__(self, "_signature_memo", value)
+        return value
 
     def with_mix(self, mix: InstructionMix) -> "KernelSpec":
         """A copy of this spec with a different instruction mix."""

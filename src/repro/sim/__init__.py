@@ -7,10 +7,13 @@ from repro.sim.calibration import (
 )
 from repro.sim.engine import (
     DEFAULT_WINDOW_CYCLES,
+    DURATION_CHUNK_BLOCKS,
     KernelSimResult,
     StopMonitor,
     WindowSample,
     block_durations,
+    compute_shard_partials,
+    fold_chunk_ranges,
     simulate_kernel,
 )
 from repro.sim.faults import FaultPlan, InjectedFault
@@ -43,6 +46,7 @@ __all__ = [
     "CalibrationResult",
     "calibrate_model_error",
     "DEFAULT_WINDOW_CYCLES",
+    "DURATION_CHUNK_BLOCKS",
     "ExecutionBackend",
     "FaultPlan",
     "FaultPolicy",
@@ -69,6 +73,8 @@ __all__ = [
     "analyze_kernel",
     "auto_worker_count",
     "block_durations",
+    "compute_shard_partials",
+    "fold_chunk_ranges",
     "build_memory_profile",
     "measure_mean_error",
     "resolve_backend",

@@ -1,11 +1,18 @@
 """Block-level discrete-event simulation of one kernel launch.
 
-The engine schedules thread blocks onto the GPU greedily (a finished block
-immediately frees its residency slot for the next one), exactly like a
-hardware CTA scheduler.  While running it emits fixed-width *windows* of
-GPU state — IPC, L2 miss rate, DRAM utilization, finished-block count —
-which is the online signal Principal Kernel Projection consumes to detect
-IPC stability and stop the simulation early.
+The engine schedules thread blocks onto the GPU with a static interleaved
+assignment: block ``i`` runs on residency slot ``i % slots`` and each slot
+executes its chain of blocks back to back, like a hardware CTA scheduler
+with a fixed issue order.  The static assignment is what makes the
+simulation decomposable: a slot's finish time is a plain sum of its block
+durations, so any contiguous, wave-aligned span of blocks reduces to a
+per-slot partial sum that can be computed vectorized, out of order, or on
+another worker process — and the recombined result is bitwise identical
+to the serial scalar loop.  While running in windowed mode the engine
+emits fixed-width *windows* of GPU state — IPC, L2 miss rate, DRAM
+utilization, finished-block count — which is the online signal Principal
+Kernel Projection consumes to detect IPC stability and stop the
+simulation early.
 
 Per-block durations come from :mod:`repro.sim.perfmodel` stretched by
 
@@ -14,31 +21,55 @@ Per-block durations come from :mod:`repro.sim.perfmodel` stretched by
 * a linear phase drift across the grid (``phase_drift``),
 * the caller-supplied ``bias`` — the simulator's per-kernel modeling
   error; silicon-faithful runs pass 1.0.
+
+The variation stream is drawn in fixed ``DURATION_CHUNK_BLOCKS`` chunks,
+each with its own seed derived from (spec signature, grid, chunk index),
+so ``block_durations`` can produce any half-open block range exactly —
+the same values whether the caller asks for the whole grid or for one
+shard of it.  Chunk 0 keeps the historical seed, so grids that fit in a
+single chunk reproduce the exact streams of the original implementation.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.gpu.architectures import GPUConfig
 from repro.gpu.kernels import KernelLaunch
+from repro.obs import obs_count, obs_span
 from repro.sim.perfmodel import KernelPerformance, analyze_kernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.parallel import ExecutionBackend
 
 __all__ = [
     "DEFAULT_WINDOW_CYCLES",
+    "DURATION_CHUNK_BLOCKS",
     "KernelSimResult",
     "StopMonitor",
     "WindowSample",
     "block_durations",
+    "compute_shard_partials",
+    "fold_chunk_ranges",
     "simulate_kernel",
 ]
 
 DEFAULT_WINDOW_CYCLES = 500.0
+
+# The variation RNG is drawn in fixed-size chunks so any block range can
+# be regenerated independently (intra-run sharding).  The chunk size is a
+# block count, deliberately independent of the GPU: the duration stream
+# of a kernel must not change with the architecture it runs on.
+DURATION_CHUNK_BLOCKS = 65_536
+
+_SEED_MOD = 2**63
+# Odd 64-bit golden-ratio stride decorrelates per-chunk seeds.
+_CHUNK_SEED_STRIDE = 0x9E37_79B9_7F4A_7C15
 
 
 @dataclass(frozen=True)
@@ -106,43 +137,137 @@ class KernelSimResult:
         return self.launch.grid_blocks - self.blocks_finished
 
 
+def _variation_seed(signature: int, grid: int, chunk: int) -> int:
+    """Seed for one ``DURATION_CHUNK_BLOCKS`` chunk of the variation RNG.
+
+    Chunk 0 uses the historical ``(signature, grid)`` seed unchanged so
+    grids up to one chunk reproduce the original duration streams bit for
+    bit; later chunks offset it by a golden-ratio stride.
+    """
+    base = (signature * 1_000_003 + grid) % _SEED_MOD
+    if chunk == 0:
+        return base
+    return (base + chunk * _CHUNK_SEED_STRIDE) % _SEED_MOD
+
+
+def _variation_slice(
+    signature: int, grid: int, sigma: float, start: int, stop: int
+) -> np.ndarray:
+    """Log-normal variation for blocks ``[start, stop)`` of ``grid``.
+
+    Every chunk is always drawn from its own seed at its full in-grid
+    length, so the values returned for a block never depend on which
+    range the caller asked for.
+    """
+    if start == stop:
+        return np.empty(0)
+    mean = -0.5 * sigma**2
+    first = start // DURATION_CHUNK_BLOCKS
+    last = (stop - 1) // DURATION_CHUNK_BLOCKS
+    parts: list[np.ndarray] = []
+    for chunk in range(first, last + 1):
+        lo = chunk * DURATION_CHUNK_BLOCKS
+        hi = min(lo + DURATION_CHUNK_BLOCKS, grid)
+        rng = np.random.default_rng(_variation_seed(signature, grid, chunk))
+        draw = rng.lognormal(mean=mean, sigma=sigma, size=hi - lo)
+        parts.append(draw[max(start, lo) - lo : min(stop, hi) - lo])
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
 def block_durations(
     launch: KernelLaunch,
     perf: KernelPerformance,
     bias: float = 1.0,
+    start: int = 0,
+    stop: int | None = None,
 ) -> np.ndarray:
-    """Deterministic per-block durations for ``launch``.
+    """Deterministic per-block durations for blocks ``[start, stop)``.
 
     Seeded by the kernel spec's signature and the grid size so the same
-    launch always produces the same schedule, on every GPU and in every
-    process.
+    launch always produces the same durations, on every GPU, in every
+    process, and — because the variation stream is drawn in fixed chunks
+    — for every requested sub-range: ``block_durations(l, p)[a:b]`` is
+    bitwise equal to ``block_durations(l, p, start=a, stop=b)``.
     """
     spec = launch.spec
     grid = launch.grid_blocks
-    rng = np.random.default_rng((spec.signature() * 1_000_003 + grid) % 2**63)
+    if stop is None:
+        stop = grid
+    if not 0 <= start <= stop <= grid:
+        raise SimulationError(
+            f"invalid block range [{start}, {stop}) for grid {grid}"
+        )
+    count = stop - start
 
     if spec.duration_cv > 0:
         sigma = float(np.sqrt(np.log1p(spec.duration_cv**2)))
-        variation = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=grid)
+        variation = _variation_slice(spec.signature(), grid, sigma, start, stop)
     else:
-        variation = np.ones(grid)
+        variation = np.ones(count)
 
     if grid > 1 and spec.phase_drift != 0.0:
-        phase = 1.0 + spec.phase_drift * np.arange(grid) / (grid - 1)
+        phase = 1.0 + spec.phase_drift * np.arange(start, stop) / (grid - 1)
         phase = np.maximum(phase, 0.05)
     else:
-        phase = np.ones(grid)
+        phase = np.ones(count)
 
     # Cold caches slow the first wave down, producing the IPC ramp-up
     # phase that PKP's wave constraint exists to wait out.
     if spec.cold_start_factor > 0:
         first_wave = min(grid, perf.occupancy.wave_size)
-        cold = np.ones(grid)
-        cold[:first_wave] *= 1.0 + spec.cold_start_factor
-        phase = phase * cold
+        if start < first_wave:
+            cold = np.ones(count)
+            cold[: min(first_wave, stop) - start] *= 1.0 + spec.cold_start_factor
+            phase = phase * cold
 
     durations = perf.base_block_cycles * variation * phase * bias
     return np.maximum(durations, 1.0)
+
+
+def fold_chunk_ranges(grid: int, slots: int) -> list[tuple[int, int]]:
+    """Wave-aligned block ranges whose per-slot sums fold to finish times.
+
+    Every range starts on a wave boundary (a multiple of ``slots``), so
+    block ``i`` of the grid occupies position ``i % slots`` in every row
+    of its chunk, and the chunk reduces to one partial-sum vector per
+    slot.  The chunk layout depends only on (grid, slots) — never on how
+    chunks are distributed across workers — which is what keeps the
+    recombined fold bitwise identical for every ``intra_jobs`` setting.
+    """
+    if slots <= 0:
+        raise SimulationError("slots must be positive")
+    step = max(1, DURATION_CHUNK_BLOCKS // slots) * slots
+    return [(lo, min(lo + step, grid)) for lo in range(0, grid, step)]
+
+
+def compute_shard_partials(
+    launch: KernelLaunch,
+    perf: KernelPerformance,
+    bias: float,
+    slots: int,
+    ranges: list[tuple[int, int]],
+) -> list[np.ndarray]:
+    """Per-slot partial finish times for contiguous fold-chunk ``ranges``.
+
+    Returns one length-``slots`` vector per range.  Chunks are *not*
+    merged here: the caller folds the individual chunk partials in global
+    chunk order, so the floating-point accumulation order is one fixed
+    left fold regardless of how chunks were sharded across workers.
+    """
+    lo = ranges[0][0]
+    hi = ranges[-1][1]
+    durations = block_durations(launch, perf, bias, start=lo, stop=hi)
+    partials: list[np.ndarray] = []
+    for a, b in ranges:
+        chunk = durations[a - lo : b - lo]
+        partial = np.zeros(slots)
+        for off in range(0, b - a, slots):
+            row = chunk[off : off + slots]
+            partial[: len(row)] += row
+        partials.append(partial)
+    return partials
 
 
 def simulate_kernel(
@@ -153,6 +278,7 @@ def simulate_kernel(
     window_cycles: float = DEFAULT_WINDOW_CYCLES,
     monitor: StopMonitor | Callable[[WindowSample], bool] | None = None,
     collect_series: bool = False,
+    intra: "ExecutionBackend | None" = None,
 ) -> KernelSimResult:
     """Simulate ``launch`` on ``gpu``, optionally stopping early.
 
@@ -170,12 +296,17 @@ def simulate_kernel(
         Keep every window sample on the result (needed for Figure-5-style
         time-series plots); otherwise samples are discarded after the
         monitor sees them.
+    intra:
+        Optional execution backend for intra-kernel block sharding.  With
+        a multi-worker backend and a grid spanning several fold chunks,
+        the fast path fans chunk partial-sums out across workers and
+        recombines them in chunk order — bitwise identical to serial.
 
     Notes
     -----
     When neither ``monitor`` nor ``collect_series`` is given the engine
-    takes a fast path that computes the identical greedy schedule without
-    window bookkeeping.
+    takes a vectorized fast path that computes the identical interleaved
+    schedule without window bookkeeping.
     """
     if bias <= 0:
         raise SimulationError("bias must be positive")
@@ -183,11 +314,11 @@ def simulate_kernel(
         raise SimulationError("window_cycles must be positive")
 
     perf = analyze_kernel(launch, gpu)
-    durations = block_durations(launch, perf, bias)
     slots = min(launch.grid_blocks, perf.occupancy.wave_size)
 
     if monitor is None and not collect_series:
-        return _run_fast(launch, perf, durations, slots)
+        return _run_fast(launch, perf, slots, bias, intra)
+    durations = block_durations(launch, perf, bias)
     return _run_windowed(
         launch, gpu, perf, durations, slots, window_cycles, monitor, collect_series
     )
@@ -196,20 +327,44 @@ def simulate_kernel(
 def _run_fast(
     launch: KernelLaunch,
     perf: KernelPerformance,
-    durations: np.ndarray,
     slots: int,
+    bias: float,
+    intra: "ExecutionBackend | None",
 ) -> KernelSimResult:
-    """Greedy list scheduling without window bookkeeping (full-run totals)."""
+    """Interleaved static scheduling without window bookkeeping.
+
+    Block ``i`` runs on slot ``i % slots``; a slot's finish time is the
+    sum of its blocks' durations and the kernel's makespan is the slowest
+    slot.  The sum is accumulated as a fixed left fold over wave-aligned
+    fold chunks, which is the property the sharded path preserves.
+    """
     grid = launch.grid_blocks
-    if grid <= slots:
-        makespan = float(durations.max())
+    ranges = fold_chunk_ranges(grid, slots)
+    if intra is not None and getattr(intra, "jobs", 1) > 1 and len(ranges) > 1:
+        from repro.sim.parallel import CHUNKS_PER_WORKER, block_shard_task, chunked
+
+        shards = chunked(ranges, intra.jobs * CHUNKS_PER_WORKER)
+        obs_count("sim.intra.sharded_kernels")
+        obs_count("sim.intra.shards", len(shards))
+        obs_count("sim.intra.block_chunks", len(ranges))
+        with obs_span(
+            "sim.intra.fanout",
+            kernel=launch.spec.name,
+            grid=grid,
+            shards=len(shards),
+            chunks=len(ranges),
+        ):
+            payloads = [
+                (launch, perf, bias, slots, tuple(shard)) for shard in shards
+            ]
+            shard_results = intra.map_tasks(block_shard_task, payloads)
+        partials = [partial for shard in shard_results for partial in shard]
     else:
-        heap = list(durations[:slots])
-        heapq.heapify(heap)
-        for idx in range(slots, grid):
-            start = heapq.heappop(heap)
-            heapq.heappush(heap, start + float(durations[idx]))
-        makespan = max(heap)
+        partials = compute_shard_partials(launch, perf, bias, slots, ranges)
+    finish = np.zeros(slots)
+    for partial in partials:
+        finish += partial
+    makespan = float(finish.max())
     total_insts = perf.warp_insts_per_block * grid
     total_bytes = perf.memory.dram_bytes_per_block * grid
     return KernelSimResult(
@@ -233,7 +388,12 @@ def _run_windowed(
     monitor: StopMonitor | Callable[[WindowSample], bool] | None,
     collect_series: bool,
 ) -> KernelSimResult:
-    """Event loop with per-window IPC/L2/DRAM emission and early stop."""
+    """Event loop with per-window IPC/L2/DRAM emission and early stop.
+
+    Runs the same interleaved schedule as the fast path — each slot's
+    chain of blocks executes back to back — with a heap merging the
+    slots' completion streams into time order.
+    """
     observe = _resolve_monitor(monitor)
     grid = launch.grid_blocks
     inst_per_block = perf.warp_insts_per_block
@@ -261,11 +421,22 @@ def _run_windowed(
     first_wave = durations[: min(slots, len(durations))]
     block_lifetime = float(first_wave.mean()) if len(first_wave) else 1.0
 
-    # Resident blocks as a heap of (end_cycle, inst_rate, byte_rate).
-    heap: list[tuple[float, float, float]] = []
+    # Slot state: the block currently resident on each slot and its
+    # uniform retire rates; the heap holds (completion_cycle, slot).
+    heap: list[tuple[float, int]] = []
+    slot_block = list(range(slots))
+    slot_rates: list[tuple[float, float]] = [(0.0, 0.0)] * slots
     inst_rate = 0.0
     byte_rate = 0.0
-    next_block = 0
+    for slot in range(slots):
+        duration = float(durations[slot])
+        block_inst_rate = inst_per_block / duration
+        block_byte_rate = bytes_per_block / duration
+        heapq.heappush(heap, (duration, slot))
+        slot_rates[slot] = (block_inst_rate, block_byte_rate)
+        inst_rate += block_inst_rate
+        byte_rate += block_byte_rate
+
     finished = 0
     now = 0.0
     win_insts = 0.0
@@ -276,18 +447,6 @@ def _run_windowed(
     samples: list[WindowSample] = []
     stopped = False
 
-    def start_blocks() -> None:
-        nonlocal next_block, inst_rate, byte_rate
-        while next_block < grid and len(heap) < slots:
-            duration = float(durations[next_block])
-            block_inst_rate = inst_per_block / duration
-            block_byte_rate = bytes_per_block / duration
-            heapq.heappush(heap, (now + duration, block_inst_rate, block_byte_rate))
-            inst_rate += block_inst_rate
-            byte_rate += block_byte_rate
-            next_block += 1
-
-    start_blocks()
     while finished < grid and not stopped:
         next_completion = heap[0][0]
         # Emit any windows that close before the next block completion.
@@ -326,7 +485,9 @@ def _run_windowed(
             window_end += window_cycles
         if stopped:
             break
-        # Advance to the completion and retire every block ending there.
+        # Advance to the completion and retire every block ending there,
+        # starting each retiring slot's next chained block at the exact
+        # completion cycle (the same left fold as the fast path).
         elapsed = next_completion - now
         win_insts += inst_rate * elapsed
         win_bytes += byte_rate * elapsed
@@ -334,11 +495,21 @@ def _run_windowed(
         total_bytes += byte_rate * elapsed
         now = next_completion
         while heap and heap[0][0] <= now + 1e-9:
-            _, done_inst_rate, done_byte_rate = heapq.heappop(heap)
+            end, slot = heapq.heappop(heap)
+            done_inst_rate, done_byte_rate = slot_rates[slot]
             inst_rate -= done_inst_rate
             byte_rate -= done_byte_rate
             finished += 1
-        start_blocks()
+            successor = slot_block[slot] + slots
+            if successor < grid:
+                duration = float(durations[successor])
+                slot_block[slot] = successor
+                block_inst_rate = inst_per_block / duration
+                block_byte_rate = bytes_per_block / duration
+                slot_rates[slot] = (block_inst_rate, block_byte_rate)
+                inst_rate += block_inst_rate
+                byte_rate += block_byte_rate
+                heapq.heappush(heap, (end + duration, slot))
 
     return KernelSimResult(
         launch=launch,

@@ -224,9 +224,23 @@ class SMMicrosimulator:
         # Deterministic hit/miss sequence shared by all warps (SIMT).
         rng = np.random.default_rng(spec.signature() % 2**63)
         n_global = sum(1 for kind, _ in stream if kind == "global")
-        hits = rng.random(max(n_global, 1)) < hit_rate
+        # Vectorized hit/miss draw; plain bools for the issue loop.
+        hits = (rng.random(max(n_global, 1)) < hit_rate).tolist()
+        n_hits = len(hits)
 
+        import heapq
         from collections import deque
+
+        n_stream = len(stream)
+        # Pre-resolve per-pc issue behaviour so the hot loop never
+        # re-derives it: whether the instruction is a global access and
+        # the effective post-issue latency (1 for the independent
+        # instructions between ``ilp`` dependency chains).
+        is_global = [kind == "global" for kind, _ in stream]
+        eff_latency = [
+            1 if (not is_global[pc] and pc % self.config.ilp != 0) else latency
+            for pc, (_, latency) in enumerate(stream)
+        ]
 
         program_counter = [0] * warps  # next instruction index per warp
         ready_at = [0] * warps  # cycle the warp may issue next (ALU deps)
@@ -234,7 +248,7 @@ class SMMicrosimulator:
         # Per-warp outstanding loads: deque of (completion cycle, pc at issue).
         outstanding: list[deque] = [deque() for _ in range(warps)]
         sm_inflight = 0  # MSHR occupancy across the SM
-        inflight_completions: list[int] = []
+        inflight_completions: list[int] = []  # min-heap of completion cycles
         dram_tokens = 0.0
         issued = 0
         stalls = {"memory": 0, "execution": 0, "issue": 0}
@@ -244,29 +258,31 @@ class SMMicrosimulator:
         remaining = warps
         issue_width = int(round(self.gpu.issue_rate_per_sm))
         distance = self.config.dependence_distance
+        round_robin = self.config.scheduler == "rr"
+        # Rotating scan windows over a doubled index list avoid per-cycle
+        # modulo arithmetic for the round-robin scheduler.
+        doubled = list(range(warps)) * 2
         horizon = 10_000_000  # hard safety net against livelock
 
         while remaining > 0 and cycle < horizon:
             dram_tokens = min(
                 dram_tokens + dram_bytes_per_cycle, 8.0 * dram_bytes_per_cycle
             )
-            if inflight_completions:
-                still = [t for t in inflight_completions if t > cycle]
-                sm_inflight -= len(inflight_completions) - len(still)
-                inflight_completions = still
+            while inflight_completions and inflight_completions[0] <= cycle:
+                heapq.heappop(inflight_completions)
+                sm_inflight -= 1
 
             issued_now = 0
             waiting_on_memory = 0
             waiting_on_execution = 0
-            if self.config.scheduler == "rr":
-                scan_order = [
-                    (cycle + offset) % warps for offset in range(warps)
-                ]
+            if round_robin:
+                start = cycle % warps
+                scan_order = doubled[start : start + warps]
             else:  # gto: static oldest-first priority
                 scan_order = range(warps)
             for warp in scan_order:
                 pc = program_counter[warp]
-                if pc >= len(stream):
+                if pc >= n_stream:
                     continue
                 # Retire completed loads from the warp's queue.
                 queue = outstanding[warp]
@@ -282,15 +298,14 @@ class SMMicrosimulator:
                     continue
                 if issued_now >= issue_width:
                     continue
-                kind, latency = stream[pc]
-                if kind == "global":
+                if is_global[pc]:
                     if (
                         len(queue) >= self.config.warp_outstanding_loads
                         or sm_inflight >= self.config.mshr_entries
                     ):
                         waiting_on_memory += 1
                         continue
-                    hit = bool(hits[global_seen[warp] % len(hits)])
+                    hit = hits[global_seen[warp] % n_hits]
                     global_seen[warp] += 1
                     if hit:
                         mem_latency = _L2_HIT_LATENCY
@@ -305,17 +320,16 @@ class SMMicrosimulator:
                             dram_tokens = 0.0
                             mem_latency += int(deficit / dram_bytes_per_cycle)
                     queue.append((cycle + mem_latency, pc))
-                    inflight_completions.append(cycle + mem_latency)
+                    heapq.heappush(inflight_completions, cycle + mem_latency)
                     sm_inflight += 1
                     latency = 1  # the load itself issues in one cycle
-                elif pc % self.config.ilp != 0:
-                    # Independent instruction: no dependency to wait on.
-                    latency = 1
+                else:
+                    latency = eff_latency[pc]
                 program_counter[warp] += 1
                 ready_at[warp] = cycle + latency
                 issued += 1
                 issued_now += 1
-                if program_counter[warp] >= len(stream):
+                if program_counter[warp] >= n_stream:
                     remaining -= 1
 
             if issued_now == 0:

@@ -786,6 +786,29 @@ def simulate_batch_task(payload: tuple) -> list:
     return [simulator.run_kernel(launch) for launch in launches]
 
 
+def block_shard_task(payload: tuple) -> list:
+    """Worker: per-slot partial finish times for one shard of a kernel.
+
+    ``payload`` is ``(launch, perf, bias, slots, ranges)`` where
+    ``ranges`` are contiguous wave-aligned fold chunks of the grid (see
+    :func:`repro.sim.engine.fold_chunk_ranges`).  Returns the individual
+    chunk partial-sum vectors, *not* their merge: the parent folds all
+    chunks in global order so the accumulation order — and therefore the
+    result, bitwise — is independent of the shard boundaries.
+    """
+    launch, perf, bias, slots, ranges = payload
+    from repro.sim.engine import compute_shard_partials
+
+    blocks = ranges[-1][1] - ranges[0][0]
+    with obs_span(
+        "sim.intra.shard",
+        kernel=launch.spec.name,
+        chunks=len(ranges),
+        blocks=blocks,
+    ):
+        return compute_shard_partials(launch, perf, bias, slots, list(ranges))
+
+
 def silicon_batch_task(payload: tuple) -> list[tuple]:
     """Worker: price a batch of launches on one silicon model.
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.errors import ConfigurationError
 from repro.gpu.architectures import GPUConfig
 from repro.gpu.kernels import KernelLaunch
 from repro.obs import obs_count, obs_span
@@ -40,9 +41,17 @@ class SiliconExecutor:
         gpu: GPUConfig,
         *,
         backend: ExecutionBackend | str | int | None = None,
+        intra_jobs: ExecutionBackend | str | int | None = None,
     ) -> None:
+        if backend is not None and intra_jobs is not None:
+            raise ConfigurationError(
+                "pass either backend or intra_jobs, not both: at the "
+                "executor level they name the same worker pool"
+            )
         self.gpu = gpu
-        self.backend = resolve_backend(backend)
+        # Like the Simulator, an executor's pool only parallelizes within
+        # one app run, so intra_jobs is an alias for backend here.
+        self.backend = resolve_backend(backend if backend is not None else intra_jobs)
         self._cycle_cache: dict[tuple[int, int], float] = {}
         self._traffic_cache: dict[int, float] = {}
 

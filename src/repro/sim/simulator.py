@@ -110,11 +110,20 @@ class Simulator:
         model_error: ModelErrorConfig | None = None,
         window_cycles: float = DEFAULT_WINDOW_CYCLES,
         backend: ExecutionBackend | str | int | None = None,
+        intra_jobs: ExecutionBackend | str | int | None = None,
     ) -> None:
+        if backend is not None and intra_jobs is not None:
+            raise ConfigurationError(
+                "pass either backend or intra_jobs, not both: at the "
+                "simulator level they name the same worker pool"
+            )
         self.gpu = gpu
         self.model_error = model_error if model_error is not None else ModelErrorConfig()
         self.window_cycles = window_cycles
-        self.backend = resolve_backend(backend)
+        # At this level intra_jobs is an alias for backend: a Simulator's
+        # pool only ever parallelizes *within* one app run (kernel-stream
+        # prefetch and block sharding), never across cells.
+        self.backend = resolve_backend(backend if backend is not None else intra_jobs)
         self._bias_cache: dict[int, float] = {}
         self._full_run_cache: dict[tuple[int, int], KernelSimResult] = {}
 
@@ -172,6 +181,10 @@ class Simulator:
             window_cycles=window_cycles if window_cycles else self.window_cycles,
             monitor=monitor,
             collect_series=collect_series,
+            # Plain full runs may shard one huge kernel's blocks across
+            # the pool; the engine recombines in fixed chunk order, so
+            # the memoized result is bitwise independent of the backend.
+            intra=self.backend if plain and self.backend.jobs > 1 else None,
         )
         if plain:
             self._full_run_cache[key] = result
@@ -206,25 +219,47 @@ class Simulator:
             gpu=self.gpu.name,
             launches=len(launches),
         ):
-            if self.backend.jobs > 1 and max_simulated_cycles is None:
-                self._prefetch_parallel(launches)
+            if max_simulated_cycles is not None:
+                return self._run_budgeted(
+                    workload_name,
+                    launches,
+                    keep_records=keep_records,
+                    max_simulated_cycles=max_simulated_cycles,
+                )
+            # A launch stream is dominated by repeats of few distinct
+            # kernels, so group it up front (first-occurrence order) and
+            # accumulate each distinct kernel's contribution once.  The
+            # accumulation order is fixed by the stream itself — never by
+            # the backend — so serial and sharded runs agree bitwise.
+            counts: dict[tuple[int, int], int] = {}
+            reps: dict[tuple[int, int], KernelLaunch] = {}
+            for launch in launches:
+                key = (launch.spec.signature(), launch.grid_blocks)
+                if key in counts:
+                    counts[key] += 1
+                else:
+                    counts[key] = 1
+                    reps[key] = launch
+            obs_count("sim.intra.stream_groups", len(reps))
+            if self.backend.jobs > 1:
+                self._prefetch_parallel(list(reps.values()))
+            results = {key: self.run_kernel(rep) for key, rep in reps.items()}
             total_cycles = 0.0
             total_insts = 0.0
             total_bytes = 0.0
             simulated = 0.0
+            for key in reps:
+                result = results[key]
+                count = counts[key]
+                total_cycles += count * (result.cycles + KERNEL_LAUNCH_OVERHEAD)
+                total_insts += count * result.warp_instructions
+                total_bytes += count * result.dram_bytes
+                simulated += count * result.cycles
             records: list[KernelRecord] = []
-            for launch in launches:
-                if (
-                    max_simulated_cycles is not None
-                    and simulated >= max_simulated_cycles
-                ):
-                    break
-                result = self.run_kernel(launch)
-                total_cycles += result.cycles + KERNEL_LAUNCH_OVERHEAD
-                total_insts += result.warp_instructions
-                total_bytes += result.dram_bytes
-                simulated += result.cycles
-                if keep_records:
+            if keep_records:
+                for launch in launches:
+                    key = (launch.spec.signature(), launch.grid_blocks)
+                    result = results[key]
                     records.append(
                         KernelRecord(
                             launch_id=launch.launch_id,
@@ -236,6 +271,55 @@ class Simulator:
                         )
                     )
             obs_count("sim.simulated_cycles", simulated)
+        return AppRunResult(
+            workload=workload_name,
+            gpu=self.gpu,
+            method="full_sim",
+            total_cycles=total_cycles,
+            total_instructions=total_insts,
+            total_dram_bytes=total_bytes,
+            simulated_cycles=simulated,
+            kernel_records=tuple(records),
+        )
+
+    def _run_budgeted(
+        self,
+        workload_name: str,
+        launches: list[KernelLaunch],
+        *,
+        keep_records: bool,
+        max_simulated_cycles: float,
+    ) -> AppRunResult:
+        """Sequential accumulation under a simulation budget.
+
+        Which launches fall inside the budget depends on the cycles of
+        the launches before them, so this path stays a per-launch loop.
+        """
+        total_cycles = 0.0
+        total_insts = 0.0
+        total_bytes = 0.0
+        simulated = 0.0
+        records: list[KernelRecord] = []
+        for launch in launches:
+            if simulated >= max_simulated_cycles:
+                break
+            result = self.run_kernel(launch)
+            total_cycles += result.cycles + KERNEL_LAUNCH_OVERHEAD
+            total_insts += result.warp_instructions
+            total_bytes += result.dram_bytes
+            simulated += result.cycles
+            if keep_records:
+                records.append(
+                    KernelRecord(
+                        launch_id=launch.launch_id,
+                        name=launch.spec.name,
+                        cycles=result.cycles,
+                        instructions=result.warp_instructions,
+                        dram_bytes=result.dram_bytes,
+                        simulated_cycles=result.cycles,
+                    )
+                )
+        obs_count("sim.simulated_cycles", simulated)
         return AppRunResult(
             workload=workload_name,
             gpu=self.gpu,

@@ -1,0 +1,208 @@
+"""Reusable differential comparator for simulation results.
+
+The intra-run parallelism work promises *bitwise* equivalence between
+three execution paths of the DES fast path — scalar-serial (pure Python
+floats), vectorized (numpy batch ops) and sharded (``intra_jobs > 1``) —
+and plain ``==`` on a nested dataclass says only "something differs".
+This module provides
+
+* :func:`assert_bitwise_equal` / :func:`diff_results` — field-by-field
+  comparison of :class:`~repro.sim.stats.AppRunResult` and
+  :class:`~repro.sim.engine.KernelSimResult` trees that reports *which*
+  field diverged and by how many ulps, comparing floats by their IEEE-754
+  bit patterns (so ``-0.0 != 0.0`` and NaNs are flagged, not swallowed);
+* :func:`scalar_engine` — a context manager that swaps the engine's
+  vectorized fast path for a pure-Python scalar reference implementing
+  the *same* chunked left-fold schedule, so the vectorized path can be
+  differentially tested against arithmetic with no numpy batch ops in
+  the loop.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+
+from repro.sim import engine
+from repro.sim.engine import KernelSimResult, fold_chunk_ranges
+from repro.sim.stats import AppRunResult, KernelRecord
+
+__all__ = [
+    "assert_bitwise_equal",
+    "diff_results",
+    "float_bits",
+    "scalar_engine",
+]
+
+
+def float_bits(value: float) -> str:
+    """Hex IEEE-754 bit pattern of ``value`` (total ordering, signed zero)."""
+    return struct.pack("<d", float(value)).hex()
+
+
+def _diff_float(path: str, a: float, b: float, out: list[str]) -> None:
+    if float_bits(a) != float_bits(b):
+        out.append(f"{path}: {a!r} ({float_bits(a)}) != {b!r} ({float_bits(b)})")
+
+
+def _diff_exact(path: str, a, b, out: list[str]) -> None:
+    if a != b:
+        out.append(f"{path}: {a!r} != {b!r}")
+
+
+def _diff_kernel_result(
+    path: str, a: KernelSimResult, b: KernelSimResult, out: list[str]
+) -> None:
+    _diff_exact(f"{path}.launch", a.launch, b.launch, out)
+    _diff_exact(f"{path}.perf", a.perf, b.perf, out)
+    _diff_float(f"{path}.cycles", a.cycles, b.cycles, out)
+    _diff_exact(f"{path}.blocks_finished", a.blocks_finished, b.blocks_finished, out)
+    _diff_float(
+        f"{path}.warp_instructions", a.warp_instructions, b.warp_instructions, out
+    )
+    _diff_float(f"{path}.dram_bytes", a.dram_bytes, b.dram_bytes, out)
+    _diff_exact(f"{path}.stopped_early", a.stopped_early, b.stopped_early, out)
+    _diff_exact(f"{path}.samples", a.samples, b.samples, out)
+
+
+def _diff_record(path: str, a: KernelRecord, b: KernelRecord, out: list[str]) -> None:
+    _diff_exact(f"{path}.launch_id", a.launch_id, b.launch_id, out)
+    _diff_exact(f"{path}.name", a.name, b.name, out)
+    _diff_float(f"{path}.cycles", a.cycles, b.cycles, out)
+    _diff_float(f"{path}.instructions", a.instructions, b.instructions, out)
+    _diff_float(f"{path}.dram_bytes", a.dram_bytes, b.dram_bytes, out)
+    _diff_float(f"{path}.simulated_cycles", a.simulated_cycles, b.simulated_cycles, out)
+    _diff_exact(f"{path}.projected", a.projected, b.projected, out)
+
+
+def _diff_app_result(
+    path: str, a: AppRunResult, b: AppRunResult, out: list[str]
+) -> None:
+    _diff_exact(f"{path}.workload", a.workload, b.workload, out)
+    _diff_exact(f"{path}.gpu", a.gpu, b.gpu, out)
+    _diff_exact(f"{path}.method", a.method, b.method, out)
+    _diff_float(f"{path}.total_cycles", a.total_cycles, b.total_cycles, out)
+    _diff_float(
+        f"{path}.total_instructions", a.total_instructions, b.total_instructions, out
+    )
+    _diff_float(
+        f"{path}.total_dram_bytes", a.total_dram_bytes, b.total_dram_bytes, out
+    )
+    _diff_float(f"{path}.simulated_cycles", a.simulated_cycles, b.simulated_cycles, out)
+    if len(a.kernel_records) != len(b.kernel_records):
+        out.append(
+            f"{path}.kernel_records: {len(a.kernel_records)} records "
+            f"!= {len(b.kernel_records)} records"
+        )
+        return
+    for index, (ra, rb) in enumerate(zip(a.kernel_records, b.kernel_records)):
+        _diff_record(f"{path}.kernel_records[{index}]", ra, rb, out)
+
+
+def diff_results(a, b, label: str = "result") -> list[str]:
+    """Human-readable list of bitwise field mismatches (empty == equal)."""
+    out: list[str] = []
+    if type(a) is not type(b):
+        return [f"{label}: type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, AppRunResult):
+        _diff_app_result(label, a, b, out)
+    elif isinstance(a, KernelSimResult):
+        _diff_kernel_result(label, a, b, out)
+    elif isinstance(a, float):
+        _diff_float(label, a, b, out)
+    else:
+        _diff_exact(label, a, b, out)
+    return out
+
+
+def assert_bitwise_equal(a, b, label: str = "result") -> None:
+    """Assert two results agree bitwise, naming every divergent field."""
+    mismatches = diff_results(a, b, label)
+    assert not mismatches, "bitwise divergence:\n  " + "\n  ".join(mismatches)
+
+
+# ---------------------------------------------------------------------------
+# Scalar reference engine.
+# ---------------------------------------------------------------------------
+
+
+def scalar_block_durations(launch, perf, bias, start, stop) -> list[float]:
+    """Pure-Python mirror of :func:`repro.sim.engine.block_durations`.
+
+    The log-normal variation draw is inherently the chunked numpy RNG
+    (that *is* the definition of the stream), but every arithmetic step
+    after it — phase drift, cold-start, bias, the 1.0 floor — is redone
+    one block at a time in Python floats, in the same operation order as
+    the vectorized elementwise expressions.
+    """
+    import numpy as np
+
+    spec = launch.spec
+    grid = launch.grid_blocks
+    if spec.duration_cv > 0:
+        sigma = float(np.sqrt(np.log1p(spec.duration_cv**2)))
+        variation = engine._variation_slice(
+            spec.signature(), grid, sigma, start, stop
+        ).tolist()
+    else:
+        variation = [1.0] * (stop - start)
+
+    first_wave = min(grid, perf.occupancy.wave_size)
+    base = perf.base_block_cycles
+    durations = []
+    for offset, var in enumerate(variation):
+        index = start + offset
+        if grid > 1 and spec.phase_drift != 0.0:
+            phase = 1.0 + (spec.phase_drift * index) / (grid - 1)
+            phase = max(phase, 0.05)
+        else:
+            phase = 1.0
+        if spec.cold_start_factor > 0 and index < first_wave:
+            phase = phase * (1.0 * (1.0 + spec.cold_start_factor))
+        duration = ((base * var) * phase) * bias
+        durations.append(max(duration, 1.0))
+    return durations
+
+
+def _scalar_run_fast(launch, perf, slots, bias, intra) -> KernelSimResult:
+    """Scalar-serial fast path: same chunked fold, no numpy batch ops."""
+    grid = launch.grid_blocks
+    finish = [0.0] * slots
+    for lo, hi in fold_chunk_ranges(grid, slots):
+        durations = scalar_block_durations(launch, perf, bias, lo, hi)
+        partial = [0.0] * slots
+        # Ranges are wave-aligned, so block lo+i sits in slot i % slots.
+        for i, duration in enumerate(durations):
+            slot = i % slots
+            partial[slot] = partial[slot] + duration
+        for slot in range(slots):
+            finish[slot] = finish[slot] + partial[slot]
+    makespan = max(finish)
+    total_insts = perf.warp_insts_per_block * grid
+    total_bytes = perf.memory.dram_bytes_per_block * grid
+    return KernelSimResult(
+        launch=launch,
+        perf=perf,
+        cycles=makespan,
+        blocks_finished=grid,
+        warp_instructions=total_insts,
+        dram_bytes=total_bytes,
+        stopped_early=False,
+    )
+
+
+@contextmanager
+def scalar_engine():
+    """Swap the engine's vectorized fast path for the scalar reference.
+
+    Everything built on :func:`repro.sim.engine.simulate_kernel` —
+    ``Simulator.run_full``, harness cells, baselines — then computes its
+    plain kernel runs through pure-Python scalar arithmetic, which the
+    differential tests compare bitwise against the vectorized build.
+    """
+    original = engine._run_fast
+    engine._run_fast = _scalar_run_fast
+    try:
+        yield
+    finally:
+        engine._run_fast = original

@@ -222,6 +222,42 @@ def test_no_cache_bypasses_the_store(tmp_path):
     assert isinstance(EvaluationHarness().run_cache, NullRunCache)
 
 
+# -- intra-run parallelism is invisible to cache identity --------------------
+
+
+def test_intra_jobs_absent_from_digests():
+    """``intra_jobs`` is a pure execution detail: it must not leak into
+    the context fingerprint or any cell digest, or serial and sharded
+    runs would stop sharing cache entries they are bitwise-equal for."""
+    serial = EvaluationHarness()
+    sharded = EvaluationHarness(intra_jobs=2)
+    assert serial.context_fingerprint() == sharded.context_fingerprint()
+    for method in ("silicon", "full_sim", "pka_sim", "selection"):
+        assert serial.cell_digest_for(WORKLOAD, method) == sharded.cell_digest_for(
+            WORKLOAD, method
+        ), method
+
+
+def test_serial_and_sharded_runs_hit_each_others_cache_entries(tmp_path):
+    # Serial writes, sharded hits...
+    serial = EvaluationHarness(cache_dir=tmp_path / "a")
+    first = serial.evaluation(WORKLOAD).full_sim()
+    assert serial.run_cache.writes > 0
+    sharded = EvaluationHarness(cache_dir=tmp_path / "a", intra_jobs=2)
+    assert sharded.evaluation(WORKLOAD).full_sim() == first
+    assert sharded.run_cache.hits == 1
+    assert sharded.run_cache.writes == 0
+
+    # ...and vice versa: sharded writes, serial hits.
+    cold = EvaluationHarness(cache_dir=tmp_path / "b", intra_jobs=2)
+    result = cold.evaluation(WORKLOAD).full_sim()
+    assert cold.run_cache.writes > 0
+    warm = EvaluationHarness(cache_dir=tmp_path / "b")
+    assert warm.evaluation(WORKLOAD).full_sim() == result
+    assert warm.run_cache.hits == 1
+    assert warm.run_cache.writes == 0
+
+
 # -- degraded mode: cache-write failure falls back to memory -----------------
 
 

@@ -116,12 +116,14 @@ def faithful_simulator() -> Simulator:
 def harness() -> EvaluationHarness:
     """A shared harness so expensive corpus runs are computed once.
 
-    ``PKA_JOBS`` ("serial", "auto" or a worker count) and
-    ``PKA_CACHE_DIR`` select the execution backend and on-disk run
-    cache, so CI can run the same suite on both backends and assert
-    they agree.
+    ``PKA_JOBS`` ("serial", "auto" or a worker count),
+    ``PKA_INTRA_JOBS`` (same grammar; intra-run sharding) and
+    ``PKA_CACHE_DIR`` select the execution backends and on-disk run
+    cache, so CI can run the same suite on every backend combination
+    and assert they agree.
     """
     return EvaluationHarness(
         backend=os.environ.get("PKA_JOBS"),
+        intra_jobs=os.environ.get("PKA_INTRA_JOBS"),
         cache_dir=os.environ.get("PKA_CACHE_DIR"),
     )

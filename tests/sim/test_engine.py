@@ -61,10 +61,24 @@ class TestBlockDurations:
 
 class TestFastPath:
     def test_matches_analytic_for_regular_kernel(self, compute_spec):
+        # The analytic model is linear in the grid, while the engine's
+        # static interleaved schedule pays a full extra block duration on
+        # the slots that receive the tail wave (no work stealing).  The
+        # mismatch peaks at low wave counts with a small remainder —
+        # grid 2000 on a 640-slot wave is near the worst case (~+10%) —
+        # and vanishes for large grids.
         launch = _launch(compute_spec)
         result = simulate_kernel(launch, VOLTA_V100)
         analytic = analytic_kernel_cycles(launch, VOLTA_V100)
-        assert result.cycles == pytest.approx(analytic, rel=0.08)
+        assert result.cycles == pytest.approx(analytic, rel=0.15)
+
+    def test_matches_analytic_closely_for_many_wave_kernel(self, compute_spec):
+        """With many waves the tail-wave quantization amortizes away and
+        the schedule tracks the analytic throughput model tightly."""
+        launch = _launch(compute_spec, grid=20_000)
+        result = simulate_kernel(launch, VOLTA_V100)
+        analytic = analytic_kernel_cycles(launch, VOLTA_V100)
+        assert result.cycles == pytest.approx(analytic, rel=0.05)
 
     def test_matches_analytic_for_irregular_sub_wave(self, irregular_spec):
         launch = _launch(irregular_spec, grid=256)

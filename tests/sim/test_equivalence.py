@@ -1,0 +1,254 @@
+"""Differential equivalence: scalar, vectorized and sharded paths agree.
+
+The vectorized engine and the ``intra_jobs`` block sharding are pure
+performance work — neither is allowed to move a single bit of any result.
+This suite enforces that promise differentially, over a corpus chosen to
+hit the decomposition's edges:
+
+* **scalar vs vectorized** — a pure-Python reference implementation of
+  the interleaved schedule (``tests._diff.scalar_engine``) must produce
+  bitwise-identical ``KernelSimResult``/``AppRunResult`` trees;
+* **serial vs sharded** — fanning fold chunks across worker processes
+  (``intra_jobs > 1``) must recombine to the bitwise-identical result,
+  for any worker count, including degenerate ones (more shards than
+  chunks, more shards than blocks);
+* **shard-layout invariance** — a seeded property test that *any*
+  contiguous partition of the fold chunks folds to the same makespan;
+* **app level** — full ``run_full`` streams (including a seeded
+  million-launch stream from the workload generator) and fault-injected
+  ``evaluate_cells`` sweeps agree across ``intra_jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import CellFailure, EvaluationHarness
+from repro.gpu import KernelLaunch, VOLTA_V100
+from repro.sim import Simulator, simulate_kernel
+from repro.sim.engine import compute_shard_partials, fold_chunk_ranges
+from repro.sim.faults import FaultPlan
+from repro.sim.parallel import FaultPolicy, ProcessPoolBackend
+from repro.sim.perfmodel import analyze_kernel
+from repro.sim.stats import AppRunResult
+from repro.workloads.generator import (
+    LaunchBuilder,
+    compute_spec,
+    irregular_spec,
+    streaming_spec,
+    tiny_spec,
+)
+from tests._diff import assert_bitwise_equal, scalar_engine
+
+
+def _launch(spec, grid: int) -> KernelLaunch:
+    return KernelLaunch(spec=spec, grid_blocks=grid, launch_id=0)
+
+
+def _corpus() -> list[tuple[str, KernelLaunch]]:
+    """Kernels spanning the decomposition's boundary conditions."""
+    wave_spec = compute_spec("eq_wave")
+    wave = analyze_kernel(
+        _launch(wave_spec, 1 << 20), VOLTA_V100
+    ).occupancy.wave_size
+    return [
+        # Degenerate: one block, one slot (more shards than blocks).
+        ("single_block", _launch(tiny_spec("eq_tiny"), 1)),
+        # Fewer blocks than one wave: every block is its own slot chain.
+        ("sub_wave", _launch(compute_spec("eq_compute"), 17)),
+        # Exactly one full wave: no tail, no chaining.
+        ("wave_boundary", _launch(wave_spec, wave)),
+        # No stochastic variation at all: purely deterministic durations.
+        (
+            "zero_cv",
+            _launch(
+                compute_spec(
+                    "eq_smooth", duration_cv=0.0, phase_drift=0.0, cold_start=0.0
+                ),
+                2_048,
+            ),
+        ),
+        # Strong drift + cold-start ramp across several waves.
+        (
+            "drift_and_cold",
+            _launch(
+                compute_spec(
+                    "eq_drift", duration_cv=0.1, phase_drift=0.4, cold_start=0.35
+                ),
+                5_000,
+            ),
+        ),
+        # BFS-like irregularity: the heavy-tailed duration distribution.
+        ("irregular", _launch(irregular_spec("eq_irregular", duration_cv=0.6), 5_000)),
+        # Crosses the 65 536-block RNG chunk boundary: multiple fold
+        # chunks, so intra-run sharding actually engages.
+        ("chunk_crossing", _launch(streaming_spec("eq_stream"), 150_000)),
+        # Several chunks with negative drift on top.
+        (
+            "many_chunks",
+            _launch(
+                irregular_spec(
+                    "eq_big_irregular", duration_cv=0.6, phase_drift=-0.3
+                ),
+                300_000,
+            ),
+        ),
+    ]
+
+
+CORPUS = _corpus()
+CORPUS_IDS = [label for label, _ in CORPUS]
+
+
+# -- kernel level ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(("label", "launch"), CORPUS, ids=CORPUS_IDS)
+def test_scalar_reference_matches_vectorized(label, launch):
+    """The numpy fast path is bitwise equal to pure-Python arithmetic."""
+    vectorized = simulate_kernel(launch, VOLTA_V100)
+    with scalar_engine():
+        scalar = simulate_kernel(launch, VOLTA_V100)
+    assert_bitwise_equal(scalar, vectorized, label)
+
+
+@pytest.mark.parametrize(("label", "launch"), CORPUS, ids=CORPUS_IDS)
+def test_scalar_reference_matches_vectorized_with_bias(label, launch):
+    """Same equivalence under a modeling-error bias (the simulator path)."""
+    vectorized = simulate_kernel(launch, VOLTA_V100, bias=1.37)
+    with scalar_engine():
+        scalar = simulate_kernel(launch, VOLTA_V100, bias=1.37)
+    assert_bitwise_equal(scalar, vectorized, label)
+
+
+@pytest.mark.parametrize("jobs", [2, 7])
+@pytest.mark.parametrize(("label", "launch"), CORPUS, ids=CORPUS_IDS)
+def test_sharded_matches_serial(label, launch, jobs):
+    """Block sharding across worker processes moves no bits.
+
+    ``jobs=7`` exceeds both the chunk count of every corpus kernel and
+    the block count of the degenerate single-block kernel, covering the
+    more-shards-than-work regimes.
+    """
+    serial = simulate_kernel(launch, VOLTA_V100)
+    sharded = simulate_kernel(
+        launch, VOLTA_V100, intra=ProcessPoolBackend(jobs)
+    )
+    assert_bitwise_equal(sharded, serial, f"{label}@jobs={jobs}")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_shard_layout_never_changes_cycles(seed):
+    """Property: any contiguous partition of the fold chunks — not just
+    the ones ``chunked`` produces — folds to the bitwise-same makespan."""
+    launch = _launch(irregular_spec("eq_layout", duration_cv=0.5), 300_000)
+    perf = analyze_kernel(launch, VOLTA_V100)
+    slots = min(launch.grid_blocks, perf.occupancy.wave_size)
+    ranges = fold_chunk_ranges(launch.grid_blocks, slots)
+    assert len(ranges) > 1  # the property is vacuous on a single chunk
+    reference = simulate_kernel(launch, VOLTA_V100).cycles
+
+    rng = np.random.default_rng(seed)
+    for _ in range(8):
+        n_cuts = int(rng.integers(0, len(ranges)))
+        cuts = sorted(
+            rng.choice(np.arange(1, len(ranges)), size=n_cuts, replace=False).tolist()
+        )
+        bounds = [0, *cuts, len(ranges)]
+        partials = []
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            partials.extend(
+                compute_shard_partials(launch, perf, 1.0, slots, ranges[a:b])
+            )
+        finish = np.zeros(slots)
+        for partial in partials:
+            finish += partial
+        assert_bitwise_equal(
+            float(finish.max()), reference, f"partition {bounds}"
+        )
+
+
+# -- application level -------------------------------------------------------
+
+
+def _equivalence_app() -> list[KernelLaunch]:
+    """A small app mixing repeats, distinct kernels and one huge grid."""
+    builder = LaunchBuilder()
+    comp = compute_spec("eq_app_compute", duration_cv=0.12, phase_drift=0.2)
+    builder.add(comp, 3_000, repeat=6)
+    builder.add(streaming_spec("eq_app_stream"), 1_500, repeat=4)
+    builder.add(tiny_spec("eq_app_tiny"), 24, repeat=10)
+    # Big enough to span several fold chunks: run_full's sharded path
+    # actually fans this kernel's blocks out.
+    builder.add(irregular_spec("eq_app_big", duration_cv=0.55), 150_000)
+    builder.add(comp, 3_000, repeat=2)
+    return builder.launches()
+
+
+def test_app_results_bitwise_identical_across_paths():
+    """Scalar-serial, vectorized-serial and sharded ``run_full`` agree on
+    every field of the AppRunResult, kernel records included."""
+    launches = _equivalence_app()
+    vectorized = Simulator(VOLTA_V100).run_full(
+        "eq_app", launches, keep_records=True
+    )
+    with scalar_engine():
+        scalar = Simulator(VOLTA_V100).run_full(
+            "eq_app", launches, keep_records=True
+        )
+    sharded = Simulator(VOLTA_V100, intra_jobs=2).run_full(
+        "eq_app", launches, keep_records=True
+    )
+    assert_bitwise_equal(scalar, vectorized, "scalar-vs-vectorized")
+    assert_bitwise_equal(sharded, vectorized, "sharded-vs-vectorized")
+
+
+def test_million_kernel_stream_matches_across_paths():
+    """A generator-built million-launch stream (few distinct kernels,
+    paper-style) produces bitwise-identical totals on all three paths."""
+    builder = LaunchBuilder()
+    for index in range(4):
+        builder.add(
+            tiny_spec(f"eq_mill_{index}", work=40.0 + 7.0 * index),
+            32 + 16 * index,
+            repeat=250_000,
+        )
+    launches = builder.launches()
+    assert len(launches) == 1_000_000
+
+    vectorized = Simulator(VOLTA_V100).run_full("eq_million", launches)
+    with scalar_engine():
+        scalar = Simulator(VOLTA_V100).run_full("eq_million", launches)
+    sharded = Simulator(VOLTA_V100, intra_jobs=2).run_full(
+        "eq_million", launches
+    )
+    assert_bitwise_equal(scalar, vectorized, "scalar-vs-vectorized")
+    assert_bitwise_equal(sharded, vectorized, "sharded-vs-vectorized")
+
+
+@pytest.mark.faults
+def test_fault_injected_sweeps_identical_across_intra_jobs():
+    """Fault-injected sweeps recover to identical results whether cells
+    run their kernels serially or with intra-run sharding enabled."""
+    cells = [
+        ("fdtd2d", "silicon", "volta"),
+        ("fdtd2d", "pka_sim", "volta"),
+        ("cutcp", "silicon", "volta"),
+        ("cutcp", "pka_sim", "volta"),
+    ]
+    plan = FaultPlan.parse("exception@1,crash@2")
+    policy = FaultPolicy(max_retries=1, backoff_base_seconds=0.0)
+    serial = EvaluationHarness(fault_policy=policy).evaluate_cells(
+        cells, fault_plan=plan
+    )
+    sharded = EvaluationHarness(
+        fault_policy=policy, intra_jobs=2
+    ).evaluate_cells(cells, fault_plan=plan)
+
+    # Both transient faults recovered within the retry budget.
+    assert all(not isinstance(result, CellFailure) for result in serial)
+    assert serial == sharded
+    for index, (a, b) in enumerate(zip(serial, sharded)):
+        if isinstance(a, AppRunResult):
+            assert_bitwise_equal(a, b, f"cell[{index}]")

@@ -134,6 +134,39 @@ def test_serial_backend_raises_inline():
         SerialBackend().map_tasks(_explode, [3, 1])
 
 
+# -- run_tasks edge cases ----------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", WORKER_SWEEP)
+def test_run_tasks_empty_list(jobs):
+    assert resolve_backend(jobs).run_tasks(_doubler, []) == []
+
+
+@pytest.mark.parametrize("jobs", WORKER_SWEEP)
+def test_run_tasks_single_task_runs_inline(jobs):
+    (outcome,) = resolve_backend(jobs).run_tasks(_doubler, [21])
+    assert outcome.ok
+    assert outcome.index == 0
+    assert outcome.value == 42
+
+
+def test_intra_sharding_with_more_workers_than_blocks():
+    """A one-block grid has one fold chunk: a 7-worker intra backend must
+    fall back to the serial fold (no pool, no empty shards) and agree."""
+    from repro.sim import simulate_kernel
+
+    spec = KernelSpec(
+        name="edge_single_block",
+        threads_per_block=128,
+        mix=InstructionMix(fp_ops=120.0, global_loads=8.0, control_ops=6.0),
+        duration_cv=0.2,
+    )
+    launch = KernelLaunch(spec=spec, grid_blocks=1, launch_id=0)
+    serial = simulate_kernel(launch, VOLTA_V100)
+    sharded = simulate_kernel(launch, VOLTA_V100, intra=ProcessPoolBackend(7))
+    assert sharded == serial
+
+
 # -- typed errors at the backend boundary ------------------------------------
 
 
@@ -185,6 +218,65 @@ def test_run_tasks_partial_results_keep_completed_work():
             assert outcome.failure.kind == "exception"
             assert outcome.failure.error_type == "ValueError"
             assert "boom" in outcome.failure.message
+
+
+def _exit_mid_shard(payload):
+    """A block-shard worker task that dies mid-shard, as OOM kills do."""
+    os._exit(73)
+
+
+_BIG_SHARD_SPEC = KernelSpec(
+    name="crash_shard_kernel",
+    threads_per_block=256,
+    mix=InstructionMix(fp_ops=60.0, global_loads=24.0, control_ops=5.0),
+    l2_locality=0.2,
+    working_set_bytes=256e6,
+    duration_cv=0.3,
+)
+
+
+@pytest.mark.faults
+def test_worker_crash_mid_shard_is_typed_not_partial(monkeypatch):
+    """A worker dying mid-shard must surface as WorkerCrashError — never
+    as a recombination of the surviving shards' partial sums."""
+    import repro.sim.parallel as parallel
+    from repro.sim import simulate_kernel
+
+    monkeypatch.setattr(parallel, "block_shard_task", _exit_mid_shard)
+    launch = KernelLaunch(spec=_BIG_SHARD_SPEC, grid_blocks=150_000, launch_id=0)
+    with pytest.raises(WorkerCrashError):
+        simulate_kernel(launch, VOLTA_V100, intra=ProcessPoolBackend(2))
+
+
+@pytest.mark.faults
+def test_worker_crash_mid_shard_quarantines_cell_as_typed_failure(monkeypatch):
+    """At the harness level the same mid-shard crash recombines into a
+    typed CellFailure (kind="crash") in the cell's slot — the sweep
+    neither aborts nor records a partial result for the cell."""
+    import repro.sim.parallel as parallel
+    from repro.analysis import CellFailure, EvaluationHarness
+    from repro.workloads.spec import WorkloadSpec, _REGISTRY, get_workload, register
+
+    def _build():
+        return [
+            KernelLaunch(spec=_BIG_SHARD_SPEC, grid_blocks=150_000, launch_id=0)
+        ]
+
+    get_workload("fdtd2d")  # force the registry load before registering
+    register(WorkloadSpec("crash_shard_app", "synthetic", _build))
+    try:
+        monkeypatch.setattr(parallel, "block_shard_task", _exit_mid_shard)
+        harness = EvaluationHarness(
+            intra_jobs=2,
+            fault_policy=FaultPolicy(max_retries=0, backoff_base_seconds=0.0),
+        )
+        (result,) = harness.evaluate_cells([("crash_shard_app", "full_sim", None)])
+        assert isinstance(result, CellFailure)
+        assert result.kind == "crash"
+        assert result.error_type == "WorkerCrashError"
+        assert result.workload == "crash_shard_app"
+    finally:
+        _REGISTRY.pop("crash_shard_app", None)
 
 
 # -- parallel == serial on simulated workloads -------------------------------

@@ -11,6 +11,8 @@ assert exact equality of everything downstream consumers read.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -63,6 +65,48 @@ def test_full_runs_are_deterministic():
     second = EvaluationHarness().evaluation("fdtd2d")
     for method in ("silicon", "full_sim", "pka_sim", "first_1b"):
         assert getattr(first, method)() == getattr(second, method)(), method
+
+
+# -- determinism across execution knobs --------------------------------------
+
+SWEEP_CELLS = [
+    ("fdtd2d", "silicon", "volta"),
+    ("fdtd2d", "pka_sim", "volta"),
+    ("cutcp", "silicon", "volta"),
+]
+
+
+def _manifest_bytes(harness: EvaluationHarness) -> bytes:
+    return json.dumps(harness.last_manifest, sort_keys=True).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def reference_sweep():
+    """One serial sweep every execution-knob combination is held to."""
+    harness = EvaluationHarness()
+    results = harness.evaluate_cells(SWEEP_CELLS)
+    assert all(not isinstance(result, CellFailure) for result in results)
+    return results, _manifest_bytes(harness)
+
+
+@pytest.mark.parametrize("backend", ["serial", "pool"])
+@pytest.mark.parametrize("intra_jobs", [1, 2, 7])
+def test_sweeps_byte_identical_across_execution_knobs(
+    intra_jobs, backend, reference_sweep
+):
+    """Every (backend x intra_jobs) combination reproduces the serial
+    sweep exactly: equal results and a byte-identical manifest.  The
+    manifest embeds the sweep id (a fingerprint over cells + context), so
+    byte equality also proves the execution knobs stay out of the cache
+    identity."""
+    reference_results, reference_manifest = reference_sweep
+    harness = EvaluationHarness(
+        backend=ProcessPoolBackend(2) if backend == "pool" else None,
+        intra_jobs=intra_jobs,
+    )
+    results = harness.evaluate_cells(SWEEP_CELLS)
+    assert results == reference_results
+    assert _manifest_bytes(harness) == reference_manifest
 
 
 # -- determinism under injected faults ---------------------------------------

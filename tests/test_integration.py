@@ -34,7 +34,7 @@ class TestQuickstartFlow:
         assert result.sim_wall_seconds > 0
 
     def test_version_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_public_api_importable(self):
         for name in repro.__all__:
