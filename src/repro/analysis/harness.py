@@ -627,6 +627,7 @@ class EvaluationHarness:
         fault_policy: FaultPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         progress: Callable[[TaskOutcome], None] | None = None,
+        crash_in_process: bool = False,
     ) -> list[AppRunResult | KernelSelection | CellFailure | None]:
         """Compute independent (workload, method, gpu) cells, in order.
 
@@ -662,6 +663,14 @@ class EvaluationHarness:
         complete jobs without waiting for the whole batch.  It is called
         from the dispatching thread; callbacks must be fast and must not
         raise.
+
+        ``crash_in_process=True`` makes an injected ``"crash"`` fault
+        genuinely ``os._exit`` the calling process instead of simulating
+        a :class:`~repro.errors.WorkerCrashError`.  Only the service's
+        fleet worker processes set it — it is how a poison job actually
+        kills its worker so the supervisor's re-dispatch and quarantine
+        paths are exercised for real.  It applies to the in-process
+        execution path only (serial backend / single job).
         """
         policy = fault_policy if fault_policy is not None else self.fault_policy
         plan = fault_plan if fault_plan is not None else self.fault_plan
@@ -682,7 +691,8 @@ class EvaluationHarness:
                     return self.evaluation(workload).compute_cell(method, gpu)
 
                 outcomes = _run_tasks_inline(
-                    compute, normalized, policy, labels, plan, False, progress
+                    compute, normalized, policy, labels, plan, False, progress,
+                    in_worker=crash_in_process,
                 )
             else:
                 cache_root = (

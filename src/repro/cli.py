@@ -33,15 +33,20 @@ Commands
 ``pka sweep [--suite S] [--methods M,...] [--gpus G,...]``
     Fault-tolerant workload x method x GPU sweep with partial results,
     a quarantine manifest, and cache-based resume.
-``pka serve [--port P] [--max-queue N] [--drain-timeout S]``
+``pka serve [--port P] [--max-queue N] [--workers N] [--journal FILE]``
     Run the evaluation service (see ``docs/API.md``, "Service mode"):
     a JSON HTTP job API over the harness with single-flight dedup,
     batching, cache-aware fast paths and graceful drain on
-    SIGTERM/SIGINT.
+    SIGTERM/SIGINT.  ``--workers N`` enables fleet mode: N supervised
+    worker processes with heartbeat liveness, dead-worker re-dispatch,
+    poison-job quarantine, and a crash-safe job journal for durable
+    recovery across coordinator restarts (``docs/OPERATIONS.md``).
 ``pka submit <workload> <method> [--gpu G] [--port P]``
     Submit one job to a running service and wait for its result.
-``pka loadgen [--jobs N] [--duplicate-ratio R] [--report FILE]``
-    Drive a running service with a seeded, replayable load plan.
+``pka loadgen [--jobs N] [--duplicate-ratio R] [--chaos SPECS] [--report FILE]``
+    Drive a running service with a seeded, replayable load plan;
+    ``--chaos "kill-worker@0.5,..."`` fires seeded fault actions
+    against a co-hosted fleet mid-run.
 
 Exit codes are uniform across every command: 0 success, 1 error
 (bad input, unreachable service, strict-mode failure), 3 partial
@@ -94,6 +99,7 @@ same ``--cache-dir`` recomputes only the missing cells.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import (
@@ -524,6 +530,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import PKAService
 
     harness = _harness_from_args(args)
+    workers = args.workers
+    if workers is None:
+        workers = int(os.environ.get("PKA_SERVICE_WORKERS", "0") or 0)
+    if workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 1
+    journal_path = args.journal
+    if journal_path is None and not args.no_journal and workers > 0:
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir and not getattr(args, "no_cache", False):
+            journal_path = os.path.join(cache_dir, "journal.jsonl")
+    if args.no_journal:
+        journal_path = None
     try:
         service = PKAService(
             harness,
@@ -532,6 +551,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             batch_max=args.batch_max,
             drain_timeout=args.drain_timeout,
+            workers=workers,
+            journal_path=journal_path,
+            heartbeat_timeout=args.heartbeat_timeout,
+            redispatch_budget=args.redispatch_budget,
+            retry_after=args.retry_after,
         )
     except OSError as exc:
         print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -545,6 +569,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGINT, _on_signal)
     service.start()
     print(f"pka service listening on http://{service.host}:{service.port}")
+    if workers > 0:
+        journal_note = journal_path if journal_path else "disabled"
+        print(f"fleet: {workers} worker(s); journal: {journal_note}")
     print(f"service id: {service.service_id}", flush=True)
     stop.wait()
     print("draining: refusing new jobs, finishing accepted work", flush=True)
@@ -632,6 +659,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ),
             fault=args.fault,
             timeout=args.timeout,
+            chaos=(
+                tuple(c.strip() for c in args.chaos.split(",") if c.strip())
+                if args.chaos
+                else ()
+            ),
         )
     except ValueError as exc:
         print(f"bad load configuration: {exc}", file=sys.stderr)
@@ -645,11 +677,24 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     document = report.to_document()
     print(
         f"submitted {report.submitted}  accepted {report.accepted}  "
-        f"deduplicated {report.deduplicated}  rejected {report.rejected}"
+        f"deduplicated {report.deduplicated}  rejected {report.rejected}  "
+        f"shed {report.shed}"
     )
     print(
         f"completed {report.completed}  failed {report.failed}  "
-        f"cancelled {report.cancelled}  errors {report.errors}"
+        f"quarantined {report.quarantined}  cancelled {report.cancelled}  "
+        f"errors {report.errors}"
+    )
+    if report.chaos_events:
+        for event in report.chaos_events:
+            print(f"chaos: {event}")
+    reconciliation = document["reconciliation"]
+    print(
+        "reconciliation: "
+        f"balanced={reconciliation.get('balanced')}  "
+        f"fresh={reconciliation.get('client_fresh_accepted')}  "
+        f"server_submitted={reconciliation.get('server_jobs_submitted')}  "
+        f"server_shed={reconciliation.get('server_jobs_shed')}"
     )
     latency = document["latency_ms"]
     if latency["p50"] is not None:
@@ -664,13 +709,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as stream:
             _json.dump(document, stream, indent=2, sort_keys=True)
         print(f"report written to {args.report}")
-    clean = (
-        report.rejected == 0
-        and report.errors == 0
-        and report.failed == 0
-        and report.completed == report.accepted
-    )
-    return 0 if clean else EXIT_PARTIAL
+    return 0 if report.clean else EXIT_PARTIAL
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
@@ -990,6 +1029,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="graceful-shutdown budget for finishing accepted jobs",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet mode: N supervised worker processes execute jobs "
+        "(default: PKA_SERVICE_WORKERS or 0 = in-process dispatch)",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="job journal path for durable recovery across restarts "
+        "(default in fleet mode: <cache-dir>/journal.jsonl)",
+    )
+    serve.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the job journal even in fleet mode",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="declare a fleet worker dead after this long without a "
+        "heartbeat (hung-worker detection)",
+    )
+    serve.add_argument(
+        "--redispatch-budget",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-dispatches allowed per job after worker deaths before "
+        "it is quarantined as poison",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After advice attached to shedding (429/503) responses",
+    )
 
     submit = subparsers.add_parser(
         "submit",
@@ -1059,6 +1141,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach this fault spec to one submission (and its duplicates)",
     )
     loadgen.add_argument("--timeout", type=float, default=120.0)
+    loadgen.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPECS",
+        help="comma-separated chaos schedule, e.g. "
+        "'kill-worker@0.5,kill-coordinator@2' (offsets in seconds from "
+        "the start of the run; requires a co-hosted fleet-mode service)",
+    )
     loadgen.add_argument(
         "--report",
         default=None,

@@ -110,7 +110,14 @@ class ServiceError(ReproError):
     from library faults with one ``except`` clause.  Each subclass maps
     onto one HTTP status the server returns, keeping the in-process and
     over-the-wire taxonomies identical.
+
+    ``retry_after`` (seconds, or ``None``) is the server's advice on when
+    a retry might succeed; the HTTP layer surfaces it as a ``Retry-After``
+    header on 429/503 responses and the client parses it back onto the
+    typed exception, so backoff advice survives the wire.
     """
+
+    retry_after: float | None = None
 
 
 class InvalidJobRequestError(ServiceError, ValueError):
@@ -126,10 +133,18 @@ class QueueFullError(ServiceError):
     bound.  ``depth``/``max_depth`` describe the queue at refusal time.
     """
 
-    def __init__(self, message: str, *, depth: int = 0, max_depth: int = 0) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        depth: int = 0,
+        max_depth: int = 0,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.depth = depth
         self.max_depth = max_depth
+        self.retry_after = retry_after
 
 
 class ServiceDrainingError(ServiceError):
@@ -138,6 +153,22 @@ class ServiceDrainingError(ServiceError):
     Maps to HTTP 503 — the same signal ``GET /readyz`` gives a load
     balancer, so clients and infrastructure see one consistent story.
     """
+
+
+class WorkersUnavailableError(ServiceError):
+    """Every fleet worker is down, so cold jobs cannot be computed.
+
+    The circuit-breaker signal (HTTP 503): while the supervisor respawns
+    workers the service degrades to warm-cache-only mode — submissions
+    whose result is already in the run cache still complete, anything
+    needing compute is shed with this error instead of queueing behind a
+    dead fleet.  ``retry_after`` carries the supervisor's next-respawn
+    estimate.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class JobNotFoundError(ServiceError, KeyError):

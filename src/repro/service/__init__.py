@@ -6,6 +6,14 @@ small lifecycle, a bounded fair queue, a single-flight batching
 scheduler that exploits the content-addressed run cache, a stdlib JSON
 HTTP API, a polling client, and a seeded load generator.  Dependency-
 free, like everything else in the repo.
+
+**Fleet mode** adds three robustness layers: a crash-safe append-only
+:class:`JobJournal` (durable job recovery across coordinator restarts),
+a :class:`WorkerSupervisor` (N supervised worker processes with
+heartbeat liveness, dead-worker re-dispatch, poison-job quarantine, and
+exponential-backoff respawn), and overload degradation (queue shedding
+with ``Retry-After``, warm-cache-only circuit breaker while all workers
+are down).
 """
 
 from repro.service.client import ServiceClient
@@ -17,14 +25,23 @@ from repro.service.jobs import (
     job_id_for,
     parse_job_fault,
 )
-from repro.service.loadgen import LoadConfig, LoadReport, build_plan, run_load
+from repro.service.journal import JobJournal
+from repro.service.loadgen import (
+    LoadConfig,
+    LoadReport,
+    build_plan,
+    parse_chaos,
+    run_load,
+)
 from repro.service.queue import JobQueue
 from repro.service.scheduler import Scheduler
 from repro.service.server import PKAService
+from repro.service.supervisor import WorkerSupervisor
 
 __all__ = [
     "JOB_STATES",
     "TERMINAL_STATES",
+    "JobJournal",
     "JobQueue",
     "JobRecord",
     "JobRequest",
@@ -33,8 +50,10 @@ __all__ = [
     "PKAService",
     "Scheduler",
     "ServiceClient",
+    "WorkerSupervisor",
     "build_plan",
     "job_id_for",
+    "parse_chaos",
     "parse_job_fault",
     "run_load",
 ]

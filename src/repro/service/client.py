@@ -6,12 +6,20 @@ scheduler raised in-process, so code written against
 :class:`~repro.service.scheduler.Scheduler` ports to the wire unchanged
 — a 429 *is* a :class:`~repro.errors.QueueFullError` with ``depth`` and
 ``max_depth`` filled in, a 503 *is* a
-:class:`~repro.errors.ServiceDrainingError`, and so on.
+:class:`~repro.errors.ServiceDrainingError` or
+:class:`~repro.errors.WorkersUnavailableError`, and so on.
+
+Polling is polite: :meth:`ServiceClient.wait` uses jittered exponential
+backoff instead of a fixed interval, and every retry path honors the
+server's ``Retry-After`` advice (parsed onto the typed exception as
+``retry_after``), so a shedding or degraded server is never hammered at
+poll frequency.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -23,6 +31,7 @@ from repro.errors import (
     QueueFullError,
     ServiceDrainingError,
     ServiceError,
+    WorkersUnavailableError,
 )
 from repro.service.jobs import JobRequest
 
@@ -38,7 +47,14 @@ _ERROR_FOR_STATUS = {
 
 
 class ServiceClient:
-    """Talks JSON to one :class:`~repro.service.server.PKAService`."""
+    """Talks JSON to one :class:`~repro.service.server.PKAService`.
+
+    ``backoff`` is the multiplier applied to the poll interval after
+    each non-terminal poll (capped at ``poll_max``); ``jitter`` is the
+    +/- fraction of random spread on every sleep so a thundering herd of
+    identical clients decorrelates.  ``seed`` makes the jitter sequence
+    reproducible for tests.
+    """
 
     def __init__(
         self,
@@ -46,9 +62,17 @@ class ServiceClient:
         port: int = 8471,
         *,
         timeout: float = 10.0,
+        backoff: float = 1.6,
+        poll_max: float = 2.0,
+        jitter: float = 0.2,
+        seed: int | None = None,
     ) -> None:
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        self.backoff = max(1.0, backoff)
+        self.poll_max = poll_max
+        self.jitter = max(0.0, min(jitter, 0.99))
+        self._rng = random.Random(seed)
 
     # -- wire plumbing ---------------------------------------------------
 
@@ -78,23 +102,63 @@ class ServiceClient:
         except (ValueError, UnicodeDecodeError):
             document = {}
         message = document.get("message", f"HTTP {exc.code}")
+        retry_after = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        for raw in (header, document.get("retry_after")):
+            if raw is None or retry_after is not None:
+                continue
+            try:
+                retry_after = float(raw)
+            except (TypeError, ValueError):
+                pass
         cls = _ERROR_FOR_STATUS.get(exc.code)
+        if exc.code == 503 and document.get("error") == "WorkersUnavailableError":
+            cls = WorkersUnavailableError
         if cls is QueueFullError:
-            return QueueFullError(
+            error: ServiceError = QueueFullError(
                 message,
                 depth=document.get("depth", 0),
                 max_depth=document.get("max_depth", 0),
             )
-        if cls is not None:
-            return cls(message)
-        return ServiceError(f"HTTP {exc.code}: {message}")
+        elif cls is not None:
+            error = cls(message)
+        else:
+            error = ServiceError(f"HTTP {exc.code}: {message}")
+        if retry_after is not None:
+            error.retry_after = retry_after
+        return error
+
+    def _sleep_for(self, interval: float) -> float:
+        """One jittered sleep duration (never negative)."""
+        if self.jitter <= 0.0:
+            return max(0.0, interval)
+        spread = self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, interval * (1.0 + spread))
 
     # -- API -------------------------------------------------------------
 
-    def submit(self, request: JobRequest | dict) -> dict:
-        """POST the job; returns the job document (with ``created``)."""
+    def submit(self, request: JobRequest | dict, *, retries: int = 0) -> dict:
+        """POST the job; returns the job document (with ``created``).
+
+        ``retries`` resubmissions are attempted when the server sheds
+        the job (429 queue-full, 503 workers-down/draining), sleeping
+        the server's ``Retry-After`` advice (jittered) between attempts.
+        """
         body = request.to_document() if isinstance(request, JobRequest) else request
-        return self._call("POST", "/v1/jobs", body)
+        attempt = 0
+        while True:
+            try:
+                return self._call("POST", "/v1/jobs", body)
+            except (
+                QueueFullError,
+                WorkersUnavailableError,
+                ServiceDrainingError,
+            ) as exc:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                delay = exc.retry_after if exc.retry_after is not None else 0.5
+                time.sleep(self._sleep_for(delay))
 
     def job(self, job_id: str) -> dict:
         return self._call("GET", f"/v1/jobs/{job_id}")
@@ -121,23 +185,46 @@ class ServiceClient:
             return False
 
     def wait(self, job_id: str, *, timeout: float = 60.0, poll: float = 0.05) -> dict:
-        """Poll until the job is terminal; returns the final job document."""
+        """Poll until the job is terminal; returns the final job document.
+
+        ``poll`` is the *initial* interval; each subsequent poll backs
+        off exponentially (``backoff``, capped at ``poll_max``) with
+        jitter, and any 429/503 carrying ``Retry-After`` overrides the
+        next sleep with the server's own advice.
+        """
         deadline = time.monotonic() + timeout
+        interval = max(0.001, poll)
         while True:
-            document = self.job(job_id)
-            if document["state"] in ("done", "failed", "cancelled"):
-                return document
+            sleep = None
+            try:
+                document = self.job(job_id)
+            except (QueueFullError, WorkersUnavailableError) as exc:
+                # Shedding statuses on the poll path: honor the advice
+                # and keep waiting — the job itself is still accepted.
+                document = None
+                sleep = exc.retry_after if exc.retry_after is not None else interval
+            if document is not None:
+                if document["state"] in ("done", "failed", "cancelled"):
+                    return document
+                sleep = interval
+                interval = min(self.poll_max, interval * self.backoff)
             if time.monotonic() >= deadline:
+                state = document["state"] if document else "unreachable"
                 raise ServiceError(
-                    f"job {job_id} still {document['state']} after {timeout}s"
+                    f"job {job_id} still {state} after {timeout}s"
                 )
-            time.sleep(poll)
+            time.sleep(self._sleep_for(sleep))
 
     def submit_and_wait(
-        self, request: JobRequest | dict, *, timeout: float = 60.0, poll: float = 0.05
+        self,
+        request: JobRequest | dict,
+        *,
+        timeout: float = 60.0,
+        poll: float = 0.05,
+        retries: int = 0,
     ) -> dict:
         """Submit, wait for a terminal state, and fetch the result."""
-        document = self.submit(request)
+        document = self.submit(request, retries=retries)
         final = self.wait(document["job_id"], timeout=timeout, poll=poll)
         if final["state"] == "done":
             return self.result(final["job_id"])

@@ -185,6 +185,10 @@ class JobRecord:
     error: dict | None = None
     latency_ms: float | None = None
     dedup_hits: int = 0
+    #: Times this job was re-dispatched after its worker died mid-run.
+    #: Exceeding the supervisor's redispatch budget routes the job to
+    #: poison quarantine (``failed`` with the crash evidence attached).
+    redispatches: int = 0
     #: The in-memory result object (AppRunResult / KernelSelection /
     #: None for a not-applicable cell); serialized lazily by the server.
     result: Any = None
@@ -206,4 +210,5 @@ class JobRecord:
             "error": self.error,
             "latency_ms": self.latency_ms,
             "dedup_hits": self.dedup_hits,
+            "redispatches": self.redispatches,
         }

@@ -18,26 +18,54 @@ dedup and the warm-cache fast path.  An optional ``fault`` spec rides
 on one submission to prove fault injection flows end-to-end through
 the wire.
 
+**Chaos schedules** (fleet mode): ``chaos=("kill-worker@0.5", ...)``
+fires actions at seeded offsets from the start of the run.
+``kill-worker`` SIGKILLs a random (seeded) live worker picked from the
+server's ``/metricsz`` snapshot; ``kill-coordinator`` SIGKILLs the
+coordinator itself (its pid is parsed from the service id).  Both
+assume the loadgen shares a host with the service — exactly the CI
+arrangement.  A custom ``chaos_driver`` can replace the kill mechanics
+for tests.
+
 The resulting :class:`LoadReport` carries client-observed counts and
-latency percentiles plus the server's final ``/metricsz`` snapshot, so
-CI can reconcile the two sides of the conversation.
+latency percentiles plus the server's final ``/metricsz`` snapshot;
+:meth:`LoadReport.reconcile` checks the two sides of the conversation
+against each other, with shed (429/503) and quarantined jobs accounted
+so ``jobs_submitted - jobs_shed == accepted - deduplicated`` balances
+even under chaos.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.errors import ServiceError
+from repro.errors import (
+    QueueFullError,
+    ServiceError,
+    WorkersUnavailableError,
+)
 from repro.service.client import ServiceClient
 from repro.service.jobs import JobRequest, parse_job_fault
 from repro.workloads.spec import iter_workloads
 
-__all__ = ["LoadConfig", "LoadReport", "run_load"]
+__all__ = [
+    "CHAOS_ACTIONS",
+    "LoadConfig",
+    "LoadReport",
+    "build_plan",
+    "parse_chaos",
+    "run_load",
+]
 
 TERMINAL = ("done", "failed", "cancelled")
+
+CHAOS_ACTIONS = ("kill-worker", "kill-coordinator")
 
 
 def _percentile(sorted_values: list[float], percentile: float) -> float | None:
@@ -47,6 +75,31 @@ def _percentile(sorted_values: list[float], percentile: float) -> float | None:
     rank = int(-(-percentile * len(sorted_values) // 100)) - 1
     rank = max(0, min(len(sorted_values) - 1, rank))
     return sorted_values[rank]
+
+
+def parse_chaos(specs: tuple[str, ...]) -> list[tuple[str, float]]:
+    """Parse ``action@seconds`` chaos specs, sorted by fire time."""
+    events: list[tuple[str, float]] = []
+    for spec in specs:
+        action, sep, at_text = spec.strip().partition("@")
+        if not sep:
+            raise ValueError(
+                f"bad chaos spec {spec!r}; expected action@seconds"
+            )
+        action = action.strip().lower()
+        if action not in CHAOS_ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {action!r}; expected one of "
+                f"{CHAOS_ACTIONS}"
+            )
+        try:
+            at = float(at_text)
+        except ValueError as exc:
+            raise ValueError(f"bad chaos offset in {spec!r}") from exc
+        if at < 0:
+            raise ValueError("chaos offsets must be >= 0 seconds")
+        events.append((action, at))
+    return sorted(events, key=lambda event: event[1])
 
 
 @dataclass(frozen=True)
@@ -65,6 +118,7 @@ class LoadConfig:
     fault: str | None = None  # attached to exactly one submission
     timeout: float = 120.0
     poll: float = 0.02
+    chaos: tuple[str, ...] = ()  # "kill-worker@0.5", "kill-coordinator@2"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -75,24 +129,35 @@ class LoadConfig:
             raise ValueError("duplicate_ratio must be within [0, 1]")
         if self.fault is not None:
             parse_job_fault(self.fault)
+        parse_chaos(self.chaos)  # validate eagerly
 
 
 @dataclass
 class LoadReport:
-    """What happened, from the client's side of the wire."""
+    """What happened, from the client's side of the wire.
+
+    ``shed`` counts submissions the server refused under overload
+    protection (429 queue-full, 503 workers-down/draining) — distinct
+    from ``rejected``, which counts every other submission error.
+    ``quarantined`` counts jobs that terminated ``failed`` with the
+    poison-quarantine error kind.
+    """
 
     config: LoadConfig
     submitted: int = 0
     accepted: int = 0
     deduplicated: int = 0
     rejected: int = 0
+    shed: int = 0
     completed: int = 0
     failed: int = 0
+    quarantined: int = 0
     cancelled: int = 0
     errors: int = 0
     distinct_jobs: int = 0
     wall_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
+    chaos_events: list[dict] = field(default_factory=list)
     server_metrics: dict | None = None
 
     @property
@@ -100,6 +165,51 @@ class LoadReport:
         if self.wall_seconds <= 0:
             return 0.0
         return self.completed / self.wall_seconds
+
+    @property
+    def clean(self) -> bool:
+        """No job lost, shed, or errored, client-side."""
+        return (
+            self.rejected == 0
+            and self.shed == 0
+            and self.errors == 0
+            and self.failed == 0
+            and self.completed == self.accepted
+        )
+
+    def reconcile(self) -> dict:
+        """Client-vs-server accounting, chaos-aware.
+
+        The invariant: every *fresh* accepted submission (accepted minus
+        dedup hits) corresponds to exactly one server-side registered
+        job that was not shed — ``jobs_submitted - jobs_shed ==
+        accepted - deduplicated``.  When the server's metrics are
+        unavailable (coordinator killed by chaos), ``balanced`` is
+        ``None`` rather than a false alarm.
+        """
+        counters = (self.server_metrics or {}).get("counters", {})
+        fresh_client = self.accepted - self.deduplicated
+        document = {
+            "client_fresh_accepted": fresh_client,
+            "client_shed": self.shed,
+            "client_quarantined": self.quarantined,
+            "server_available": self.server_metrics is not None,
+        }
+        if self.server_metrics is None:
+            document["balanced"] = None
+            return document
+        submitted_server = counters.get("service.jobs_submitted", 0)
+        shed_server = counters.get("service.jobs_shed", 0)
+        document["server_jobs_submitted"] = submitted_server
+        document["server_jobs_shed"] = shed_server
+        document["server_dedup_hits"] = counters.get("service.dedup_hits", 0)
+        document["server_quarantined"] = counters.get(
+            "service.jobs_quarantined", 0
+        )
+        document["balanced"] = (
+            submitted_server - shed_server == fresh_client
+        )
+        return document
 
     def to_document(self) -> dict:
         latencies = sorted(self.latencies_ms)
@@ -113,13 +223,16 @@ class LoadReport:
                 "seed": self.config.seed,
                 "methods": list(self.config.methods),
                 "fault": self.config.fault,
+                "chaos": list(self.config.chaos),
             },
             "submitted": self.submitted,
             "accepted": self.accepted,
             "deduplicated": self.deduplicated,
             "rejected": self.rejected,
+            "shed": self.shed,
             "completed": self.completed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "cancelled": self.cancelled,
             "errors": self.errors,
             "distinct_jobs": self.distinct_jobs,
@@ -131,6 +244,8 @@ class LoadReport:
                 "p95": _percentile(latencies, 95.0),
                 "max": latencies[-1] if latencies else None,
             },
+            "chaos_events": self.chaos_events,
+            "reconciliation": self.reconcile(),
             "server_metrics": self.server_metrics,
         }
 
@@ -168,7 +283,50 @@ def build_plan(config: LoadConfig) -> list[JobRequest]:
     return plan
 
 
-def run_load(client: ServiceClient, config: LoadConfig) -> LoadReport:
+def default_chaos_driver(
+    client: ServiceClient, rng: random.Random
+) -> Callable[[str], dict]:
+    """SIGKILL-based chaos on a co-hosted service (the CI arrangement)."""
+
+    def fire(action: str) -> dict:
+        if action == "kill-worker":
+            metrics = client.metrics()
+            slots = (metrics.get("workers") or {}).get("slots", [])
+            alive = [s for s in slots if s.get("alive") and s.get("pid")]
+            if not alive:
+                return {"action": action, "ok": False, "reason": "no live workers"}
+            target = rng.choice(alive)
+            os.kill(target["pid"], signal.SIGKILL)
+            return {
+                "action": action,
+                "ok": True,
+                "pid": target["pid"],
+                "worker_id": target["worker_id"],
+            }
+        if action == "kill-coordinator":
+            metrics = client.metrics()
+            service_id = metrics.get("service_id", "")
+            try:
+                pid = int(service_id.split("-")[1])
+            except (IndexError, ValueError):
+                return {
+                    "action": action,
+                    "ok": False,
+                    "reason": f"cannot parse pid from {service_id!r}",
+                }
+            os.kill(pid, signal.SIGKILL)
+            return {"action": action, "ok": True, "pid": pid}
+        return {"action": action, "ok": False, "reason": "unknown action"}
+
+    return fire
+
+
+def run_load(
+    client: ServiceClient,
+    config: LoadConfig,
+    *,
+    chaos_driver: Callable[[str], dict] | None = None,
+) -> LoadReport:
     """Execute the plan against a live service and report."""
     plan = build_plan(config)
     report = LoadReport(config=config)
@@ -179,6 +337,10 @@ def run_load(client: ServiceClient, config: LoadConfig) -> LoadReport:
     def submit_one(request: JobRequest) -> str | None:
         try:
             document = client.submit(request)
+        except (QueueFullError, WorkersUnavailableError):
+            with lock:
+                report.shed += 1
+            return None
         except ServiceError:
             with lock:
                 report.rejected += 1
@@ -202,12 +364,43 @@ def run_load(client: ServiceClient, config: LoadConfig) -> LoadReport:
                 report.completed += 1
             elif final["state"] == "failed":
                 report.failed += 1
+                if (final.get("error") or {}).get("kind") == "quarantined":
+                    report.quarantined += 1
             else:
                 report.cancelled += 1
             if final.get("latency_ms") is not None:
                 report.latencies_ms.append(final["latency_ms"])
 
     started = time.monotonic()
+
+    chaos_thread = None
+    events = parse_chaos(config.chaos)
+    if events:
+        driver = chaos_driver or default_chaos_driver(
+            client, random.Random(config.seed ^ 0xC4A05)
+        )
+
+        def chaos_loop() -> None:
+            for action, at in events:
+                delay = started + at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    outcome = driver(action)
+                except Exception as exc:  # chaos must not kill the loadgen
+                    outcome = {
+                        "action": action,
+                        "ok": False,
+                        "reason": f"{type(exc).__name__}: {exc}",
+                    }
+                with lock:
+                    report.chaos_events.append({"at_s": at, **outcome})
+
+        chaos_thread = threading.Thread(
+            target=chaos_loop, name="loadgen-chaos", daemon=True
+        )
+        chaos_thread.start()
+
     if config.mode == "open":
         interval = 1.0 / config.rate if config.rate > 0 else 0.0
         for index, request in enumerate(plan):
@@ -249,6 +442,8 @@ def run_load(client: ServiceClient, config: LoadConfig) -> LoadReport:
             thread.start()
         for thread in workers:
             thread.join(timeout=config.timeout)
+    if chaos_thread is not None:
+        chaos_thread.join(timeout=config.timeout)
     report.wall_seconds = time.monotonic() - started
     try:
         report.server_metrics = client.metrics()

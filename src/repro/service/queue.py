@@ -60,6 +60,23 @@ class JobQueue:
             self._depth += 1
             self._not_empty.notify()
 
+    def put_front(self, record: JobRecord) -> None:
+        """Re-enqueue at the head of the record's band (redispatch path).
+
+        Used when a worker dies mid-job and its in-flight work must run
+        again: the job already passed admission once, so this bypasses
+        the depth bound (re-dispatch is recovery, not new load) and jumps
+        the client's line so recovered work is not penalized by the
+        fairness rotation.
+        """
+        with self._lock:
+            band = self._bands.setdefault(record.request.priority, OrderedDict())
+            jobs = band.setdefault(record.request.client, deque())
+            jobs.appendleft(record)
+            band.move_to_end(record.request.client, last=False)
+            self._depth += 1
+            self._not_empty.notify()
+
     def take_batch(
         self,
         max_jobs: int,

@@ -1,4 +1,4 @@
-"""The serving scheduler: dedup, batching, and job completion.
+"""The serving scheduler: dedup, batching, durability, and completion.
 
 Three serving-layer optimizations happen here, all invisible to the
 client beyond latency:
@@ -24,6 +24,24 @@ client beyond latency:
   :class:`~repro.sim.parallel.TaskOutcome` is decided, via the
   harness's job-granular ``progress`` hook.
 
+Two robustness layers stack on top in fleet mode:
+
+* **Durability.**  With a :class:`~repro.service.journal.JobJournal`
+  attached, every accepted job is journaled *before* the submission
+  returns, and every terminal transition afterwards.  A restarted
+  coordinator calls :meth:`recover`: terminal jobs are restored (their
+  results re-attached from the run cache), incomplete jobs re-enqueued.
+  Zero accepted jobs are lost to a coordinator ``kill -9``.
+
+* **Degradation.**  With a :class:`~repro.service.supervisor.
+  WorkerSupervisor` attached, dispatch goes to worker processes instead
+  of an in-process thread, and admission control becomes load-aware:
+  queue-full submissions shed with 429 + ``Retry-After``; when *all*
+  workers are down a circuit breaker flips to warm-cache-only mode —
+  cache hits still complete, cold jobs shed with a typed
+  :class:`~repro.errors.WorkersUnavailableError` (503) instead of
+  queueing behind a dead fleet.
+
 The scheduler owns the job registry: every record a client can observe
 lives in ``_jobs`` and is mutated only under ``_lock``.
 """
@@ -40,6 +58,7 @@ from repro.errors import (
     ReproError,
     ServiceDrainingError,
     ServiceError,
+    WorkersUnavailableError,
 )
 from repro.obs import get_tracer, now_us, obs_count, span_percentiles
 from repro.service.jobs import (
@@ -48,6 +67,7 @@ from repro.service.jobs import (
     job_id_for,
     parse_job_fault,
 )
+from repro.service.journal import JobJournal
 from repro.service.queue import JobQueue
 from repro.sim.faults import FaultPlan, InjectedFault
 
@@ -61,6 +81,11 @@ class Scheduler:
     (Tests exploit this: submissions to an unstarted scheduler stay
     ``queued``, which is how cancellation and backpressure are pinned
     down deterministically.)
+
+    ``journal`` and ``supervisor`` are optional and independent: a
+    journal alone gives a single-process service durable recovery; a
+    supervisor alone gives a fleet without persistence; together they
+    are fleet mode as ``pka serve --workers N`` configures it.
     """
 
     def __init__(
@@ -70,6 +95,9 @@ class Scheduler:
         max_queue: int = 256,
         batch_max: int = 32,
         linger: float = 0.02,
+        journal: JobJournal | None = None,
+        supervisor=None,
+        retry_after: float = 1.0,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
@@ -77,15 +105,25 @@ class Scheduler:
         self.queue = JobQueue(max_depth=max_queue)
         self.batch_max = batch_max
         self.linger = linger
+        self.journal = journal
+        self.supervisor = supervisor
+        self.retry_after = retry_after
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
         self._draining = False
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        if supervisor is not None:
+            supervisor.bind(self)
+        if journal is not None:
+            self.recover()
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.start()
+            return
         if self._thread is not None:
             return
         self._thread = threading.Thread(
@@ -104,7 +142,8 @@ class Scheduler:
         state within ``timeout`` (a *clean* drain).  On timeout, jobs
         still queued are cancelled (they can no longer run) and the
         drain reports unclean; jobs already running are left to finish
-        or die with the process.
+        or die with the process.  A clean drain compacts the journal, so
+        the next boot replays a minimal file.
         """
         self._draining = True
         deadline = threading.Event()
@@ -121,8 +160,17 @@ class Scheduler:
         clean = not self._pending_jobs()
         self._stop.set()
         self.queue.close()
+        if self.supervisor is not None:
+            self.supervisor.stop()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        if self.journal is not None:
+            if clean:
+                try:
+                    self.journal.compact()
+                except OSError:
+                    pass
+            self.journal.close()
         return clean
 
     def close(self) -> None:
@@ -132,12 +180,102 @@ class Scheduler:
         self.queue.close()
         for record in self.queue.drain_all():
             self._complete(record, "cancelled")
+        if self.supervisor is not None:
+            self.supervisor.stop(kill=True)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        if self.journal is not None:
+            self.journal.close()
 
     def _pending_jobs(self) -> int:
         with self._lock:
             return sum(1 for record in self._jobs.values() if not record.terminal)
+
+    # -- durability ------------------------------------------------------
+
+    def _journal_event(self, event: str, record: JobRecord, **data) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(event, record.job_id, **data)
+        except OSError:
+            # A journal that cannot be written must not take serving
+            # down; durability degrades, availability does not.
+            obs_count("journal.append_failures")
+
+    def recover(self) -> int:
+        """Replay the journal into the registry; returns jobs restored.
+
+        Terminal jobs come back terminal, with their results re-attached
+        from the run cache when it still holds them.  Jobs accepted but
+        never completed are re-enqueued at the front of the queue — they
+        run as soon as :meth:`start` is called.  The journal is then
+        compacted so repeated crash/restart cycles do not grow it
+        without bound.
+        """
+        if self.journal is None:
+            return 0
+        records = self.journal.replay()
+        if not records:
+            return 0
+        accepted: dict[str, dict] = {}
+        completed: dict[str, dict] = {}
+        order: list[str] = []
+        for entry in records:
+            if entry.event == "accepted":
+                if entry.job_id not in accepted:
+                    order.append(entry.job_id)
+                accepted[entry.job_id] = entry.data
+            elif entry.event == "completed":
+                completed[entry.job_id] = entry.data
+        pending: list[JobRecord] = []
+        restored = 0
+        with self._lock:
+            for job_id in order:
+                if job_id in self._jobs:
+                    continue
+                data = accepted[job_id]
+                try:
+                    request = JobRequest.from_document(data["request"])
+                    digest = data["digest"]
+                except (KeyError, ServiceError):
+                    obs_count("journal.unrecoverable")
+                    continue
+                record = JobRecord(
+                    job_id=job_id, request=request, digest=digest
+                )
+                final = completed.get(job_id)
+                if final is not None:
+                    record.state = final.get("state", "done")
+                    record.error = final.get("error")
+                    record.source = final.get("source")
+                    record.attempts = final.get("attempts") or 0
+                    record.latency_ms = final.get("latency_ms")
+                    if record.state == "done":
+                        record.result = self._cached_result(record)
+                else:
+                    record.state = "queued"
+                    pending.append(record)
+                self._jobs[job_id] = record
+                restored += 1
+        # Front of the queue, original order: recovered work predates
+        # anything submitted after the restart.
+        for record in reversed(pending):
+            self.queue.put_front(record)
+        obs_count("service.recovered_jobs", restored)
+        if pending:
+            obs_count("service.recovered_pending", len(pending))
+        try:
+            self.journal.compact(records)
+        except OSError:
+            pass
+        return restored
+
+    def _cached_result(self, record: JobRecord):
+        """Re-attach a recovered job's result from the run cache."""
+        if record.request.method == "selection":
+            return self.harness.run_cache.get_selection(record.digest)
+        return self.harness.run_cache.get_run(record.digest)
 
     # -- client-facing operations ----------------------------------------
 
@@ -148,8 +286,14 @@ class Scheduler:
         job (queued, running, or already terminal) and the caller
         attached to it.  Raises :class:`ServiceDrainingError` while
         draining, :class:`InvalidJobRequestError` for requests naming
-        unknown workloads/methods/GPUs, and :class:`QueueFullError`
-        when backpressure applies.
+        unknown workloads/methods/GPUs, :class:`QueueFullError` when
+        backpressure applies, and :class:`WorkersUnavailableError` for a
+        cold cell while every fleet worker is down (warm-cache-only
+        mode).
+
+        Durability contract: when a journal is attached, the job's
+        ``accepted`` record is on disk before this method returns — a
+        coordinator crash after the client's 202 can never lose the job.
         """
         if self._draining:
             raise ServiceDrainingError(
@@ -179,13 +323,55 @@ class Scheduler:
         if request.fault is None and self._probe_cache(record, digest):
             obs_count("service.cache_hits")
             return record, True
+        # Circuit breaker: a cold cell cannot complete while every
+        # worker is down — shed it now with retry advice instead of
+        # queueing behind a dead fleet.  (Checked outside _lock; the
+        # supervisor takes its own lock for liveness.)
+        supervisor = self.supervisor
+        if supervisor is not None and not supervisor.any_alive:
+            with self._lock:
+                self._jobs.pop(job_id, None)
+            obs_count("service.jobs_shed")
+            obs_count("service.jobs_rejected")
+            raise WorkersUnavailableError(
+                "all fleet workers are down; cold jobs are shed "
+                "(warm-cache submissions still complete)",
+                retry_after=supervisor.next_retry_after(),
+            )
+        # Journal before enqueue: once the client hears "accepted", the
+        # record is already durable.
+        self._journal_event(
+            "accepted",
+            record,
+            request=request.to_document(),
+            digest=digest,
+        )
         try:
             self.queue.put(record)
-        except QueueFullError:
+        except QueueFullError as exc:
             with self._lock:
                 del self._jobs[job_id]
+            # Compensate the accepted record so replay won't resurrect it.
+            self._journal_event("completed", record, state="cancelled")
+            obs_count("service.jobs_shed")
             obs_count("service.jobs_rejected")
+            exc.retry_after = self.retry_after
             raise
+        # A drain that raced this submission may already have swept the
+        # queue; make the outcome exactly-once either way.  If the
+        # record is still in the queue, pull it back and refuse; if it
+        # is not, the dispatcher or the drain sweep owns it and will
+        # complete or cancel it exactly once.
+        if self._draining:
+            plucked = self.queue.remove(job_id)
+            if plucked is not None:
+                with self._lock:
+                    self._jobs.pop(job_id, None)
+                self._journal_event("completed", record, state="cancelled")
+                obs_count("service.jobs_rejected")
+                raise ServiceDrainingError(
+                    "service is draining and no longer accepts jobs"
+                )
         return record, True
 
     def _probe_cache(self, record: JobRecord, digest: str) -> bool:
@@ -196,6 +382,12 @@ class Scheduler:
             cached = self.harness.run_cache.get_run(digest)
         if cached is None:
             return False
+        self._journal_event(
+            "accepted",
+            record,
+            request=record.request.to_document(),
+            digest=digest,
+        )
         self._complete(record, "done", result=cached, source="cache")
         return True
 
@@ -237,6 +429,84 @@ class Scheduler:
         with self._lock:
             return list(self._jobs.values())
 
+    # -- fleet hooks (called by the WorkerSupervisor) --------------------
+
+    def begin(self, record: JobRecord) -> bool:
+        """Transition queued -> running at dispatch; False if the job was
+        cancelled (or completed) in the take-batch window."""
+        with self._lock:
+            if record.state != "queued":
+                return False
+            record.state = "running"
+        self._journal_event("started", record)
+        return True
+
+    def requeue(
+        self,
+        record: JobRecord,
+        *,
+        evidence: dict | None = None,
+        count: bool = True,
+    ) -> bool:
+        """Put an in-flight job back at the front of the queue after its
+        worker died.  ``count=False`` is for dispatch backouts (no
+        worker actually failed the job)."""
+        with self._lock:
+            if record.terminal:
+                return False
+            record.state = "queued"
+            if count:
+                record.redispatches += 1
+        if count:
+            obs_count("service.redispatches")
+            self._journal_event(
+                "requeued",
+                record,
+                redispatches=record.redispatches,
+                evidence=evidence,
+            )
+        self.queue.put_front(record)
+        return True
+
+    def quarantine(self, record: JobRecord, evidence: dict) -> None:
+        """Poison-job terminal state: this job killed its worker once per
+        redispatch allowed by the budget; fail it with the evidence."""
+        obs_count("service.jobs_quarantined")
+        self._complete(
+            record,
+            "failed",
+            error={
+                "kind": "quarantined",
+                "error_type": "WorkerCrashError",
+                "message": (
+                    f"job killed {record.redispatches + 1} worker(s); "
+                    "quarantined after exhausting its redispatch budget"
+                ),
+                "evidence": evidence,
+            },
+            attempts=record.redispatches + 1,
+        )
+
+    def finish(
+        self,
+        record: JobRecord,
+        *,
+        result=None,
+        error: dict | None = None,
+        attempts: int | None = None,
+        source: str | None = "computed",
+    ) -> None:
+        """Terminal completion from a fleet worker's reported outcome."""
+        state = "failed" if error is not None else "done"
+        self._complete(
+            record,
+            state,
+            result=result,
+            error=error,
+            attempts=attempts,
+            source=source,
+        )
+
     # -- dispatch --------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -262,13 +532,7 @@ class Scheduler:
                         )
 
     def _run_batch(self, batch: list[JobRecord]) -> None:
-        with self._lock:
-            ready = []
-            for record in batch:
-                if record.state != "queued":
-                    continue  # cancelled in the take_batch window
-                record.state = "running"
-                ready.append(record)
+        ready = [record for record in batch if self.begin(record)]
         if not ready:
             return
         cells = [
@@ -342,6 +606,15 @@ class Scheduler:
                 source=record.source or "none",
             )
         obs_count(f"service.jobs_{state}")
+        self._journal_event(
+            "completed",
+            record,
+            state=state,
+            source=record.source,
+            error=error,
+            attempts=record.attempts,
+            latency_ms=record.latency_ms,
+        )
 
     # -- introspection ---------------------------------------------------
 
@@ -356,7 +629,10 @@ class Scheduler:
         counters = {
             name: value
             for name, value in sorted(tracer.counters.items())
-            if name.startswith(("service.", "tasks.", "harness.", "cache.", "backend."))
+            if name.startswith(
+                ("service.", "tasks.", "harness.", "cache.", "backend.",
+                 "fleet.", "journal.")
+            )
         }
         cache = self.harness.run_cache
         lookups = cache.hits + cache.misses
@@ -371,7 +647,7 @@ class Scheduler:
                 where=lambda args: args.get("source") == "computed",
             ),
         }
-        return {
+        document = {
             "queue_depth": self.queue.depth,
             "draining": self._draining,
             "jobs": total_jobs,
@@ -387,3 +663,8 @@ class Scheduler:
             },
             "latency_ms": latency,
         }
+        if self.supervisor is not None:
+            document["workers"] = self.supervisor.snapshot()
+        if self.journal is not None:
+            document["journal"] = self.journal.stats()
+        return document

@@ -18,8 +18,18 @@ GET       ``/metricsz``            Counters, queue depth, cache hit ratio,
 
 Error mapping is type-driven: every :class:`~repro.errors.ServiceError`
 subclass carries an HTTP status (400 invalid request, 404 unknown job,
-409 not finished, 429 queue full, 503 draining); anything else is a 500
-with the exception type in the body.
+409 not finished, 429 queue full, 503 draining or all workers down);
+anything else is a 500 with the exception type in the body.  Shedding
+responses (429/503) carry a ``Retry-After`` header with the server's
+backoff advice.
+
+**Fleet mode** (``workers >= 1``) attaches a
+:class:`~repro.service.supervisor.WorkerSupervisor` (N supervised
+worker processes execute jobs) and, when a journal path is configured,
+a :class:`~repro.service.journal.JobJournal` — the service then
+recovers accepted jobs across coordinator restarts.  ``/readyz``
+reports ``degraded`` (503) while every worker is down; ``/metricsz``
+gains ``workers`` and ``journal`` sections.
 
 Built on :class:`http.server.ThreadingHTTPServer` — dependency-free by
 design, like the rest of the repo.  Request handling is thin: parse,
@@ -45,10 +55,13 @@ from repro.errors import (
     QueueFullError,
     ServiceDrainingError,
     ServiceError,
+    WorkersUnavailableError,
 )
 from repro.obs import enable as obs_enable, get_tracer
 from repro.service.jobs import JobRecord, JobRequest
+from repro.service.journal import JobJournal
 from repro.service.scheduler import Scheduler
+from repro.service.supervisor import WorkerSupervisor
 from repro.sim.stats import AppRunResult
 
 __all__ = ["PKAService", "STATUS_FOR"]
@@ -59,6 +72,7 @@ STATUS_FOR = (
     (JobNotFoundError, 404),
     (JobNotFinishedError, 409),
     (QueueFullError, 429),
+    (WorkersUnavailableError, 503),
     (ServiceDrainingError, 503),
 )
 
@@ -111,11 +125,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------
 
-    def _send_json(self, status: int, document: dict) -> None:
+    def _send_json(
+        self, status: int, document: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -128,7 +146,16 @@ class _Handler(BaseHTTPRequestHandler):
         if isinstance(exc, QueueFullError):
             document["depth"] = exc.depth
             document["max_depth"] = exc.max_depth
-        self._send_json(status, document)
+        headers = None
+        retry_after = getattr(exc, "retry_after", None)
+        if status in (429, 503):
+            # Shedding responses always advise a retry delay; a fraction
+            # of a second is fine (the client parses it as a float).
+            if retry_after is None:
+                retry_after = self.service.retry_after
+            document["retry_after"] = retry_after
+            headers = {"Retry-After": format(retry_after, "g")}
+        self._send_json(status, document, headers)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -148,10 +175,8 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/healthz":
                 self._send_json(200, {"status": "ok"})
             elif self.path == "/readyz":
-                if self.service.scheduler.draining:
-                    self._send_json(503, {"status": "draining"})
-                else:
-                    self._send_json(200, {"status": "ready"})
+                status, document = self.service.readiness()
+                self._send_json(status, document)
             elif self.path == "/metricsz":
                 self._send_json(200, self.service.metrics())
             elif self.path.startswith("/v1/jobs/") and self.path.endswith("/result"):
@@ -213,10 +238,41 @@ class PKAService:
         batch_max: int = 32,
         linger: float = 0.02,
         drain_timeout: float = 30.0,
+        workers: int = 0,
+        journal_path: str | None = None,
+        heartbeat_timeout: float = 10.0,
+        redispatch_budget: int = 2,
+        respawn_backoff: float = 0.25,
+        retry_after: float = 1.0,
     ) -> None:
+        # Percentile latency and counter export need the tracer on from
+        # the start: journal recovery below already counts into it.
+        obs_enable()
         self.harness = harness
+        self.retry_after = retry_after
+        self.journal = JobJournal(journal_path) if journal_path else None
+        self.supervisor = (
+            WorkerSupervisor(
+                harness,
+                workers,
+                heartbeat_timeout=heartbeat_timeout,
+                redispatch_budget=redispatch_budget,
+                respawn_backoff=respawn_backoff,
+            )
+            if workers > 0
+            else None
+        )
+        # Journal recovery (replay + re-enqueue) happens inside the
+        # scheduler constructor — before the HTTP listener exists, so a
+        # client can never observe a half-recovered registry.
         self.scheduler = Scheduler(
-            harness, max_queue=max_queue, batch_max=batch_max, linger=linger
+            harness,
+            max_queue=max_queue,
+            batch_max=batch_max,
+            linger=linger,
+            journal=self.journal,
+            supervisor=self.supervisor,
+            retry_after=retry_after,
         )
         self.drain_timeout = drain_timeout
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -231,8 +287,6 @@ class PKAService:
         """Start serving.  ``run_scheduler=False`` accepts jobs but never
         dispatches them — tests use it to observe pre-dispatch states
         (queued, cancelled, queue-full) deterministically."""
-        # Percentile latency and counter export need the tracer on.
-        obs_enable()
         if run_scheduler:
             self.scheduler.start()
         self._serve_thread = threading.Thread(
@@ -249,6 +303,30 @@ class PKAService:
         document["service_id"] = self.service_id
         document["uptime_seconds"] = time.time() - self.started_at
         return document
+
+    def readiness(self) -> tuple[int, dict]:
+        """``/readyz`` semantics: 503 while draining or degraded.
+
+        ``degraded`` means every fleet worker is down — the service
+        still answers warm-cache submissions, but a load balancer
+        should prefer a healthy replica.
+        """
+        if self.scheduler.draining:
+            return 503, {"status": "draining"}
+        supervisor = self.supervisor
+        if supervisor is not None:
+            alive = supervisor.alive_workers
+            document = {
+                "status": "ready",
+                "workers_alive": alive,
+                "workers_configured": supervisor.workers,
+            }
+            if alive == 0:
+                document["status"] = "degraded"
+                document["retry_after"] = supervisor.next_retry_after()
+                return 503, document
+            return 200, document
+        return 200, {"status": "ready"}
 
     def drain(self, timeout: float | None = None) -> tuple[dict, bool]:
         """Graceful shutdown: refuse new work, finish accepted work.

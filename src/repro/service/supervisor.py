@@ -1,0 +1,583 @@
+"""Supervised worker fleet: process spawning, liveness, and recovery.
+
+Fleet mode splits the service into a **coordinator** (the HTTP process:
+admission, single-flight dedup, the journal) and N **worker processes**
+that actually compute cells.  The supervisor owns everything about the
+workers' lives:
+
+* **Dispatch** — an idle worker pulls the next job from the scheduler's
+  fair queue; each worker holds at most one job at a time, so in-flight
+  accounting is exact and a dead worker orphans exactly the jobs it was
+  visibly running.
+* **Liveness** — workers heartbeat on a side channel; a worker whose
+  process exited *or* whose heartbeat went stale (hung) is declared
+  dead and killed.
+* **Recovery** — a dead worker's in-flight job is re-dispatched to the
+  front of the queue.  Each job carries a redispatch budget; a job that
+  keeps killing workers is routed to **poison quarantine** (a typed
+  ``failed`` terminal state carrying the crash evidence) instead of
+  crash-looping the fleet — mirroring the run cache's corrupt-entry
+  quarantine posture.
+* **Respawn** — dead workers are respawned with exponential backoff
+  (consecutive deaths back off further; a successful job resets the
+  streak), so a systemic failure cannot fork-bomb the host.
+
+When *every* worker is down the scheduler's circuit breaker flips the
+service to warm-cache-only mode (see ``Scheduler.submit``); the
+supervisor contributes ``any_alive`` and a next-respawn estimate for
+the 503 ``Retry-After`` header.
+
+Workers exit on their own when the coordinator disappears (they watch
+``getppid``), so a SIGKILLed coordinator does not leak children.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.harness import EvaluationHarness
+from repro.analysis.persistence import (
+    RunCache,
+    dump_run,
+    dump_selection,
+    load_run,
+    load_selection,
+)
+from repro.core.pka import KernelSelection
+from repro.obs import obs_count
+from repro.service.jobs import JobRecord, parse_job_fault
+from repro.sim.faults import FaultPlan, InjectedFault
+from repro.sim.stats import AppRunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.scheduler import Scheduler
+
+__all__ = ["WorkerSupervisor"]
+
+
+def _mp_context():
+    """Prefer fork (same choice as ProcessPoolBackend); fall back."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _worker_main(
+    worker_id: int,
+    generation: int,
+    task_queue,
+    event_queue,
+    harness_args: tuple,
+    heartbeat_interval: float,
+    parent_pid: int,
+) -> None:
+    """Fleet worker: compute one job at a time with a local harness.
+
+    Runs a daemon heartbeat thread that also watches the parent pid —
+    if the coordinator dies (even SIGKILL), the worker exits instead of
+    leaking.  Injected "crash" faults run with ``crash_in_process=True``
+    so they genuinely ``os._exit`` this process: that is how poison jobs
+    kill real workers and exercise the supervisor.
+    """
+    config, model_error, instruction_budget, cache_root, mode, intra_spec = (
+        harness_args
+    )
+    harness = EvaluationHarness(
+        config,
+        model_error,
+        instruction_budget,
+        cache_dir=cache_root,
+        validation_mode=mode,
+        intra_jobs=intra_spec,
+    )
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            if os.getppid() != parent_pid:
+                os._exit(0)  # coordinator died; do not leak
+            try:
+                event_queue.put(
+                    ("heartbeat", worker_id, generation, os.getpid())
+                )
+            except Exception:
+                os._exit(0)
+            stop.wait(heartbeat_interval)
+
+    threading.Thread(target=beat, name="pka-worker-beat", daemon=True).start()
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            job_id, cell, fault_kind, fault_attempts = task
+            plan = None
+            if fault_kind is not None and fault_attempts >= 1:
+                plan = FaultPlan(
+                    faults=(
+                        InjectedFault(
+                            task_index=0,
+                            kind=fault_kind,
+                            attempts=fault_attempts,
+                        ),
+                    )
+                )
+            results = harness.evaluate_cells(
+                [cell], strict=False, fault_plan=plan, crash_in_process=True
+            )
+            event_queue.put(
+                (
+                    "finished",
+                    worker_id,
+                    generation,
+                    job_id,
+                    _serialize_result(results[0]),
+                )
+            )
+    finally:
+        stop.set()
+
+
+def _serialize_result(result: Any) -> dict:
+    """Portable (queue-safe) rendering of one cell result."""
+    from repro.analysis.harness import CellFailure
+
+    if isinstance(result, CellFailure):
+        return {
+            "ok": False,
+            "failure": result.to_record(),
+            "attempts": result.attempts,
+        }
+    if isinstance(result, AppRunResult):
+        return {"ok": True, "kind": "app_run", "text": dump_run(result)}
+    if isinstance(result, KernelSelection):
+        return {"ok": True, "kind": "selection", "text": dump_selection(result)}
+    return {"ok": True, "kind": "none", "text": None}
+
+
+def _deserialize_result(payload: dict) -> Any:
+    if payload.get("kind") == "app_run":
+        return load_run(payload["text"])
+    if payload.get("kind") == "selection":
+        return load_selection(payload["text"])
+    return None
+
+
+@dataclass
+class _WorkerSlot:
+    """Coordinator-side bookkeeping for one worker seat."""
+
+    worker_id: int
+    process: Any = None
+    task_queue: Any = None
+    generation: int = 0
+    pid: int | None = None
+    last_heartbeat: float = 0.0
+    current: JobRecord | None = None
+    consecutive_deaths: int = 0
+    respawn_at: float = 0.0
+    deaths: int = 0
+    completed: int = 0
+    last_exit: dict | None = field(default=None)
+
+    def snapshot(self, now: float) -> dict:
+        alive = self.process is not None and self.process.is_alive()
+        return {
+            "worker_id": self.worker_id,
+            "pid": self.pid,
+            "alive": alive,
+            "generation": self.generation,
+            "heartbeat_age_s": (
+                round(now - self.last_heartbeat, 3) if alive else None
+            ),
+            "current_job": self.current.job_id if self.current else None,
+            "deaths": self.deaths,
+            "completed": self.completed,
+            "respawn_in_s": (
+                round(max(0.0, self.respawn_at - now), 3) if not alive else None
+            ),
+            "last_exit": self.last_exit,
+        }
+
+
+class WorkerSupervisor:
+    """Spawn, watch, and recover a fleet of worker processes.
+
+    The supervisor is bound to its scheduler after construction (the
+    scheduler holds the registry and the journal; the supervisor holds
+    the processes) and started by ``Scheduler.start()``.
+    """
+
+    def __init__(
+        self,
+        harness: EvaluationHarness,
+        workers: int = 2,
+        *,
+        heartbeat_interval: float = 0.2,
+        heartbeat_timeout: float = 10.0,
+        redispatch_budget: int = 2,
+        respawn_backoff: float = 0.25,
+        respawn_backoff_cap: float = 5.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if redispatch_budget < 0:
+            raise ValueError("redispatch_budget must be >= 0")
+        self.harness = harness
+        self.workers = workers
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.redispatch_budget = redispatch_budget
+        self.respawn_backoff = respawn_backoff
+        self.respawn_backoff_cap = respawn_backoff_cap
+        self.scheduler: "Scheduler" | None = None
+        self._ctx = _mp_context()
+        self._events = self._ctx.Queue()
+        self._slots = [_WorkerSlot(worker_id=i) for i in range(workers)]
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        # Monotonic counters for /metricsz.
+        self.worker_deaths = 0
+        self.respawns = 0
+        self.redispatches = 0
+        self.quarantined = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def bind(self, scheduler: "Scheduler") -> None:
+        self.scheduler = scheduler
+
+    def start(self) -> None:
+        if self._started:
+            return
+        if self.scheduler is None:
+            raise RuntimeError("WorkerSupervisor.start() before bind()")
+        self._started = True
+        now = time.monotonic()
+        with self._lock:
+            for slot in self._slots:
+                self._spawn_locked(slot, now)
+        for target, name in (
+            (self._dispatch_loop, "pka-fleet-dispatch"),
+            (self._event_loop, "pka-fleet-events"),
+            (self._monitor_loop, "pka-fleet-monitor"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, *, kill: bool = False) -> None:
+        """Stop the fleet.  Graceful by default (sentinel + join); with
+        ``kill=True`` workers are terminated immediately."""
+        self._stop.set()
+        with self._lock:
+            slots = list(self._slots)
+        for slot in slots:
+            process = slot.process
+            if process is None:
+                continue
+            if kill:
+                self._kill_process(process)
+            else:
+                try:
+                    slot.task_queue.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + (0.5 if kill else 5.0)
+        for slot in slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                self._kill_process(process)
+                process.join(timeout=1.0)
+            slot.process = None
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    @staticmethod
+    def _kill_process(process) -> None:
+        try:
+            process.kill()
+        except Exception:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Spawning
+
+    def _harness_args(self) -> tuple:
+        harness = self.harness
+        cache_root = (
+            harness.run_cache.root
+            if isinstance(harness.run_cache, RunCache)
+            else None
+        )
+        intra_spec = (
+            harness.intra_jobs
+            if isinstance(harness.intra_jobs, (str, int))
+            else None
+        )
+        return (
+            harness.pka.config,
+            harness.model_error,
+            harness.instruction_budget,
+            cache_root,
+            harness.validation_mode,
+            intra_spec,
+        )
+
+    def _spawn_locked(self, slot: _WorkerSlot, now: float) -> None:
+        slot.generation += 1
+        slot.task_queue = self._ctx.Queue()
+        slot.last_heartbeat = now
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                slot.worker_id,
+                slot.generation,
+                slot.task_queue,
+                self._events,
+                self._harness_args(),
+                self.heartbeat_interval,
+                os.getpid(),
+            ),
+            name=f"pka-worker-{slot.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        slot.process = process
+        slot.pid = process.pid
+        slot.respawn_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Liveness / introspection
+
+    @property
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for slot in self._slots
+                if slot.process is not None and slot.process.is_alive()
+            )
+
+    @property
+    def any_alive(self) -> bool:
+        return self.alive_workers > 0
+
+    def next_retry_after(self) -> float:
+        """Seconds until the soonest dead worker is due to respawn —
+        the server's ``Retry-After`` advice in warm-cache-only mode."""
+        now = time.monotonic()
+        with self._lock:
+            waits = [
+                max(0.0, slot.respawn_at - now)
+                for slot in self._slots
+                if slot.process is None or not slot.process.is_alive()
+            ]
+        if not waits:
+            return self.respawn_backoff
+        return max(self.respawn_backoff, min(waits))
+
+    def snapshot(self) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            slots = [slot.snapshot(now) for slot in self._slots]
+        return {
+            "configured": self.workers,
+            "alive": sum(1 for slot in slots if slot["alive"]),
+            "heartbeat_timeout_s": self.heartbeat_timeout,
+            "redispatch_budget": self.redispatch_budget,
+            "deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "redispatches": self.redispatches,
+            "quarantined": self.quarantined,
+            "slots": slots,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    def _idle_slots_locked(self) -> list[_WorkerSlot]:
+        return [
+            slot
+            for slot in self._slots
+            if slot.process is not None
+            and slot.process.is_alive()
+            and slot.current is None
+        ]
+
+    def _dispatch_loop(self) -> None:
+        scheduler = self.scheduler
+        while not self._stop.is_set():
+            with self._lock:
+                idle = self._idle_slots_locked()
+            if not idle:
+                self._stop.wait(0.05)
+                continue
+            batch = scheduler.queue.take_batch(
+                len(idle), linger=0.0, timeout=0.2
+            )
+            if not batch:
+                continue
+            leftovers: list[JobRecord] = []
+            with self._lock:
+                idle = self._idle_slots_locked()
+                for record in batch:
+                    if not idle:
+                        leftovers.append(record)
+                        continue
+                    if not scheduler.begin(record):
+                        continue  # cancelled in the take window
+                    slot = idle.pop(0)
+                    slot.current = record
+                    try:
+                        slot.task_queue.put(self._task_for(record))
+                    except Exception:
+                        slot.current = None
+                        leftovers.append(record)
+            # Slots vanished between sizing and assignment: not a loss,
+            # the jobs go back to the front of the line.
+            for record in leftovers:
+                scheduler.requeue(record, count=False)
+
+    @staticmethod
+    def _task_for(record: JobRecord) -> tuple:
+        request = record.request
+        cell = (request.workload, request.method, request.gpu)
+        fault_kind = None
+        fault_attempts = 0
+        if request.fault is not None:
+            fault_kind, fault_attempts = parse_job_fault(request.fault)
+            # A worker's in-process attempt counter restarts on every
+            # dispatch, so charge prior dispatches against the fault's
+            # attempt budget: "crashx2" kills two workers, then runs.
+            fault_attempts -= record.redispatches
+            if fault_attempts <= 0:
+                fault_kind = None
+        return (record.job_id, cell, fault_kind, fault_attempts)
+
+    # ------------------------------------------------------------------
+    # Events
+
+    def _event_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                event = self._events.get(timeout=0.2)
+            except (queue_mod.Empty, OSError, EOFError):
+                continue
+            kind = event[0]
+            if kind == "heartbeat":
+                _, worker_id, generation, _pid = event
+                with self._lock:
+                    slot = self._slots[worker_id]
+                    if slot.generation == generation:
+                        slot.last_heartbeat = time.monotonic()
+            elif kind == "finished":
+                _, worker_id, generation, job_id, payload = event
+                self._handle_finished(worker_id, generation, job_id, payload)
+
+    def _handle_finished(
+        self, worker_id: int, generation: int, job_id: str, payload: dict
+    ) -> None:
+        scheduler = self.scheduler
+        with self._lock:
+            slot = self._slots[worker_id]
+            if slot.generation == generation:
+                if slot.current is not None and slot.current.job_id == job_id:
+                    slot.current = None
+                slot.completed += 1
+                slot.consecutive_deaths = 0
+                slot.last_heartbeat = time.monotonic()
+        try:
+            record = scheduler.get(job_id)
+        except Exception:
+            return  # job evaporated (should not happen); nothing to complete
+        if payload.get("ok"):
+            scheduler.finish(
+                record, result=_deserialize_result(payload), source="computed"
+            )
+        else:
+            scheduler.finish(
+                record,
+                error=payload.get("failure"),
+                attempts=payload.get("attempts"),
+                source="computed",
+            )
+        obs_count("fleet.jobs_finished")
+
+    # ------------------------------------------------------------------
+    # Monitoring
+
+    def _monitor_loop(self) -> None:
+        poll = max(0.02, self.heartbeat_interval / 2.0)
+        while not self._stop.is_set():
+            now = time.monotonic()
+            with self._lock:
+                for slot in self._slots:
+                    if slot.process is None:
+                        if now >= slot.respawn_at:
+                            self._spawn_locked(slot, now)
+                            self.respawns += 1
+                            obs_count("fleet.respawns")
+                        continue
+                    exited = not slot.process.is_alive()
+                    stale = (
+                        now - slot.last_heartbeat
+                    ) > self.heartbeat_timeout
+                    if exited or stale:
+                        self._reap_locked(slot, now, exited=exited)
+            self._stop.wait(poll)
+
+    def _reap_locked(
+        self, slot: _WorkerSlot, now: float, *, exited: bool
+    ) -> None:
+        """Declare one worker dead: kill, record evidence, recover its job."""
+        process = slot.process
+        if not exited:
+            self._kill_process(process)  # hung (stale heartbeat): put it down
+            process.join(timeout=1.0)
+        evidence = {
+            "worker_id": slot.worker_id,
+            "pid": slot.pid,
+            "generation": slot.generation,
+            "reason": "exited" if exited else "stale-heartbeat",
+            "exitcode": process.exitcode,
+            "heartbeat_age_s": round(now - slot.last_heartbeat, 3),
+        }
+        slot.last_exit = evidence
+        slot.process = None
+        slot.pid = None
+        slot.deaths += 1
+        slot.consecutive_deaths += 1
+        backoff = min(
+            self.respawn_backoff_cap,
+            self.respawn_backoff * (2 ** (slot.consecutive_deaths - 1)),
+        )
+        slot.respawn_at = now + backoff
+        self.worker_deaths += 1
+        obs_count("fleet.worker_deaths")
+        record, slot.current = slot.current, None
+        if record is None or record.terminal:
+            return
+        evidence = dict(evidence, job_id=record.job_id)
+        if record.redispatches >= self.redispatch_budget:
+            self.quarantined += 1
+            self.scheduler.quarantine(record, evidence)
+        else:
+            self.redispatches += 1
+            obs_count("fleet.redispatches")
+            self.scheduler.requeue(record, evidence=evidence)

@@ -306,14 +306,17 @@ def _run_tasks_inline(
     fault_plan: FaultPlan | None,
     strict: bool,
     on_outcome: Callable[[TaskOutcome], None] | None = None,
+    in_worker: bool = False,
 ) -> list[TaskOutcome]:
     """The in-process fault-tolerant loop both backends share.
 
     Used directly by :class:`SerialBackend` and as the pool backend's
-    degenerate path (one task, or one worker).  ``in_worker`` is False
-    throughout, so injected crashes are simulated as
+    degenerate path (one task, or one worker).  ``in_worker`` defaults to
+    False, so injected crashes are simulated as
     :class:`~repro.errors.WorkerCrashError` instead of taking the caller
-    down.
+    down; fleet worker processes pass True (via the harness's
+    ``crash_in_process``) so a "crash" fault genuinely kills them and
+    exercises the supervisor's dead-worker recovery.
     """
     names = _labels_for(work, labels)
     outcomes: list[TaskOutcome] = []
@@ -328,7 +331,9 @@ def _run_tasks_inline(
             started = time.monotonic()
             try:
                 with obs_span("task", label=state.label, attempt=state.attempt):
-                    value = run_with_fault((fn, item, fault, state.attempt, False))
+                    value = run_with_fault(
+                        (fn, item, fault, state.attempt, in_worker)
+                    )
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:

@@ -11,6 +11,7 @@ import os
 
 import pytest
 
+from repro import obs
 from repro.analysis.harness import EvaluationHarness
 from repro.gpu import (
     InstructionMix,
@@ -20,6 +21,21 @@ from repro.gpu import (
 )
 from repro.sim import SiliconExecutor, Simulator
 from repro.sim.simulator import ModelErrorConfig
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer():
+    """Start every test with a fresh, disabled tracer.
+
+    The tracer is a process-global singleton and several production
+    entry points switch it on (``PKAService.__init__``, ``--trace``).
+    A test that exercises one of those paths must not leak an enabled
+    tracer into later tests: sweep manifests embed the counter snapshot
+    whenever tracing is on, which breaks byte-identity assertions.
+    """
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture

@@ -1,0 +1,173 @@
+"""Client politeness tests: jittered exponential backoff + Retry-After.
+
+The regression pinned here: a shedding server (429/503 with
+``Retry-After``) must not be hammered at poll frequency.  A scripted
+stub server counts every request, so the assertions are on actual
+request counts, not on sleep bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    ServiceError,
+    WorkersUnavailableError,
+)
+from repro.service import JobRequest, ServiceClient
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    """Serves a scripted response; counts every request it sees."""
+
+    script = None  # set per-test on the class
+
+    def _respond(self) -> None:
+        server = self.server
+        with server.stub_lock:
+            server.request_count += 1
+            count = server.request_count
+        status, headers, body = self.script(self.path, count)
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _respond
+    do_POST = _respond
+
+    def log_message(self, *args) -> None:  # quiet
+        pass
+
+
+@pytest.fixture
+def stub_server():
+    """Yields (port, set_script, request_count_fn)."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+    server.stub_lock = threading.Lock()
+    server.request_count = 0
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def set_script(script) -> None:
+        _StubHandler.script = staticmethod(script)
+
+    def count() -> int:
+        with server.stub_lock:
+            return server.request_count
+
+    yield server.server_address[1], set_script, count
+    server.shutdown()
+    server.server_close()
+
+
+SHED_429 = (
+    429,
+    {"Retry-After": "0.25"},
+    {"error": "QueueFullError", "message": "full", "depth": 8, "max_depth": 8},
+)
+SHED_503 = (
+    503,
+    {"Retry-After": "0.4"},
+    {"error": "WorkersUnavailableError", "message": "fleet down",
+     "retry_after": 0.4},
+)
+QUEUED = (200, {}, {"job_id": "j-1", "state": "queued", "created": True})
+DONE = (200, {}, {"job_id": "j-1", "state": "done", "created": False,
+                  "source": "cache", "latency_ms": 1.0})
+
+
+class TestTypedErrors:
+    def test_retry_after_header_lands_on_exception(self, stub_server):
+        port, set_script, _count = stub_server
+        set_script(lambda path, count: SHED_429)
+        client = ServiceClient(port=port, seed=1)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(JobRequest(workload="gauss_208", method="silicon"))
+        assert excinfo.value.retry_after == 0.25
+        assert excinfo.value.depth == 8
+
+    def test_503_body_disambiguates_workers_unavailable(self, stub_server):
+        port, set_script, _count = stub_server
+        set_script(lambda path, count: SHED_503)
+        client = ServiceClient(port=port, seed=1)
+        with pytest.raises(WorkersUnavailableError) as excinfo:
+            client.submit(JobRequest(workload="gauss_208", method="silicon"))
+        assert excinfo.value.retry_after == 0.4
+
+
+class TestSubmitRetries:
+    def test_submit_retries_until_accepted(self, stub_server):
+        port, set_script, count = stub_server
+        set_script(lambda path, n: SHED_429 if n <= 2 else QUEUED)
+        client = ServiceClient(port=port, seed=1)
+        document = client.submit(
+            JobRequest(workload="gauss_208", method="silicon"), retries=3
+        )
+        assert document["job_id"] == "j-1"
+        assert count() == 3
+
+    def test_submit_without_retries_raises_immediately(self, stub_server):
+        port, set_script, count = stub_server
+        set_script(lambda path, n: SHED_429)
+        client = ServiceClient(port=port, seed=1)
+        with pytest.raises(QueueFullError):
+            client.submit(JobRequest(workload="gauss_208", method="silicon"))
+        assert count() == 1
+
+
+class TestPollingPoliteness:
+    def test_wait_backs_off_exponentially(self, stub_server):
+        """~1s of polling a stuck job: exponential backoff issues far
+        fewer requests than fixed-interval polling would (1s / 10ms =
+        100 requests)."""
+        port, set_script, count = stub_server
+        set_script(lambda path, n: QUEUED)
+        client = ServiceClient(port=port, backoff=2.0, poll_max=0.5, seed=1)
+        with pytest.raises(ServiceError):
+            client.wait("j-1", timeout=1.0, poll=0.01)
+        # 0.01 + 0.02 + 0.04 + ... caps around 9 polls in a second.
+        assert count() < 20
+
+    def test_wait_honors_retry_after_on_shedding_server(self, stub_server):
+        """The satellite's regression: a 429-ing server with
+        Retry-After=0.25 must see ~4 req/s, not poll-frequency traffic."""
+        port, set_script, count = stub_server
+        set_script(lambda path, n: SHED_429)
+        client = ServiceClient(port=port, jitter=0.0, seed=1)
+        with pytest.raises(ServiceError):
+            client.wait("j-1", timeout=1.0, poll=0.01)
+        # Fixed-interval polling would issue ~100 requests; honoring
+        # Retry-After=0.25s allows at most ~5 (plus the first).
+        assert count() <= 6
+
+    def test_wait_recovers_after_transient_shedding(self, stub_server):
+        port, set_script, count = stub_server
+        set_script(lambda path, n: SHED_429 if n <= 2 else DONE)
+        client = ServiceClient(port=port, seed=1)
+        final = client.wait("j-1", timeout=10.0, poll=0.01)
+        assert final["state"] == "done"
+        assert count() == 3
+
+    def test_jitter_stays_within_bounds(self):
+        client = ServiceClient(port=1, jitter=0.2, seed=42)
+        sleeps = {client._sleep_for(1.0) for _ in range(8)}
+        assert len(sleeps) > 1  # jitter actually varies
+        assert all(0.8 <= s <= 1.2 for s in sleeps)
+
+    def test_same_seed_same_jitter_sequence(self):
+        a = ServiceClient(port=1, jitter=0.3, seed=9)
+        b = ServiceClient(port=1, jitter=0.3, seed=9)
+        assert [a._sleep_for(1.0) for _ in range(5)] == [
+            b._sleep_for(1.0) for _ in range(5)
+        ]

@@ -1,13 +1,24 @@
-"""Load generator tests: deterministic plans and report reconciliation."""
+"""Load generator tests: deterministic plans, chaos schedules, and
+report reconciliation."""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro import obs
 from repro.analysis.harness import EvaluationHarness
-from repro.service import LoadConfig, PKAService, ServiceClient, build_plan, run_load
+from repro.service import (
+    LoadConfig,
+    PKAService,
+    ServiceClient,
+    build_plan,
+    parse_chaos,
+    run_load,
+)
 from repro.service.jobs import job_id_for
+from repro.service.loadgen import LoadReport, default_chaos_driver
 
 
 class TestPlan:
@@ -119,3 +130,148 @@ class TestRunLoad:
             )
         finally:
             service.close()
+
+
+class TestChaosSchedule:
+    @pytest.fixture(autouse=True)
+    def _obs_reset(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_parse_chaos_sorts_by_fire_time(self):
+        events = parse_chaos(("kill-coordinator@2.5", "kill-worker@0.5"))
+        assert events == [("kill-worker", 0.5), ("kill-coordinator", 2.5)]
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["kill-worker", "reboot@1", "kill-worker@soon", "kill-worker@-1"],
+    )
+    def test_bad_chaos_spec_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_chaos((spec,))
+
+    def test_load_config_validates_chaos_eagerly(self):
+        with pytest.raises(ValueError):
+            LoadConfig(jobs=5, chaos=("explode@1",))
+
+    def test_chaos_driver_fires_on_schedule(self, tmp_path):
+        """An injected driver replaces the kill mechanics; the report
+        records each event's outcome in schedule order."""
+        harness = EvaluationHarness(backend="serial", cache_dir=tmp_path / "cache")
+        service = PKAService(harness, port=0)
+        service.start()
+        fired: list[str] = []
+
+        def driver(action: str) -> dict:
+            fired.append(action)
+            return {"action": action, "ok": True, "note": "stubbed"}
+
+        try:
+            client = ServiceClient(port=service.port, timeout=10.0)
+            config = LoadConfig(
+                jobs=4,
+                mode="closed",
+                concurrency=2,
+                seed=3,
+                workloads=("gauss_208",),
+                methods=("silicon",),
+                timeout=60.0,
+                chaos=("kill-worker@0.0", "kill-worker@0.05"),
+            )
+            report = run_load(client, config, chaos_driver=driver)
+            assert fired == ["kill-worker", "kill-worker"]
+            assert [e["at_s"] for e in report.chaos_events] == [0.0, 0.05]
+            assert all(e["ok"] for e in report.chaos_events)
+        finally:
+            service.close()
+
+    def test_chaos_driver_exception_is_contained(self, tmp_path):
+        harness = EvaluationHarness(backend="serial", cache_dir=tmp_path / "cache")
+        service = PKAService(harness, port=0)
+        service.start()
+
+        def driver(action: str) -> dict:
+            raise RuntimeError("chaos gadget misfired")
+
+        try:
+            client = ServiceClient(port=service.port, timeout=10.0)
+            config = LoadConfig(
+                jobs=2,
+                mode="closed",
+                concurrency=1,
+                seed=3,
+                workloads=("gauss_208",),
+                methods=("silicon",),
+                timeout=60.0,
+                chaos=("kill-worker@0.0",),
+            )
+            report = run_load(client, config, chaos_driver=driver)
+            # The load completed despite the driver blowing up.
+            assert report.completed == 2
+            assert report.chaos_events[0]["ok"] is False
+            assert "misfired" in report.chaos_events[0]["reason"]
+        finally:
+            service.close()
+
+    def test_default_driver_reports_no_live_workers(self, tmp_path):
+        """Against a fleetless service, kill-worker is a recorded no-op,
+        not an exception."""
+        harness = EvaluationHarness(backend="serial", cache_dir=tmp_path / "cache")
+        service = PKAService(harness, port=0)
+        service.start()
+        try:
+            client = ServiceClient(port=service.port, timeout=10.0)
+            driver = default_chaos_driver(client, random.Random(1))
+            outcome = driver("kill-worker")
+            assert outcome["ok"] is False
+            assert outcome["reason"] == "no live workers"
+        finally:
+            service.close()
+
+
+class TestReconciliationUnderShedding:
+    @pytest.fixture(autouse=True)
+    def _obs_reset(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_shed_submissions_balance_against_server_counters(self, tmp_path):
+        """The satellite invariant: with shedding in play,
+        jobs_submitted - jobs_shed == accepted - deduplicated."""
+        harness = EvaluationHarness(backend="serial", cache_dir=tmp_path / "cache")
+        service = PKAService(harness, port=0, max_queue=1)
+        service.start(run_scheduler=False)  # parked: queue fills instantly
+        try:
+            client = ServiceClient(port=service.port, timeout=10.0)
+            config = LoadConfig(
+                jobs=3,
+                mode="open",
+                rate=1000.0,
+                duplicate_ratio=0.0,
+                seed=17,
+                workloads=("gauss_208", "histo", "fdtd2d"),
+                methods=("silicon",),
+                timeout=1.0,  # the one queued job never runs; time out fast
+                poll=0.05,
+            )
+            report = run_load(client, config)
+            assert report.accepted == 1
+            assert report.shed == 2  # 429s are shed, not "rejected"
+            assert report.rejected == 0
+            assert not report.clean
+            reconciliation = report.reconcile()
+            assert reconciliation["balanced"] is True
+            assert reconciliation["server_jobs_shed"] == 2
+            assert reconciliation["client_fresh_accepted"] == 1
+        finally:
+            service.close()
+
+    def test_reconcile_with_dead_server_is_inconclusive(self):
+        report = LoadReport(config=LoadConfig(jobs=1))
+        report.accepted = 1
+        report.server_metrics = None  # coordinator killed by chaos
+        reconciliation = report.reconcile()
+        assert reconciliation["balanced"] is None
+        assert reconciliation["server_available"] is False

@@ -241,3 +241,73 @@ class TestDrain:
         # answer (cancelled), so the manifest accounts for everything.
         assert record.state == "cancelled"
         assert clean
+
+
+class TestDrainVsSubmitRace:
+    """The satellite race: a submission that slips past the draining
+    check while drain() sweeps the queue must resolve exactly once —
+    either refused (and rolled back) or owned by the drain — never left
+    orphaned in ``queued``."""
+
+    def test_draining_flag_set_between_check_and_enqueue(self, cached_harness):
+        """Deterministic pin of the narrow interleaving: the drain flag
+        flips after submit()'s entry check but before its enqueue.  The
+        post-put re-check must pluck the record back out and refuse."""
+        scheduler = Scheduler(cached_harness)
+        original_put = scheduler.queue.put
+
+        def put_then_drain(record):
+            original_put(record)
+            scheduler._draining = True  # drain starts *after* the enqueue
+
+        scheduler.queue.put = put_then_drain
+        with pytest.raises(ServiceDrainingError):
+            scheduler.submit(JobRequest(workload=WORKLOAD, method="silicon"))
+        # Exactly-once: no phantom registry entry, nothing in the queue.
+        assert scheduler.jobs() == []
+        assert scheduler.queue.depth == 0
+
+    def test_concurrent_duplicates_during_drain_never_orphan(self, cached_harness):
+        """Stress the real interleaving: one in-flight job, a drain, and
+        a barrage of duplicate submissions racing it.  Afterwards every
+        registered job is terminal and the in-flight record was
+        cancelled exactly once."""
+        scheduler = Scheduler(cached_harness)  # unstarted: job stays queued
+        request = JobRequest(workload=WORKLOAD, method="silicon")
+        record, _ = scheduler.submit(request)
+        barrier = threading.Barrier(2)
+        outcomes: list[str] = []
+
+        def drain() -> None:
+            barrier.wait()
+            scheduler.drain(timeout=0.2)
+
+        def duplicates() -> None:
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    attached, created = scheduler.submit(request)
+                except ServiceDrainingError:
+                    outcomes.append("refused")
+                else:
+                    assert attached is record  # dedup, never a new job
+                    outcomes.append("attached")
+
+        threads = [
+            threading.Thread(target=drain),
+            threading.Thread(target=duplicates),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        # The in-flight job resolved exactly once (idempotent cancel).
+        assert record.state == "cancelled"
+        assert obs.get_tracer().counters["service.jobs_cancelled"] == 1
+        # Nothing was orphaned: every record the registry knows about is
+        # terminal, and the queue is empty.
+        assert all(r.terminal for r in scheduler.jobs())
+        assert scheduler.queue.depth == 0
+        # Both outcomes are legal; silence (neither) is not.
+        assert outcomes and set(outcomes) <= {"refused", "attached"}
