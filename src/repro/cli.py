@@ -33,7 +33,7 @@ Commands
 ``pka sweep [--suite S] [--methods M,...] [--gpus G,...]``
     Fault-tolerant workload x method x GPU sweep with partial results,
     a quarantine manifest, and cache-based resume.
-``pka serve [--port P] [--max-queue N] [--workers N] [--journal FILE]``
+``pka serve [--port P] [--max-queue N] [--workers N|auto] [--journal FILE]``
     Run the evaluation service (see ``docs/API.md``, "Service mode"):
     a JSON HTTP job API over the harness with single-flight dedup,
     batching, cache-aware fast paths and graceful drain on
@@ -41,10 +41,14 @@ Commands
     worker processes with heartbeat liveness, dead-worker re-dispatch,
     poison-job quarantine, and a crash-safe job journal for durable
     recovery across coordinator restarts (``docs/OPERATIONS.md``).
+    ``--workers auto`` (or ``--min-workers``/``--max-workers``) makes
+    the fleet elastic: an SLO-driven autoscaler grows and shrinks the
+    pool, and ``--default-deadline`` adds deadline-aware admission.
 ``pka submit <workload> <method> [--gpu G] [--port P]``
     Submit one job to a running service and wait for its result.
-``pka loadgen [--jobs N] [--duplicate-ratio R] [--chaos SPECS] [--report FILE]``
+``pka loadgen [--jobs N] [--shape SPEC] [--chaos SPECS] [--report FILE]``
     Drive a running service with a seeded, replayable load plan;
+    ``--shape burst:10@1`` and friends reshape open-loop arrivals;
     ``--chaos "kill-worker@0.5,..."`` fires seeded fault actions
     against a co-hosted fleet mid-run.
 
@@ -516,6 +520,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workers(text: object) -> int | str:
+    """Parse a ``--workers`` value: a non-negative integer or ``auto``.
+
+    ``auto`` selects the elastic fleet (autoscaling between the min/max
+    band).  Anything else — negative numbers, floats, garbage — raises
+    :class:`ValueError` with the accepted grammar in the message.
+    """
+    bare = str(text).strip().lower()
+    if bare == "auto":
+        return "auto"
+    try:
+        value = int(bare)
+    except ValueError:
+        raise ValueError(
+            f"--workers must be a non-negative integer or 'auto', "
+            f"got {text!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"--workers must be >= 0 or 'auto', got {value}")
+    return value
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the evaluation service until SIGTERM/SIGINT, then drain.
 
@@ -523,21 +549,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     jobs (``/readyz`` flips to 503), finish everything accepted, write
     the drain manifest into the run cache, exit 0.  A drain that times
     out with jobs unfinished exits EXIT_PARTIAL instead.
+
+    ``--workers auto`` (or any ``--min-workers``/``--max-workers``)
+    selects the elastic fleet: the SLO-driven autoscaler grows and
+    shrinks the pool between the min/max band.
     """
     import signal
     import threading
 
-    from repro.service import PKAService
+    from repro.service import AutoscalerConfig, PKAService
 
     harness = _harness_from_args(args)
-    workers = args.workers
-    if workers is None:
-        workers = int(os.environ.get("PKA_SERVICE_WORKERS", "0") or 0)
-    if workers < 0:
-        print("--workers must be >= 0", file=sys.stderr)
+    raw_workers = args.workers
+    if raw_workers is None:
+        raw_workers = os.environ.get("PKA_SERVICE_WORKERS") or "0"
+    try:
+        workers = _parse_workers(raw_workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 1
+    autoscale = None
+    elastic = (
+        workers == "auto"
+        or args.min_workers is not None
+        or args.max_workers is not None
+    )
+    if elastic:
+        min_workers = args.min_workers if args.min_workers is not None else 1
+        if args.max_workers is not None:
+            max_workers = args.max_workers
+        else:
+            max_workers = max(min_workers, min(4, os.cpu_count() or 1))
+        try:
+            autoscale = AutoscalerConfig(
+                min_workers=min_workers,
+                max_workers=max_workers,
+                interval=args.scale_interval,
+                slo_queue_wait_s=args.slo_queue_wait,
+            )
+        except ValueError as exc:
+            print(f"bad autoscale configuration: {exc}", file=sys.stderr)
+            return 1
+        if workers == "auto":
+            workers = 0  # the service starts the pool at min_workers
+    fleet = workers > 0 or autoscale is not None
     journal_path = args.journal
-    if journal_path is None and not args.no_journal and workers > 0:
+    if journal_path is None and not args.no_journal and fleet:
         cache_dir = getattr(args, "cache_dir", None)
         if cache_dir and not getattr(args, "no_cache", False):
             journal_path = os.path.join(cache_dir, "journal.jsonl")
@@ -556,6 +613,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             redispatch_budget=args.redispatch_budget,
             retry_after=args.retry_after,
+            autoscale=autoscale,
+            default_deadline=args.default_deadline,
         )
     except OSError as exc:
         print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -569,9 +628,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGINT, _on_signal)
     service.start()
     print(f"pka service listening on http://{service.host}:{service.port}")
-    if workers > 0:
+    if fleet:
         journal_note = journal_path if journal_path else "disabled"
-        print(f"fleet: {workers} worker(s); journal: {journal_note}")
+        if autoscale is not None:
+            print(
+                f"fleet: elastic, {autoscale.min_workers}.."
+                f"{autoscale.max_workers} worker(s) "
+                f"(starting at {service.supervisor.workers}); "
+                f"journal: {journal_note}"
+            )
+        else:
+            print(f"fleet: {workers} worker(s); journal: {journal_note}")
     print(f"service id: {service.service_id}", flush=True)
     stop.wait()
     print("draining: refusing new jobs, finishing accepted work", flush=True)
@@ -657,6 +724,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             methods=tuple(
                 m.strip() for m in args.methods.split(",") if m.strip()
             ),
+            gpus=(
+                tuple(
+                    None if g.strip().lower() == "none" else g.strip()
+                    for g in args.gpus.split(",")
+                    if g.strip()
+                )
+                if args.gpus
+                else (None,)
+            ),
             fault=args.fault,
             timeout=args.timeout,
             chaos=(
@@ -664,6 +740,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 if args.chaos
                 else ()
             ),
+            shape=args.shape,
+            deadline_s=args.deadline,
         )
     except ValueError as exc:
         print(f"bad load configuration: {exc}", file=sys.stderr)
@@ -1031,11 +1109,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers",
+        default=None,
+        metavar="N|auto",
+        help="fleet mode: N supervised worker processes execute jobs; "
+        "'auto' enables the elastic fleet with autoscaling defaults "
+        "(default: PKA_SERVICE_WORKERS or 0 = in-process dispatch)",
+    )
+    serve.add_argument(
+        "--min-workers",
         type=int,
         default=None,
         metavar="N",
-        help="fleet mode: N supervised worker processes execute jobs "
-        "(default: PKA_SERVICE_WORKERS or 0 = in-process dispatch)",
+        help="elastic fleet: never shrink below N workers (implies "
+        "autoscaling; default 1)",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="elastic fleet: never grow beyond N workers (implies "
+        "autoscaling; default min(4, cpu count))",
+    )
+    serve.add_argument(
+        "--scale-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="autoscaler control-loop sampling period",
+    )
+    serve.add_argument(
+        "--slo-queue-wait",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="queue-wait SLO: a job queued longer than this is a "
+        "scale-up breach",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline-aware admission: shed submissions whose predicted "
+        "queue wait exceeds this (clients may override per job with "
+        "'deadline_s'; default: no deadline)",
     )
     serve.add_argument(
         "--journal",
@@ -1133,6 +1251,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--methods",
         default="silicon",
         help="comma-separated method pool (default: silicon)",
+    )
+    loadgen.add_argument(
+        "--gpus",
+        default=None,
+        help="comma-separated GPU pool sampled per request ('none' for "
+        "the workload default; default: none)",
+    )
+    loadgen.add_argument(
+        "--shape",
+        default="constant",
+        metavar="SPEC",
+        help="open-loop arrival pattern: constant, burst:<factor>@<t>, "
+        "ramp:<r>, or diurnal:<period>",
+    )
+    loadgen.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="attach this admission deadline (deadline_s) to every "
+        "submission",
     )
     loadgen.add_argument(
         "--fault",

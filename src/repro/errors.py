@@ -155,6 +155,34 @@ class ServiceDrainingError(ServiceError):
     """
 
 
+class DeadlineUnattainableError(ServiceError):
+    """The job's predicted queue wait exceeds its admission deadline.
+
+    Deadline-aware admission control (HTTP 429): the scheduler estimates
+    how long a new cold job would wait behind the current backlog from
+    the observed drain rate; when that estimate exceeds the client's
+    ``deadline_s`` (or the server's default) the job is shed *now*
+    instead of being accepted into a queue it cannot clear in time.
+    ``retry_after`` is derived from the same estimate — roughly how long
+    until the backlog has drained enough for the deadline to fit —
+    rather than a static constant.  ``predicted_wait``/``deadline``
+    carry the two sides of the refusal for diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        predicted_wait: float | None = None,
+        deadline: float | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.predicted_wait = predicted_wait
+        self.deadline = deadline
+        self.retry_after = retry_after
+
+
 class WorkersUnavailableError(ServiceError):
     """Every fleet worker is down, so cold jobs cannot be computed.
 

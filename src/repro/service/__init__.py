@@ -14,8 +14,18 @@ heartbeat liveness, dead-worker re-dispatch, poison-job quarantine, and
 exponential-backoff respawn), and overload degradation (queue shedding
 with ``Retry-After``, warm-cache-only circuit breaker while all workers
 are down).
+
+**Elastic fleet** makes the pool size dynamic: the SLO-driven
+:class:`Autoscaler` control loop grows and shrinks the worker pool
+between a min/max band from queue depth and queue-wait signals, with
+hysteresis and per-direction cooldowns so scaling never flaps; scale-
+down drains the victim worker gracefully (zero jobs lost).  Deadline-
+aware admission control sheds jobs whose predicted queue wait exceeds
+their deadline, with backlog-derived ``Retry-After`` advice and a
+``brownout`` readiness state while shedding.
 """
 
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig, FleetSignals
 from repro.service.client import ServiceClient
 from repro.service.jobs import (
     JOB_STATES,
@@ -29,8 +39,10 @@ from repro.service.journal import JobJournal
 from repro.service.loadgen import (
     LoadConfig,
     LoadReport,
+    arrival_offsets,
     build_plan,
     parse_chaos,
+    parse_shape,
     run_load,
 )
 from repro.service.queue import JobQueue
@@ -41,6 +53,9 @@ from repro.service.supervisor import WorkerSupervisor
 __all__ = [
     "JOB_STATES",
     "TERMINAL_STATES",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "FleetSignals",
     "JobJournal",
     "JobQueue",
     "JobRecord",
@@ -51,9 +66,11 @@ __all__ = [
     "Scheduler",
     "ServiceClient",
     "WorkerSupervisor",
+    "arrival_offsets",
     "build_plan",
     "job_id_for",
     "parse_chaos",
     "parse_job_fault",
+    "parse_shape",
     "run_load",
 ]

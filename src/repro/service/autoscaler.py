@@ -1,0 +1,380 @@
+"""SLO-driven autoscaler: the control loop that makes the fleet elastic.
+
+The :class:`Autoscaler` samples the same signals ``/metricsz`` exports —
+queue depth, busy/serving worker counts, the oldest queued job's wait —
+and drives the :class:`~repro.service.supervisor.WorkerSupervisor` pool
+between a configured ``min_workers`` and ``max_workers``.
+
+The policy is **target tracking with hysteresis**, built so scaling and
+the supervisor's respawn backoff never fight and the pool never flaps:
+
+* **Demand model.**  ``demand = queue_depth + busy`` (work waiting plus
+  work in flight).  The pool's target size is ``ceil(demand /
+  target_queue_per_worker)`` — each worker is expected to absorb a small
+  personal backlog before another is worth its spawn cost.
+
+* **Hysteresis band.**  Scale-up triggers when the target exceeds the
+  current size *or* the oldest queued job has waited past the queue-wait
+  SLO; scale-down only when demand falls below a separate, much lower
+  watermark (``down_queue_per_worker`` per *remaining* worker).  The gap
+  between the two watermarks is the dead band where no decision fires.
+
+* **Consecutive-breach streaks.**  A single noisy sample never scales:
+  the breach must persist for ``breaches_up`` (or ``breaches_down``)
+  consecutive control intervals.  Any sample inside the dead band resets
+  both streaks.
+
+* **Per-direction cooldowns.**  After acting, the same direction is
+  locked out for ``cooldown_up`` / ``cooldown_down`` seconds; a breach
+  that is streak-complete but cooldown-blocked increments the
+  ``flap_suppressed`` counter instead of acting.
+
+Scale-down is **graceful and loss-free**: the autoscaler retires one
+worker per decision via :meth:`WorkerSupervisor.retire`, which marks the
+victim *draining* (no further dispatch), lets its in-flight job finish
+within ``drain_grace`` seconds, and only then retires the slot.  A
+worker that blows the grace deadline is reaped through the exact same
+kill-and-redispatch path a crashed worker takes, so the in-flight job is
+re-dispatched, never lost.  Every transition is journaled as a ``fleet``
+audit record.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+from ..obs import now_us, obs_count
+
+__all__ = ["Autoscaler", "AutoscalerConfig", "FleetSignals"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Policy knobs for the elastic fleet, validated at construction.
+
+    The defaults suit the repo's silicon workloads (tens to hundreds of
+    milliseconds per job): a 0.25 s control interval reacts to a burst
+    within ~0.5 s (two up-breaches) while the 4-sample down requirement
+    plus the 2 s cooldown keeps the pool from thrashing on the trailing
+    edge.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    #: Control loop sampling period, seconds.
+    interval: float = 0.25
+    #: Queue-wait SLO: when the oldest queued job has waited longer than
+    #: this, it is an up-breach regardless of the demand model.
+    slo_queue_wait_s: float = 2.0
+    #: Backlog each worker is expected to absorb before another worker
+    #: is warranted (scale-up watermark).
+    target_queue_per_worker: float = 2.0
+    #: Scale-down watermark: demand per *remaining* worker below which
+    #: the pool is considered over-provisioned.  Must sit well below the
+    #: scale-up watermark — the gap is the hysteresis dead band.
+    down_queue_per_worker: float = 0.5
+    #: Consecutive breach samples required before acting.
+    breaches_up: int = 2
+    breaches_down: int = 4
+    #: Per-direction lockout after acting, seconds.
+    cooldown_up: float = 0.5
+    cooldown_down: float = 2.0
+    #: How long a draining worker may finish its in-flight job before
+    #: the supervisor reaps it (kill + redispatch).
+    drain_grace: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if not self.interval > 0:
+            raise ValueError("interval must be > 0")
+        if not self.slo_queue_wait_s > 0:
+            raise ValueError("slo_queue_wait_s must be > 0")
+        if not self.target_queue_per_worker > 0:
+            raise ValueError("target_queue_per_worker must be > 0")
+        if self.down_queue_per_worker < 0:
+            raise ValueError("down_queue_per_worker must be >= 0")
+        if self.down_queue_per_worker >= self.target_queue_per_worker:
+            raise ValueError(
+                "down_queue_per_worker must be < target_queue_per_worker "
+                "(the gap is the hysteresis dead band)"
+            )
+        if self.breaches_up < 1 or self.breaches_down < 1:
+            raise ValueError("breach requirements must be >= 1")
+        if self.cooldown_up < 0 or self.cooldown_down < 0:
+            raise ValueError("cooldowns must be >= 0")
+        if not self.drain_grace > 0:
+            raise ValueError("drain_grace must be > 0")
+
+
+@dataclass(frozen=True)
+class FleetSignals:
+    """One control-interval sample of the signals the policy reads.
+
+    Mirrors what ``/metricsz`` exports, so a decision can always be
+    reproduced from the metrics endpoint's history.  Synthetic instances
+    drive the policy unit tests without a live fleet.
+    """
+
+    queue_depth: int
+    busy: int
+    serving: int
+    configured: int
+    oldest_wait_s: float | None = None
+
+    @property
+    def demand(self) -> int:
+        return self.queue_depth + self.busy
+
+
+@dataclass
+class _Decision:
+    action: str = "none"  # none | scale-up | scale-down | suppressed
+    reason: str = "startup"
+    from_workers: int = 0
+    to_workers: int = 0
+    at: float = 0.0
+
+    def to_document(self) -> dict:
+        return {
+            "action": self.action,
+            "reason": self.reason,
+            "from_workers": self.from_workers,
+            "to_workers": self.to_workers,
+            "at": self.at,
+        }
+
+
+class Autoscaler:
+    """Target-tracking control loop over a bound scheduler's fleet.
+
+    Construction takes only the config; :meth:`bind` attaches the
+    scheduler (whose ``supervisor`` is the actuator), matching how the
+    supervisor itself is wired.  :meth:`step` is a pure policy
+    transition over a :class:`FleetSignals` sample and an explicit
+    clock, so tests replay synthetic load traces deterministically;
+    :meth:`start` runs the real sampled loop on a daemon thread.
+    """
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self.scheduler = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_up_at = float("-inf")
+        self._last_down_at = float("-inf")
+        self._target = self.config.min_workers
+        self._last_decision = _Decision()
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.flap_suppressed = 0
+        self.evaluations = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind(self, scheduler) -> None:
+        self.scheduler = scheduler
+
+    @property
+    def supervisor(self):
+        return self.scheduler.supervisor if self.scheduler is not None else None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="pka-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.interval):
+            try:
+                self.step(self.collect(), time.monotonic())
+            except Exception:  # defensive: never kill the control loop
+                obs_count("autoscaler.loop_errors")
+
+    # -- sampling --------------------------------------------------------
+
+    def collect(self) -> FleetSignals:
+        """Sample the bound scheduler's queue and fleet into signals."""
+        scheduler = self.scheduler
+        supervisor = self.supervisor
+        if scheduler is None or supervisor is None:
+            raise RuntimeError("autoscaler is not bound to a fleet scheduler")
+        oldest_us = scheduler.queue.oldest_submitted_us()
+        oldest_wait_s = None
+        if oldest_us is not None:
+            oldest_wait_s = max(0.0, (now_us() - oldest_us) / 1_000_000.0)
+        return FleetSignals(
+            queue_depth=scheduler.queue.depth,
+            busy=supervisor.busy_workers,
+            serving=supervisor.serving_workers,
+            configured=supervisor.workers,
+            oldest_wait_s=oldest_wait_s,
+        )
+
+    # -- policy ----------------------------------------------------------
+
+    def desired_workers(self, signals: FleetSignals) -> int:
+        """Demand-model pool target, clamped to [min, max]."""
+        cfg = self.config
+        desired = math.ceil(signals.demand / cfg.target_queue_per_worker)
+        return max(cfg.min_workers, min(cfg.max_workers, desired))
+
+    def step(self, signals: FleetSignals, now: float) -> _Decision:
+        """One control-interval transition: classify the sample, advance
+        the breach streaks, and act when a streak completes outside its
+        cooldown.  Returns the decision taken (``action="none"`` for the
+        common no-op interval)."""
+        cfg = self.config
+        with self._lock:
+            self.evaluations += 1
+            configured = signals.configured
+            desired = self.desired_workers(signals)
+            self._target = desired
+
+            slo_breach = (
+                signals.oldest_wait_s is not None
+                and signals.oldest_wait_s > cfg.slo_queue_wait_s
+                and signals.queue_depth > 0
+            )
+            up_breach = configured < cfg.max_workers and (
+                desired > configured or slo_breach
+            )
+            down_breach = (
+                configured > cfg.min_workers
+                and signals.demand
+                <= cfg.down_queue_per_worker * (configured - 1)
+            )
+
+            if up_breach:
+                self._up_streak += 1
+                self._down_streak = 0
+            elif down_breach:
+                self._down_streak += 1
+                self._up_streak = 0
+            else:
+                # Inside the dead band: demand neither justifies growth
+                # nor shrinkage.  Reset both streaks so a breach must be
+                # sustained, not merely frequent.
+                self._up_streak = 0
+                self._down_streak = 0
+
+            decision = _Decision(
+                action="none", reason="in-band", from_workers=configured,
+                to_workers=configured, at=now,
+            )
+            if up_breach and self._up_streak >= cfg.breaches_up:
+                if now - self._last_up_at < cfg.cooldown_up:
+                    self.flap_suppressed += 1
+                    obs_count("autoscaler.flap_suppressed")
+                    decision.action = "suppressed"
+                    decision.reason = "scale-up due but inside cooldown"
+                else:
+                    target = min(
+                        cfg.max_workers, max(configured + 1, desired)
+                    )
+                    decision = self._scale_up(
+                        configured, target, now,
+                        reason=(
+                            "queue-wait SLO breached"
+                            if slo_breach and desired <= configured
+                            else f"demand {signals.demand} wants "
+                            f"{target} worker(s)"
+                        ),
+                    )
+            elif down_breach and self._down_streak >= cfg.breaches_down:
+                if now - self._last_down_at < cfg.cooldown_down:
+                    self.flap_suppressed += 1
+                    obs_count("autoscaler.flap_suppressed")
+                    decision.action = "suppressed"
+                    decision.reason = "scale-down due but inside cooldown"
+                else:
+                    decision = self._scale_down(
+                        configured, now,
+                        reason=(
+                            f"demand {signals.demand} below the "
+                            f"{configured - 1}-worker watermark"
+                        ),
+                    )
+            self._last_decision = decision
+            return decision
+
+    def _scale_up(
+        self, configured: int, target: int, now: float, *, reason: str
+    ) -> _Decision:
+        grown = self.supervisor.grow(target - configured)
+        self._last_up_at = now
+        self._up_streak = 0
+        self.scale_ups += 1
+        obs_count("autoscaler.scale_ups")
+        if self.scheduler is not None:
+            self.scheduler.note_fleet(
+                "scale-up", from_workers=configured, to_workers=grown,
+                reason=reason,
+            )
+        return _Decision(
+            action="scale-up", reason=reason,
+            from_workers=configured, to_workers=grown, at=now,
+        )
+
+    def _scale_down(self, configured: int, now: float, *, reason: str) -> _Decision:
+        # One worker per decision: shrinking is deliberately slower than
+        # growing, and each retirement is graceful (drain, then retire).
+        self.supervisor.retire(1, grace=self.config.drain_grace)
+        self._last_down_at = now
+        self._down_streak = 0
+        self.scale_downs += 1
+        obs_count("autoscaler.scale_downs")
+        if self.scheduler is not None:
+            self.scheduler.note_fleet(
+                "scale-down", from_workers=configured,
+                to_workers=configured - 1, reason=reason,
+            )
+        return _Decision(
+            action="scale-down", reason=reason,
+            from_workers=configured, to_workers=configured - 1, at=now,
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for the ``/metricsz`` ``autoscaler`` section."""
+        supervisor = self.supervisor
+        with self._lock:
+            current = supervisor.workers if supervisor is not None else None
+            return {
+                "min_workers": self.config.min_workers,
+                "max_workers": self.config.max_workers,
+                "current_workers": current,
+                "target_workers": self._target,
+                "pinned_at_max": (
+                    current is not None
+                    and current >= self.config.max_workers
+                    and self._target >= self.config.max_workers
+                ),
+                "last_decision": self._last_decision.to_document(),
+                "counters": {
+                    "evaluations": self.evaluations,
+                    "scale_ups": self.scale_ups,
+                    "scale_downs": self.scale_downs,
+                    "flap_suppressed": self.flap_suppressed,
+                },
+            }

@@ -25,6 +25,7 @@ import urllib.error
 import urllib.request
 
 from repro.errors import (
+    DeadlineUnattainableError,
     InvalidJobRequestError,
     JobNotFinishedError,
     JobNotFoundError,
@@ -114,7 +115,15 @@ class ServiceClient:
         cls = _ERROR_FOR_STATUS.get(exc.code)
         if exc.code == 503 and document.get("error") == "WorkersUnavailableError":
             cls = WorkersUnavailableError
-        if cls is QueueFullError:
+        if exc.code == 429 and document.get("error") == "DeadlineUnattainableError":
+            cls = DeadlineUnattainableError
+        if cls is DeadlineUnattainableError:
+            error: ServiceError = DeadlineUnattainableError(
+                message,
+                predicted_wait=document.get("predicted_wait"),
+                deadline=document.get("deadline"),
+            )
+        elif cls is QueueFullError:
             error: ServiceError = QueueFullError(
                 message,
                 depth=document.get("depth", 0),
@@ -141,8 +150,9 @@ class ServiceClient:
         """POST the job; returns the job document (with ``created``).
 
         ``retries`` resubmissions are attempted when the server sheds
-        the job (429 queue-full, 503 workers-down/draining), sleeping
-        the server's ``Retry-After`` advice (jittered) between attempts.
+        the job (429 queue-full or deadline-unattainable, 503
+        workers-down/draining), sleeping the server's ``Retry-After``
+        advice (jittered) between attempts.
         """
         body = request.to_document() if isinstance(request, JobRequest) else request
         attempt = 0
@@ -150,6 +160,7 @@ class ServiceClient:
             try:
                 return self._call("POST", "/v1/jobs", body)
             except (
+                DeadlineUnattainableError,
                 QueueFullError,
                 WorkersUnavailableError,
                 ServiceDrainingError,

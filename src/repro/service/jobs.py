@@ -94,10 +94,18 @@ class JobRequest:
     client: str = "anonymous"
     priority: int = 1
     fault: str | None = None
+    #: Admission deadline in seconds: the longest queue wait this client
+    #: will tolerate.  ``None`` defers to the server's default (which may
+    #: itself be None = no deadline-aware admission).  Does not change
+    #: job identity — two clients with different deadlines still dedup
+    #: onto one computation.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.fault is not None:
             parse_job_fault(self.fault)  # validate eagerly
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise InvalidJobRequestError("'deadline_s' must be > 0 seconds")
 
     @classmethod
     def from_document(cls, document: Mapping[str, Any]) -> "JobRequest":
@@ -105,7 +113,8 @@ class JobRequest:
         if not isinstance(document, Mapping):
             raise InvalidJobRequestError("job request must be a JSON object")
         unknown = set(document) - {
-            "workload", "method", "gpu", "client", "priority", "fault"
+            "workload", "method", "gpu", "client", "priority", "fault",
+            "deadline_s",
         }
         if unknown:
             raise InvalidJobRequestError(
@@ -129,6 +138,15 @@ class JobRequest:
         fault = document.get("fault")
         if fault is not None and not isinstance(fault, str):
             raise InvalidJobRequestError("'fault' must be a string or null")
+        deadline = document.get("deadline_s")
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(
+                deadline, (int, float)
+            ):
+                raise InvalidJobRequestError(
+                    "'deadline_s' must be a number or null"
+                )
+            deadline = float(deadline)
         return cls(
             workload=workload,
             method=method,
@@ -136,6 +154,7 @@ class JobRequest:
             client=client,
             priority=priority,
             fault=fault,
+            deadline_s=deadline,
         )
 
     def to_document(self) -> dict:
@@ -146,6 +165,7 @@ class JobRequest:
             "client": self.client,
             "priority": self.priority,
             "fault": self.fault,
+            "deadline_s": self.deadline_s,
         }
 
 
@@ -184,6 +204,12 @@ class JobRecord:
     attempts: int = 0
     error: dict | None = None
     latency_ms: float | None = None
+    #: When the job left the queue for a worker (``begin()``); None for
+    #: jobs answered straight from cache.  Queue wait = started - submitted.
+    started_us: float | None = None
+    #: Submit-to-dispatch wall time, recorded as a ``service.queue_wait``
+    #: span for the ``/metricsz`` queue-age percentiles.
+    queue_wait_ms: float | None = None
     dedup_hits: int = 0
     #: Times this job was re-dispatched after its worker died mid-run.
     #: Exceeding the supervisor's redispatch budget routes the job to
@@ -209,6 +235,7 @@ class JobRecord:
             "attempts": self.attempts,
             "error": self.error,
             "latency_ms": self.latency_ms,
+            "queue_wait_ms": self.queue_wait_ms,
             "dedup_hits": self.dedup_hits,
             "redispatches": self.redispatches,
         }

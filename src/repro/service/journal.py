@@ -44,7 +44,10 @@ JOURNAL_SCHEMA_VERSION = 1
 
 # Events a record may carry, in lifecycle order.  "accepted" is written
 # before the submission response; "completed" carries the terminal state.
-EVENTS = ("accepted", "started", "requeued", "completed")
+# "fleet" records worker-pool transitions (autoscaler grow/retire) for
+# the audit trail; replay ignores them for job recovery and compaction
+# drops them.
+EVENTS = ("accepted", "started", "requeued", "completed", "fleet")
 
 
 class JournalRecord(dict):

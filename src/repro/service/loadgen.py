@@ -12,6 +12,19 @@ of two classic load shapes:
   terminal state, then submit the next (throughput self-limits to
   service speed).
 
+Open-loop arrivals additionally follow a **traffic shape** — a
+deterministic multiplier over the base ``rate``:
+
+* ``constant`` — steady arrivals (the default);
+* ``burst:<factor>@<t>`` — rate jumps to ``factor``× at ``t`` seconds
+  (the autoscaler's scale-up trigger in CI);
+* ``ramp:<r>`` — rate grows linearly, ``1 + r*t`` multiplier;
+* ``diurnal:<period>`` — sinusoidal ±50% swing with the given period.
+
+Shapes change *when* requests arrive, never *which* requests: the plan
+is identical across shapes for a given seed, so the reconciliation
+invariant holds under every shape.
+
 ``duplicate_ratio`` controls what fraction of submissions repeat an
 earlier request *verbatim* — the knob that exercises single-flight
 dedup and the warm-cache fast path.  An optional ``fault`` spec rides
@@ -37,6 +50,7 @@ even under chaos.
 
 from __future__ import annotations
 
+import math
 import os
 import random
 import signal
@@ -46,6 +60,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import (
+    DeadlineUnattainableError,
     QueueFullError,
     ServiceError,
     WorkersUnavailableError,
@@ -58,8 +73,10 @@ __all__ = [
     "CHAOS_ACTIONS",
     "LoadConfig",
     "LoadReport",
+    "arrival_offsets",
     "build_plan",
     "parse_chaos",
+    "parse_shape",
     "run_load",
 ]
 
@@ -102,6 +119,60 @@ def parse_chaos(specs: tuple[str, ...]) -> list[tuple[str, float]]:
     return sorted(events, key=lambda event: event[1])
 
 
+def parse_shape(spec: str) -> Callable[[float], float]:
+    """Parse a traffic-shape spec into a rate multiplier ``m(t)``.
+
+    ``t`` is seconds from the start of the run; the instantaneous
+    submission rate is ``rate * m(t)``.  Raises :class:`ValueError` on
+    malformed specs with the expected grammar in the message.
+    """
+    text = spec.strip().lower()
+    if text == "constant":
+        return lambda t: 1.0
+    kind, sep, rest = text.partition(":")
+    if not sep:
+        raise ValueError(
+            f"unknown traffic shape {spec!r}; expected constant, "
+            "burst:<factor>@<t>, ramp:<r>, or diurnal:<period>"
+        )
+    if kind == "burst":
+        factor_text, at_sep, at_text = rest.partition("@")
+        if not at_sep:
+            raise ValueError(
+                f"bad burst spec {spec!r}; expected burst:<factor>@<seconds>"
+            )
+        try:
+            factor = float(factor_text)
+            at = float(at_text)
+        except ValueError as exc:
+            raise ValueError(f"bad burst numbers in {spec!r}") from exc
+        if factor < 1.0:
+            raise ValueError("burst factor must be >= 1")
+        if at < 0:
+            raise ValueError("burst offset must be >= 0 seconds")
+        return lambda t: factor if t >= at else 1.0
+    if kind == "ramp":
+        try:
+            slope = float(rest)
+        except ValueError as exc:
+            raise ValueError(f"bad ramp slope in {spec!r}") from exc
+        if slope < 0:
+            raise ValueError("ramp slope must be >= 0")
+        return lambda t: 1.0 + slope * t
+    if kind == "diurnal":
+        try:
+            period = float(rest)
+        except ValueError as exc:
+            raise ValueError(f"bad diurnal period in {spec!r}") from exc
+        if not period > 0:
+            raise ValueError("diurnal period must be > 0 seconds")
+        return lambda t: 1.0 + 0.5 * math.sin(2.0 * math.pi * t / period)
+    raise ValueError(
+        f"unknown traffic shape {spec!r}; expected constant, "
+        "burst:<factor>@<t>, ramp:<r>, or diurnal:<period>"
+    )
+
+
 @dataclass(frozen=True)
 class LoadConfig:
     """One load run, fully determined by its fields (seed included)."""
@@ -119,6 +190,11 @@ class LoadConfig:
     timeout: float = 120.0
     poll: float = 0.02
     chaos: tuple[str, ...] = ()  # "kill-worker@0.5", "kill-coordinator@2"
+    #: Open-loop arrival pattern; see :func:`parse_shape`.
+    shape: str = "constant"
+    #: Per-job admission deadline (seconds) riding on every submission;
+    #: None submits without one (the server default then applies).
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -130,6 +206,14 @@ class LoadConfig:
         if self.fault is not None:
             parse_job_fault(self.fault)
         parse_chaos(self.chaos)  # validate eagerly
+        parse_shape(self.shape)
+        if self.mode == "closed" and self.shape.strip().lower() != "constant":
+            raise ValueError(
+                "traffic shapes apply to open-loop mode only (closed-loop "
+                "arrival times are set by service speed, not a schedule)"
+            )
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError("deadline_s must be > 0 seconds")
 
 
 @dataclass
@@ -157,6 +241,9 @@ class LoadReport:
     distinct_jobs: int = 0
     wall_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
+    #: Retry-After advice carried by each shed (429/503) response, in
+    #: submission order — lets tests assert the advice is backlog-derived.
+    shed_retry_afters: list[float] = field(default_factory=list)
     chaos_events: list[dict] = field(default_factory=list)
     server_metrics: dict | None = None
 
@@ -224,6 +311,8 @@ class LoadReport:
                 "methods": list(self.config.methods),
                 "fault": self.config.fault,
                 "chaos": list(self.config.chaos),
+                "shape": self.config.shape,
+                "deadline_s": self.config.deadline_s,
             },
             "submitted": self.submitted,
             "accepted": self.accepted,
@@ -243,6 +332,11 @@ class LoadReport:
                 "p50": _percentile(latencies, 50.0),
                 "p95": _percentile(latencies, 95.0),
                 "max": latencies[-1] if latencies else None,
+            },
+            "shed_retry_afters": {
+                "count": len(self.shed_retry_afters),
+                "min": min(self.shed_retry_afters, default=None),
+                "max": max(self.shed_retry_afters, default=None),
             },
             "chaos_events": self.chaos_events,
             "reconciliation": self.reconcile(),
@@ -277,10 +371,31 @@ def build_plan(config: LoadConfig) -> list[JobRequest]:
             gpu=rng.choice(list(config.gpus)),
             client=f"loadgen-{index % max(1, config.concurrency)}",
             fault=config.fault if not fresh else None,
+            deadline_s=config.deadline_s,
         )
         plan.append(request)
         fresh.append(request)
     return plan
+
+
+def arrival_offsets(config: LoadConfig) -> list[float]:
+    """Deterministic open-loop submission offsets (seconds from start).
+
+    Integrates the shape's rate multiplier step by step: the gap after
+    an arrival at ``t`` is ``1 / (rate * m(t))``, so a ``burst:10@1``
+    shape emits 10× denser arrivals from one second in.  Pure function
+    of the config — two runs with the same config submit at the same
+    offsets.
+    """
+    if config.rate <= 0:
+        return [0.0] * config.jobs
+    multiplier = parse_shape(config.shape)
+    offsets: list[float] = []
+    t = 0.0
+    for _ in range(config.jobs):
+        offsets.append(t)
+        t += 1.0 / (config.rate * max(1e-9, multiplier(t)))
+    return offsets
 
 
 def default_chaos_driver(
@@ -337,9 +452,15 @@ def run_load(
     def submit_one(request: JobRequest) -> str | None:
         try:
             document = client.submit(request)
-        except (QueueFullError, WorkersUnavailableError):
+        except (
+            DeadlineUnattainableError,
+            QueueFullError,
+            WorkersUnavailableError,
+        ) as exc:
             with lock:
                 report.shed += 1
+                if exc.retry_after is not None:
+                    report.shed_retry_afters.append(exc.retry_after)
             return None
         except ServiceError:
             with lock:
@@ -402,9 +523,9 @@ def run_load(
         chaos_thread.start()
 
     if config.mode == "open":
-        interval = 1.0 / config.rate if config.rate > 0 else 0.0
-        for index, request in enumerate(plan):
-            target = started + index * interval
+        offsets = arrival_offsets(config)
+        for request, offset in zip(plan, offsets, strict=True):
+            target = started + offset
             delay = target - time.monotonic()
             if delay > 0:
                 time.sleep(delay)

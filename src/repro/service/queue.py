@@ -46,6 +46,19 @@ class JobQueue:
         with self._lock:
             return self._depth
 
+    def oldest_submitted_us(self) -> float | None:
+        """Submission timestamp (``now_us`` clock) of the longest-queued
+        job, or ``None`` when the queue is empty.  Feeds the oldest-wait
+        gauge on ``/metricsz`` and the autoscaler's SLO-breach signal."""
+        with self._lock:
+            oldest: float | None = None
+            for band in self._bands.values():
+                for jobs in band.values():
+                    for record in jobs:
+                        if oldest is None or record.submitted_us < oldest:
+                            oldest = record.submitted_us
+            return oldest
+
     def put(self, record: JobRecord) -> None:
         """Enqueue, or raise :class:`QueueFullError` when at capacity."""
         with self._lock:

@@ -49,9 +49,11 @@ lives in ``_jobs`` and is mutated only under ``_lock``.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.analysis.harness import CellFailure, EvaluationHarness
 from repro.errors import (
+    DeadlineUnattainableError,
     JobNotFinishedError,
     JobNotFoundError,
     QueueFullError,
@@ -88,6 +90,10 @@ class Scheduler:
     are fleet mode as ``pka serve --workers N`` configures it.
     """
 
+    #: EWMA smoothing for the observed per-job service time that feeds
+    #: the admission-control queue-wait estimate.
+    EWMA_ALPHA = 0.3
+
     def __init__(
         self,
         harness: EvaluationHarness,
@@ -97,24 +103,40 @@ class Scheduler:
         linger: float = 0.02,
         journal: JobJournal | None = None,
         supervisor=None,
+        autoscaler=None,
         retry_after: float = 1.0,
+        default_deadline: float | None = None,
+        brownout_hold: float = 2.0,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if default_deadline is not None and not default_deadline > 0:
+            raise ValueError("default_deadline must be > 0 seconds")
         self.harness = harness
         self.queue = JobQueue(max_depth=max_queue)
         self.batch_max = batch_max
         self.linger = linger
         self.journal = journal
         self.supervisor = supervisor
+        self.autoscaler = autoscaler
         self.retry_after = retry_after
+        self.default_deadline = default_deadline
+        self.brownout_hold = brownout_hold
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
         self._draining = False
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # Observed mean service time (seconds per computed job), EWMA'd;
+        # None until the first computed completion warms the estimator.
+        self._service_time_ewma_s: float | None = None
+        # Deadline sheds latch the brownout readiness state briefly so
+        # load balancers see a stable signal, not a per-request flicker.
+        self._brownout_until = 0.0
         if supervisor is not None:
             supervisor.bind(self)
+        if autoscaler is not None:
+            autoscaler.bind(self)
         if journal is not None:
             self.recover()
 
@@ -123,6 +145,8 @@ class Scheduler:
     def start(self) -> None:
         if self.supervisor is not None:
             self.supervisor.start()
+            if self.autoscaler is not None:
+                self.autoscaler.start()
             return
         if self._thread is not None:
             return
@@ -146,6 +170,11 @@ class Scheduler:
         the next boot replays a minimal file.
         """
         self._draining = True
+        # Stop the control loop first: a drain must not race scale
+        # decisions (growing a pool that is shutting down, or retiring a
+        # worker the drain is waiting on).
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         deadline = threading.Event()
         step = 0.02
         waited = 0.0
@@ -176,6 +205,8 @@ class Scheduler:
     def close(self) -> None:
         """Immediate stop (no drain): cancel queued jobs, join the loop."""
         self._draining = True
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         self._stop.set()
         self.queue.close()
         for record in self.queue.drain_all():
@@ -201,6 +232,18 @@ class Scheduler:
         except OSError:
             # A journal that cannot be written must not take serving
             # down; durability degrades, availability does not.
+            obs_count("journal.append_failures")
+
+    def note_fleet(self, action: str, **data) -> None:
+        """Journal a worker-pool transition (grow/retire) as an audit
+        record.  Replay ignores ``fleet`` events for job recovery, so
+        this never perturbs durability — it only makes scaling decisions
+        reconstructible after the fact."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append("fleet", f"fleet:{action}", **data)
+        except OSError:
             obs_count("journal.append_failures")
 
     def recover(self) -> int:
@@ -277,6 +320,85 @@ class Scheduler:
             return self.harness.run_cache.get_selection(record.digest)
         return self.harness.run_cache.get_run(record.digest)
 
+    # -- admission control ------------------------------------------------
+
+    def _dispatch_capacity(self) -> int:
+        """Parallel drain capacity: serving (non-draining, alive) fleet
+        workers, or 1 for the in-process dispatcher."""
+        if self.supervisor is None:
+            return 1
+        return max(1, self.supervisor.serving_workers)
+
+    def estimate_queue_wait(self, extra: int = 0) -> float | None:
+        """Predicted queue wait (seconds) for a job arriving now behind
+        the current backlog plus ``extra`` jobs, from the observed
+        per-job service-time EWMA and the serving capacity.  ``None``
+        until the estimator has seen at least one computed completion —
+        a cold estimator must not shed anything."""
+        with self._lock:
+            ewma = self._service_time_ewma_s
+        if ewma is None:
+            return None
+        backlog = self.queue.depth + extra
+        return backlog * ewma / self._dispatch_capacity()
+
+    def _observe_service_time(self, seconds: float) -> None:
+        if seconds < 0:
+            return
+        with self._lock:
+            if self._service_time_ewma_s is None:
+                self._service_time_ewma_s = seconds
+            else:
+                self._service_time_ewma_s += self.EWMA_ALPHA * (
+                    seconds - self._service_time_ewma_s
+                )
+
+    @property
+    def service_time_ewma_s(self) -> float | None:
+        with self._lock:
+            return self._service_time_ewma_s
+
+    def in_brownout(self) -> bool:
+        """True while deadline-aware admission is shedding (or would
+        shed) work: recent deadline sheds latch it for ``brownout_hold``
+        seconds, and a warm estimator predicting waits beyond the
+        default deadline reports it proactively."""
+        if time.monotonic() < self._brownout_until:
+            return True
+        if self.default_deadline is not None:
+            predicted = self.estimate_queue_wait(extra=1)
+            if predicted is not None and predicted > self.default_deadline:
+                return True
+        return False
+
+    def _admit_deadline(self, record: JobRecord) -> None:
+        """Shed the job now if its predicted queue wait exceeds its
+        deadline.  Raises :class:`DeadlineUnattainableError` with a
+        ``Retry-After`` derived from the backlog estimate."""
+        deadline = record.request.deadline_s
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is None:
+            return
+        predicted = self.estimate_queue_wait(extra=1)
+        if predicted is None or predicted <= deadline:
+            return
+        with self._lock:
+            self._jobs.pop(record.job_id, None)
+        self._brownout_until = time.monotonic() + self.brownout_hold
+        obs_count("service.jobs_shed")
+        obs_count("service.jobs_rejected")
+        obs_count("service.deadline_sheds")
+        raise DeadlineUnattainableError(
+            f"predicted queue wait {predicted:.2f}s exceeds the "
+            f"{deadline:.2f}s deadline; job shed at admission",
+            predicted_wait=predicted,
+            deadline=deadline,
+            # How long until the backlog has drained enough for this
+            # deadline to fit — not a static constant.
+            retry_after=max(0.05, predicted - deadline),
+        )
+
     # -- client-facing operations ----------------------------------------
 
     def submit(self, request: JobRequest) -> tuple[JobRecord, bool]:
@@ -338,6 +460,9 @@ class Scheduler:
                 "(warm-cache submissions still complete)",
                 retry_after=supervisor.next_retry_after(),
             )
+        # Deadline-aware admission: shed a job whose predicted queue
+        # wait cannot meet its (or the server's default) deadline.
+        self._admit_deadline(record)
         # Journal before enqueue: once the client hears "accepted", the
         # record is already durable.
         self._journal_event(
@@ -355,7 +480,14 @@ class Scheduler:
             self._journal_event("completed", record, state="cancelled")
             obs_count("service.jobs_shed")
             obs_count("service.jobs_rejected")
-            exc.retry_after = self.retry_after
+            # Backlog-derived backoff when the estimator is warm (time
+            # for one queue slot to open up); static fallback otherwise.
+            with self._lock:
+                ewma = self._service_time_ewma_s
+            if ewma is not None:
+                exc.retry_after = max(0.05, ewma / self._dispatch_capacity())
+            else:
+                exc.retry_after = self.retry_after
             raise
         # A drain that raced this submission may already have swept the
         # queue; make the outcome exactly-once either way.  If the
@@ -438,6 +570,15 @@ class Scheduler:
             if record.state != "queued":
                 return False
             record.state = "running"
+            started_us = now_us()
+            record.started_us = started_us
+            record.queue_wait_ms = (started_us - record.submitted_us) / 1000.0
+            get_tracer().record_span(
+                "service.queue_wait",
+                start_us=record.submitted_us,
+                duration_us=started_us - record.submitted_us,
+                job=record.job_id,
+            )
         self._journal_event("started", record)
         return True
 
@@ -597,6 +738,14 @@ class Scheduler:
                 record.source = source
             end_us = now_us()
             record.latency_ms = (end_us - record.submitted_us) / 1000.0
+            if (
+                state == "done"
+                and source == "computed"
+                and record.started_us is not None
+            ):
+                self._observe_service_time(
+                    (end_us - record.started_us) / 1_000_000.0
+                )
             get_tracer().record_span(
                 "service.job",
                 start_us=record.submitted_us,
@@ -631,7 +780,7 @@ class Scheduler:
             for name, value in sorted(tracer.counters.items())
             if name.startswith(
                 ("service.", "tasks.", "harness.", "cache.", "backend.",
-                 "fleet.", "journal.")
+                 "fleet.", "journal.", "autoscaler.")
             )
         }
         cache = self.harness.run_cache
@@ -647,12 +796,29 @@ class Scheduler:
                 where=lambda args: args.get("source") == "computed",
             ),
         }
+        oldest_us = self.queue.oldest_submitted_us()
+        queue_age = span_percentiles(tracer, "service.queue_wait")
+        queue_age["oldest_wait_s"] = (
+            max(0.0, (now_us() - oldest_us) / 1_000_000.0)
+            if oldest_us is not None
+            else None
+        )
+        ewma = self.service_time_ewma_s
         document = {
             "queue_depth": self.queue.depth,
             "draining": self._draining,
             "jobs": total_jobs,
             "states": states,
             "counters": counters,
+            "queue_age": queue_age,
+            "admission": {
+                "default_deadline_s": self.default_deadline,
+                "service_time_ewma_ms": (
+                    ewma * 1000.0 if ewma is not None else None
+                ),
+                "predicted_wait_s": self.estimate_queue_wait(extra=1),
+                "brownout": self.in_brownout(),
+            },
             "cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,
@@ -665,6 +831,8 @@ class Scheduler:
         }
         if self.supervisor is not None:
             document["workers"] = self.supervisor.snapshot()
+        if self.autoscaler is not None:
+            document["autoscaler"] = self.autoscaler.snapshot()
         if self.journal is not None:
             document["journal"] = self.journal.stats()
         return document

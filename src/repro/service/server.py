@@ -31,6 +31,14 @@ recovers accepted jobs across coordinator restarts.  ``/readyz``
 reports ``degraded`` (503) while every worker is down; ``/metricsz``
 gains ``workers`` and ``journal`` sections.
 
+**Elastic fleet** (an :class:`~repro.service.autoscaler.
+AutoscalerConfig` passed as ``autoscale``) additionally runs the
+SLO-driven :class:`~repro.service.autoscaler.Autoscaler` control loop,
+scaling the pool between ``min_workers`` and ``max_workers``;
+``/readyz`` gains the ``brownout`` state (200, but deadline-aware
+admission is shedding) and ``/metricsz`` the ``autoscaler`` and
+``queue_age`` sections.
+
 Built on :class:`http.server.ThreadingHTTPServer` — dependency-free by
 design, like the rest of the repo.  Request handling is thin: parse,
 call the scheduler, serialize; all serving policy lives in
@@ -49,6 +57,7 @@ from repro.analysis.harness import EvaluationHarness
 from repro.analysis.persistence import dump_run, dump_selection
 from repro.core.pka import KernelSelection
 from repro.errors import (
+    DeadlineUnattainableError,
     InvalidJobRequestError,
     JobNotFinishedError,
     JobNotFoundError,
@@ -58,6 +67,7 @@ from repro.errors import (
     WorkersUnavailableError,
 )
 from repro.obs import enable as obs_enable, get_tracer
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig
 from repro.service.jobs import JobRecord, JobRequest
 from repro.service.journal import JobJournal
 from repro.service.scheduler import Scheduler
@@ -72,6 +82,7 @@ STATUS_FOR = (
     (JobNotFoundError, 404),
     (JobNotFinishedError, 409),
     (QueueFullError, 429),
+    (DeadlineUnattainableError, 429),
     (WorkersUnavailableError, 503),
     (ServiceDrainingError, 503),
 )
@@ -146,6 +157,9 @@ class _Handler(BaseHTTPRequestHandler):
         if isinstance(exc, QueueFullError):
             document["depth"] = exc.depth
             document["max_depth"] = exc.max_depth
+        if isinstance(exc, DeadlineUnattainableError):
+            document["predicted_wait"] = exc.predicted_wait
+            document["deadline"] = exc.deadline
         headers = None
         retry_after = getattr(exc, "retry_after", None)
         if status in (429, 503):
@@ -244,6 +258,8 @@ class PKAService:
         redispatch_budget: int = 2,
         respawn_backoff: float = 0.25,
         retry_after: float = 1.0,
+        autoscale: AutoscalerConfig | None = None,
+        default_deadline: float | None = None,
     ) -> None:
         # Percentile latency and counter export need the tracer on from
         # the start: journal recovery below already counts into it.
@@ -251,6 +267,14 @@ class PKAService:
         self.harness = harness
         self.retry_after = retry_after
         self.journal = JobJournal(journal_path) if journal_path else None
+        if autoscale is not None:
+            # Elastic fleet: start at min_workers (or the explicit
+            # worker count, clamped into the autoscaler's band) and let
+            # the control loop take it from there.
+            initial = workers if workers > 0 else autoscale.min_workers
+            workers = max(
+                autoscale.min_workers, min(autoscale.max_workers, initial)
+            )
         self.supervisor = (
             WorkerSupervisor(
                 harness,
@@ -260,6 +284,11 @@ class PKAService:
                 respawn_backoff=respawn_backoff,
             )
             if workers > 0
+            else None
+        )
+        self.autoscaler = (
+            Autoscaler(autoscale)
+            if autoscale is not None and self.supervisor is not None
             else None
         )
         # Journal recovery (replay + re-enqueue) happens inside the
@@ -272,7 +301,9 @@ class PKAService:
             linger=linger,
             journal=self.journal,
             supervisor=self.supervisor,
+            autoscaler=self.autoscaler,
             retry_after=retry_after,
+            default_deadline=default_deadline,
         )
         self.drain_timeout = drain_timeout
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -309,7 +340,10 @@ class PKAService:
 
         ``degraded`` means every fleet worker is down — the service
         still answers warm-cache submissions, but a load balancer
-        should prefer a healthy replica.
+        should prefer a healthy replica.  ``brownout`` (still 200) sits
+        between healthy and the circuit breaker: workers are alive but
+        deadline-aware admission is shedding work, so new traffic will
+        see 429s until the backlog drains or the pool scales up.
         """
         if self.scheduler.draining:
             return 503, {"status": "draining"}
@@ -325,7 +359,17 @@ class PKAService:
                 document["status"] = "degraded"
                 document["retry_after"] = supervisor.next_retry_after()
                 return 503, document
+            if self.scheduler.in_brownout():
+                document["status"] = "brownout"
+                document["predicted_wait_s"] = self.scheduler.estimate_queue_wait(
+                    extra=1
+                )
             return 200, document
+        if self.scheduler.in_brownout():
+            return 200, {
+                "status": "brownout",
+                "predicted_wait_s": self.scheduler.estimate_queue_wait(extra=1),
+            }
         return 200, {"status": "ready"}
 
     def drain(self, timeout: float | None = None) -> tuple[dict, bool]:

@@ -184,6 +184,15 @@ class _WorkerSlot:
     deaths: int = 0
     completed: int = 0
     last_exit: dict | None = field(default=None)
+    #: Scale-down in progress: no new dispatch; the in-flight job (if
+    #: any) finishes — deadline-bounded by ``drain_deadline`` — before
+    #: the slot retires.
+    draining: bool = False
+    drain_deadline: float = 0.0
+    #: Retired slots stay in the list (worker ids index it) but are
+    #: never dispatched to, never respawned, and not counted as
+    #: configured capacity.
+    retired: bool = False
 
     def snapshot(self, now: float) -> dict:
         alive = self.process is not None and self.process.is_alive()
@@ -199,8 +208,12 @@ class _WorkerSlot:
             "deaths": self.deaths,
             "completed": self.completed,
             "respawn_in_s": (
-                round(max(0.0, self.respawn_at - now), 3) if not alive else None
+                round(max(0.0, self.respawn_at - now), 3)
+                if not alive and not self.retired
+                else None
             ),
+            "draining": self.draining,
+            "retired": self.retired,
             "last_exit": self.last_exit,
         }
 
@@ -229,7 +242,6 @@ class WorkerSupervisor:
         if redispatch_budget < 0:
             raise ValueError("redispatch_budget must be >= 0")
         self.harness = harness
-        self.workers = workers
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.redispatch_budget = redispatch_budget
@@ -248,6 +260,18 @@ class WorkerSupervisor:
         self.respawns = 0
         self.redispatches = 0
         self.quarantined = 0
+        self.retired_total = 0
+        self.grown_total = 0
+
+    @property
+    def workers(self) -> int:
+        """Configured pool size: non-retired slots (the scaling target).
+
+        Dead-but-respawning and draining slots still count — a slot
+        leaves the configured pool only when it retires.
+        """
+        with self._lock:
+            return sum(1 for slot in self._slots if not slot.retired)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -264,7 +288,8 @@ class WorkerSupervisor:
         now = time.monotonic()
         with self._lock:
             for slot in self._slots:
-                self._spawn_locked(slot, now)
+                if not slot.retired:
+                    self._spawn_locked(slot, now)
         for target, name in (
             (self._dispatch_loop, "pka-fleet-dispatch"),
             (self._event_loop, "pka-fleet-events"),
@@ -363,6 +388,106 @@ class WorkerSupervisor:
         slot.respawn_at = 0.0
 
     # ------------------------------------------------------------------
+    # Elastic scaling (driven by repro.service.autoscaler)
+
+    def grow(self, count: int) -> int:
+        """Add ``count`` fresh worker slots; returns the new configured
+        size.  Draining (not yet retired) slots are *resurrected* first —
+        cancelling an in-progress scale-down is cheaper and faster than
+        forking a new interpreter, and it is how a scale-up decision that
+        races a scale-down wins without ever double-spawning.
+        """
+        if count < 1:
+            raise ValueError("grow() needs count >= 1")
+        now = time.monotonic()
+        added = 0
+        with self._lock:
+            for slot in self._slots:
+                if added >= count:
+                    break
+                if slot.retired or not slot.draining:
+                    continue
+                slot.draining = False
+                slot.drain_deadline = 0.0
+                added += 1
+            while added < count:
+                slot = _WorkerSlot(worker_id=len(self._slots))
+                self._slots.append(slot)
+                if self._started:
+                    self._spawn_locked(slot, now)
+                added += 1
+            self.grown_total += count
+            configured = sum(1 for s in self._slots if not s.retired)
+        obs_count("fleet.grown", count)
+        return configured
+
+    def retire(self, count: int = 1, *, grace: float = 10.0) -> int:
+        """Begin graceful scale-down of up to ``count`` workers; returns
+        how many victims were marked.
+
+        Victim preference is loss-free and respawn-aware: dead slots
+        sitting out a respawn backoff retire immediately (scale-down and
+        respawn backoff must never fight — the pending respawn is simply
+        cancelled), then idle live workers, then busy ones.  A live
+        victim is marked ``draining``: dispatch stops, its in-flight job
+        (if any) finishes within ``grace`` seconds, and the monitor loop
+        retires it; past the deadline the worker is killed and its job
+        re-dispatched through the PR-7 recovery path, so scale-down never
+        loses an accepted job.
+        """
+        if count < 1:
+            raise ValueError("retire() needs count >= 1")
+        now = time.monotonic()
+        marked = 0
+        with self._lock:
+            candidates = [
+                slot
+                for slot in self._slots
+                if not slot.retired and not slot.draining
+            ]
+            # Dead-in-backoff first (free), then idle, then busy.
+            def rank(slot: _WorkerSlot) -> int:
+                alive = slot.process is not None and slot.process.is_alive()
+                if not alive:
+                    return 0
+                return 1 if slot.current is None else 2
+
+            for slot in sorted(candidates, key=rank):
+                if marked >= count:
+                    break
+                alive = slot.process is not None and slot.process.is_alive()
+                if not alive:
+                    self._retire_locked(slot, graceful=True)
+                else:
+                    slot.draining = True
+                    slot.drain_deadline = now + max(0.0, grace)
+                marked += 1
+        return marked
+
+    def _retire_locked(self, slot: _WorkerSlot, *, graceful: bool) -> None:
+        """Finalize one slot's retirement (caller holds the lock)."""
+        process = slot.process
+        if process is not None and process.is_alive():
+            try:
+                slot.task_queue.put(None)  # graceful: worker exits its loop
+            except Exception:
+                self._kill_process(process)
+        slot.retired = True
+        slot.draining = False
+        slot.respawn_at = 0.0
+        self.retired_total += 1
+        obs_count("fleet.retired")
+        scheduler = self.scheduler
+        if scheduler is not None:
+            scheduler.note_fleet(
+                "worker-retired",
+                worker_id=slot.worker_id,
+                graceful=graceful,
+                completed=slot.completed,
+                deaths=slot.deaths,
+            )
+
+    # ------------------------------------------------------------------
     # Liveness / introspection
 
     @property
@@ -371,7 +496,33 @@ class WorkerSupervisor:
             return sum(
                 1
                 for slot in self._slots
-                if slot.process is not None and slot.process.is_alive()
+                if not slot.retired
+                and slot.process is not None
+                and slot.process.is_alive()
+            )
+
+    @property
+    def serving_workers(self) -> int:
+        """Workers that can take *new* work: alive, not retired, not
+        draining.  This is the capacity admission control divides by."""
+        with self._lock:
+            return sum(
+                1
+                for slot in self._slots
+                if not slot.retired
+                and not slot.draining
+                and slot.process is not None
+                and slot.process.is_alive()
+            )
+
+    @property
+    def busy_workers(self) -> int:
+        """Non-retired workers currently holding a job."""
+        with self._lock:
+            return sum(
+                1
+                for slot in self._slots
+                if not slot.retired and slot.current is not None
             )
 
     @property
@@ -386,7 +537,8 @@ class WorkerSupervisor:
             waits = [
                 max(0.0, slot.respawn_at - now)
                 for slot in self._slots
-                if slot.process is None or not slot.process.is_alive()
+                if not slot.retired
+                and (slot.process is None or not slot.process.is_alive())
             ]
         if not waits:
             return self.respawn_backoff
@@ -395,16 +547,23 @@ class WorkerSupervisor:
     def snapshot(self) -> dict:
         now = time.monotonic()
         with self._lock:
-            slots = [slot.snapshot(now) for slot in self._slots]
+            slots = [
+                slot.snapshot(now) for slot in self._slots if not slot.retired
+            ]
+            retired = sum(1 for slot in self._slots if slot.retired)
         return {
-            "configured": self.workers,
+            "configured": len(slots),
             "alive": sum(1 for slot in slots if slot["alive"]),
+            "draining": sum(1 for slot in slots if slot["draining"]),
+            "busy": sum(1 for slot in slots if slot["current_job"]),
+            "retired": retired,
             "heartbeat_timeout_s": self.heartbeat_timeout,
             "redispatch_budget": self.redispatch_budget,
             "deaths": self.worker_deaths,
             "respawns": self.respawns,
             "redispatches": self.redispatches,
             "quarantined": self.quarantined,
+            "grown": self.grown_total,
             "slots": slots,
         }
 
@@ -415,7 +574,9 @@ class WorkerSupervisor:
         return [
             slot
             for slot in self._slots
-            if slot.process is not None
+            if not slot.retired
+            and not slot.draining
+            and slot.process is not None
             and slot.process.is_alive()
             and slot.current is None
         ]
@@ -483,6 +644,8 @@ class WorkerSupervisor:
             if kind == "heartbeat":
                 _, worker_id, generation, _pid = event
                 with self._lock:
+                    if worker_id >= len(self._slots):
+                        continue
                     slot = self._slots[worker_id]
                     if slot.generation == generation:
                         slot.last_heartbeat = time.monotonic()
@@ -495,6 +658,8 @@ class WorkerSupervisor:
     ) -> None:
         scheduler = self.scheduler
         with self._lock:
+            if worker_id >= len(self._slots):
+                return
             slot = self._slots[worker_id]
             if slot.generation == generation:
                 if slot.current is not None and slot.current.job_id == job_id:
@@ -528,12 +693,35 @@ class WorkerSupervisor:
             now = time.monotonic()
             with self._lock:
                 for slot in self._slots:
+                    if slot.retired:
+                        # Collect the exited process of a gracefully
+                        # retired worker; never respawn it.
+                        process = slot.process
+                        if process is not None and not process.is_alive():
+                            process.join(timeout=0)
+                            slot.process = None
+                            slot.pid = None
+                        continue
                     if slot.process is None:
                         if now >= slot.respawn_at:
                             self._spawn_locked(slot, now)
                             self.respawns += 1
                             obs_count("fleet.respawns")
                         continue
+                    if slot.draining and slot.process.is_alive():
+                        if slot.current is None:
+                            # In-flight work done (or none): retire now.
+                            self._retire_locked(slot, graceful=True)
+                            continue
+                        if now >= slot.drain_deadline:
+                            # Deadline-bounded drain: put the worker
+                            # down; _reap_locked re-dispatches the job
+                            # (PR-7 path) and then retires the slot.
+                            self._reap_locked(
+                                slot, now, exited=False,
+                                reason="drain-deadline",
+                            )
+                            continue
                     exited = not slot.process.is_alive()
                     stale = (
                         now - slot.last_heartbeat
@@ -543,18 +731,23 @@ class WorkerSupervisor:
             self._stop.wait(poll)
 
     def _reap_locked(
-        self, slot: _WorkerSlot, now: float, *, exited: bool
+        self,
+        slot: _WorkerSlot,
+        now: float,
+        *,
+        exited: bool,
+        reason: str | None = None,
     ) -> None:
         """Declare one worker dead: kill, record evidence, recover its job."""
         process = slot.process
         if not exited:
-            self._kill_process(process)  # hung (stale heartbeat): put it down
+            self._kill_process(process)  # hung or overdue: put it down
             process.join(timeout=1.0)
         evidence = {
             "worker_id": slot.worker_id,
             "pid": slot.pid,
             "generation": slot.generation,
-            "reason": "exited" if exited else "stale-heartbeat",
+            "reason": reason or ("exited" if exited else "stale-heartbeat"),
             "exitcode": process.exitcode,
             "heartbeat_age_s": round(now - slot.last_heartbeat, 3),
         }
@@ -571,6 +764,11 @@ class WorkerSupervisor:
         self.worker_deaths += 1
         obs_count("fleet.worker_deaths")
         record, slot.current = slot.current, None
+        if slot.draining:
+            # A draining victim that died (or overstayed its drain
+            # deadline) retires instead of respawning — scale-down and
+            # respawn backoff never compete for the same slot.
+            self._retire_locked(slot, graceful=False)
         if record is None or record.terminal:
             return
         evidence = dict(evidence, job_id=record.job_id)

@@ -13,8 +13,10 @@ from repro.service import (
     LoadConfig,
     PKAService,
     ServiceClient,
+    arrival_offsets,
     build_plan,
     parse_chaos,
+    parse_shape,
     run_load,
 )
 from repro.service.jobs import job_id_for
@@ -275,3 +277,124 @@ class TestReconciliationUnderShedding:
         reconciliation = report.reconcile()
         assert reconciliation["balanced"] is None
         assert reconciliation["server_available"] is False
+
+
+class TestTrafficShapes:
+    def test_constant_shape_is_identity(self):
+        multiplier = parse_shape("constant")
+        assert [multiplier(t) for t in (0.0, 1.0, 100.0)] == [1.0, 1.0, 1.0]
+
+    def test_burst_shape_steps_at_the_switch_time(self):
+        multiplier = parse_shape("burst:10@2.5")
+        assert multiplier(2.4) == 1.0
+        assert multiplier(2.5) == 10.0
+        assert multiplier(60.0) == 10.0
+
+    def test_ramp_and_diurnal_shapes(self):
+        ramp = parse_shape("ramp:0.5")
+        assert ramp(0.0) == 1.0
+        assert ramp(4.0) == pytest.approx(3.0)
+        diurnal = parse_shape("diurnal:8")
+        assert diurnal(0.0) == pytest.approx(1.0)
+        assert diurnal(2.0) == pytest.approx(1.5)  # peak at period/4
+        assert diurnal(6.0) == pytest.approx(0.5)  # trough at 3/4
+        assert min(diurnal(t / 10) for t in range(200)) > 0.0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "squarewave",
+            "burst",
+            "burst:10",          # missing @time
+            "burst:0.5@1",       # factor < 1
+            "burst:2@-1",        # negative switch time
+            "ramp:-0.1",
+            "diurnal:0",
+            "diurnal:x",
+        ],
+    )
+    def test_bad_shape_spec_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_shape(spec)
+
+    def test_load_config_validates_shape_eagerly(self):
+        with pytest.raises(ValueError):
+            LoadConfig(jobs=1, mode="open", shape="burst:nope")
+
+    def test_shapes_are_open_loop_only(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            LoadConfig(jobs=1, mode="closed", shape="ramp:0.5")
+        # closed + constant stays legal (the default).
+        LoadConfig(jobs=1, mode="closed", shape="constant")
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LoadConfig(jobs=1, deadline_s=0.0)
+        assert LoadConfig(jobs=1, deadline_s=2.5).deadline_s == 2.5
+
+    def test_arrival_offsets_deterministic_and_start_at_zero(self):
+        config = LoadConfig(jobs=8, mode="open", rate=4.0, shape="diurnal:3")
+        first = arrival_offsets(config)
+        second = arrival_offsets(config)
+        assert first == second
+        assert first[0] == 0.0
+        assert all(b >= a for a, b in zip(first, first[1:]))
+
+    def test_burst_offsets_densify_after_the_switch(self):
+        config = LoadConfig(jobs=9, mode="open", rate=2.0, shape="burst:4@1")
+        offsets = arrival_offsets(config)
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        # Pre-burst gap is 1/rate; post-burst gap is 1/(rate*factor).
+        assert gaps[0] == pytest.approx(0.5)
+        assert gaps[-1] == pytest.approx(0.125)
+
+    def test_ramp_offsets_have_shrinking_gaps(self):
+        config = LoadConfig(jobs=10, mode="open", rate=2.0, shape="ramp:1.0")
+        offsets = arrival_offsets(config)
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(b < a for a, b in zip(gaps, gaps[1:]))
+
+    def test_deadline_rides_on_every_planned_request(self):
+        config = LoadConfig(jobs=6, seed=3, deadline_s=7.5)
+        plan = build_plan(config)
+        assert all(request.deadline_s == 7.5 for request in plan)
+
+    @pytest.mark.parametrize(
+        "shape", ["constant", "burst:5@0.2", "ramp:2.0", "diurnal:1.5"]
+    )
+    def test_reconciliation_invariant_holds_under_every_shape(
+        self, tmp_path, shape
+    ):
+        """The satellite invariant: whatever the arrival process, every
+        submission is accounted for — accepted jobs all reach terminal
+        states and client/server tallies balance."""
+        obs.reset()
+        harness = EvaluationHarness(
+            backend="serial", cache_dir=tmp_path / "cache"
+        )
+        service = PKAService(harness, port=0, max_queue=64)
+        service.start()
+        try:
+            client = ServiceClient(port=service.port, timeout=10.0)
+            config = LoadConfig(
+                jobs=8,
+                mode="open",
+                rate=20.0,
+                shape=shape,
+                duplicate_ratio=0.25,
+                seed=29,
+                workloads=("gauss_208", "histo"),
+                methods=("silicon",),
+                timeout=60.0,
+            )
+            report = run_load(client, config)
+            assert report.submitted == 8
+            assert report.errors == 0
+            assert report.completed == report.accepted
+            reconciliation = report.reconcile()
+            assert reconciliation["balanced"] is True
+            document = report.to_document()
+            assert document["config"]["shape"] == shape
+        finally:
+            service.close()

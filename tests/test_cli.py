@@ -316,6 +316,28 @@ class TestExitCodeContract:
                 id="serve-unbindable",
             ),
             pytest.param(
+                ["serve", "--port", "0", "--workers", "-1"],
+                1,
+                id="serve-negative-workers",
+            ),
+            pytest.param(
+                ["serve", "--port", "0", "--workers", "lots"],
+                1,
+                id="serve-garbage-workers",
+            ),
+            pytest.param(
+                ["serve", "--port", "0", "--min-workers", "3",
+                 "--max-workers", "2"],
+                1,
+                id="serve-inverted-band",
+            ),
+            pytest.param(
+                ["loadgen", "--port", "1", "--jobs", "1",
+                 "--shape", "burst:oops"],
+                1,
+                id="loadgen-bad-shape",
+            ),
+            pytest.param(
                 SWEEP + ["--inject-faults", "exception@1xP", "--retries", "0"],
                 EXIT_PARTIAL,
                 id="sweep-partial",
@@ -334,6 +356,37 @@ class TestExitCodeContract:
             cli, handler, lambda args: (_ for _ in ()).throw(KeyboardInterrupt())
         )
         assert main([verb]) == EXIT_INTERRUPTED
+
+
+class TestServeWorkersParsing:
+    """``--workers`` accepts a count or ``auto`` (elastic fleet); the
+    env fallback ``PKA_SERVICE_WORKERS`` speaks the same grammar."""
+
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("0", 0),
+            ("4", 4),
+            (" 2 ", 2),
+            ("auto", "auto"),
+            ("AUTO", "auto"),
+            (4, 4),
+        ],
+    )
+    def test_accepted_values(self, text, expected):
+        assert cli._parse_workers(text) == expected
+
+    @pytest.mark.parametrize("text", ["-1", "-3", "2.5", "lots", "", "auto2"])
+    def test_rejected_values_carry_the_grammar(self, text):
+        with pytest.raises(ValueError, match="--workers"):
+            cli._parse_workers(text)
+
+    def test_env_fallback_is_validated_too(self, monkeypatch, capsys):
+        monkeypatch.setenv("PKA_SERVICE_WORKERS", "garbage")
+        assert main(["serve", "--port", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert "Traceback" not in err
 
 
 class TestSweepTruncationGuard:
