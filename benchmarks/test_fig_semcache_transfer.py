@@ -1,0 +1,100 @@
+"""Semantic-cache figure: transfer error versus the advertised bound.
+
+The transfer layer's contract is the bound: a near-duplicate answered
+from the similarity index may be wrong, but never by more than the
+``transfer_error_bound`` it advertises.  This benchmark regenerates the
+contract plot over a seeded corpus — several base workloads, each with
+deterministic near-duplicate variants — comparing every transferred
+answer against the ground truth a semcache-disabled harness computes,
+and checks the paper-style qualitative shape: every error under its
+bound, small mean error, and 100% transfer rate on the duplicate corpus.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import EvaluationHarness
+from repro.analysis.semcache import TransferResult
+from conftest import print_header
+
+# Mutually dissimilar bases (each escalates against the others' index
+# entries, so every donor is computed rather than itself transferred).
+BASES = ("atax", "backprop", "gauss_208")
+VARIANTS = ("~nd1", "~nd2")
+
+
+@pytest.fixture(scope="module")
+def corpus_harnesses(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("semcache-bench")
+    transfer = EvaluationHarness(
+        backend=os.environ.get("PKA_JOBS"),
+        cache_dir=cache / "transfer",
+        semcache=True,
+    )
+    truth = EvaluationHarness(
+        backend=os.environ.get("PKA_JOBS"),
+        cache_dir=cache / "truth",
+    )
+    return transfer, truth
+
+
+def _run_corpus(transfer: EvaluationHarness, truth: EvaluationHarness):
+    rows = []
+    for base in BASES:
+        donor = transfer.evaluation(base).pka_sim()
+        assert donor is not None and not isinstance(donor, TransferResult)
+        for suffix in VARIANTS:
+            name = base + suffix
+            answer = transfer.evaluation(name).pka_sim()
+            ground = truth.evaluation(name).pka_sim()
+            error = (
+                abs(answer.total_cycles - ground.total_cycles)
+                / ground.total_cycles
+            )
+            rows.append((name, answer, error))
+    return rows
+
+
+def test_fig_semcache_transfer(corpus_harnesses, benchmark):
+    transfer, truth = corpus_harnesses
+    rows = benchmark.pedantic(
+        _run_corpus, args=(transfer, truth), iterations=1, rounds=1
+    )
+
+    print_header("Semantic cache: transfer error vs advertised bound")
+    print(f"{'variant':<12} {'transferred from':<18} "
+          f"{'error':>8} {'bound':>8}")
+    for name, answer, error in rows:
+        donors = ",".join(answer.transferred_from)
+        print(f"{name:<12} {donors:<18} {error:>7.2%} "
+              f"{answer.transfer_error_bound:>7.2%}")
+    snap = transfer.semcache.snapshot()
+    print(
+        f"index: {snap['index_apps']} apps / {snap['index_rows']} rows; "
+        f"lookups {snap['lookups']}, transfers {snap['transfers']}, "
+        f"escalations {snap['escalations']}"
+    )
+
+    # Every duplicate-family query must be answered by transfer, not DES.
+    assert all(isinstance(answer, TransferResult) for _n, answer, _e in rows)
+    assert snap["transfers"] == len(BASES) * len(VARIANTS)
+
+    # The contract: realized error never exceeds the advertised bound.
+    for name, answer, error in rows:
+        assert error <= answer.transfer_error_bound, (
+            f"{name}: error {error:.2%} exceeds advertised bound "
+            f"{answer.transfer_error_bound:.2%}"
+        )
+
+    # Shape: transfers are accurate on a ±2% jitter corpus — mean error
+    # well under the default error floor, bounds tight enough to be
+    # useful (all within the default max_error_bound).
+    errors = [error for _n, _a, error in rows]
+    assert sum(errors) / len(errors) < 0.10
+    assert all(a.transfer_error_bound <= 0.35 for _n, a, _e in rows)
+
+    # The ledger reconciles over the whole corpus run.
+    assert snap["reconciles"] is True

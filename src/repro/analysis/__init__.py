@@ -29,6 +29,11 @@ from repro.analysis.persistence import (
 )
 from repro.analysis.plotting import ascii_timeseries, render_ipc_series
 from repro.analysis.report import render_report, write_report
+from repro.analysis.semcache import (
+    SemanticCache,
+    SemanticCacheConfig,
+    TransferResult,
+)
 from repro.analysis.sweeps import ArchitectureProjection, sweep_architectures
 from repro.analysis.metrics import (
     ABS_PCT_ERROR_CAP,
@@ -62,6 +67,9 @@ __all__ = [
     "RelativeAccuracy",
     "RunCache",
     "RunKey",
+    "SemanticCache",
+    "SemanticCacheConfig",
+    "TransferResult",
     "Table3Row",
     "Table4Row",
     "WorkloadEvaluation",

@@ -38,6 +38,12 @@ from repro.analysis.persistence import (
     resolve_run_cache,
     run_digest,
 )
+from repro.analysis.semcache import (
+    SemanticCache,
+    SemanticCacheConfig,
+    TransferResult,
+    resolve_semcache_config,
+)
 from repro.baselines.first_n import run_first_n_instructions
 from repro.baselines.tbpoint import TBPointSelection, select_tbpoint, simulate_tbpoint
 from repro.core.config import PKAConfig
@@ -178,6 +184,13 @@ class WorkloadEvaluation:
         ``None`` results (the workload cannot run this cell) are
         memoized in memory only: they are trivial to re-derive and must
         not occupy the persistent store.
+
+        With the semantic cache enabled, a digest miss consults the
+        similarity index before computing.  A transfer answer is
+        memoized **in memory only** — never written through
+        ``put_run`` — so the exact digest cache can never be poisoned by
+        an approximate result; a computed result is additionally
+        *observed* into the index so it can donate to future transfers.
         """
         if key in self._cache:
             obs_count("harness.memo_hits")
@@ -188,10 +201,18 @@ class WorkloadEvaluation:
             digest = self.harness._cell_digest(self, key, gpu, generations)
             result = self.harness.run_cache.get_run(digest)
             if result is None:
+                transfer = self.harness._semcache_consult(self, key, gpu, digest)
+                if transfer is not None:
+                    span.set(source="transfer")
+                    self._cache[key] = transfer
+                    return transfer
                 span.set(source="computed")
                 result = compute()
                 if result is not None:
                     self.harness.run_cache.put_run(digest, result)
+                    self.harness._semcache_observe(
+                        self, key, gpu, digest, result
+                    )
             else:
                 span.set(source="disk_cache")
         self._cache[key] = result
@@ -460,6 +481,8 @@ class EvaluationHarness:
         fault_plan: FaultPlan | None = None,
         validation_mode: str = "strict",
         intra_jobs: ExecutionBackend | str | int | None = None,
+        semcache: SemanticCacheConfig | bool | None = None,
+        transfer_threshold: float | None = None,
     ) -> None:
         # The default instruction budget is the paper's 1-billion-
         # instruction practice scaled by the same ~7x factor as the
@@ -493,6 +516,21 @@ class EvaluationHarness:
         self._simulators: dict[str, Simulator] = {}
         self._evaluations: dict[str, WorkloadEvaluation] = {}
         self._context_fingerprint: str | None = None
+        #: Similarity-transfer layer above the digest cache (None = off).
+        #: ``semcache`` accepts a full config, or True for defaults;
+        #: ``transfer_threshold`` overrides the coverage radius either way.
+        self._semcache_config = resolve_semcache_config(
+            semcache, transfer_threshold
+        )
+        self.semcache: SemanticCache | None = (
+            SemanticCache(
+                self._semcache_config,
+                self.run_cache,
+                context=self.context_fingerprint(),
+            )
+            if self._semcache_config is not None
+            else None
+        )
 
     def silicon(self, gpu: GPUConfig) -> SiliconExecutor:
         if gpu.name not in self._silicon:
@@ -601,21 +639,137 @@ class EvaluationHarness:
         if isinstance(gpu, str):
             gpu = get_gpu(gpu)
         key = evaluation.cell_key(method, gpu)  # validates the method
-        if method == "selection":
-            gpu_cfg: GPUConfig | None = None
-            generations: tuple[str, ...] = ("volta",)
-        elif method == "pka_sim_faithful":
-            gpu_cfg, generations = VOLTA_V100, ("volta",)
-        elif method == "pks_silicon":
-            gpu_cfg = GENERATIONS[(gpu or VOLTA_V100).generation]
-            generations = ("volta", gpu_cfg.generation)
-        elif method in ("silicon", "full_sim", "first_1b"):
-            gpu_cfg = gpu if gpu is not None else VOLTA_V100
-            generations = (gpu_cfg.generation,)
-        else:  # pks_sim / pka_sim / tbpoint_sim: Volta selection + target
-            gpu_cfg = gpu if gpu is not None else VOLTA_V100
-            generations = ("volta", gpu_cfg.generation)
+        gpu_cfg, generations = self._cell_geometry(method, gpu)
         return self._cell_digest(evaluation, key, gpu_cfg, generations)
+
+    @staticmethod
+    def _cell_geometry(
+        method: str, gpu: GPUConfig | None
+    ) -> tuple[GPUConfig | None, tuple[str, ...]]:
+        """The (gpu config, launch generations) a named cell consumes.
+
+        One mapping shared by :meth:`cell_digest_for` and the semantic
+        cache's transfer probe, so an external digest and a transfer
+        answer can never be derived from different geometry.
+        """
+        if method == "selection":
+            return None, ("volta",)
+        if method == "pka_sim_faithful":
+            return VOLTA_V100, ("volta",)
+        if method == "pks_silicon":
+            gpu_cfg = GENERATIONS[(gpu or VOLTA_V100).generation]
+            return gpu_cfg, ("volta", gpu_cfg.generation)
+        if method in ("silicon", "full_sim", "first_1b"):
+            gpu_cfg = gpu if gpu is not None else VOLTA_V100
+            return gpu_cfg, (gpu_cfg.generation,)
+        # pks_sim / pka_sim / tbpoint_sim: Volta selection + target GPU.
+        gpu_cfg = gpu if gpu is not None else VOLTA_V100
+        return gpu_cfg, ("volta", gpu_cfg.generation)
+
+    # -- semantic cache (similarity transfer) -----------------------------
+
+    def _transfer_viable(
+        self, evaluation: WorkloadEvaluation, method: str, gpu: GPUConfig
+    ) -> bool:
+        """Whether this cell's compute() could return a real run at all.
+
+        A cell whose DES path would return None (workload does not fit
+        the GPU, non-completable full sim, known sim quirks) must not be
+        answered by transfer either — the layers have to agree on what
+        "cannot run" means.
+        """
+        spec = evaluation.spec
+        if not evaluation.runs_on(gpu):
+            return False
+        if method in ("full_sim", "tbpoint_sim") and not spec.completable:
+            return False
+        if (
+            method in ("pks_sim", "pka_sim", "pka_sim_faithful")
+            and "sim_kernel_mismatch" in spec.quirks
+        ):
+            return False
+        return True
+
+    def _semcache_consult(
+        self,
+        evaluation: WorkloadEvaluation,
+        key: RunKey,
+        gpu: GPUConfig | None,
+        digest: str,
+    ) -> TransferResult | None:
+        if self.semcache is None or gpu is None:
+            return None
+        if not self._transfer_viable(evaluation, key.method, gpu):
+            return None
+        return self.semcache.consult(
+            workload=evaluation.spec.name,
+            method=key.method,
+            gpu=gpu,
+            launches=evaluation.launches(gpu.generation),
+            digest=digest,
+        )
+
+    def _semcache_observe(
+        self,
+        evaluation: WorkloadEvaluation,
+        key: RunKey,
+        gpu: GPUConfig | None,
+        digest: str,
+        result: object,
+    ) -> None:
+        if self.semcache is None or gpu is None:
+            return
+        if not isinstance(result, AppRunResult):
+            return
+        self.semcache.observe(
+            workload=evaluation.spec.name,
+            method=key.method,
+            gpu=gpu,
+            launches=evaluation.launches(gpu.generation),
+            digest=digest,
+            result=result,
+        )
+
+    def transfer_probe(
+        self, workload: str, method: str, gpu: GPUConfig | str | None = None
+    ) -> TransferResult | None:
+        """Submission-time transfer answer for one cell, or None.
+
+        The serving scheduler calls this right after its digest-cache
+        probe misses: a :class:`TransferResult` completes the job
+        without queueing (the warm path), None escalates to the normal
+        compute pipeline.  Nothing is simulated either way — at most the
+        workload's launch list is built once and memoized.
+        """
+        if self.semcache is None:
+            return None
+        if method not in self.semcache.config.methods:
+            return None
+        evaluation = self.evaluation(workload)
+        if isinstance(gpu, str):
+            gpu = get_gpu(gpu)
+        key = evaluation.cell_key(method, gpu)
+        memoized = evaluation._cache.get(key)
+        if isinstance(memoized, TransferResult):
+            return memoized
+        if memoized is not None:
+            return None  # a real result exists; other probes serve it
+        gpu_cfg, generations = self._cell_geometry(method, gpu)
+        if gpu_cfg is None or not self._transfer_viable(
+            evaluation, method, gpu_cfg
+        ):
+            return None
+        digest = self._cell_digest(evaluation, key, gpu_cfg, generations)
+        result = self.semcache.consult(
+            workload=evaluation.spec.name,
+            method=method,
+            gpu=gpu_cfg,
+            launches=evaluation.launches(gpu_cfg.generation),
+            digest=digest,
+        )
+        if result is not None:
+            evaluation._cache[key] = result
+        return result
 
     # -- parallel cell dispatch ------------------------------------------
 
@@ -717,6 +871,7 @@ class EvaluationHarness:
                         cache_root,
                         self.validation_mode,
                         intra_spec,
+                        self._semcache_config,
                         cell,
                     )
                     for cell in normalized
@@ -779,6 +934,11 @@ class EvaluationHarness:
         skipped = sum(1 for result in results if result is None)
         if skipped:
             obs_count("harness.cells_skipped", skipped)
+        transferred = sum(
+            1 for result in results if isinstance(result, TransferResult)
+        )
+        if transferred:
+            obs_count("harness.cells_transferred", transferred)
         obs_count(
             "harness.cells_completed",
             len(results) - len(failures) - skipped,
@@ -801,6 +961,11 @@ class EvaluationHarness:
             {"cells": labels, "context": self.context_fingerprint()}
         )
         failed_labels = {failure.label for failure in failures}
+        transferred_labels = [
+            label
+            for label, result in zip(labels, results, strict=True)
+            if isinstance(result, TransferResult)
+        ]
         manifest = {
             "sweep_id": sweep_id,
             "total_cells": len(labels),
@@ -808,12 +973,17 @@ class EvaluationHarness:
             "completed": [label for label in labels if label not in failed_labels],
             "quarantined": sorted(failed_labels),
             "failures": [failure.to_record() for failure in failures],
+            # Cells answered by the semantic cache's similarity transfer
+            # (no DES ran; the result carries a modeled error bound).
+            "transferred": transferred_labels,
             # Cache-side integrity events observed by *this process* so
             # far: entries moved to <cache>/quarantine/ plus refused
             # schema stamps (workers record their own in their caches).
             "cache_quarantined": list(self.run_cache.quarantine_log),
             "cache_schema_mismatches": self.run_cache.schema_mismatches,
         }
+        if self.semcache is not None:
+            manifest["semcache"] = self.semcache.snapshot()
         tracer = get_tracer()
         if tracer.enabled:
             # Snapshot the counters so the run summary written next to a
@@ -839,10 +1009,19 @@ def _evaluate_cell_task(payload: tuple):
         cache_root,
         mode,
         intra_spec,
+        semcache_config,
         cell,
     ) = payload
     workload, method, gpu = cell
-    key = (config, model_error, instruction_budget, cache_root, mode, intra_spec)
+    key = (
+        config,
+        model_error,
+        instruction_budget,
+        cache_root,
+        mode,
+        intra_spec,
+        semcache_config,
+    )
     harness = _WORKER_HARNESSES.get(key)
     if harness is None:
         harness = EvaluationHarness(
@@ -852,6 +1031,7 @@ def _evaluate_cell_task(payload: tuple):
             cache_dir=cache_root,
             validation_mode=mode,
             intra_jobs=intra_spec,
+            semcache=semcache_config,
         )
         _WORKER_HARNESSES[key] = harness
     return harness.evaluation(workload).compute_cell(method, gpu)

@@ -381,6 +381,15 @@ class NullRunCache:
     def put_manifest(self, sweep_id: str, document: dict) -> None:
         return None
 
+    def get_semcache_state(self, context: str) -> dict | None:
+        return None
+
+    def put_semcache_state(self, context: str, document: dict) -> None:
+        return None
+
+    def semcache_state_mtime(self, context: str) -> float | None:
+        return None
+
     def __repr__(self) -> str:
         return "NullRunCache()"
 
@@ -763,6 +772,85 @@ class RunCache:
                 "kind": "sweep_manifest",
                 "payload": document,
             }
+
+    # -- semantic-cache index state ----------------------------------------
+
+    def _semcache_path(self, context: str) -> Path:
+        return self.root / "semcache" / f"{context[:32]}.json"
+
+    def get_semcache_state(self, context: str) -> dict | None:
+        """The similarity index for one harness context, or None.
+
+        Carries the same integrity envelope as run entries (schema stamp
+        + payload checksum); a corrupt or foreign-schema state is simply
+        discarded — the index is derived data and rebuilds itself.
+        """
+        overlay = self._memory.get(f"semcache:{context}")
+        if overlay is not None:
+            return overlay["payload"]
+        try:
+            document = json.loads(
+                self._semcache_path(context).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if (
+            document.get("kind") != "semcache_state"
+            or document.get("schema") != CACHE_SCHEMA_VERSION
+        ):
+            return None
+        payload = document.get("payload")
+        if payload is None or document.get("sha256") != self._payload_checksum(
+            payload
+        ):
+            return None
+        return payload
+
+    def put_semcache_state(self, context: str, document: dict) -> None:
+        """Persist one context's similarity index, atomically.
+
+        Lives under ``<root>/semcache/`` — outside the two-hex entry
+        directories, so like manifests it is never counted against
+        ``max_bytes`` nor LRU-evicted.
+        """
+        envelope = {
+            "kind": "semcache_state",
+            "schema": CACHE_SCHEMA_VERSION,
+            "payload": document,
+            "sha256": self._payload_checksum(document),
+        }
+        if self.degraded:
+            self._memory[f"semcache:{context}"] = envelope
+            return
+        path = self._semcache_path(context)
+        text = json.dumps(envelope, sort_keys=True)
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=f".{context[:8]}.", suffix=".tmp", dir=path.parent
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(tmp_name, path)
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self._degrade(exc)
+            self._memory[f"semcache:{context}"] = envelope
+
+    def semcache_state_mtime(self, context: str) -> float | None:
+        """Staleness probe: the state file's mtime (None when absent or
+        when the store is degraded to memory)."""
+        if self.degraded:
+            return None
+        try:
+            return self._semcache_path(context).stat().st_mtime
+        except OSError:
+            return None
 
     def entry_count(self) -> int:
         """Number of run/selection entries currently on disk (manifests

@@ -1,0 +1,561 @@
+"""Cross-workload semantic cache: similarity transfer above the digest cache.
+
+The content-addressed :class:`~repro.analysis.persistence.RunCache`
+answers only *bit-identical* resubmissions: change one instruction-mix
+field by a percent and the launch digest — and therefore the cell digest
+— changes, so a behaviourally near-identical application pays for a full
+simulation again.  Real serving traffic is full of such near duplicates
+(recompiled binaries, re-traced runs, tuned variants of one model), and
+the paper's own premise — kernels with similar PKS feature vectors have
+similar performance — says most of that work is redundant.
+
+This module is the layer that recovers it.  Every *computed* run is
+summarized into the **similarity index**: its launch stream is grouped by
+kernel signature (clustered down with the mlkit k-means used by PKS when
+an app has pathologically many distinct kernels), and each group is
+stored as a raw Table-2 counter centroid plus its warp-instruction mass,
+alongside the donor app's realized cycles-per-warp-instruction and
+DRAM-bytes-per-warp-instruction rates.  On a digest miss the submission's
+kernels are projected the same way and matched against the index:
+
+* **coverage** — every query group must lie within
+  ``transfer_threshold`` of some indexed group, where distance is the
+  mean absolute difference of log-compressed counters (≈ mean relative
+  counter deviation, so the threshold is interpretable and stable as the
+  index grows);
+* **bound** — the modeled transfer error
+  ``floor + safety * Σ share_g * lipschitz * dist_g`` must stay within
+  ``max_error_bound``.
+
+When both hold, the query is answered by **transfer**: each group's
+cycles are priced at its nearest donor's rate times the query's own warp
+instructions (per-launch overhead added back), and the answer carries the
+modeled bound so callers can judge it.  Otherwise the lookup
+**escalates** and the DES runs as before.  Transfer answers are memoized
+in memory only and never written back to the digest cache — the exact
+cache stays exact.
+
+Partitions are keyed by ``method @ gpu`` inside a per-context state
+document, so a transfer can only ever draw on donors simulated under the
+same method, GPU config and harness context fingerprint.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.features import FeaturePipeline
+from repro.errors import ReproError
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelLaunch
+from repro.mlkit import KMeans, MiniBatchKMeans
+from repro.obs import obs_count
+from repro.profiling.detailed import FEATURE_NAMES, collect_counters
+from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
+from repro.sim.stats import AppRunResult
+
+__all__ = [
+    "SEMCACHE_STATE_VERSION",
+    "TRANSFERABLE_METHODS",
+    "SemanticCache",
+    "SemanticCacheConfig",
+    "TransferResult",
+    "resolve_semcache_config",
+]
+
+#: Bump when the state document layout changes; mismatched states are
+#: discarded (the index is a derived structure — rebuilding it only
+#: costs warm-up, never correctness).
+SEMCACHE_STATE_VERSION = 1
+
+#: Methods whose results scale with the application's instruction stream
+#: and may therefore donate to / receive from the index.  Selection
+#: cells are not runs, and first_1b's budget-truncation semantics break
+#: the rate model.
+TRANSFERABLE_METHODS = (
+    "silicon",
+    "pks_silicon",
+    "full_sim",
+    "pks_sim",
+    "pka_sim",
+    "pka_sim_faithful",
+    "tbpoint_sim",
+)
+
+
+@dataclass(frozen=True)
+class TransferResult(AppRunResult):
+    """An :class:`AppRunResult` answered by similarity transfer.
+
+    ``simulated_cycles`` is zero — no simulator ran.
+    ``transfer_error_bound`` is the modeled *relative* error bound on
+    ``total_cycles`` advertised to the caller; ``transferred_from``
+    names the donor workloads whose rates priced the answer.
+    """
+
+    transfer_error_bound: float = 0.0
+    transferred_from: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SemanticCacheConfig:
+    """Tuning knobs of the similarity-transfer layer.
+
+    ``transfer_threshold`` is the coverage radius in mean-absolute
+    log-counter distance — roughly the mean relative counter deviation a
+    query kernel may have from its nearest indexed kernel (0.25 ≈ "every
+    counter within ~30%" on average).  ``error_floor`` absorbs the
+    irreducible per-kernel idiosyncrasy of the simulator's modeling
+    error; ``lipschitz`` converts feature distance to predicted-cycle
+    error; ``safety_factor`` widens the advertised bound over the model.
+    ``max_error_bound`` escalates answers whose bound is too loose to be
+    useful.  ``max_groups`` caps per-app summarization (k-means kicks in
+    above it); ``max_apps_per_partition`` bounds index growth FIFO-style.
+    """
+
+    transfer_threshold: float = 0.25
+    max_error_bound: float = 0.35
+    error_floor: float = 0.15
+    lipschitz: float = 1.0
+    safety_factor: float = 2.0
+    max_groups: int = 12
+    max_apps_per_partition: int = 64
+    methods: tuple[str, ...] = TRANSFERABLE_METHODS
+
+    def __post_init__(self) -> None:
+        if self.transfer_threshold <= 0:
+            raise ReproError("transfer_threshold must be > 0")
+        if self.max_error_bound <= 0:
+            raise ReproError("max_error_bound must be > 0")
+        if self.error_floor < 0 or self.lipschitz < 0:
+            raise ReproError("error_floor and lipschitz must be >= 0")
+        if self.safety_factor < 1.0:
+            raise ReproError("safety_factor must be >= 1")
+        if self.max_groups < 1:
+            raise ReproError("max_groups must be >= 1")
+        if self.max_apps_per_partition < 1:
+            raise ReproError("max_apps_per_partition must be >= 1")
+
+
+@dataclass(frozen=True)
+class _GroupRow:
+    """One indexed (or query) kernel group: counters + instruction mass."""
+
+    counters: tuple[float, ...]
+    warp_instructions: float
+    launches: int
+
+    @property
+    def log_counters(self) -> np.ndarray:
+        return np.log1p(np.asarray(self.counters, dtype=np.float64))
+
+
+@dataclass
+class _AppEntry:
+    """One donor application inside a partition."""
+
+    workload: str
+    digest: str
+    cycles_rate: float  # cycles per warp instruction, overhead excluded
+    dram_rate: float  # DRAM bytes per warp instruction
+    total_warp_instructions: float
+    total_launches: int
+    rows: list[_GroupRow] = field(default_factory=list)
+
+
+def _group_launches(
+    launches: list[KernelLaunch], generation: str, max_groups: int
+) -> list[_GroupRow]:
+    """Summarize a launch stream into at most ``max_groups`` rows.
+
+    Launches are grouped by spec signature (the first launch of a
+    signature donates the representative counter vector — symmetric
+    between donor and query because near-duplicate derivation preserves
+    stream order).  Streams with more distinct kernels than
+    ``max_groups`` are clustered down with the same feature pipeline +
+    k-means machinery PKS uses, merging counter centroids
+    instruction-weighted.
+    """
+    order: list[int] = []
+    reps: dict[int, tuple[float, ...]] = {}
+    mass: dict[int, float] = {}
+    count: dict[int, int] = {}
+    for launch in launches:
+        signature = launch.spec.signature()
+        if signature not in reps:
+            order.append(signature)
+            reps[signature] = collect_counters(launch, generation)
+            mass[signature] = 0.0
+            count[signature] = 0
+        mass[signature] += launch.warp_instructions
+        count[signature] += 1
+    rows = [
+        _GroupRow(
+            counters=reps[signature],
+            warp_instructions=mass[signature],
+            launches=count[signature],
+        )
+        for signature in order
+    ]
+    if len(rows) <= max_groups:
+        return rows
+    matrix = np.asarray([row.counters for row in rows], dtype=np.float64)
+    reduced = FeaturePipeline().fit_transform(matrix)
+    if len(rows) > 256:
+        clusterer = MiniBatchKMeans(n_clusters=max_groups, clamp_k=True)
+    else:
+        clusterer = KMeans(n_clusters=max_groups, clamp_k=True)
+    labels = clusterer.fit_predict(reduced)
+    merged: list[_GroupRow] = []
+    for label in sorted(set(labels.tolist())):
+        members = [row for row, l in zip(rows, labels, strict=True) if l == label]
+        weights = np.asarray([max(row.warp_instructions, 1.0) for row in members])
+        centroid = np.average(
+            np.asarray([row.counters for row in members]),
+            axis=0,
+            weights=weights,
+        )
+        merged.append(
+            _GroupRow(
+                counters=tuple(float(v) for v in centroid),
+                warp_instructions=float(
+                    sum(row.warp_instructions for row in members)
+                ),
+                launches=sum(row.launches for row in members),
+            )
+        )
+    return merged
+
+
+def _distance(query: _GroupRow, donor: _GroupRow) -> float:
+    """Mean absolute log-counter difference (≈ mean relative deviation)."""
+    return float(np.abs(query.log_counters - donor.log_counters).mean())
+
+
+class SemanticCache:
+    """The similarity index plus its transfer/escalation bookkeeping.
+
+    One instance serves one harness (one context fingerprint).  State
+    persists through the harness's run cache under
+    ``<cache>/semcache/<context>.json`` — LRU-exempt like manifests —
+    and is merged back on load, so worker processes sharing a cache
+    directory pool their observations.  All public methods are
+    thread-safe (the serving scheduler consults from request threads).
+    """
+
+    def __init__(self, config: SemanticCacheConfig, run_cache, context: str) -> None:
+        self.config = config
+        self.run_cache = run_cache
+        self.context = context
+        self._partitions: dict[str, dict[str, _AppEntry]] = {}
+        self._predictions: dict[str, tuple[float, float]] = {}
+        self._lock = threading.RLock()
+        self._loaded = False
+        self._state_mtime: float | None = None
+        # Tallies (also mirrored into obs counters under "semcache.").
+        self.lookups = 0
+        self.transfers = 0
+        self.escalations_coverage = 0
+        self.escalations_bound = 0
+        self.observations = 0
+        self.observed_errors: list[float] = []
+        self.observed_violations = 0
+
+    # -- tallies ---------------------------------------------------------
+
+    @property
+    def escalations(self) -> int:
+        return self.escalations_coverage + self.escalations_bound
+
+    def snapshot(self) -> dict:
+        """JSON-ready metrics section (the ``/metricsz`` ``semcache`` block).
+
+        ``reconciles`` asserts the lookup ledger: every consult either
+        transferred or escalated — ``transfers + escalations ==
+        lookups`` exactly.
+        """
+        with self._lock:
+            rows = sum(
+                len(entry.rows)
+                for partition in self._partitions.values()
+                for entry in partition.values()
+            )
+            apps = sum(len(p) for p in self._partitions.values())
+            errors = list(self.observed_errors)
+            return {
+                "enabled": True,
+                "transfer_threshold": self.config.transfer_threshold,
+                "max_error_bound": self.config.max_error_bound,
+                "index_apps": apps,
+                "index_rows": rows,
+                "partitions": len(self._partitions),
+                "lookups": self.lookups,
+                "transfers": self.transfers,
+                "escalations": self.escalations,
+                "escalations_coverage": self.escalations_coverage,
+                "escalations_bound": self.escalations_bound,
+                "observations": self.observations,
+                "reconciles": self.transfers + self.escalations == self.lookups,
+                "transfer_error": {
+                    "samples": len(errors),
+                    "observed_mean": (
+                        float(np.mean(errors)) if errors else None
+                    ),
+                    "observed_max": float(max(errors)) if errors else None,
+                    "violations": self.observed_violations,
+                },
+            }
+
+    # -- the transfer decision -------------------------------------------
+
+    def consult(
+        self,
+        *,
+        workload: str,
+        method: str,
+        gpu: GPUConfig,
+        launches: list[KernelLaunch],
+        digest: str,
+    ) -> TransferResult | None:
+        """Try to answer a digest miss by transfer; None escalates.
+
+        Counts exactly one lookup, and exactly one of transfer /
+        escalation — the ledger ``snapshot()`` reconciles.
+        """
+        if method not in self.config.methods:
+            return None
+        with self._lock:
+            self._load_if_stale()
+            self.lookups += 1
+            obs_count("semcache.lookups")
+            partition = self._partitions.get(self._partition_key(method, gpu))
+            if not partition:
+                return self._escalate("coverage")
+            query = _group_launches(
+                launches, gpu.generation, self.config.max_groups
+            )
+            total_mass = sum(row.warp_instructions for row in query)
+            if not query or total_mass <= 0:
+                return self._escalate("coverage")
+            donors: list[tuple[_GroupRow, _AppEntry, float]] = []
+            for row in query:
+                best: tuple[float, _AppEntry] | None = None
+                for entry in partition.values():
+                    for donor_row in entry.rows:
+                        dist = _distance(row, donor_row)
+                        if best is None or dist < best[0]:
+                            best = (dist, entry)
+                if best is None or best[0] > self.config.transfer_threshold:
+                    return self._escalate("coverage")
+                donors.append((row, best[1], best[0]))
+            bound = self.config.error_floor + self.config.safety_factor * sum(
+                (row.warp_instructions / total_mass)
+                * self.config.lipschitz
+                * dist
+                for row, _entry, dist in donors
+            )
+            if bound > self.config.max_error_bound:
+                return self._escalate("bound")
+            total_launches = sum(row.launches for row, _e, _d in donors)
+            cycles = KERNEL_LAUNCH_OVERHEAD * total_launches + sum(
+                entry.cycles_rate * row.warp_instructions
+                for row, entry, _dist in donors
+            )
+            dram = sum(
+                entry.dram_rate * row.warp_instructions
+                for row, entry, _dist in donors
+            )
+            result = TransferResult(
+                workload=workload,
+                gpu=gpu,
+                method=method,
+                total_cycles=float(cycles),
+                total_instructions=float(total_mass),
+                total_dram_bytes=float(dram),
+                simulated_cycles=0.0,
+                transfer_error_bound=float(bound),
+                transferred_from=tuple(
+                    sorted({entry.workload for _r, entry, _d in donors})
+                ),
+            )
+            self._predictions[digest] = (float(cycles), float(bound))
+            self.transfers += 1
+            obs_count("semcache.transfers")
+            return result
+
+    def _escalate(self, kind: str) -> None:
+        if kind == "coverage":
+            self.escalations_coverage += 1
+        else:
+            self.escalations_bound += 1
+        obs_count("semcache.escalations")
+        obs_count(f"semcache.escalations_{kind}")
+        return None
+
+    # -- index growth -----------------------------------------------------
+
+    def observe(
+        self,
+        *,
+        workload: str,
+        method: str,
+        gpu: GPUConfig,
+        launches: list[KernelLaunch],
+        digest: str,
+        result: AppRunResult,
+    ) -> None:
+        """Ingest one *computed* run as a donor and persist the index.
+
+        Transfer answers are never ingested (their error would compound
+        through the index); runs with no instruction mass cannot price a
+        rate and are skipped.
+        """
+        if method not in self.config.methods:
+            return
+        if isinstance(result, TransferResult):
+            return
+        if result.total_instructions <= 0:
+            return
+        with self._lock:
+            self._load_if_stale()
+            self._track_observed_error(digest, result)
+            key = self._partition_key(method, gpu)
+            partition = self._partitions.setdefault(key, {})
+            rows = _group_launches(
+                launches, gpu.generation, self.config.max_groups
+            )
+            total_launches = sum(row.launches for row in rows)
+            overhead = KERNEL_LAUNCH_OVERHEAD * total_launches
+            partition[digest] = _AppEntry(
+                workload=workload,
+                digest=digest,
+                cycles_rate=max(0.0, result.total_cycles - overhead)
+                / result.total_instructions,
+                dram_rate=result.total_dram_bytes / result.total_instructions,
+                total_warp_instructions=float(result.total_instructions),
+                total_launches=total_launches,
+                rows=rows,
+            )
+            while len(partition) > self.config.max_apps_per_partition:
+                partition.pop(next(iter(partition)))
+            self.observations += 1
+            obs_count("semcache.observations")
+            self._persist()
+
+    def _track_observed_error(self, digest: str, result: AppRunResult) -> None:
+        """A computed ground truth arrived for a digest we once answered
+        by transfer (an operator disabled transfer, or another process
+        escalated): record the realized error against the advertised
+        bound."""
+        prediction = self._predictions.pop(digest, None)
+        if prediction is None or result.total_cycles <= 0:
+            return
+        predicted, bound = prediction
+        error = abs(predicted - result.total_cycles) / result.total_cycles
+        self.observed_errors.append(error)
+        obs_count("semcache.observed_samples")
+        if error > bound:
+            self.observed_violations += 1
+            obs_count("semcache.observed_violations")
+
+    # -- persistence -------------------------------------------------------
+
+    @staticmethod
+    def _partition_key(method: str, gpu: GPUConfig) -> str:
+        return f"{method}@{gpu.name}"
+
+    def _load_if_stale(self) -> None:
+        """Merge on-disk state written by other processes (mtime-gated)."""
+        getter = getattr(self.run_cache, "get_semcache_state", None)
+        if getter is None:
+            self._loaded = True
+            return
+        mtime = getattr(self.run_cache, "semcache_state_mtime", None)
+        current = mtime(self.context) if mtime is not None else None
+        if self._loaded and current == self._state_mtime:
+            return
+        document = getter(self.context)
+        self._loaded = True
+        self._state_mtime = current
+        if not document or document.get("version") != SEMCACHE_STATE_VERSION:
+            return
+        for key, apps in document.get("partitions", {}).items():
+            partition = self._partitions.setdefault(key, {})
+            for digest, entry in apps.items():
+                if digest in partition:
+                    continue
+                try:
+                    partition[digest] = _AppEntry(
+                        workload=entry["workload"],
+                        digest=digest,
+                        cycles_rate=float(entry["cycles_rate"]),
+                        dram_rate=float(entry["dram_rate"]),
+                        total_warp_instructions=float(
+                            entry["total_warp_instructions"]
+                        ),
+                        total_launches=int(entry["total_launches"]),
+                        rows=[
+                            _GroupRow(
+                                counters=tuple(float(v) for v in row["counters"]),
+                                warp_instructions=float(row["warp_instructions"]),
+                                launches=int(row["launches"]),
+                            )
+                            for row in entry["rows"]
+                            if len(row["counters"]) == len(FEATURE_NAMES)
+                        ],
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue  # one malformed donor must not poison the index
+
+    def _persist(self) -> None:
+        putter = getattr(self.run_cache, "put_semcache_state", None)
+        if putter is None:
+            return
+        document = {
+            "version": SEMCACHE_STATE_VERSION,
+            "context": self.context,
+            "partitions": {
+                key: {
+                    digest: {
+                        "workload": entry.workload,
+                        "cycles_rate": entry.cycles_rate,
+                        "dram_rate": entry.dram_rate,
+                        "total_warp_instructions": entry.total_warp_instructions,
+                        "total_launches": entry.total_launches,
+                        "rows": [
+                            {
+                                "counters": list(row.counters),
+                                "warp_instructions": row.warp_instructions,
+                                "launches": row.launches,
+                            }
+                            for row in entry.rows
+                        ],
+                    }
+                    for digest, entry in partition.items()
+                }
+                for key, partition in self._partitions.items()
+            },
+        }
+        putter(self.context, document)
+        mtime = getattr(self.run_cache, "semcache_state_mtime", None)
+        if mtime is not None:
+            self._state_mtime = mtime(self.context)
+
+
+def resolve_semcache_config(
+    semcache: SemanticCacheConfig | bool | None,
+    transfer_threshold: float | None = None,
+) -> SemanticCacheConfig | None:
+    """Normalize the harness/CLI-facing spec into a config (or None=off)."""
+    if isinstance(semcache, SemanticCacheConfig):
+        config = semcache
+    elif semcache:
+        config = SemanticCacheConfig()
+    else:
+        return None
+    if transfer_threshold is not None:
+        config = replace(config, transfer_threshold=transfer_threshold)
+    return config

@@ -165,7 +165,7 @@ def simulate_tbpoint(
     total_bytes = 0.0
     simulated = 0.0
     for launch_id, weight in zip(
-        selection.representative_launch_ids, selection.weights
+        selection.representative_launch_ids, selection.weights, strict=True
     ):
         launch = by_id[launch_id]
         result = simulator.run_kernel(launch)

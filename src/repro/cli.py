@@ -159,6 +159,11 @@ def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
         validation_mode=(
             "lenient" if getattr(args, "lenient", False) else "strict"
         ),
+        semcache=(
+            getattr(args, "semcache", False)
+            and not getattr(args, "no_semcache", False)
+        ),
+        transfer_threshold=getattr(args, "transfer_threshold", None),
     )
     # Remember the harness so --trace-out can embed the sweep manifest
     # into the run summary after the handler returns.
@@ -497,10 +502,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             completed += 1
     manifest = harness.last_manifest
+    transferred = len((manifest or {}).get("transferred", ()))
+    transfer_note = f", {transferred} by transfer" if transferred else ""
     print(
-        f"sweep: {len(cells)} cells — {completed} completed, "
-        f"{skipped} not applicable, {failed} failed"
+        f"sweep: {len(cells)} cells — {completed} completed"
+        f"{transfer_note}, {skipped} not applicable, {failed} failed"
     )
+    if harness.semcache is not None:
+        snap = harness.semcache.snapshot()
+        print(
+            f"semcache: {snap['index_apps']} app(s) indexed, "
+            f"{snap['transfers']} transfer(s), "
+            f"{snap['escalations']} escalation(s)"
+        )
     if manifest is not None:
         print(f"sweep id: {manifest['sweep_id'][:16]}")
         if harness.run_cache.enabled:
@@ -628,6 +642,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGINT, _on_signal)
     service.start()
     print(f"pka service listening on http://{service.host}:{service.port}")
+    if harness.semcache is not None:
+        print(
+            "semcache: enabled (transfer threshold "
+            f"{harness.semcache.config.transfer_threshold}, "
+            f"max error bound {harness.semcache.config.max_error_bound})"
+        )
     if fleet:
         journal_note = journal_path if journal_path else "disabled"
         if autoscale is not None:
@@ -692,6 +712,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         payload = result["result"]
         print(f"  total cycles: {payload['total_cycles']:.6g}")
         print(f"  instructions: {payload['total_instructions']:.6g}")
+        transfer = result.get("transfer")
+        if transfer:
+            donors = ", ".join(transfer.get("transferred_from", ())) or "?"
+            print(
+                f"  transfer bound: {transfer['error_bound']:.3f} "
+                f"(from {donors})"
+            )
     elif result["result_kind"] == "selection":
         payload = result["result"]
         print(f"  groups (K): {payload['k']}")
@@ -759,9 +786,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"shed {report.shed}"
     )
     print(
-        f"completed {report.completed}  failed {report.failed}  "
-        f"quarantined {report.quarantined}  cancelled {report.cancelled}  "
-        f"errors {report.errors}"
+        f"completed {report.completed}  transferred {report.transferred}  "
+        f"failed {report.failed}  quarantined {report.quarantined}  "
+        f"cancelled {report.cancelled}  errors {report.errors}"
     )
     if report.chaos_events:
         for event in report.chaos_events:
@@ -915,6 +942,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="bound the run cache: least-recently-used entries are "
         "evicted once on-disk size exceeds BYTES",
+    )
+    common.add_argument(
+        "--semcache",
+        action="store_true",
+        help="semantic cache: answer digest misses whose kernels are "
+        "covered by already-simulated clusters via similarity transfer "
+        "(requires --cache-dir to persist the index across invocations)",
+    )
+    common.add_argument(
+        "--no-semcache",
+        action="store_true",
+        help="explicitly disable the semantic cache (overrides --semcache)",
+    )
+    common.add_argument(
+        "--transfer-threshold",
+        type=float,
+        default=None,
+        metavar="DIST",
+        help="semantic cache coverage radius: maximum mean log-counter "
+        "distance a kernel group may have from its nearest indexed "
+        "cluster to be answered by transfer (default 0.25)",
     )
     common.add_argument(
         "--retries",

@@ -344,7 +344,7 @@ def counter_matrix_issues(
     matrix = np.asarray(matrix, dtype=np.float64)
     issues: list[ValidationIssue] = []
     bad_rows, bad_cols = np.nonzero(~np.isfinite(matrix))
-    for row, col in zip(bad_rows.tolist(), bad_cols.tolist()):
+    for row, col in zip(bad_rows.tolist(), bad_cols.tolist(), strict=True):
         name = names[col] if names is not None and col < len(names) else f"col{col}"
         issues.append(
             ValidationIssue(

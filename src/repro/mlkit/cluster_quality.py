@@ -80,7 +80,7 @@ def davies_bouldin_score(points: np.ndarray, labels: np.ndarray) -> float:
     scatters = np.array(
         [
             np.linalg.norm(points[labels == label] - centroid, axis=1).mean()
-            for label, centroid in zip(unique, centroids)
+            for label, centroid in zip(unique, centroids, strict=True)
         ]
     )
     separation = np.sqrt(

@@ -18,11 +18,13 @@ poll frequency.
 
 from __future__ import annotations
 
+import email.utils
 import json
 import random
 import time
 import urllib.error
 import urllib.request
+from datetime import datetime, timezone
 
 from repro.errors import (
     DeadlineUnattainableError,
@@ -97,6 +99,32 @@ class ServiceClient:
             ) from exc
 
     @staticmethod
+    def _parse_retry_after(raw: object) -> float | None:
+        """RFC 9110 ``Retry-After``: delay-seconds or an HTTP-date.
+
+        Either form yields a non-negative delay in seconds; a date in
+        the past (or a negative number) clamps to 0 rather than making
+        the backoff sleep negative.
+        """
+        if raw is None:
+            return None
+        try:
+            return max(0.0, float(raw))
+        except (TypeError, ValueError):
+            pass
+        if isinstance(raw, str):
+            try:
+                when = email.utils.parsedate_to_datetime(raw)
+            except (TypeError, ValueError):
+                return None
+            if when is not None:
+                if when.tzinfo is None:
+                    when = when.replace(tzinfo=timezone.utc)
+                delta = when - datetime.now(timezone.utc)
+                return max(0.0, delta.total_seconds())
+        return None
+
+    @staticmethod
     def _typed_error(exc: urllib.error.HTTPError) -> ServiceError:
         try:
             document = json.loads(exc.read().decode("utf-8"))
@@ -106,12 +134,8 @@ class ServiceClient:
         retry_after = None
         header = exc.headers.get("Retry-After") if exc.headers else None
         for raw in (header, document.get("retry_after")):
-            if raw is None or retry_after is not None:
-                continue
-            try:
-                retry_after = float(raw)
-            except (TypeError, ValueError):
-                pass
+            if retry_after is None:
+                retry_after = ServiceClient._parse_retry_after(raw)
         cls = _ERROR_FOR_STATUS.get(exc.code)
         if exc.code == 503 and document.get("error") == "WorkersUnavailableError":
             cls = WorkersUnavailableError

@@ -234,6 +234,10 @@ class LoadReport:
     rejected: int = 0
     shed: int = 0
     completed: int = 0
+    #: Completed jobs the server answered by semantic-cache transfer
+    #: (``source == "transfer"``) rather than an exact-cache hit or a
+    #: fresh simulation.
+    transferred: int = 0
     failed: int = 0
     quarantined: int = 0
     cancelled: int = 0
@@ -320,6 +324,7 @@ class LoadReport:
             "rejected": self.rejected,
             "shed": self.shed,
             "completed": self.completed,
+            "transferred": self.transferred,
             "failed": self.failed,
             "quarantined": self.quarantined,
             "cancelled": self.cancelled,
@@ -483,6 +488,8 @@ def run_load(
         with lock:
             if final["state"] == "done":
                 report.completed += 1
+                if final.get("source") == "transfer":
+                    report.transferred += 1
             elif final["state"] == "failed":
                 report.failed += 1
                 if (final.get("error") or {}).get("kind") == "quarantined":

@@ -445,6 +445,14 @@ class Scheduler:
         if request.fault is None and self._probe_cache(record, digest):
             obs_count("service.cache_hits")
             return record, True
+        # Semantic-cache warm path: a digest miss whose kernels are all
+        # covered by already-simulated clusters is answered by transfer
+        # and completes right here — it never queues and never runs the
+        # DES.  Declined lookups (coverage or bound escalations) fall
+        # through to the normal compute pipeline below.
+        if request.fault is None and self._probe_transfer(record, digest):
+            obs_count("service.transfer_hits")
+            return record, True
         # Circuit breaker: a cold cell cannot complete while every
         # worker is down — shed it now with retry advice instead of
         # queueing behind a dead fleet.  (Checked outside _lock; the
@@ -521,6 +529,29 @@ class Scheduler:
             digest=digest,
         )
         self._complete(record, "done", result=cached, source="cache")
+        return True
+
+    def _probe_transfer(self, record: JobRecord, digest: str) -> bool:
+        """Complete the job by similarity transfer if the index covers it.
+
+        Mirrors :meth:`_probe_cache`'s durability contract: the accepted
+        record is journaled before the completion, so replay accounting
+        holds for transfer answers too.
+        """
+        if getattr(self.harness, "semcache", None) is None:
+            return False
+        transfer = self.harness.transfer_probe(
+            record.request.workload, record.request.method, record.request.gpu
+        )
+        if transfer is None:
+            return False
+        self._journal_event(
+            "accepted",
+            record,
+            request=record.request.to_document(),
+            digest=digest,
+        )
+        self._complete(record, "done", result=transfer, source="transfer")
         return True
 
     def get(self, job_id: str) -> JobRecord:
@@ -780,7 +811,7 @@ class Scheduler:
             for name, value in sorted(tracer.counters.items())
             if name.startswith(
                 ("service.", "tasks.", "harness.", "cache.", "backend.",
-                 "fleet.", "journal.", "autoscaler.")
+                 "fleet.", "journal.", "autoscaler.", "semcache.")
             )
         }
         cache = self.harness.run_cache
@@ -794,6 +825,11 @@ class Scheduler:
                 tracer,
                 "service.job",
                 where=lambda args: args.get("source") == "computed",
+            ),
+            "transfer": span_percentiles(
+                tracer,
+                "service.job",
+                where=lambda args: args.get("source") == "transfer",
             ),
         }
         oldest_us = self.queue.oldest_submitted_us()
@@ -829,6 +865,10 @@ class Scheduler:
             },
             "latency_ms": latency,
         }
+        semcache = getattr(self.harness, "semcache", None)
+        document["semcache"] = (
+            semcache.snapshot() if semcache is not None else {"enabled": False}
+        )
         if self.supervisor is not None:
             document["workers"] = self.supervisor.snapshot()
         if self.autoscaler is not None:

@@ -55,6 +55,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.analysis.harness import EvaluationHarness
 from repro.analysis.persistence import dump_run, dump_selection
+from repro.analysis.semcache import TransferResult
 from repro.core.pka import KernelSelection
 from repro.errors import (
     DeadlineUnattainableError,
@@ -112,11 +113,20 @@ def _result_document(record: JobRecord) -> dict:
     else:  # pragma: no cover - future result types serialize as repr
         payload = repr(result)
         kind = type(result).__name__
-    return {
+    document = {
         "job": record.to_document(),
         "result_kind": kind,
         "result": payload,
     }
+    if isinstance(result, TransferResult):
+        # Transfer answers keep the app_run wire shape (clients parse
+        # them unchanged; job.source == "transfer" tells them apart) and
+        # additionally advertise the modeled bound and provenance.
+        document["transfer"] = {
+            "error_bound": result.transfer_error_bound,
+            "transferred_from": list(result.transferred_from),
+        }
+    return document
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -311,7 +321,11 @@ class PKAService:
         self._httpd.pka_service = self  # type: ignore[attr-defined]
         self.host, self.port = self._httpd.server_address[:2]
         self._serve_thread: threading.Thread | None = None
+        # Wall-clock start is display-only (and seeds the service id);
+        # the uptime delta is monotonic so an NTP step can never make
+        # ``uptime_seconds`` jump or go negative.
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self.service_id = f"service-{os.getpid()}-{int(self.started_at)}"
 
     def start(self, *, run_scheduler: bool = True) -> "PKAService":
@@ -332,7 +346,8 @@ class PKAService:
     def metrics(self) -> dict:
         document = self.scheduler.metrics()
         document["service_id"] = self.service_id
-        document["uptime_seconds"] = time.time() - self.started_at
+        document["started_at"] = self.started_at
+        document["uptime_seconds"] = time.monotonic() - self._started_monotonic
         return document
 
     def readiness(self) -> tuple[int, dict]:

@@ -12,13 +12,16 @@ kernel counts mismatch between profiling and tracing runs).
 
 from __future__ import annotations
 
+import re
 import threading
+import zlib
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
+from random import Random
 
 from repro.errors import WorkloadError
 from repro.gpu.architectures import GPUConfig
-from repro.gpu.kernels import KernelLaunch
+from repro.gpu.kernels import KernelLaunch, KernelSpec
 
 __all__ = [
     "WorkloadSpec",
@@ -110,11 +113,24 @@ def register(spec: WorkloadSpec) -> WorkloadSpec:
 
 
 def get_workload(name: str) -> WorkloadSpec:
-    """Look a workload up by name."""
+    """Look a workload up by name.
+
+    ``<base>~nd<digits>`` names resolve to deterministic **near
+    duplicates** of a registered base workload: the same kernel stream
+    with every spec's instruction mix and grid jittered by a few percent
+    (seeded from the derived name, so every process builds the identical
+    variant).  They model the recompiled-or-retraced resubmissions the
+    semantic cache exists for — behaviourally adjacent, but a genuine
+    digest miss.  Derived specs are cached outside the registry, so
+    :func:`iter_workloads` and ``pka list`` are unaffected.
+    """
     _ensure_loaded()
     try:
         return _REGISTRY[name]
     except KeyError as exc:
+        derived = _derived_workload(name)
+        if derived is not None:
+            return derived
         raise WorkloadError(f"unknown workload {name!r}") from exc
 
 
@@ -149,7 +165,99 @@ def clear_registry() -> None:
     global _LOADED
     with _LOAD_LOCK:
         _REGISTRY.clear()
+        _DERIVED.clear()
         _LOADED = False
+
+
+# ---------------------------------------------------------------------------
+# Near-duplicate derivation: <base>~nd<digits>.
+# ---------------------------------------------------------------------------
+
+#: Relative jitter applied to mixes and grids when deriving a near
+#: duplicate.  Small enough that the variant stays in the base kernel's
+#: behaviour regime, large enough that every spec signature (and hence
+#: the content digest) changes.
+ND_JITTER = 0.02
+
+_ND_PATTERN = re.compile(r"^(?P<base>.+)~nd(?P<variant>\d+)$")
+
+# Derived specs memoized outside _REGISTRY so the corpus-facing views
+# (iter_workloads, suites, validation sweeps) never see them.
+_DERIVED: dict[str, WorkloadSpec] = {}
+_DERIVED_LOCK = threading.Lock()
+
+
+def _jittered(rng: Random, value: float, spread: float = ND_JITTER) -> float:
+    return value * (1.0 + spread * (2.0 * rng.random() - 1.0))
+
+
+def _perturb_launches(
+    launches: list[KernelLaunch], derived_name: str
+) -> list[KernelLaunch]:
+    """Deterministically jitter a launch stream into a near duplicate.
+
+    Each distinct kernel spec gets one mix-scale draw (so repeats of a
+    kernel stay self-consistent, as a recompiled binary's would) and each
+    launch gets an independent grid draw.  All draws come from one RNG
+    seeded by the derived name, and launches are visited in stream order,
+    so every process derives bit-identical variants.
+    """
+    rng = Random(zlib.crc32(f"{derived_name}/near-duplicate".encode("utf-8")))
+    perturbed: dict[int, KernelSpec] = {}
+    out: list[KernelLaunch] = []
+    for launch in launches:
+        signature = launch.spec.signature()
+        spec = perturbed.get(signature)
+        if spec is None:
+            spec = launch.spec.with_mix(
+                launch.spec.mix.scaled(max(0.5, _jittered(rng, 1.0)))
+            )
+            perturbed[signature] = spec
+        grid = max(1, round(_jittered(rng, float(launch.grid_blocks))))
+        out.append(
+            KernelLaunch(
+                spec=spec,
+                grid_blocks=grid,
+                launch_id=launch.launch_id,
+                nvtx=dict(launch.nvtx),
+            )
+        )
+    return out
+
+
+def _derived_workload(name: str) -> WorkloadSpec | None:
+    """Resolve a ``<base>~nd<digits>`` name, or None if it is not one."""
+    match = _ND_PATTERN.match(name)
+    if match is None:
+        return None
+    base_name = match.group("base")
+    base = _REGISTRY.get(base_name)
+    if base is None:
+        # The base may itself be derivable (a~nd1~nd2 is rejected: one
+        # level keeps digests and provenance simple).
+        return None
+    with _DERIVED_LOCK:
+        cached = _DERIVED.get(name)
+        if cached is None:
+
+            def deriving(builder: Builder) -> Builder:
+                return lambda: _perturb_launches(builder(), name)
+
+            cached = WorkloadSpec(
+                name=name,
+                suite=base.suite,
+                builder=deriving(base.builder),
+                scale=base.scale,
+                completable=base.completable,
+                min_memory_gb=base.min_memory_gb,
+                quirks=base.quirks,
+                variant_builders={
+                    generation: deriving(builder)
+                    for generation, builder in base.variant_builders.items()
+                },
+            )
+            _DERIVED[name] = cached
+    return cached
 
 
 def _ensure_loaded() -> None:

@@ -68,7 +68,7 @@ def validate_workload(spec: WorkloadSpec) -> list[ValidationIssue]:
     rebuilt = spec.build()
     if len(rebuilt) != len(launches) or any(
         a.spec.signature() != b.spec.signature() or a.grid_blocks != b.grid_blocks
-        for a, b in zip(launches, rebuilt)
+        for a, b in zip(launches, rebuilt, strict=True)
     ):
         issue("deterministic", "two builds disagree")
 

@@ -8,9 +8,11 @@ request counts, not on sleep bookkeeping.
 
 from __future__ import annotations
 
+import email.utils
 import json
 import threading
 import time
+from datetime import datetime, timedelta, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
@@ -104,6 +106,111 @@ class TestTypedErrors:
         with pytest.raises(WorkersUnavailableError) as excinfo:
             client.submit(JobRequest(workload="gauss_208", method="silicon"))
         assert excinfo.value.retry_after == 0.4
+
+    def test_http_date_retry_after_header(self, stub_server):
+        """RFC 9110 allows an HTTP-date, not just delay-seconds."""
+        port, set_script, _count = stub_server
+        when = email.utils.format_datetime(
+            datetime.now(timezone.utc) + timedelta(seconds=30), usegmt=True
+        )
+        set_script(
+            lambda path, count: (
+                429,
+                {"Retry-After": when},
+                {"error": "QueueFullError", "message": "full",
+                 "depth": 8, "max_depth": 8},
+            )
+        )
+        client = ServiceClient(port=port, seed=1)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(JobRequest(workload="gauss_208", method="silicon"))
+        assert excinfo.value.retry_after is not None
+        assert 0.0 < excinfo.value.retry_after <= 30.0
+
+    def test_past_http_date_clamps_to_zero(self, stub_server):
+        port, set_script, _count = stub_server
+        when = email.utils.format_datetime(
+            datetime.now(timezone.utc) - timedelta(hours=1), usegmt=True
+        )
+        set_script(
+            lambda path, count: (
+                429,
+                {"Retry-After": when},
+                {"error": "QueueFullError", "message": "full",
+                 "depth": 8, "max_depth": 8},
+            )
+        )
+        client = ServiceClient(port=port, seed=1)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(JobRequest(workload="gauss_208", method="silicon"))
+        assert excinfo.value.retry_after == 0.0
+
+    def test_negative_delay_clamps_to_zero(self, stub_server):
+        port, set_script, _count = stub_server
+        set_script(
+            lambda path, count: (
+                429,
+                {"Retry-After": "-5"},
+                {"error": "QueueFullError", "message": "full",
+                 "depth": 8, "max_depth": 8},
+            )
+        )
+        client = ServiceClient(port=port, seed=1)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(JobRequest(workload="gauss_208", method="silicon"))
+        assert excinfo.value.retry_after == 0.0
+
+    def test_garbage_header_falls_back_to_body(self, stub_server):
+        port, set_script, _count = stub_server
+        set_script(
+            lambda path, count: (
+                429,
+                {"Retry-After": "soonish"},
+                {"error": "QueueFullError", "message": "full",
+                 "depth": 8, "max_depth": 8, "retry_after": 0.7},
+            )
+        )
+        client = ServiceClient(port=port, seed=1)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(JobRequest(workload="gauss_208", method="silicon"))
+        assert excinfo.value.retry_after == 0.7
+
+
+class TestParseRetryAfter:
+    """Unit coverage for the RFC 9110 Retry-After grammar."""
+
+    def test_delay_seconds(self):
+        assert ServiceClient._parse_retry_after("2.5") == 2.5
+        assert ServiceClient._parse_retry_after(3) == 3.0
+
+    def test_negative_clamps(self):
+        assert ServiceClient._parse_retry_after("-1") == 0.0
+        assert ServiceClient._parse_retry_after(-0.5) == 0.0
+
+    def test_http_date_future(self):
+        when = email.utils.format_datetime(
+            datetime.now(timezone.utc) + timedelta(seconds=60), usegmt=True
+        )
+        delay = ServiceClient._parse_retry_after(when)
+        assert delay is not None and 0.0 < delay <= 60.0
+
+    def test_http_date_past_clamps(self):
+        when = email.utils.format_datetime(
+            datetime.now(timezone.utc) - timedelta(seconds=60), usegmt=True
+        )
+        assert ServiceClient._parse_retry_after(when) == 0.0
+
+    def test_naive_date_treated_as_utc(self):
+        # A date string without a zone (e.g. "-0000" parses naive).
+        naive = (datetime.now(timezone.utc) + timedelta(seconds=45)).strftime(
+            "%a, %d %b %Y %H:%M:%S -0000"
+        )
+        delay = ServiceClient._parse_retry_after(naive)
+        assert delay is not None and 0.0 < delay <= 45.0
+
+    def test_garbage_and_none(self):
+        assert ServiceClient._parse_retry_after("soonish") is None
+        assert ServiceClient._parse_retry_after(None) is None
 
 
 class TestSubmitRetries:

@@ -1,0 +1,69 @@
+"""Regression tests for the strict-zip sweep.
+
+A silently-truncating ``zip`` turns a length mismatch (a corrupted
+selection document, a miscounted cluster labelling) into wrong numbers
+instead of an error.  These tests pin the swept call sites at both
+levels: the API raises on mismatched inputs, and an AST scan keeps every
+``zip`` in the swept modules ``strict`` so a refactor cannot quietly
+reintroduce the hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.baselines.tbpoint
+import repro.core.validation
+import repro.mlkit.cluster_quality
+import repro.workloads.validation
+from repro.baselines.tbpoint import TBPointSelection, simulate_tbpoint
+from repro.gpu import VOLTA_V100
+from repro.sim import Simulator
+from repro.workloads import get_workload
+
+SWEPT_MODULES = (
+    repro.workloads.validation,
+    repro.baselines.tbpoint,
+    repro.mlkit.cluster_quality,
+    repro.core.validation,
+)
+
+
+class TestTBPointMismatch:
+    def test_mismatched_selection_raises(self):
+        launches = get_workload("atax").build()
+        selection = TBPointSelection(
+            workload="atax",
+            total_launches=len(launches),
+            threshold=0.05,
+            n_clusters=2,
+            representative_launch_ids=(launches[0].launch_id, launches[1].launch_id),
+            weights=(float(len(launches)),),  # one weight short
+            projection_error=0.0,
+        )
+        with pytest.raises(ValueError):
+            simulate_tbpoint(selection, launches, Simulator(VOLTA_V100))
+
+
+class TestSweptModulesStayStrict:
+    @pytest.mark.parametrize(
+        "module", SWEPT_MODULES, ids=lambda m: m.__name__
+    )
+    def test_every_zip_is_strict(self, module):
+        source = Path(module.__file__).read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        lax = [
+            node.lineno
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "zip"
+            and not any(kw.arg == "strict" for kw in node.keywords)
+        ]
+        assert not lax, (
+            f"{module.__name__} has zip() calls without strict= at "
+            f"lines {lax}"
+        )

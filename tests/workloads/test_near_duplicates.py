@@ -1,0 +1,82 @@
+"""Tests for ``<base>~nd<digits>`` near-duplicate workload derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import get_workload, iter_workloads, workload_names
+from repro.workloads.spec import ND_JITTER, clear_registry
+
+
+class TestDerivation:
+    def test_resolves_and_preserves_metadata(self):
+        base = get_workload("atax")
+        derived = get_workload("atax~nd1")
+        assert derived.name == "atax~nd1"
+        assert derived.suite == base.suite
+        assert derived.scale == base.scale
+        assert derived.completable == base.completable
+        assert derived.min_memory_gb == base.min_memory_gb
+        assert derived.quirks == base.quirks
+        assert set(derived.variant_builders) == set(base.variant_builders)
+
+    def test_deterministic_across_calls(self):
+        first = get_workload("atax~nd1").build()
+        second = get_workload("atax~nd1").build()
+        assert len(first) == len(second)
+        for a, b in zip(first, second, strict=True):
+            assert a.spec.signature() == b.spec.signature()
+            assert a.grid_blocks == b.grid_blocks
+            assert a.launch_id == b.launch_id
+
+    def test_variants_differ_from_base_and_each_other(self):
+        base = get_workload("atax").build()
+        nd1 = get_workload("atax~nd1").build()
+        nd2 = get_workload("atax~nd2").build()
+        assert len(base) == len(nd1) == len(nd2)
+        base_sigs = {launch.spec.signature() for launch in base}
+        nd1_sigs = {launch.spec.signature() for launch in nd1}
+        nd2_sigs = {launch.spec.signature() for launch in nd2}
+        # The jitter must change every spec signature (a genuine digest
+        # miss), and distinct variants must not collide with each other.
+        assert not base_sigs & nd1_sigs
+        assert not base_sigs & nd2_sigs
+        assert nd1_sigs != nd2_sigs
+
+    def test_jitter_stays_near_base(self):
+        base = get_workload("atax").build()
+        nd1 = get_workload("atax~nd1").build()
+        for a, b in zip(base, nd1, strict=True):
+            # Grid jitter is bounded by ND_JITTER (plus the round and
+            # the >=1 clamp).
+            assert abs(b.grid_blocks - a.grid_blocks) <= max(
+                1, int(a.grid_blocks * ND_JITTER) + 1
+            )
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("does_not_exist~nd1")
+
+    def test_two_level_derivation_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("atax~nd1~nd2")
+
+    def test_registry_views_unaffected(self):
+        get_workload("atax~nd7")  # populate the derived cache
+        names = workload_names()
+        assert len(names) == 147
+        assert not any("~nd" in name for name in names)
+        assert not any("~nd" in spec.name for spec in iter_workloads())
+
+    def test_clear_registry_drops_derived_cache(self):
+        before = get_workload("atax~nd3")
+        clear_registry()
+        try:
+            after = get_workload("atax~nd3")
+            # A fresh spec object, but the same deterministic stream.
+            assert after is not before
+            sigs = lambda launches: [l.spec.signature() for l in launches]
+            assert sigs(after.build()) == sigs(before.build())
+        finally:
+            clear_registry()  # leave a clean slate for other tests
