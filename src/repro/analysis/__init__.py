@@ -4,6 +4,7 @@ builders that regenerate the paper's evaluation section."""
 from repro.analysis.figures import (
     IPCSeries,
     MethodAggregate,
+    PredictTierAccuracy,
     RelativeAccuracy,
     figure1_time_landscape,
     figure4_group_composition,
@@ -13,6 +14,7 @@ from repro.analysis.figures import (
     figure8_errors,
     figure9_volta_over_turing,
     figure10_half_sms,
+    figure_predict_tiers,
 )
 from repro.analysis.harness import CellFailure, EvaluationHarness, WorkloadEvaluation
 from repro.analysis.inspect import WorkloadProfile, inspect_workload
@@ -64,6 +66,7 @@ __all__ = [
     "NullRunCache",
     "Phase",
     "PhaseAnalysis",
+    "PredictTierAccuracy",
     "RelativeAccuracy",
     "RunCache",
     "RunKey",
@@ -86,6 +89,7 @@ __all__ = [
     "figure8_errors",
     "figure9_volta_over_turing",
     "figure10_half_sms",
+    "figure_predict_tiers",
     "format_duration",
     "geomean",
     "inspect_workload",

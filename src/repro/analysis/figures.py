@@ -15,6 +15,7 @@ from repro.analysis.metrics import abs_pct_error, geomean, mape, speedup
 from repro.core.config import PKPConfig
 from repro.core.pkp import make_monitor
 from repro.gpu.architectures import TURING_RTX2060, VOLTA_V100, volta_v100_half_sms
+from repro.predict import price_app
 from repro.profiling.cost import TimeLandscape, compute_time_landscape
 
 __all__ = [
@@ -26,7 +27,9 @@ __all__ = [
     "figure8_errors",
     "figure9_volta_over_turing",
     "figure10_half_sms",
+    "figure_predict_tiers",
     "MethodAggregate",
+    "PredictTierAccuracy",
     "RelativeAccuracy",
 ]
 
@@ -278,6 +281,103 @@ def figure7_speedups(harness: EvaluationHarness) -> MethodAggregate:
 def figure8_errors(harness: EvaluationHarness) -> MethodAggregate:
     """Cycle error of full sim / 1B / PKA / TBPoint vs silicon (Figure 8)."""
     return _prior_work_rows(harness)
+
+
+# ---------------------------------------------------------------------------
+# Prediction-tier accuracy — both tiers versus the simulated methods.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictTierAccuracy:
+    """One workload's cycle error versus silicon, per answering method.
+
+    Puts the two prediction tiers (which run no event loop at all) on
+    the same axis as full simulation, 1B, TBPoint and PKA.  Bounds are
+    the tiers' *advertised* relative error versus the DES (None when
+    uncalibrated); errors are realized versus silicon.
+    """
+
+    workload: str
+    full_error: float
+    first1b_error: float
+    tbpoint_error: float
+    pka_error: float
+    analytical_error: float
+    analytical_bound: float | None
+    surrogate_error: float | None
+    surrogate_bound: float | None
+
+
+def figure_predict_tiers(
+    harness: EvaluationHarness,
+) -> list[PredictTierAccuracy]:
+    """Prediction-tier accuracy over the completable workloads (Volta).
+
+    The analytical column is always available (it is pure arithmetic);
+    the surrogate column appears once the harness's prediction tiers
+    have trained and the workload is inside coverage.  With prediction
+    disabled on the harness the analytical estimate is still priced
+    directly — the figure then simply has no surrogate column.
+    """
+    rows: list[PredictTierAccuracy] = []
+    for evaluation in harness.completable_evaluations():
+        silicon = evaluation.silicon("volta")
+        full = evaluation.full_sim()
+        pka = evaluation.pka_sim()
+        oneb = evaluation.first_1b()
+        tbp = evaluation.tbpoint_sim()
+        if any(run is None for run in (silicon, full, pka, oneb, tbp)):
+            continue
+        launches = evaluation.launches("volta")
+        if harness.predict is not None:
+            tiers = harness.predict.tier_estimates(
+                method="full_sim",
+                gpu=VOLTA_V100,
+                launches=launches,
+                model_error=harness.model_error,
+            )
+        else:
+            estimate = price_app(launches, VOLTA_V100, harness.model_error)
+            tiers = (
+                {"analytical": (estimate.total_cycles, None)}
+                if estimate.groups and estimate.total_cycles > 0
+                else {}
+            )
+        if "analytical" not in tiers:
+            continue
+        analytical_cycles, analytical_bound = tiers["analytical"]
+        surrogate = tiers.get("surrogate")
+        rows.append(
+            PredictTierAccuracy(
+                workload=evaluation.spec.name,
+                full_error=abs_pct_error(
+                    full.total_cycles, silicon.total_cycles
+                ),
+                first1b_error=abs_pct_error(
+                    oneb.total_cycles, silicon.total_cycles
+                ),
+                tbpoint_error=abs_pct_error(
+                    tbp.total_cycles, silicon.total_cycles
+                ),
+                pka_error=abs_pct_error(
+                    pka.total_cycles, silicon.total_cycles
+                ),
+                analytical_error=abs_pct_error(
+                    analytical_cycles, silicon.total_cycles
+                ),
+                analytical_bound=analytical_bound,
+                surrogate_error=(
+                    abs_pct_error(surrogate[0], silicon.total_cycles)
+                    if surrogate is not None
+                    else None
+                ),
+                surrogate_bound=(
+                    surrogate[1] if surrogate is not None else None
+                ),
+            )
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -44,6 +44,12 @@ from repro.analysis.semcache import (
     TransferResult,
     resolve_semcache_config,
 )
+from repro.predict import (
+    PredictConfig,
+    PredictTiers,
+    PredictedResult,
+    resolve_predict_config,
+)
 from repro.baselines.first_n import run_first_n_instructions
 from repro.baselines.tbpoint import TBPointSelection, select_tbpoint, simulate_tbpoint
 from repro.core.config import PKAConfig
@@ -191,6 +197,11 @@ class WorkloadEvaluation:
         ``put_run`` — so the exact digest cache can never be poisoned by
         an approximate result; a computed result is additionally
         *observed* into the index so it can donate to future transfers.
+
+        With the prediction tiers enabled, a semcache miss additionally
+        consults them before falling back to the DES — same in-memory-
+        only memoization contract as a transfer, and every *computed*
+        result additionally feeds the tiers' calibration.
         """
         if key in self._cache:
             obs_count("harness.memo_hits")
@@ -206,11 +217,19 @@ class WorkloadEvaluation:
                     span.set(source="transfer")
                     self._cache[key] = transfer
                     return transfer
+                predicted = self.harness._predict_consult(self, key, gpu, digest)
+                if predicted is not None:
+                    span.set(source="predicted")
+                    self._cache[key] = predicted
+                    return predicted
                 span.set(source="computed")
                 result = compute()
                 if result is not None:
                     self.harness.run_cache.put_run(digest, result)
                     self.harness._semcache_observe(
+                        self, key, gpu, digest, result
+                    )
+                    self.harness._predict_observe(
                         self, key, gpu, digest, result
                     )
             else:
@@ -483,6 +502,8 @@ class EvaluationHarness:
         intra_jobs: ExecutionBackend | str | int | None = None,
         semcache: SemanticCacheConfig | bool | None = None,
         transfer_threshold: float | None = None,
+        predict: PredictConfig | bool | None = None,
+        predict_max_bound: float | None = None,
     ) -> None:
         # The default instruction budget is the paper's 1-billion-
         # instruction practice scaled by the same ~7x factor as the
@@ -529,6 +550,21 @@ class EvaluationHarness:
                 context=self.context_fingerprint(),
             )
             if self._semcache_config is not None
+            else None
+        )
+        #: Two-tier prediction layer below the semcache (None = off).
+        #: ``predict`` accepts a full config, or True for defaults;
+        #: ``predict_max_bound`` overrides the serving threshold.
+        self._predict_config = resolve_predict_config(
+            predict, predict_max_bound
+        )
+        self.predict: PredictTiers | None = (
+            PredictTiers(
+                self._predict_config,
+                self.run_cache,
+                context=self.context_fingerprint(),
+            )
+            if self._predict_config is not None
             else None
         )
 
@@ -730,6 +766,99 @@ class EvaluationHarness:
             result=result,
         )
 
+    def _predict_consult(
+        self,
+        evaluation: WorkloadEvaluation,
+        key: RunKey,
+        gpu: GPUConfig | None,
+        digest: str,
+    ) -> PredictedResult | None:
+        if self.predict is None or gpu is None:
+            return None
+        if key.method not in self.predict.config.methods:
+            return None
+        if not self._transfer_viable(evaluation, key.method, gpu):
+            return None
+        return self.predict.consult(
+            workload=evaluation.spec.name,
+            method=key.method,
+            gpu=gpu,
+            launches=evaluation.launches(gpu.generation),
+            model_error=self.model_error,
+            digest=digest,
+        )
+
+    def _predict_observe(
+        self,
+        evaluation: WorkloadEvaluation,
+        key: RunKey,
+        gpu: GPUConfig | None,
+        digest: str,
+        result: object,
+    ) -> None:
+        if self.predict is None or gpu is None:
+            return
+        if key.method not in self.predict.config.methods:
+            return
+        if not isinstance(result, AppRunResult):
+            return
+        # Per-group DES ground truth, harvested from the simulator's
+        # full-run memo the compute just populated.  Groups belonging to
+        # other workloads are filtered out by key inside observe().
+        kernel_cycles = self.simulator(gpu).memoized_kernel_cycles()
+        self.predict.observe(
+            workload=evaluation.spec.name,
+            method=key.method,
+            gpu=gpu,
+            launches=evaluation.launches(gpu.generation),
+            model_error=self.model_error,
+            digest=digest,
+            result=result,
+            kernel_cycles=kernel_cycles,
+        )
+
+    def predict_probe(
+        self, workload: str, method: str, gpu: GPUConfig | str | None = None
+    ) -> PredictedResult | None:
+        """Submission-time prediction answer for one cell, or None.
+
+        The serving scheduler calls this after both the digest-cache and
+        transfer probes miss: a :class:`PredictedResult` completes the
+        job without queueing, None escalates to the compute pipeline.
+        No event loop runs either way — at most the workload's launch
+        list is built and priced analytically.
+        """
+        if self.predict is None:
+            return None
+        if method not in self.predict.config.methods:
+            return None
+        evaluation = self.evaluation(workload)
+        if isinstance(gpu, str):
+            gpu = get_gpu(gpu)
+        key = evaluation.cell_key(method, gpu)
+        memoized = evaluation._cache.get(key)
+        if isinstance(memoized, PredictedResult):
+            return memoized
+        if memoized is not None:
+            return None  # a real result exists; other probes serve it
+        gpu_cfg, generations = self._cell_geometry(method, gpu)
+        if gpu_cfg is None or not self._transfer_viable(
+            evaluation, method, gpu_cfg
+        ):
+            return None
+        digest = self._cell_digest(evaluation, key, gpu_cfg, generations)
+        result = self.predict.consult(
+            workload=evaluation.spec.name,
+            method=method,
+            gpu=gpu_cfg,
+            launches=evaluation.launches(gpu_cfg.generation),
+            model_error=self.model_error,
+            digest=digest,
+        )
+        if result is not None:
+            evaluation._cache[key] = result
+        return result
+
     def transfer_probe(
         self, workload: str, method: str, gpu: GPUConfig | str | None = None
     ) -> TransferResult | None:
@@ -872,6 +1001,7 @@ class EvaluationHarness:
                         self.validation_mode,
                         intra_spec,
                         self._semcache_config,
+                        self._predict_config,
                         cell,
                     )
                     for cell in normalized
@@ -939,6 +1069,11 @@ class EvaluationHarness:
         )
         if transferred:
             obs_count("harness.cells_transferred", transferred)
+        predicted = sum(
+            1 for result in results if isinstance(result, PredictedResult)
+        )
+        if predicted:
+            obs_count("harness.cells_predicted", predicted)
         obs_count(
             "harness.cells_completed",
             len(results) - len(failures) - skipped,
@@ -966,6 +1101,11 @@ class EvaluationHarness:
             for label, result in zip(labels, results, strict=True)
             if isinstance(result, TransferResult)
         ]
+        predicted_labels = [
+            label
+            for label, result in zip(labels, results, strict=True)
+            if isinstance(result, PredictedResult)
+        ]
         manifest = {
             "sweep_id": sweep_id,
             "total_cells": len(labels),
@@ -976,6 +1116,9 @@ class EvaluationHarness:
             # Cells answered by the semantic cache's similarity transfer
             # (no DES ran; the result carries a modeled error bound).
             "transferred": transferred_labels,
+            # Cells answered by the prediction tiers (no DES ran; the
+            # result carries a modeled error bound and the tier name).
+            "predicted": predicted_labels,
             # Cache-side integrity events observed by *this process* so
             # far: entries moved to <cache>/quarantine/ plus refused
             # schema stamps (workers record their own in their caches).
@@ -984,6 +1127,8 @@ class EvaluationHarness:
         }
         if self.semcache is not None:
             manifest["semcache"] = self.semcache.snapshot()
+        if self.predict is not None:
+            manifest["predict"] = self.predict.snapshot()
         tracer = get_tracer()
         if tracer.enabled:
             # Snapshot the counters so the run summary written next to a
@@ -1010,6 +1155,7 @@ def _evaluate_cell_task(payload: tuple):
         mode,
         intra_spec,
         semcache_config,
+        predict_config,
         cell,
     ) = payload
     workload, method, gpu = cell
@@ -1021,6 +1167,7 @@ def _evaluate_cell_task(payload: tuple):
         mode,
         intra_spec,
         semcache_config,
+        predict_config,
     )
     harness = _WORKER_HARNESSES.get(key)
     if harness is None:
@@ -1032,6 +1179,7 @@ def _evaluate_cell_task(payload: tuple):
             validation_mode=mode,
             intra_jobs=intra_spec,
             semcache=semcache_config,
+            predict=predict_config,
         )
         _WORKER_HARNESSES[key] = harness
     return harness.evaluation(workload).compute_cell(method, gpu)

@@ -390,6 +390,15 @@ class NullRunCache:
     def semcache_state_mtime(self, context: str) -> float | None:
         return None
 
+    def get_predict_state(self, context: str) -> dict | None:
+        return None
+
+    def put_predict_state(self, context: str, document: dict) -> None:
+        return None
+
+    def predict_state_mtime(self, context: str) -> float | None:
+        return None
+
     def __repr__(self) -> str:
         return "NullRunCache()"
 
@@ -849,6 +858,84 @@ class RunCache:
             return None
         try:
             return self._semcache_path(context).stat().st_mtime
+        except OSError:
+            return None
+
+    # -- prediction-tier calibration state ---------------------------------
+
+    def _predict_path(self, context: str) -> Path:
+        return self.root / "predict" / f"{context[:32]}.json"
+
+    def get_predict_state(self, context: str) -> dict | None:
+        """The prediction-tier calibration for one harness context.
+
+        Same integrity envelope as run entries; corrupt or foreign-schema
+        states are discarded — calibration is derived data that re-warms
+        from computed runs.
+        """
+        overlay = self._memory.get(f"predict:{context}")
+        if overlay is not None:
+            return overlay["payload"]
+        try:
+            document = json.loads(
+                self._predict_path(context).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if (
+            document.get("kind") != "predict_state"
+            or document.get("schema") != CACHE_SCHEMA_VERSION
+        ):
+            return None
+        payload = document.get("payload")
+        if payload is None or document.get("sha256") != self._payload_checksum(
+            payload
+        ):
+            return None
+        return payload
+
+    def put_predict_state(self, context: str, document: dict) -> None:
+        """Persist one context's prediction calibration, atomically.
+
+        Lives under ``<root>/predict/`` — like manifests and semcache
+        state, never counted against ``max_bytes`` nor LRU-evicted.
+        """
+        envelope = {
+            "kind": "predict_state",
+            "schema": CACHE_SCHEMA_VERSION,
+            "payload": document,
+            "sha256": self._payload_checksum(document),
+        }
+        if self.degraded:
+            self._memory[f"predict:{context}"] = envelope
+            return
+        path = self._predict_path(context)
+        text = json.dumps(envelope, sort_keys=True)
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=f".{context[:8]}.", suffix=".tmp", dir=path.parent
+            )
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(tmp_name, path)
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self._degrade(exc)
+            self._memory[f"predict:{context}"] = envelope
+
+    def predict_state_mtime(self, context: str) -> float | None:
+        """Staleness probe: the state file's mtime (None when absent or
+        when the store is degraded to memory)."""
+        if self.degraded:
+            return None
+        try:
+            return self._predict_path(context).stat().st_mtime
         except OSError:
             return None
 

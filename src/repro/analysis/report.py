@@ -16,6 +16,7 @@ from repro.analysis.figures import (
     figure7_speedups,
     figure9_volta_over_turing,
     figure10_half_sms,
+    figure_predict_tiers,
 )
 from repro.analysis.harness import EvaluationHarness
 from repro.analysis.metrics import format_duration, geomean, mean
@@ -73,6 +74,42 @@ def _section_figures78(harness: EvaluationHarness, out: io.StringIO) -> None:
         f"| 1B instructions | {aggregate.mean_error('first1b'):.1f}% "
         f"| {aggregate.first1b_speedup_geomean:.2f}x |\n\n"
     )
+
+
+def _section_predict_tiers(
+    harness: EvaluationHarness, out: io.StringIO
+) -> None:
+    rows = figure_predict_tiers(harness)
+    out.write("## Prediction tiers — zero-simulation estimates vs silicon\n\n")
+    if not rows:
+        out.write("*No completable workloads with the required runs.*\n\n")
+        return
+    full = mean([row.full_error for row in rows])
+    pka = mean([row.pka_error for row in rows])
+    analytical = mean([row.analytical_error for row in rows])
+    out.write(
+        f"Workloads: {len(rows)}. Mean error vs silicon — "
+        f"full sim {full:.1f}%, PKA {pka:.1f}%, "
+        f"analytical tier {analytical:.1f}% (no event loop).\n\n"
+    )
+    out.write(
+        "| workload | full | 1B | TBPoint | PKA "
+        "| analytical | bound | surrogate | bound |\n"
+    )
+    out.write("|---|---|---|---|---|---|---|---|---|\n")
+    for row in rows:
+        out.write(
+            f"| {row.workload} "
+            f"| {_cell(row.full_error, '%')} "
+            f"| {_cell(row.first1b_error, '%')} "
+            f"| {_cell(row.tbpoint_error, '%')} "
+            f"| {_cell(row.pka_error, '%')} "
+            f"| {_cell(row.analytical_error, '%')} "
+            f"| {_cell(row.analytical_bound, '', 3)} "
+            f"| {_cell(row.surrogate_error, '%')} "
+            f"| {_cell(row.surrogate_bound, '', 3)} |\n"
+        )
+    out.write("\n")
 
 
 def _section_table4(harness: EvaluationHarness, out: io.StringIO) -> None:
@@ -222,6 +259,12 @@ def render_report(harness: EvaluationHarness | None = None) -> str:
     _guarded(
         "Figures 9 & 10 — relative accuracy case studies",
         _section_case_studies,
+        harness,
+        out,
+    )
+    _guarded(
+        "Prediction tiers — zero-simulation estimates vs silicon",
+        _section_predict_tiers,
         harness,
         out,
     )

@@ -164,6 +164,11 @@ def _harness_from_args(args: argparse.Namespace) -> EvaluationHarness:
             and not getattr(args, "no_semcache", False)
         ),
         transfer_threshold=getattr(args, "transfer_threshold", None),
+        predict=(
+            getattr(args, "predict", False)
+            and not getattr(args, "no_predict", False)
+        ),
+        predict_max_bound=getattr(args, "predict_max_bound", None),
     )
     # Remember the harness so --trace-out can embed the sweep manifest
     # into the run summary after the handler returns.
@@ -504,15 +509,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     manifest = harness.last_manifest
     transferred = len((manifest or {}).get("transferred", ()))
     transfer_note = f", {transferred} by transfer" if transferred else ""
+    predicted = len((manifest or {}).get("predicted", ()))
+    predict_note = f", {predicted} by prediction" if predicted else ""
     print(
         f"sweep: {len(cells)} cells — {completed} completed"
-        f"{transfer_note}, {skipped} not applicable, {failed} failed"
+        f"{transfer_note}{predict_note}, {skipped} not applicable, "
+        f"{failed} failed"
     )
     if harness.semcache is not None:
         snap = harness.semcache.snapshot()
         print(
             f"semcache: {snap['index_apps']} app(s) indexed, "
             f"{snap['transfers']} transfer(s), "
+            f"{snap['escalations']} escalation(s)"
+        )
+    if harness.predict is not None:
+        snap = harness.predict.snapshot()
+        print(
+            f"predict: {snap['predictions']} prediction(s) "
+            f"({snap['predictions_analytical']} analytical, "
+            f"{snap['predictions_surrogate']} surrogate), "
             f"{snap['escalations']} escalation(s)"
         )
     if manifest is not None:
@@ -648,6 +664,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{harness.semcache.config.transfer_threshold}, "
             f"max error bound {harness.semcache.config.max_error_bound})"
         )
+    if harness.predict is not None:
+        print(
+            "predict: enabled (max error bound "
+            f"{harness.predict.config.max_error_bound})"
+        )
     if fleet:
         journal_note = journal_path if journal_path else "disabled"
         if autoscale is not None:
@@ -719,6 +740,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 f"  transfer bound: {transfer['error_bound']:.3f} "
                 f"(from {donors})"
             )
+        predicted = result.get("predicted")
+        if predicted:
+            print(
+                f"  prediction bound: {predicted['error_bound']:.3f} "
+                f"(by {predicted.get('predicted_by', '?')} tier)"
+            )
     elif result["result_kind"] == "selection":
         payload = result["result"]
         print(f"  groups (K): {payload['k']}")
@@ -787,6 +814,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     print(
         f"completed {report.completed}  transferred {report.transferred}  "
+        f"predicted {report.predicted}  "
         f"failed {report.failed}  quarantined {report.quarantined}  "
         f"cancelled {report.cancelled}  errors {report.errors}"
     )
@@ -963,6 +991,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="semantic cache coverage radius: maximum mean log-counter "
         "distance a kernel group may have from its nearest indexed "
         "cluster to be answered by transfer (default 0.25)",
+    )
+    common.add_argument(
+        "--predict",
+        action="store_true",
+        help="prediction tiers: answer cold full-sim cells from the "
+        "analytical model or the learned cycle surrogate when the "
+        "modeled error bound is tight enough, escalating to the DES "
+        "otherwise (calibrates online from computed runs)",
+    )
+    common.add_argument(
+        "--no-predict",
+        action="store_true",
+        help="explicitly disable the prediction tiers (overrides --predict)",
+    )
+    common.add_argument(
+        "--predict-max-bound",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="prediction serving threshold: maximum modeled relative "
+        "error bound an estimate may advertise and still be served "
+        "instead of escalating to the DES (default 0.35)",
     )
     common.add_argument(
         "--retries",

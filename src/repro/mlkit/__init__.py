@@ -19,6 +19,7 @@ from repro.mlkit.mlp import MLPClassifier
 from repro.mlkit.naive_bayes import GaussianNB
 from repro.mlkit.pca import PCA
 from repro.mlkit.preprocessing import StandardScaler, log_compress
+from repro.mlkit.regression import SGDRegressor
 from repro.mlkit.sgd import SGDClassifier
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "build_merge_tree",
     "PCA",
     "SGDClassifier",
+    "SGDRegressor",
     "StandardScaler",
     "davies_bouldin_score",
     "log_compress",

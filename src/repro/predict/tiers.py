@@ -1,0 +1,559 @@
+"""Confidence/escalation layer over the two prediction tiers.
+
+One :class:`PredictTiers` instance serves one harness context, exactly
+like the semantic cache it sits beside in the consult order (digest
+cache -> semcache -> predict -> DES).  A consult prices the query's
+kernel groups analytically, asks both tiers for an app-level estimate
+with a modeled relative error bound, and serves the **tightest** bound
+that clears ``max_error_bound`` as a frozen
+:class:`PredictedResult` carrying ``prediction_error_bound`` and
+``predicted_by``; anything else escalates to the DES with a typed
+reason (cold / coverage / bound).  The ledger reconciles by
+construction: every lookup is exactly one prediction or one escalation.
+
+Bound model (shared shape across tiers): the app-level residual is the
+cycle-share-weighted combination of per-group residual terms, combined
+in quadrature — per-kernel residuals are idiosyncratic by signature, so
+independent errors average out across diverse groups while a
+single-kernel app keeps its full per-kernel dispersion:
+
+* analytical: ``s_g`` = calibrated per-behaviour-bucket dispersion;
+* surrogate:  ``s_g`` = out-of-fold error + lipschitz * nearest-row
+  distance (extrapolation widens the bound).
+
+``bound = error_floor + safety_factor * sqrt(sum share_g^2 s_g^2)``.
+
+Every served estimate is remembered against its cell digest; when a
+computed ground truth later arrives for that digest (predict disabled,
+another process escalated), the realized error is recorded against the
+advertised bound — the same observed-error feedback loop the semantic
+cache keeps.  Predictions are memoized in memory only and never written
+to the digest cache, and prediction answers are never ingested as
+training data: the exact cache stays exact and the model never trains
+on its own output.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gpu.architectures import GPUConfig
+from repro.gpu.kernels import KernelLaunch
+from repro.obs import obs_count
+from repro.predict.analytical import (
+    AppEstimate,
+    ResidualCalibration,
+    price_app,
+)
+from repro.predict.surrogate import CycleSurrogate
+from repro.sim.simulator import ModelErrorConfig
+from repro.sim.stats import AppRunResult
+
+__all__ = [
+    "PREDICT_STATE_VERSION",
+    "PREDICTABLE_METHODS",
+    "PredictConfig",
+    "PredictTiers",
+    "PredictedResult",
+    "resolve_predict_config",
+]
+
+#: Bump when the state document layout changes; mismatched states are
+#: discarded (calibration is derived data — rebuilding costs warm-up).
+PREDICT_STATE_VERSION = 1
+
+#: Methods the tiers may answer.  Full simulation is the one method
+#: whose result is a pure function of the launch stream on one GPU —
+#: the closed form prices it directly and its per-kernel ground truth
+#: is harvestable from the simulator's memo cache.  Sampled methods
+#: (pks/pka/tbpoint) fold a Volta-side selection into the answer and
+#: silicon is already closed-form; both escalate.
+PREDICTABLE_METHODS = ("full_sim",)
+
+
+@dataclass(frozen=True)
+class PredictedResult(AppRunResult):
+    """An :class:`AppRunResult` served by a prediction tier.
+
+    ``simulated_cycles`` is zero — no event loop ran.
+    ``prediction_error_bound`` is the modeled *relative* error bound on
+    ``total_cycles`` versus the DES ground truth; ``predicted_by`` names
+    the tier ("analytical" or "surrogate").
+    """
+
+    prediction_error_bound: float = 0.0
+    predicted_by: str = ""
+
+
+@dataclass(frozen=True)
+class PredictConfig:
+    """Tuning knobs of the prediction tiers.
+
+    ``max_error_bound`` escalates estimates whose modeled bound is too
+    loose to serve.  ``error_floor``/``safety_factor`` shape every
+    advertised bound over the modeled residual.  ``min_calibration``
+    (observed apps) gates the analytical tier; ``min_training_rows``
+    gates the surrogate; ``coverage_radius`` is the surrogate's maximum
+    nearest-training-row distance; ``lipschitz`` converts that distance
+    into bound width.  ``dispersion_prior`` prices unseen behaviour
+    buckets; ``min_dispersion`` keeps calibrated buckets honest about
+    re-seeded idiosyncrasy.  ``max_samples`` caps the stores FIFO-style.
+    """
+
+    max_error_bound: float = 0.35
+    error_floor: float = 0.05
+    safety_factor: float = 2.0
+    min_calibration: int = 3
+    min_training_rows: int = 8
+    coverage_radius: float = 0.25
+    lipschitz: float = 1.0
+    dispersion_prior: float = 0.35
+    min_dispersion: float = 0.05
+    max_samples: int = 256
+    methods: tuple[str, ...] = PREDICTABLE_METHODS
+
+    def __post_init__(self) -> None:
+        if self.max_error_bound <= 0:
+            raise ReproError("max_error_bound must be > 0")
+        if self.error_floor < 0:
+            raise ReproError("error_floor must be >= 0")
+        if self.safety_factor < 1.0:
+            raise ReproError("safety_factor must be >= 1")
+        if self.min_calibration < 1 or self.min_training_rows < 1:
+            raise ReproError(
+                "min_calibration and min_training_rows must be >= 1"
+            )
+        if self.coverage_radius <= 0:
+            raise ReproError("coverage_radius must be > 0")
+        if self.lipschitz < 0:
+            raise ReproError("lipschitz must be >= 0")
+        if self.dispersion_prior < 0 or self.min_dispersion < 0:
+            raise ReproError(
+                "dispersion_prior and min_dispersion must be >= 0"
+            )
+        if self.max_samples < 1:
+            raise ReproError("max_samples must be >= 1")
+
+
+class _Partition:
+    """Per method@gpu calibration + surrogate state."""
+
+    def __init__(self, config: PredictConfig) -> None:
+        self.calibration = ResidualCalibration(max_samples=config.max_samples)
+        self.surrogate = CycleSurrogate(
+            max_rows=config.max_samples, min_rows=config.min_training_rows
+        )
+
+
+class PredictTiers:
+    """The two estimator tiers plus their escalation bookkeeping.
+
+    One instance serves one harness (one context fingerprint).  State
+    persists through the harness's run cache under
+    ``<cache>/predict/<context>.json`` — LRU-exempt like manifests —
+    and is merged back on load, so worker processes sharing a cache
+    directory pool their calibration.  All public methods are
+    thread-safe (the serving scheduler consults from request threads).
+    """
+
+    def __init__(self, config: PredictConfig, run_cache, context: str) -> None:
+        self.config = config
+        self.run_cache = run_cache
+        self.context = context
+        self._partitions: dict[str, _Partition] = {}
+        self._predictions: dict[str, tuple[float, float]] = {}
+        self._lock = threading.RLock()
+        self._loaded = False
+        self._state_mtime: float | None = None
+        # Tallies (also mirrored into obs counters under "predict.").
+        self.lookups = 0
+        self.predictions = 0
+        self.predictions_analytical = 0
+        self.predictions_surrogate = 0
+        self.escalations_cold = 0
+        self.escalations_coverage = 0
+        self.escalations_bound = 0
+        self.observations = 0
+        self.observed_errors: list[float] = []
+        self.observed_violations = 0
+
+    # -- tallies ---------------------------------------------------------
+
+    @property
+    def escalations(self) -> int:
+        return (
+            self.escalations_cold
+            + self.escalations_coverage
+            + self.escalations_bound
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-ready metrics section (the ``/metricsz`` ``predict`` block).
+
+        ``reconciles`` asserts the lookup ledger: every consult either
+        predicted or escalated — ``predictions + escalations ==
+        lookups`` exactly.
+        """
+        with self._lock:
+            errors = list(self.observed_errors)
+            rows = sum(
+                len(partition.surrogate.rows)
+                for partition in self._partitions.values()
+            )
+            samples = sum(
+                partition.calibration.samples
+                for partition in self._partitions.values()
+            )
+            return {
+                "enabled": True,
+                "max_error_bound": self.config.max_error_bound,
+                "partitions": len(self._partitions),
+                "calibration_samples": samples,
+                "training_rows": rows,
+                "lookups": self.lookups,
+                "predictions": self.predictions,
+                "predictions_analytical": self.predictions_analytical,
+                "predictions_surrogate": self.predictions_surrogate,
+                "escalations": self.escalations,
+                "escalations_cold": self.escalations_cold,
+                "escalations_coverage": self.escalations_coverage,
+                "escalations_bound": self.escalations_bound,
+                "observations": self.observations,
+                "reconciles": self.predictions + self.escalations
+                == self.lookups,
+                "prediction_error": {
+                    "samples": len(errors),
+                    "observed_mean": (
+                        float(np.mean(errors)) if errors else None
+                    ),
+                    "observed_max": float(max(errors)) if errors else None,
+                    "violations": self.observed_violations,
+                },
+            }
+
+    # -- the prediction decision ------------------------------------------
+
+    def consult(
+        self,
+        *,
+        workload: str,
+        method: str,
+        gpu: GPUConfig,
+        launches: list[KernelLaunch],
+        model_error: ModelErrorConfig,
+        digest: str,
+    ) -> PredictedResult | None:
+        """Try to answer a cold cell by prediction; None escalates.
+
+        Counts exactly one lookup, and exactly one of prediction /
+        escalation — the ledger ``snapshot()`` reconciles.
+        """
+        if method not in self.config.methods:
+            return None
+        with self._lock:
+            self._load_if_stale()
+            self.lookups += 1
+            obs_count("predict.lookups")
+            estimate = price_app(launches, gpu, model_error)
+            if not estimate.groups or estimate.total_cycles <= 0:
+                return self._escalate("coverage")
+            partition = self._partitions.get(
+                self._partition_key(method, gpu)
+            )
+            if partition is None:
+                return self._escalate("cold")
+            candidates: list[tuple[float, float, str]] = []
+            analytical = self._analytical_bound(partition, estimate)
+            if analytical is not None:
+                candidates.append(
+                    (analytical, estimate.total_cycles, "analytical")
+                )
+            surrogate = self._surrogate_estimate(partition, estimate)
+            if surrogate is not None:
+                bound, cycles = surrogate
+                candidates.append((bound, cycles, "surrogate"))
+            if not candidates:
+                return self._escalate("cold")
+            bound, cycles, tier = min(candidates, key=lambda c: c[0])
+            if bound > self.config.max_error_bound:
+                return self._escalate("bound")
+            result = PredictedResult(
+                workload=workload,
+                gpu=gpu,
+                method=method,
+                total_cycles=float(cycles),
+                total_instructions=float(estimate.total_instructions),
+                total_dram_bytes=float(estimate.total_dram_bytes),
+                simulated_cycles=0.0,
+                prediction_error_bound=float(bound),
+                predicted_by=tier,
+            )
+            self._predictions[digest] = (float(cycles), float(bound))
+            self.predictions += 1
+            obs_count("predict.predictions")
+            if tier == "analytical":
+                self.predictions_analytical += 1
+                obs_count("predict.predictions_analytical")
+            else:
+                self.predictions_surrogate += 1
+                obs_count("predict.predictions_surrogate")
+            return result
+
+    def tier_estimates(
+        self,
+        *,
+        method: str,
+        gpu: GPUConfig,
+        launches: list[KernelLaunch],
+        model_error: ModelErrorConfig,
+    ) -> dict[str, tuple[float, float | None]]:
+        """Both tiers' (cycles, bound) for a query — no ledger mutation.
+
+        The report/figures layer uses this to chart each tier's accuracy
+        side by side with the DES methods.  The analytical entry is
+        always present (bound None until calibrated); the surrogate
+        entry appears only when trained and covered.
+        """
+        with self._lock:
+            self._load_if_stale()
+            estimate = price_app(launches, gpu, model_error)
+            out: dict[str, tuple[float, float | None]] = {}
+            if not estimate.groups or estimate.total_cycles <= 0:
+                return out
+            partition = self._partitions.get(self._partition_key(method, gpu))
+            bound = (
+                self._analytical_bound(partition, estimate)
+                if partition is not None
+                else None
+            )
+            out["analytical"] = (estimate.total_cycles, bound)
+            if partition is not None:
+                surrogate = self._surrogate_estimate(partition, estimate)
+                if surrogate is not None:
+                    s_bound, s_cycles = surrogate
+                    out["surrogate"] = (s_cycles, s_bound)
+            return out
+
+    def _analytical_bound(
+        self, partition: _Partition, estimate: AppEstimate
+    ) -> float | None:
+        """Calibrated bound for serving the raw analytical estimate."""
+        calibration = partition.calibration
+        if calibration.apps_observed < self.config.min_calibration:
+            return None
+        quad = 0.0
+        for group, share in zip(
+            estimate.groups, estimate.shares(), strict=True
+        ):
+            dispersion = calibration.dispersion(
+                group.bucket,
+                prior=self.config.dispersion_prior,
+                min_dispersion=self.config.min_dispersion,
+            )
+            quad += (share * dispersion) ** 2
+        return self.config.error_floor + self.config.safety_factor * math.sqrt(
+            quad
+        )
+
+    def _surrogate_estimate(
+        self, partition: _Partition, estimate: AppEstimate
+    ) -> tuple[float, float] | None:
+        """(bound, corrected cycles) from the learned tier, or None.
+
+        Coverage gate: every query group must lie within
+        ``coverage_radius`` of a training row; an uncovered group makes
+        the whole tier ineligible (the analytical tier may still serve).
+        """
+        from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
+
+        surrogate = partition.surrogate
+        if not surrogate.trained:
+            return None
+        oof = surrogate.oof_error
+        if oof is None:
+            return None
+        total = 0.0
+        quad = 0.0
+        for group, share in zip(
+            estimate.groups, estimate.shares(), strict=True
+        ):
+            predicted = surrogate.predict(group.counters)
+            if predicted is None:
+                return None
+            ratio, distance = predicted
+            if distance > self.config.coverage_radius:
+                return None
+            corrected = group.cycles * ratio
+            total += group.count * (corrected + KERNEL_LAUNCH_OVERHEAD)
+            term = oof + self.config.lipschitz * distance
+            quad += (share * term) ** 2
+        bound = self.config.error_floor + self.config.safety_factor * math.sqrt(
+            quad
+        )
+        return bound, total
+
+    def _escalate(self, kind: str) -> None:
+        if kind == "cold":
+            self.escalations_cold += 1
+        elif kind == "coverage":
+            self.escalations_coverage += 1
+        else:
+            self.escalations_bound += 1
+        obs_count("predict.escalations")
+        obs_count(f"predict.escalations_{kind}")
+        return None
+
+    # -- calibration growth -----------------------------------------------
+
+    def observe(
+        self,
+        *,
+        workload: str,
+        method: str,
+        gpu: GPUConfig,
+        launches: list[KernelLaunch],
+        model_error: ModelErrorConfig,
+        digest: str,
+        result: AppRunResult,
+        kernel_cycles: dict[tuple[int, int], float] | None = None,
+    ) -> None:
+        """Ingest one *computed* run's ground truth and persist state.
+
+        ``kernel_cycles`` maps (spec signature, grid blocks) to the
+        DES's memoized per-kernel cycles — per-group residuals feed the
+        calibration and the surrogate's training rows.  Without it only
+        the observed-error feedback (realized vs advertised bound) is
+        recorded.  Prediction answers are never ingested.
+        """
+        if method not in self.config.methods:
+            return
+        if isinstance(result, PredictedResult):
+            return
+        if result.total_cycles <= 0:
+            return
+        with self._lock:
+            self._load_if_stale()
+            self._track_observed_error(digest, result)
+            if kernel_cycles:
+                key = self._partition_key(method, gpu)
+                partition = self._partitions.setdefault(
+                    key, _Partition(self.config)
+                )
+                estimate = price_app(launches, gpu, model_error)
+                ingested = False
+                for group in estimate.groups:
+                    truth = kernel_cycles.get(
+                        (group.signature, group.grid_blocks)
+                    )
+                    if truth is None or truth <= 0 or group.cycles <= 0:
+                        continue
+                    log_residual = math.log(truth / group.cycles)
+                    partition.calibration.observe(group.bucket, log_residual)
+                    partition.surrogate.add_row(group.counters, log_residual)
+                    ingested = True
+                if ingested:
+                    partition.calibration.apps_observed += 1
+            self.observations += 1
+            obs_count("predict.observations")
+            self._persist()
+
+    def _track_observed_error(self, digest: str, result: AppRunResult) -> None:
+        """A computed ground truth arrived for a digest we once answered
+        by prediction (an operator disabled predict, or another process
+        escalated): record the realized error against the advertised
+        bound."""
+        prediction = self._predictions.pop(digest, None)
+        if prediction is None or result.total_cycles <= 0:
+            return
+        predicted, bound = prediction
+        error = abs(predicted - result.total_cycles) / result.total_cycles
+        self.observed_errors.append(error)
+        obs_count("predict.observed_samples")
+        if error > bound:
+            self.observed_violations += 1
+            obs_count("predict.observed_violations")
+
+    # -- persistence -------------------------------------------------------
+
+    @staticmethod
+    def _partition_key(method: str, gpu: GPUConfig) -> str:
+        return f"{method}@{gpu.name}"
+
+    def _load_if_stale(self) -> None:
+        """Merge on-disk state written by other processes (mtime-gated)."""
+        getter = getattr(self.run_cache, "get_predict_state", None)
+        if getter is None:
+            self._loaded = True
+            return
+        mtime = getattr(self.run_cache, "predict_state_mtime", None)
+        current = mtime(self.context) if mtime is not None else None
+        if self._loaded and current == self._state_mtime:
+            return
+        document = getter(self.context)
+        self._loaded = True
+        self._state_mtime = current
+        if not document or document.get("version") != PREDICT_STATE_VERSION:
+            return
+        for key, state in document.get("partitions", {}).items():
+            try:
+                calibration = ResidualCalibration.from_state(
+                    state.get("calibration", {}),
+                    max_samples=self.config.max_samples,
+                )
+                surrogate = CycleSurrogate.from_state(
+                    state.get("surrogate", {}),
+                    max_rows=self.config.max_samples,
+                    min_rows=self.config.min_training_rows,
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # one malformed partition must not poison the rest
+            partition = self._partitions.get(key)
+            if partition is None:
+                partition = _Partition(self.config)
+                partition.calibration = calibration
+                partition.surrogate = surrogate
+                self._partitions[key] = partition
+            else:
+                partition.calibration.merge(calibration)
+                partition.surrogate.merge(surrogate)
+
+    def _persist(self) -> None:
+        putter = getattr(self.run_cache, "put_predict_state", None)
+        if putter is None:
+            return
+        document = {
+            "version": PREDICT_STATE_VERSION,
+            "context": self.context,
+            "partitions": {
+                key: {
+                    "calibration": partition.calibration.to_state(),
+                    "surrogate": partition.surrogate.to_state(),
+                }
+                for key, partition in self._partitions.items()
+            },
+        }
+        putter(self.context, document)
+        mtime = getattr(self.run_cache, "predict_state_mtime", None)
+        if mtime is not None:
+            self._state_mtime = mtime(self.context)
+
+
+def resolve_predict_config(
+    predict: PredictConfig | bool | None,
+    max_error_bound: float | None = None,
+) -> PredictConfig | None:
+    """Normalize the harness/CLI-facing spec into a config (or None=off)."""
+    if isinstance(predict, PredictConfig):
+        config = predict
+    elif predict:
+        config = PredictConfig()
+    else:
+        return None
+    if max_error_bound is not None:
+        config = replace(config, max_error_bound=max_error_bound)
+    return config

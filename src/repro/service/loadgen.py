@@ -238,6 +238,9 @@ class LoadReport:
     #: (``source == "transfer"``) rather than an exact-cache hit or a
     #: fresh simulation.
     transferred: int = 0
+    #: Completed jobs the prediction tiers answered at submit time
+    #: (``source == "predicted"``) — never queued, never simulated.
+    predicted: int = 0
     failed: int = 0
     quarantined: int = 0
     cancelled: int = 0
@@ -325,6 +328,7 @@ class LoadReport:
             "shed": self.shed,
             "completed": self.completed,
             "transferred": self.transferred,
+            "predicted": self.predicted,
             "failed": self.failed,
             "quarantined": self.quarantined,
             "cancelled": self.cancelled,
@@ -490,6 +494,8 @@ def run_load(
                 report.completed += 1
                 if final.get("source") == "transfer":
                     report.transferred += 1
+                elif final.get("source") == "predicted":
+                    report.predicted += 1
             elif final["state"] == "failed":
                 report.failed += 1
                 if (final.get("error") or {}).get("kind") == "quarantined":

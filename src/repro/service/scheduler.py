@@ -48,6 +48,7 @@ lives in ``_jobs`` and is mutated only under ``_lock``.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 
@@ -340,7 +341,16 @@ class Scheduler:
         if ewma is None:
             return None
         backlog = self.queue.depth + extra
-        return backlog * ewma / self._dispatch_capacity()
+        # Defense in depth for scale events: _dispatch_capacity clamps
+        # to >= 1 already, but a supervisor mid-replacement can briefly
+        # report zero (or a mocked/raced value) serving workers — never
+        # let a transient fleet state turn the estimate into a
+        # ZeroDivisionError or a non-finite shed-everything answer.
+        capacity = max(1, self._dispatch_capacity())
+        estimate = backlog * ewma / capacity
+        if not math.isfinite(estimate):
+            return None
+        return estimate
 
     def _observe_service_time(self, seconds: float) -> None:
         if seconds < 0:
@@ -453,6 +463,13 @@ class Scheduler:
         if request.fault is None and self._probe_transfer(record, digest):
             obs_count("service.transfer_hits")
             return record, True
+        # Prediction warm path: both exact and similarity probes missed,
+        # but the prediction tiers can price the cell within their error
+        # bound — the job completes at submission without any event
+        # loop.  Escalations fall through to the compute pipeline.
+        if request.fault is None and self._probe_predict(record, digest):
+            obs_count("service.predict_hits")
+            return record, True
         # Circuit breaker: a cold cell cannot complete while every
         # worker is down — shed it now with retry advice instead of
         # queueing behind a dead fleet.  (Checked outside _lock; the
@@ -552,6 +569,29 @@ class Scheduler:
             digest=digest,
         )
         self._complete(record, "done", result=transfer, source="transfer")
+        return True
+
+    def _probe_predict(self, record: JobRecord, digest: str) -> bool:
+        """Complete the job from the prediction tiers if they can serve
+        it within their configured error bound.
+
+        Same durability contract as the other submit-time probes: the
+        accepted record is journaled before the completion.
+        """
+        if getattr(self.harness, "predict", None) is None:
+            return False
+        predicted = self.harness.predict_probe(
+            record.request.workload, record.request.method, record.request.gpu
+        )
+        if predicted is None:
+            return False
+        self._journal_event(
+            "accepted",
+            record,
+            request=record.request.to_document(),
+            digest=digest,
+        )
+        self._complete(record, "done", result=predicted, source="predicted")
         return True
 
     def get(self, job_id: str) -> JobRecord:
@@ -811,7 +851,8 @@ class Scheduler:
             for name, value in sorted(tracer.counters.items())
             if name.startswith(
                 ("service.", "tasks.", "harness.", "cache.", "backend.",
-                 "fleet.", "journal.", "autoscaler.", "semcache.")
+                 "fleet.", "journal.", "autoscaler.", "semcache.",
+                 "predict.")
             )
         }
         cache = self.harness.run_cache
@@ -830,6 +871,11 @@ class Scheduler:
                 tracer,
                 "service.job",
                 where=lambda args: args.get("source") == "transfer",
+            ),
+            "predicted": span_percentiles(
+                tracer,
+                "service.job",
+                where=lambda args: args.get("source") == "predicted",
             ),
         }
         oldest_us = self.queue.oldest_submitted_us()
@@ -868,6 +914,10 @@ class Scheduler:
         semcache = getattr(self.harness, "semcache", None)
         document["semcache"] = (
             semcache.snapshot() if semcache is not None else {"enabled": False}
+        )
+        predict = getattr(self.harness, "predict", None)
+        document["predict"] = (
+            predict.snapshot() if predict is not None else {"enabled": False}
         )
         if self.supervisor is not None:
             document["workers"] = self.supervisor.snapshot()

@@ -57,6 +57,7 @@ from repro.analysis.harness import EvaluationHarness
 from repro.analysis.persistence import dump_run, dump_selection
 from repro.analysis.semcache import TransferResult
 from repro.core.pka import KernelSelection
+from repro.predict import PredictedResult
 from repro.errors import (
     DeadlineUnattainableError,
     InvalidJobRequestError,
@@ -125,6 +126,13 @@ def _result_document(record: JobRecord) -> dict:
         document["transfer"] = {
             "error_bound": result.transfer_error_bound,
             "transferred_from": list(result.transferred_from),
+        }
+    if isinstance(result, PredictedResult):
+        # Same contract for prediction answers: app_run wire shape,
+        # job.source == "predicted", plus bound and answering tier.
+        document["predicted"] = {
+            "error_bound": result.prediction_error_bound,
+            "predicted_by": result.predicted_by,
         }
     return document
 

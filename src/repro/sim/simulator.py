@@ -41,7 +41,7 @@ from repro.sim.parallel import (
 from repro.sim.perfmodel import KERNEL_LAUNCH_OVERHEAD
 from repro.sim.stats import AppRunResult, KernelRecord
 
-__all__ = ["ModelErrorConfig", "Simulator"]
+__all__ = ["ModelErrorConfig", "Simulator", "kernel_bias_factor"]
 
 _BIAS_SALT = 0x5151_DEAD_BEEF
 
@@ -100,6 +100,31 @@ class ModelErrorConfig:
             raise ConfigurationError("spec_sigma must be >= 0")
 
 
+def kernel_bias_factor(spec, model_error: "ModelErrorConfig") -> float:
+    """The deterministic modeling-error bias one kernel spec carries.
+
+    Pure function of (spec, model-error config): bucket-level
+    behavioural bias times a small per-spec jitter, exactly the factor
+    :meth:`Simulator.kernel_bias` applies to block durations.  Exposed
+    at module level so the analytical prediction tier can price kernels
+    with the *same* simulator bias without instantiating an event loop.
+    """
+    if not model_error.enabled:
+        return 1.0
+    signature = spec.signature()
+    bucket_seed = (
+        _behavior_bucket_hash(spec) ^ model_error.seed_salt
+    ) % 2**63
+    bucket_rng = np.random.default_rng(bucket_seed)
+    sigma = bucket_rng.uniform(model_error.sigma_min, model_error.sigma_max)
+    bucket_bias = float(bucket_rng.lognormal(mean=0.0, sigma=sigma))
+    spec_rng = np.random.default_rng(
+        (signature ^ model_error.seed_salt) % 2**63
+    )
+    jitter = float(spec_rng.lognormal(mean=0.0, sigma=model_error.spec_sigma))
+    return bucket_bias * jitter
+
+
 class Simulator:
     """Per-GPU cycle-level simulator with deterministic modeling error."""
 
@@ -139,23 +164,21 @@ class Simulator:
         signature = launch.spec.signature()
         cached = self._bias_cache.get(signature)
         if cached is None:
-            bucket_seed = (
-                _behavior_bucket_hash(launch.spec) ^ self.model_error.seed_salt
-            ) % 2**63
-            bucket_rng = np.random.default_rng(bucket_seed)
-            sigma = bucket_rng.uniform(
-                self.model_error.sigma_min, self.model_error.sigma_max
-            )
-            bucket_bias = float(bucket_rng.lognormal(mean=0.0, sigma=sigma))
-            spec_rng = np.random.default_rng(
-                (signature ^ self.model_error.seed_salt) % 2**63
-            )
-            jitter = float(
-                spec_rng.lognormal(mean=0.0, sigma=self.model_error.spec_sigma)
-            )
-            cached = bucket_bias * jitter
+            cached = kernel_bias_factor(launch.spec, self.model_error)
             self._bias_cache[signature] = cached
         return cached
+
+    def memoized_kernel_cycles(self) -> dict[tuple[int, int], float]:
+        """Simulated cycles of every full kernel run memoized so far,
+        keyed by (spec signature, grid blocks).
+
+        The prediction tier's observe path reads this right after a
+        computed full run to harvest per-kernel ground truth without
+        re-simulating anything.
+        """
+        return {
+            key: result.cycles for key, result in self._full_run_cache.items()
+        }
 
     def run_kernel(
         self,

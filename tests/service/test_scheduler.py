@@ -311,3 +311,38 @@ class TestDrainVsSubmitRace:
         assert scheduler.queue.depth == 0
         # Both outcomes are legal; silence (neither) is not.
         assert outcomes and set(outcomes) <= {"refused", "attached"}
+
+
+class TestQueueWaitColdEstimator:
+    """The admission estimator must survive transient fleet states.
+
+    ``serving_workers`` can legitimately read zero for an instant during
+    a scale event (every worker draining or being replaced); the
+    queue-wait estimate must clamp to the single-dispatcher floor rather
+    than divide by zero or return a non-finite shed-everything answer.
+    """
+
+    class _ScalingSupervisor:
+        """Supervisor stub caught mid-replacement: alive but zero serving."""
+
+        serving_workers = 0
+        any_alive = True
+
+    def test_zero_serving_workers_clamps_not_crashes(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        # Attach after construction (bind() is the supervisor's side of
+        # the handshake; the stub only exposes the liveness fields).
+        scheduler.supervisor = self._ScalingSupervisor()
+        # Cold estimator: no completions observed yet -> None, no shed.
+        assert scheduler.estimate_queue_wait() is None
+        # Warm estimator against the zero-serving fleet: finite, clamped
+        # to capacity 1.
+        scheduler._observe_service_time(2.0)
+        estimate = scheduler.estimate_queue_wait(extra=3)
+        assert estimate is not None
+        assert estimate == pytest.approx(3 * 2.0)
+
+    def test_nonfinite_ewma_returns_none(self, cached_harness):
+        scheduler = Scheduler(cached_harness)
+        scheduler._service_time_ewma_s = float("inf")
+        assert scheduler.estimate_queue_wait(extra=1) is None
